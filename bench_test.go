@@ -1,0 +1,520 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section V). Each BenchmarkTableN / BenchmarkFigureN / BenchmarkSection5X
+// runs the corresponding experiment end to end and logs the rows the paper
+// reports; `go test -bench . -benchmem` therefore doubles as the
+// reproduction harness. Microbenchmarks of the protocol substrates follow.
+package h2scope_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"h2scope"
+	"h2scope/internal/conformance"
+	"h2scope/internal/frame"
+	"h2scope/internal/h2load"
+	"h2scope/internal/hpack"
+	"h2scope/internal/netsim"
+	"h2scope/internal/priority"
+	"h2scope/internal/stats"
+)
+
+// logOnce writes an experiment artifact into the benchmark log on the first
+// iteration only, so -bench output carries the reproduced tables without
+// drowning in repeats.
+func logOnce(b *testing.B, i int, format string, args ...any) {
+	b.Helper()
+	if i == 0 {
+		b.Logf(format, args...)
+	}
+}
+
+// BenchmarkTable3ConformanceMatrix re-measures Table III: the full H2Scope
+// battery against the six emulated server implementations.
+func BenchmarkTable3ConformanceMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := h2scope.RunTestbed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, "Table III (re-measured):\n%s", res)
+	}
+}
+
+// BenchmarkSection5BAdoption regenerates the Section V-B adoption counts
+// for both experiments.
+func BenchmarkSection5BAdoption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			logOnce(b, i, "Adoption, %s:\n%s", epoch, census.Adoption())
+		}
+	}
+}
+
+// BenchmarkTable4ServerAdoption regenerates Table IV (servers used by more
+// than 1,000 sites) for both experiments.
+func BenchmarkTable4ServerAdoption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			logOnce(b, i, "Table IV, %s:\n%s", epoch, census.TableIV(1000))
+		}
+	}
+}
+
+// BenchmarkTable5InitialWindowSize regenerates Table V.
+func BenchmarkTable5InitialWindowSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			logOnce(b, i, "Table V, %s:\n%s", epoch, census.TableV())
+		}
+	}
+}
+
+// BenchmarkTable6MaxFrameSize regenerates Table VI.
+func BenchmarkTable6MaxFrameSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			logOnce(b, i, "Table VI, %s:\n%s", epoch, census.TableVI())
+		}
+	}
+}
+
+// BenchmarkTable7MaxHeaderListSize regenerates Table VII.
+func BenchmarkTable7MaxHeaderListSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			logOnce(b, i, "Table VII, %s:\n%s", epoch, census.TableVII())
+		}
+	}
+}
+
+// BenchmarkFigure2MaxConcurrentStreams regenerates Fig. 2's CDF of
+// SETTINGS_MAX_CONCURRENT_STREAMS.
+func BenchmarkFigure2MaxConcurrentStreams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			cdf := census.Figure2()
+			logOnce(b, i, "Figure 2, %s (P(X<=100)=%.2f):\n%s",
+				epoch, cdf.At(100), census.Figure2Rendered())
+		}
+	}
+}
+
+// BenchmarkSection5DFlowControl regenerates the Section V-D flow-control
+// counts, then verifies a measured sample agrees with the generator.
+func BenchmarkSection5DFlowControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		census := h2scope.NewCensus(h2scope.EpochJan2017, 1.0, 42)
+		logOnce(b, i, "Section V-D, %s:\n%s", h2scope.EpochJan2017, census.SectionVD())
+		if i == 0 {
+			sum, err := h2scope.ScanPopulation(census.Pop, h2scope.ScanOptions{
+				SampleSize: 24, Parallelism: 8, Seed: 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("Measured sample:\n%s", h2scope.RenderScan(sum))
+		}
+	}
+}
+
+// BenchmarkSection5EPriority regenerates the Section V-E priority counts.
+func BenchmarkSection5EPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			logOnce(b, i, "Section V-E, %s:\n%s", epoch, census.SectionVE())
+		}
+	}
+}
+
+// BenchmarkSection5FServerPush regenerates the Section V-F push census.
+func BenchmarkSection5FServerPush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			logOnce(b, i, "Section V-F, %s:\n%s", epoch, census.SectionVF())
+		}
+	}
+}
+
+// BenchmarkFigure3PushPageLoad regenerates Fig. 3: page-load time with and
+// without server push on the push-capable sites.
+func BenchmarkFigure3PushPageLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := h2scope.RunPushPageLoad(h2scope.EpochJul2016, 2, 0.2, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, "Figure 3 (means over %d visits):\n%s", res.Visits, res)
+	}
+}
+
+// BenchmarkFigure4And5HPACKRatio regenerates the per-family HPACK
+// compression-ratio CDFs for both experiments.
+func BenchmarkFigure4And5HPACKRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, epoch := range []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017} {
+			census := h2scope.NewCensus(epoch, 1.0, 42)
+			fig := "Figure 4"
+			if epoch == h2scope.EpochJan2017 {
+				fig = "Figure 5"
+			}
+			logOnce(b, i, "%s, %s:\n%s", fig, epoch, census.Figures4And5Rendered())
+		}
+	}
+}
+
+// BenchmarkFigure6RTTComparison regenerates Fig. 6: RTT by HTTP/2 PING,
+// ICMP, TCP handshake, and HTTP/1.1 request timing.
+func BenchmarkFigure6RTTComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := h2scope.RunRTTComparison(h2scope.EpochJan2017, 2, 2, 0.25, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, "Figure 6:\n%s", h2scope.RenderRTTComparison(cmp))
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+func benchHeaderFields() []hpack.HeaderField {
+	return []hpack.HeaderField{
+		{Name: ":status", Value: "200"},
+		{Name: "server", Value: "nginx/1.9.15"},
+		{Name: "date", Value: "Tue, 05 Jul 2016 10:00:00 GMT"},
+		{Name: "content-type", Value: "text/html; charset=utf-8"},
+		{Name: "content-length", Value: "8192"},
+		{Name: "etag", Value: "\"57838f70-264\""},
+		{Name: "vary", Value: "accept-encoding"},
+	}
+}
+
+// BenchmarkHPACKEncode measures header-block encoding with full indexing.
+func BenchmarkHPACKEncode(b *testing.B) {
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	fields := benchHeaderFields()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.EncodeBlock(fields)
+	}
+}
+
+// BenchmarkHPACKDecode measures header-block decoding.
+func BenchmarkHPACKDecode(b *testing.B) {
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	fields := benchHeaderFields()
+	block := enc.EncodeBlock(fields)
+	dec := hpack.NewDecoder(hpack.DefaultDynamicTableSize)
+	if _, err := dec.DecodeFull(block); err != nil {
+		b.Fatal(err)
+	}
+	steady := enc.EncodeBlock(fields)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeFull(steady); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHuffmanRoundTrip measures Huffman coding of a typical value.
+func BenchmarkHuffmanRoundTrip(b *testing.B) {
+	enc := hpack.NewEncoder(hpack.PolicyNoDynamicInsert)
+	fields := []hpack.HeaderField{{Name: "x-request-id", Value: "d41d8cd98f00b204e9800998ecf8427e"}}
+	dec := hpack.NewDecoder(hpack.DefaultDynamicTableSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := enc.EncodeBlock(fields)
+		if _, err := dec.DecodeFull(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discardWriter satisfies io.Writer without retaining data.
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkFramerWriteData measures DATA frame serialization.
+func BenchmarkFramerWriteData(b *testing.B) {
+	fr := frame.NewFramer(discardWriter{}, nil)
+	payload := make([]byte, 16384)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fr.WriteData(1, false, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriorityTreeReprioritize measures dependency-tree updates with
+// the exclusive flag — the operation the paper's Discussion flags as an
+// algorithmic-complexity attack surface.
+func BenchmarkPriorityTreeReprioritize(b *testing.B) {
+	tree := priority.NewTree()
+	const n = 64
+	for id := uint32(1); id <= 2*n; id += 2 {
+		if err := tree.Add(id, priority.Param{StreamDep: 0, Weight: 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint32(2*(i%n) + 1)
+		dep := uint32(2*((i+7)%n) + 1)
+		if dep == id {
+			dep = 0
+		}
+		if err := tree.Update(id, priority.Param{StreamDep: dep, Exclusive: i%2 == 0, Weight: 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerPick measures weighted stream selection.
+func BenchmarkSchedulerPick(b *testing.B) {
+	tree := priority.NewTree()
+	for id := uint32(1); id <= 32; id += 2 {
+		if err := tree.Add(id, priority.Param{StreamDep: 0, Weight: uint8(id * 7)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sched := priority.NewScheduler(tree)
+	ready := func(uint32) bool { return true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := sched.Pick(ready); !ok {
+			b.Fatal("no pick")
+		}
+	}
+}
+
+// BenchmarkServerGET measures end-to-end request/response throughput of
+// the server engine over an in-process connection.
+func BenchmarkServerGET(b *testing.B) {
+	srv := h2scope.NewServer(h2scope.H2OProfile(), h2scope.DefaultSite("bench.example"))
+	l := netsim.NewListener("bench")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	defer srv.Close()
+	nc, err := l.Dial()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := h2scope.DefaultClientOptions()
+	opts.EventLogLimit = 4096
+	c, err := h2scope.DialClient(nc, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	req := h2scope.Request{Authority: "bench.example", Path: "/about.html"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.FetchBody(req, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status() != "200" {
+			b.Fatalf("status %s", resp.Status())
+		}
+	}
+}
+
+// BenchmarkServerLargeTransfer measures bulk DATA throughput.
+func BenchmarkServerLargeTransfer(b *testing.B) {
+	srv := h2scope.NewServer(h2scope.NginxProfile(), h2scope.DefaultSite("bench.example"))
+	l := netsim.NewListener("bench-large")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	defer srv.Close()
+	nc, err := l.Dial()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lopts := h2scope.DefaultClientOptions()
+	lopts.EventLogLimit = 4096
+	c, err := h2scope.DialClient(nc, lopts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	req := h2scope.Request{Authority: "bench.example", Path: "/large/1"}
+	b.SetBytes(96 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.FetchBody(req, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Body) != 96*1024 {
+			b.Fatalf("body %d", len(resp.Body))
+		}
+	}
+}
+
+// BenchmarkPopulationGenerate measures full-scale population synthesis.
+func BenchmarkPopulationGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pop := h2scope.GeneratePopulation(h2scope.EpochJan2017, 1.0, int64(i))
+		if len(pop.Sites) != 64_299 {
+			b.Fatalf("sites = %d", len(pop.Sites))
+		}
+	}
+}
+
+// BenchmarkProbeBattery measures one full H2Scope battery against a single
+// live server — the per-site cost of the paper's 1M-site scan.
+func BenchmarkProbeBattery(b *testing.B) {
+	srv := h2scope.NewServer(h2scope.ApacheProfile(), h2scope.DefaultSite("probe.example"))
+	l := netsim.NewListener("probe-bench")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	defer srv.Close()
+	cfg := h2scope.DefaultProbeConfig("probe.example")
+	cfg.QuietWindow = 5 * time.Millisecond
+	dialer := h2scope.DialerFunc(func() (net.Conn, error) { return l.Dial() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := h2scope.Probe(dialer, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(report.Errors) > 0 {
+			b.Fatal(report.Errors)
+		}
+	}
+}
+
+// BenchmarkCDF measures the stats substrate on a Fig. 2-sized sample.
+func BenchmarkCDF(b *testing.B) {
+	samples := make([]float64, 64_000)
+	for i := range samples {
+		samples[i] = float64(i%997) + 3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cdf := stats.NewCDF(samples)
+		if cdf.Quantile(0.5) <= 0 {
+			b.Fatal("bad quantile")
+		}
+	}
+}
+
+// BenchmarkConformanceSuite measures the full 17-check RFC 7540 suite
+// against a live server — the per-target cost of an h2spec-style scan.
+func BenchmarkConformanceSuite(b *testing.B) {
+	srv := h2scope.NewServer(h2scope.ApacheProfile(), h2scope.DefaultSite("conform.example"))
+	l := netsim.NewListener("conform-bench")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	defer srv.Close()
+	env := &conformance.Env{
+		Dialer:         h2scope.DialerFunc(func() (net.Conn, error) { return l.Dial() }),
+		Authority:      "conform.example",
+		ReactionWindow: 50 * time.Millisecond,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := conformance.RunSuite(env)
+		if fails := conformance.Failures(results); len(fails) > 0 {
+			b.Fatalf("failures: %v", fails)
+		}
+		logOnce(b, i, "Conformance: %s", conformance.Summary(results))
+	}
+}
+
+// BenchmarkPopulationScan measures the thread-pooled scanner's throughput
+// (Section IV-B): sites fully probed per second.
+func BenchmarkPopulationScan(b *testing.B) {
+	pop := h2scope.GeneratePopulation(h2scope.EpochJan2017, 0.003, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := h2scope.ScanPopulation(pop, h2scope.ScanOptions{
+			SampleSize: 16, Parallelism: 8, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Scanned != 16 {
+			b.Fatalf("scanned %d", sum.Scanned)
+		}
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "sites/s")
+}
+
+// BenchmarkHuffmanDecode measures Huffman decoding of a typical header
+// value through the public decoder.
+func BenchmarkHuffmanDecode(b *testing.B) {
+	enc := hpack.NewEncoder(hpack.PolicyNoDynamicInsert)
+	block := enc.EncodeBlock([]hpack.HeaderField{
+		{Name: "x-url", Value: "https://www.example.com/assets/app.min.js?v=20160705"},
+	})
+	dec := hpack.NewDecoder(hpack.DefaultDynamicTableSize)
+	b.SetBytes(int64(len(block)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeFull(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkH2LoadThroughput measures server throughput under multiplexed
+// load: 4 connections x 8 concurrent streams.
+func BenchmarkH2LoadThroughput(b *testing.B) {
+	srv := h2scope.NewServer(h2scope.H2OProfile(), h2scope.DefaultSite("load.example"))
+	l := netsim.NewListener("h2load-bench")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	defer srv.Close()
+	dial := func() (net.Conn, error) { return l.Dial() }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := h2load.Run(dial, h2load.Options{
+			Connections:    4,
+			StreamsPerConn: 8,
+			Requests:       500,
+			Authority:      "load.example",
+			Path:           "/about.html",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d errors", res.Errors)
+		}
+		b.ReportMetric(res.RequestsPerSecond(), "req/s")
+		logOnce(b, i, "h2load: %s", res)
+	}
+}

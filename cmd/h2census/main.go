@@ -1,0 +1,126 @@
+// Command h2census regenerates the paper's large-scale measurement results
+// (Tables IV-VII, Fig. 2, Figs. 4-5, and Sections V-B/D/E/F) from the
+// synthetic Alexa top-1M population, for either or both experiment epochs,
+// and optionally re-measures a sample of materialized sites with the full
+// H2Scope probe battery.
+//
+// Usage:
+//
+//	h2census                         # all spec-level tables, both epochs
+//	h2census -epoch 2 -sample 200    # Jan 2017 epoch plus a 200-site measured scan
+//	h2census -scale 0.1              # a 10%-scale universe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"h2scope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2census:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		epochFlag = flag.Int("epoch", 0, "experiment epoch: 1 (Jul 2016), 2 (Jan 2017), 0 = both")
+		scale     = flag.Float64("scale", 1.0, "population scale in (0,1]")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		sample    = flag.Int("sample", 0, "if > 0, also probe this many materialized sites")
+		parallel  = flag.Int("parallel", 16, "scanner thread-pool size")
+		outPath   = flag.String("out", "", "append per-site scan records (JSON lines) to this file")
+		analyze   = flag.String("analyze", "", "skip generation: analyze a previously written records file and exit")
+	)
+	flag.Parse()
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_ = f.Close()
+		}()
+		records, err := h2scope.ReadScanRecords(f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(h2scope.AnalyzeScanRecords(records))
+		return nil
+	}
+
+	var epochs []h2scope.Epoch
+	switch *epochFlag {
+	case 0:
+		epochs = []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017}
+	case 1:
+		epochs = []h2scope.Epoch{h2scope.EpochJul2016}
+	case 2:
+		epochs = []h2scope.Epoch{h2scope.EpochJan2017}
+	default:
+		return fmt.Errorf("bad -epoch %d", *epochFlag)
+	}
+
+	for _, epoch := range epochs {
+		census := h2scope.NewCensus(epoch, *scale, *seed)
+		fmt.Printf("==== %s (scale %.3g, seed %d) ====\n\n", epoch, *scale, *seed)
+		fmt.Println("-- Adoption (Section V-B) --")
+		fmt.Println(census.Adoption())
+		fmt.Println("-- Table IV: servers used by more than 1,000 sites --")
+		fmt.Println(census.TableIV(int(1000 * *scale)))
+		fmt.Println("-- Table V: SETTINGS_INITIAL_WINDOW_SIZE --")
+		fmt.Println(census.TableV())
+		fmt.Println("-- Table VI: SETTINGS_MAX_FRAME_SIZE --")
+		fmt.Println(census.TableVI())
+		fmt.Println("-- Table VII: SETTINGS_MAX_HEADER_LIST_SIZE --")
+		fmt.Println(census.TableVII())
+		fmt.Println("-- Figure 2: SETTINGS_MAX_CONCURRENT_STREAMS CDF --")
+		fmt.Println(census.Figure2Rendered())
+		fmt.Println("-- Section V-D: flow control --")
+		fmt.Println(census.SectionVD())
+		fmt.Println("-- Section V-E: priority --")
+		fmt.Println(census.SectionVE())
+		fmt.Println("-- Section V-F: server push --")
+		fmt.Println(census.SectionVF())
+		fig := "Figure 4"
+		if epoch == h2scope.EpochJan2017 {
+			fig = "Figure 5"
+		}
+		fmt.Printf("-- %s: HPACK compression ratio by family (CDF quantiles) --\n", fig)
+		fmt.Println(census.Figures4And5Rendered())
+
+		if *sample > 0 {
+			fmt.Printf("-- Measured scan (%d sites, %d threads) --\n", *sample, *parallel)
+			sum, err := h2scope.ScanPopulation(census.Pop, h2scope.ScanOptions{
+				SampleSize:  *sample,
+				Parallelism: *parallel,
+				Seed:        *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(h2scope.RenderScan(sum))
+			if *outPath != "" {
+				f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return err
+				}
+				err = h2scope.WriteScanRecords(f, epoch, time.Now(), sum)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return err
+				}
+				fmt.Printf("wrote %d records to %s\n", len(sum.Results), *outPath)
+			}
+		}
+	}
+	return nil
+}

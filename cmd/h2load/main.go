@@ -1,0 +1,106 @@
+// Command h2load drives load against an HTTP/2 server with N connections
+// and M concurrent streams per connection, in the spirit of nghttp2's
+// h2load, and prints throughput and latency percentiles.
+//
+// Usage:
+//
+//	h2load -target 127.0.0.1:8443 -tls -n 1000 -c 4 -m 16 -path /about.html
+//	h2load -profile h2o -n 5000          # hammer a built-in profile in-process
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"h2scope"
+	"h2scope/internal/h2load"
+	"h2scope/internal/netsim"
+	"h2scope/internal/tlsutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2load:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target      = flag.String("target", "", "host:port of the HTTP/2 server")
+		profileName = flag.String("profile", "", "hammer a built-in profile in-process instead of a remote target")
+		authority   = flag.String("authority", "testbed.example", ":authority for requests")
+		path        = flag.String("path", "/about.html", "request path")
+		useTLS      = flag.Bool("tls", false, "connect with TLS and negotiate h2 via ALPN")
+		requests    = flag.Int("n", 1000, "total number of requests")
+		conns       = flag.Int("c", 2, "number of connections")
+		streams     = flag.Int("m", 8, "concurrent streams per connection")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	var dial func() (net.Conn, error)
+	switch {
+	case *profileName != "":
+		var profile h2scope.Profile
+		found := false
+		for _, p := range h2scope.TestbedProfiles() {
+			if strings.EqualFold(p.Family, *profileName) {
+				profile, found = p, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown profile %q", *profileName)
+		}
+		srv := h2scope.NewServer(profile, h2scope.DefaultSite(*authority))
+		l := netsim.NewListener("h2load")
+		go func() {
+			_ = srv.Serve(l)
+		}()
+		defer srv.Close()
+		dial = func() (net.Conn, error) { return l.Dial() }
+	case *target != "":
+		dial = func() (net.Conn, error) {
+			nc, err := net.DialTimeout("tcp", *target, *timeout)
+			if err != nil {
+				return nil, err
+			}
+			if !*useTLS {
+				return nc, nil
+			}
+			proto, tc, err := tlsutil.NegotiateALPN(nc, *authority)
+			if err != nil {
+				_ = nc.Close()
+				return nil, err
+			}
+			if proto != tlsutil.ProtoH2 {
+				_ = tc.Close()
+				return nil, fmt.Errorf("server negotiated %q, not h2", proto)
+			}
+			return tc, nil
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("need -target or -profile")
+	}
+
+	fmt.Printf("h2load: %d requests, %d connections x %d streams, %s%s\n",
+		*requests, *conns, *streams, *authority, *path)
+	res, err := h2load.Run(dial, h2load.Options{
+		Connections:    *conns,
+		StreamsPerConn: *streams,
+		Requests:       *requests,
+		Authority:      *authority,
+		Path:           *path,
+		Timeout:        *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}

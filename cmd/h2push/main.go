@@ -1,0 +1,47 @@
+// Command h2push regenerates the paper's Fig. 3: page-load time on the
+// push-capable sites with server push enabled versus disabled, each site
+// visited repeatedly over its latency-shaped path (the paper visits each
+// site 30 times with Firefox's push support toggled).
+//
+// Usage:
+//
+//	h2push                     # Jul 2016's six push sites, 30 visits each
+//	h2push -epoch 2 -visits 5  # Jan 2017's fifteen sites, quicker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"h2scope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2push:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		epochFlag = flag.Int("epoch", 1, "experiment epoch: 1 (Jul 2016) or 2 (Jan 2017)")
+		visits    = flag.Int("visits", 30, "visits per site per configuration")
+		timeScale = flag.Float64("scale", 1.0, "wall-clock compression factor (results unscaled)")
+		seed      = flag.Int64("seed", 3, "population seed")
+	)
+	flag.Parse()
+
+	epoch := h2scope.EpochJul2016
+	if *epochFlag == 2 {
+		epoch = h2scope.EpochJan2017
+	}
+	fmt.Printf("Figure 3: page-load time with server push enabled/disabled (%s, %d visits)\n\n", epoch, *visits)
+	res, err := h2scope.RunPushPageLoad(epoch, *visits, *timeScale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}

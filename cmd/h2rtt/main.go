@@ -1,0 +1,50 @@
+// Command h2rtt regenerates the paper's Fig. 6: round-trip-time estimates
+// by HTTP/2 PING, ICMP echo, TCP handshake timing, and HTTP/1.1
+// request/response timing, over latency-shaped paths to materialized hosts
+// drawn from the synthetic population's top server families.
+//
+// Usage:
+//
+//	h2rtt                         # 10 sites per family, paper-like
+//	h2rtt -per-family 3 -scale 0.1  # faster, 10x-compressed wall clock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"h2scope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2rtt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		epochFlag = flag.Int("epoch", 2, "experiment epoch: 1 (Jul 2016) or 2 (Jan 2017)")
+		perFamily = flag.Int("per-family", 10, "sites per top server family (the paper uses 10)")
+		samples   = flag.Int("samples", 3, "RTT samples per site per method")
+		timeScale = flag.Float64("scale", 1.0, "wall-clock compression factor (0.05 = 20x faster; results unscaled)")
+		seed      = flag.Int64("seed", 9, "site selection and jitter seed")
+	)
+	flag.Parse()
+
+	epoch := h2scope.EpochJan2017
+	if *epochFlag == 1 {
+		epoch = h2scope.EpochJul2016
+	}
+	fmt.Printf("Figure 6: RTT by four methods (%s, %d sites/family, %d samples, time scale %.3g)\n\n",
+		epoch, *perFamily, *samples, *timeScale)
+	cmp, err := h2scope.RunRTTComparison(epoch, *perFamily, *samples, *timeScale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(h2scope.RenderRTTComparison(cmp))
+	fmt.Printf("(%d samples total; RTTs reported at full scale)\n", len(cmp.Samples))
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command h2server serves the testbed document tree over HTTP/2 with one of
+// the six emulated server profiles, over plain TCP (prior-knowledge h2c) or
+// TLS with ALPN.
+//
+// Usage:
+//
+//	h2server -profile nginx -addr 127.0.0.1:8443 -tls
+//	h2server -profile apache -addr 127.0.0.1:8080
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"h2scope"
+	"h2scope/internal/server"
+	"h2scope/internal/tlsutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "h2server:", err)
+		os.Exit(1)
+	}
+}
+
+func profileByName(name string) (h2scope.Profile, error) {
+	for _, p := range h2scope.TestbedProfiles() {
+		if strings.EqualFold(p.Family, name) {
+			return p, nil
+		}
+	}
+	return h2scope.Profile{}, fmt.Errorf("unknown profile %q (want nginx, litespeed, h2o, nghttpd, tengine, or apache)", name)
+}
+
+func run() error {
+	var (
+		profileName = flag.String("profile", "nginx", "server profile: nginx, litespeed, h2o, nghttpd, tengine, apache")
+		profilePath = flag.String("profile-file", "", "load a custom behavior profile from a JSON file (overrides -profile)")
+		dumpProfile = flag.Bool("dump-profile", false, "print the selected profile as JSON and exit")
+		addr        = flag.String("addr", "127.0.0.1:8443", "listen address")
+		domain      = flag.String("domain", "testbed.example", "site domain (:authority)")
+		useTLS      = flag.Bool("tls", false, "serve HTTP/2 over TLS with a self-signed certificate and ALPN")
+	)
+	flag.Parse()
+
+	profile, err := profileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	if *profilePath != "" {
+		data, err := os.ReadFile(*profilePath)
+		if err != nil {
+			return fmt.Errorf("reading profile file: %w", err)
+		}
+		if profile, err = server.UnmarshalProfile(data); err != nil {
+			return err
+		}
+	}
+	if *dumpProfile {
+		data, err := server.MarshalProfile(profile)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	srv := h2scope.NewServer(profile, h2scope.DefaultSite(*domain))
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	if *useTLS {
+		cert, err := tlsutil.SelfSignedCert(*domain, "127.0.0.1", "localhost")
+		if err != nil {
+			return err
+		}
+		l = tls.NewListener(l, tlsutil.ServerConfig(cert, profile.SupportsALPN))
+		fmt.Printf("serving %s (profile %s) on https://%s (ALPN %v)\n",
+			*domain, profile.Family, *addr, profile.SupportsALPN)
+	} else {
+		fmt.Printf("serving %s (profile %s) on h2c-prior-knowledge %s\n", *domain, profile.Family, *addr)
+	}
+	return srv.Serve(l)
+}

@@ -1,0 +1,444 @@
+package h2scope
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"h2scope/internal/core"
+	"h2scope/internal/netsim"
+	"h2scope/internal/pageload"
+	"h2scope/internal/population"
+	"h2scope/internal/rtt"
+	"h2scope/internal/stats"
+)
+
+// This file provides one runner per table and figure of the paper's
+// evaluation (Section V). Each runner returns structured results plus a
+// String rendering, and is what cmd/ tools and the root benchmarks invoke.
+
+// --- Table III: the six-server testbed ---
+
+// TestbedResult is the re-measured Table III.
+type TestbedResult struct {
+	// Families are the column labels in the paper's order.
+	Families []string
+	// Checks are the row labels (TableIIIRowNames).
+	Checks []string
+	// Cells is indexed [check][family].
+	Cells [][]string
+	// Reports holds the raw per-server batteries.
+	Reports []*Report
+}
+
+// RunTestbed characterizes the six emulated servers with the full probe
+// battery, reproducing Table III.
+func RunTestbed() (*TestbedResult, error) {
+	profiles := TestbedProfiles()
+	res := &TestbedResult{
+		Checks:  core.TableIIIRowNames,
+		Reports: make([]*Report, len(profiles)),
+	}
+	for _, p := range profiles {
+		res.Families = append(res.Families, p.Family)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p Profile) {
+			defer wg.Done()
+			report, err := probeProfile(p)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("h2scope: testbed %s: %w", p.Family, err))
+				return
+			}
+			res.Reports[i] = report
+		}(i, p)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	res.Cells = make([][]string, len(res.Checks))
+	for r := range res.Checks {
+		res.Cells[r] = make([]string, len(profiles))
+	}
+	for c, report := range res.Reports {
+		col := report.TableIIIRow()
+		for r := range res.Checks {
+			res.Cells[r][c] = col[r]
+		}
+	}
+	return res, nil
+}
+
+// probeProfile runs the battery against one profile served in-process. The
+// testbed knows the profile's negotiation support directly, standing in for
+// the TLS ALPN/NPN handshakes of Section IV-A.
+func probeProfile(p Profile) (*Report, error) {
+	srv := NewServer(p, DefaultSite("testbed.example"))
+	l := netsim.NewListener(p.Family)
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	defer srv.Close()
+	cfg := DefaultProbeConfig("testbed.example")
+	cfg.QuietWindow = 20 * time.Millisecond
+	return Probe(&testbedDialer{l: l, p: p}, cfg)
+}
+
+type testbedDialer struct {
+	l *netsim.Listener
+	p Profile
+}
+
+var (
+	_ core.Dialer     = (*testbedDialer)(nil)
+	_ core.Negotiator = (*testbedDialer)(nil)
+)
+
+// Dial implements Dialer.
+func (d *testbedDialer) Dial() (net.Conn, error) { return d.l.Dial() }
+
+// NegotiateALPN implements core.Negotiator from the profile's metadata.
+func (d *testbedDialer) NegotiateALPN([]string) (string, error) {
+	if !d.p.SupportsALPN {
+		return "", fmt.Errorf("h2scope: %s does not negotiate ALPN", d.p.Family)
+	}
+	return "h2", nil
+}
+
+// NegotiateNPN implements core.Negotiator from the profile's metadata.
+func (d *testbedDialer) NegotiateNPN() ([]string, error) {
+	if !d.p.SupportsNPN {
+		return nil, fmt.Errorf("h2scope: %s does not negotiate NPN", d.p.Family)
+	}
+	return []string{"h2", "http/1.1"}, nil
+}
+
+// String renders the matrix the way the paper's Table III does.
+func (r *TestbedResult) String() string {
+	headers := append([]string{"Check"}, r.Families...)
+	rows := make([][]string, 0, len(r.Checks))
+	for i, check := range r.Checks {
+		rows = append(rows, append([]string{check}, r.Cells[i]...))
+	}
+	return stats.FormatTable(headers, rows)
+}
+
+// --- The population census: Tables IV-VII, Figs. 2/4/5, Sections V-B/D/E/F ---
+
+// Census wraps a generated population with the paper's table renderings.
+type Census struct {
+	// Pop is the synthesized universe.
+	Pop *Population
+}
+
+// NewCensus generates the population of an epoch and wraps it.
+func NewCensus(epoch Epoch, scale float64, seed int64) *Census {
+	return &Census{Pop: GeneratePopulation(epoch, scale, seed)}
+}
+
+// Adoption renders the Section V-B.1 counts.
+func (c *Census) Adoption() string {
+	npn, alpn, working := c.Pop.AdoptionCounts()
+	return stats.FormatTable(
+		[]string{"Metric", c.Pop.Epoch.String()},
+		[][]string{
+			{"Sites negotiating via NPN", fmt.Sprint(npn)},
+			{"Sites negotiating via ALPN", fmt.Sprint(alpn)},
+			{"Sites returning HEADERS", fmt.Sprint(working)},
+			{"Distinct server kinds", fmt.Sprint(c.Pop.ServerKinds())},
+		})
+}
+
+// TableIV renders the server-name distribution for names with at least
+// minCount sites (the paper uses 1,000).
+func (c *Census) TableIV(minCount int) string {
+	rows := make([][]string, 0, 8)
+	for _, nc := range c.Pop.ServerNameCounts(minCount) {
+		rows = append(rows, []string{nc.Name, fmt.Sprint(nc.Count)})
+	}
+	return stats.FormatTable([]string{"Server name", "Num. of sites"}, rows)
+}
+
+// TableV renders the SETTINGS_INITIAL_WINDOW_SIZE distribution.
+func (c *Census) TableV() string {
+	return renderDist("SETTINGS_INITIAL_WINDOW_SIZE", c.Pop.InitialWindowTable())
+}
+
+// TableVI renders the SETTINGS_MAX_FRAME_SIZE distribution.
+func (c *Census) TableVI() string {
+	return renderDist("Maximum Frame Size", c.Pop.MaxFrameTable())
+}
+
+// TableVII renders the SETTINGS_MAX_HEADER_LIST_SIZE distribution.
+func (c *Census) TableVII() string {
+	return renderDist("Maximum Header List Size", c.Pop.MaxHeaderListTable())
+}
+
+func renderDist(title string, rows []population.DistRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Label, fmt.Sprint(r.Count)})
+	}
+	return stats.FormatTable([]string{title, "Sites"}, out)
+}
+
+// Figure2 returns the SETTINGS_MAX_CONCURRENT_STREAMS CDF.
+func (c *Census) Figure2() *stats.CDF {
+	return stats.NewCDF(c.Pop.MaxConcurrentSamples())
+}
+
+// Figure2Rendered renders the Fig. 2 CDF as quantile rows.
+func (c *Census) Figure2Rendered() string {
+	return stats.AsciiCDF(
+		[]string{"max concurrent streams"},
+		[]*stats.CDF{c.Figure2()},
+		[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99},
+		"%.0f")
+}
+
+// SectionVD renders the flow-control measurement counts.
+func (c *Census) SectionVD() string {
+	oneByte, zeroLen, silent := c.Pop.TinyWindowCounts()
+	zs, zc := c.Pop.ZeroWUStreamCounts(), c.Pop.ZeroWUConnCounts()
+	ls, lc := c.Pop.LargeWUStreamCounts(), c.Pop.LargeWUConnCounts()
+	return stats.FormatTable(
+		[]string{"Flow-control measurement", "Sites"},
+		[][]string{
+			{"1-byte window: 1-byte DATA frames", fmt.Sprint(oneByte)},
+			{"1-byte window: zero-length DATA frames", fmt.Sprint(zeroLen)},
+			{"1-byte window: no response", fmt.Sprint(silent)},
+			{"zero window: HEADERS still returned", fmt.Sprint(c.Pop.ZeroWindowHeadersCount())},
+			{"zero WINDOW_UPDATE (stream): RST_STREAM", fmt.Sprint(zs.RSTStream)},
+			{"zero WINDOW_UPDATE (stream): GOAWAY", fmt.Sprint(zs.GoAway)},
+			{"zero WINDOW_UPDATE (stream): with debug data", fmt.Sprint(zs.Debug)},
+			{"zero WINDOW_UPDATE (stream): ignored", fmt.Sprint(zs.Ignore)},
+			{"zero WINDOW_UPDATE (conn): GOAWAY", fmt.Sprint(zc.GoAway)},
+			{"large WINDOW_UPDATE (stream): RST_STREAM", fmt.Sprint(ls.RSTStream)},
+			{"large WINDOW_UPDATE (stream): no RST_STREAM", fmt.Sprint(ls.Ignore)},
+			{"large WINDOW_UPDATE (conn): GOAWAY", fmt.Sprint(lc.GoAway)},
+		})
+}
+
+// SectionVE renders the priority measurement counts.
+func (c *Census) SectionVE() string {
+	last, first, both := c.Pop.PriorityCounts()
+	sd := c.Pop.SelfDepCounts()
+	return stats.FormatTable(
+		[]string{"Priority measurement", "Sites"},
+		[][]string{
+			{"last-DATA order obeys dependency tree", fmt.Sprint(last)},
+			{"first-DATA order obeys dependency tree", fmt.Sprint(first)},
+			{"both orders obey dependency tree", fmt.Sprint(both)},
+			{"self-dependency: RST_STREAM", fmt.Sprint(sd.RSTStream)},
+			{"self-dependency: GOAWAY", fmt.Sprint(sd.GoAway)},
+			{"self-dependency: ignored", fmt.Sprint(sd.Ignore)},
+		})
+}
+
+// SectionVF renders the push-capable sites.
+func (c *Census) SectionVF() string {
+	sites := c.Pop.PushSites()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sites sending PUSH_PROMISE: %d\n", len(sites))
+	for _, d := range sites {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// Figures4And5 returns per-family HPACK compression-ratio CDFs for the top
+// five families of the paper's Figs. 4 and 5.
+func (c *Census) Figures4And5() map[string]*stats.CDF {
+	out := make(map[string]*stats.CDF)
+	for family, ratios := range c.Pop.HPACKRatioByFamily() {
+		out[family] = stats.NewCDF(ratios)
+	}
+	return out
+}
+
+// Fig45Families are the five families plotted in Figs. 4 and 5.
+var fig45Families = []string{"GSE", "nginx", "tengine", "litespeed", "ideaweb"}
+
+// Figures4And5Rendered renders the per-family ratio CDFs.
+func (c *Census) Figures4And5Rendered() string {
+	cdfs := c.Figures4And5()
+	names := make([]string, 0, len(fig45Families))
+	series := make([]*stats.CDF, 0, len(fig45Families))
+	for _, f := range fig45Families {
+		if cdf, ok := cdfs[f]; ok {
+			names = append(names, f)
+			series = append(series, cdf)
+		}
+	}
+	return stats.AsciiCDF(names, series,
+		[]float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95}, "%.2f")
+}
+
+// --- Figure 3: server push page-load time ---
+
+// PushPLTSeries is one site's Fig. 3 group.
+type PushPLTSeries struct {
+	Domain  string
+	MeanOn  time.Duration
+	MeanOff time.Duration
+}
+
+// PushPLTResult is the Fig. 3 data set.
+type PushPLTResult struct {
+	Series []PushPLTSeries
+	Visits int
+}
+
+// String renders the per-site PLT comparison.
+func (r *PushPLTResult) String() string {
+	rows := make([][]string, 0, len(r.Series))
+	for _, s := range r.Series {
+		saving := "-"
+		if s.MeanOff > 0 {
+			saving = fmt.Sprintf("%.0f%%", 100*(1-float64(s.MeanOn)/float64(s.MeanOff)))
+		}
+		rows = append(rows, []string{
+			s.Domain,
+			fmt.Sprintf("%.1fms", float64(s.MeanOn)/float64(time.Millisecond)),
+			fmt.Sprintf("%.1fms", float64(s.MeanOff)/float64(time.Millisecond)),
+			saving,
+		})
+	}
+	return stats.FormatTable([]string{"Site", "PLT push on", "PLT push off", "Saving"}, rows)
+}
+
+// RunPushPageLoad reproduces Fig. 3: the epoch's push-capable sites are
+// visited `visits` times with push enabled and disabled, over each site's
+// latency-shaped path. timeScale shrinks real sleeping (measurements are
+// reported unscaled).
+func RunPushPageLoad(epoch Epoch, visits int, timeScale float64, seed int64) (*PushPLTResult, error) {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	pop := GeneratePopulation(epoch, 1.0, seed)
+	res := &PushPLTResult{Visits: visits}
+	resources := []string{"/static/style.css", "/static/app.js", "/static/logo.png", "/static/hero.jpg"}
+	for _, domain := range pop.PushSites() {
+		spec, ok := pop.SiteByDomain(domain)
+		if !ok {
+			continue
+		}
+		srv := spec.NewServer()
+		l := netsim.NewListener(domain)
+		go func() {
+			_ = srv.Serve(l)
+		}()
+		owd := time.Duration(float64(spec.BaseRTT) * timeScale / 2)
+		dial := func() (net.Conn, error) { return l.DialLatency(owd, owd) }
+		series, err := pageload.Measure(dial, domain, "/", resources, visits, 30*time.Second)
+		srv.Close()
+		if err != nil {
+			return nil, fmt.Errorf("h2scope: push PLT for %s: %w", domain, err)
+		}
+		res.Series = append(res.Series, PushPLTSeries{
+			Domain:  domain,
+			MeanOn:  unscale(series.MeanOn(), timeScale),
+			MeanOff: unscale(series.MeanOff(), timeScale),
+		})
+	}
+	sort.Slice(res.Series, func(i, j int) bool { return res.Series[i].Domain < res.Series[j].Domain })
+	return res, nil
+}
+
+func unscale(d time.Duration, timeScale float64) time.Duration {
+	return time.Duration(float64(d) / timeScale)
+}
+
+// --- Figure 6: RTT comparison ---
+
+// RTTComparison re-exports the rtt result type.
+type RTTComparison = rtt.Comparison
+
+// RTTMethod re-exports the estimator identifier.
+type RTTMethod = rtt.Method
+
+// RunRTTComparison reproduces Fig. 6: `perFamily` sites are drawn from each
+// of the population's top server families (the paper randomly selects 10
+// per popular server) and measured with all four estimators.
+func RunRTTComparison(epoch Epoch, perFamily, samples int, timeScale float64, seed int64) (*RTTComparison, error) {
+	pop := GeneratePopulation(epoch, 0.05, seed)
+	rng := rand.New(rand.NewSource(seed))
+	families := []string{"nginx", "litespeed", "GSE", "tengine", "ideaweb"}
+	byFamily := make(map[string][]*SiteSpec)
+	for i := range pop.Sites {
+		s := &pop.Sites[i]
+		byFamily[s.Family] = append(byFamily[s.Family], s)
+	}
+	var targets []rtt.Target
+	for _, f := range families {
+		specs := byFamily[f]
+		rng.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+		n := perFamily
+		if n > len(specs) {
+			n = len(specs)
+		}
+		for _, s := range specs[:n] {
+			targets = append(targets, rtt.Target{
+				Domain:            s.Domain,
+				BaseRTT:           s.BaseRTT,
+				Jitter:            s.BaseRTT / 20,
+				H1ProcessingDelay: time.Duration(5+rng.Intn(35)) * time.Millisecond,
+				Profile:           s.Profile(),
+				Seed:              int64(s.Rank),
+			})
+		}
+	}
+	return rtt.Compare(targets, rtt.Options{
+		SamplesPerTarget: samples,
+		TimeScale:        timeScale,
+		Parallelism:      8,
+	})
+}
+
+// RenderRTTComparison renders Fig. 6 as quantile rows per method.
+func RenderRTTComparison(cmp *RTTComparison) string {
+	byMethod := cmp.ByMethod()
+	names := make([]string, 0, 4)
+	series := make([]*stats.CDF, 0, 4)
+	for _, m := range rtt.Methods() {
+		names = append(names, string(m))
+		series = append(series, stats.NewCDF(byMethod[m]))
+	}
+	return stats.AsciiCDF(names, series,
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9}, "%.1fms")
+}
+
+// --- Measured-scan rendering (Section IV's thread-pooled scanner) ---
+
+// RenderScan summarizes a measured population scan.
+func RenderScan(sum *ScanSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Measured scan of %d sites (NPN %d, ALPN %d, HEADERS %d)\n",
+		sum.Scanned, sum.NPN, sum.ALPN, sum.GotHeaders)
+	fmt.Fprintf(&b, "1-byte window: %d one-byte / %d zero-length / %d silent\n",
+		sum.TinyOneByte, sum.TinyZeroLen, sum.TinySilent)
+	fmt.Fprintf(&b, "zero window: HEADERS from %d sites\n", sum.ZeroWindowHeadersOK)
+	fmt.Fprintf(&b, "zero WINDOW_UPDATE (stream): RST %d / GOAWAY %d / ignore %d\n",
+		sum.ZeroWUStream[ObserveRSTStream], sum.ZeroWUStream[ObserveGoAway], sum.ZeroWUStream[ObserveIgnore])
+	fmt.Fprintf(&b, "large WINDOW_UPDATE (conn): GOAWAY %d / ignore %d\n",
+		sum.LargeWUConn[ObserveGoAway], sum.LargeWUConn[ObserveIgnore])
+	fmt.Fprintf(&b, "priority: last-rule %d / first-rule %d / both %d\n",
+		sum.PriorityLast, sum.PriorityFirst, sum.PriorityBoth)
+	fmt.Fprintf(&b, "self-dependency: RST %d / GOAWAY %d / ignore %d\n",
+		sum.SelfDep[ObserveRSTStream], sum.SelfDep[ObserveGoAway], sum.SelfDep[ObserveIgnore])
+	fmt.Fprintf(&b, "push sites: %d\n", sum.PushSites)
+	return b.String()
+}

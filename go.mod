@@ -1,0 +1,3 @@
+module h2scope
+
+go 1.22

@@ -1,0 +1,662 @@
+// Package conformance is an h2spec-style RFC 7540 check suite built on the
+// same probing client as H2Scope. Where package core reproduces the paper's
+// measurement battery (feature characterization), this package packages the
+// generic protocol-correctness checks — the "examine how HTTP/2 is realized"
+// future-work direction — as named, independently runnable checks with a
+// uniform verdict vocabulary.
+//
+// Each check opens its own connection, performs one provocation, and
+// classifies the outcome as Pass, Fail, or Skip, citing the RFC section it
+// covers.
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"h2scope/internal/core"
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/stats"
+)
+
+// Verdict is the outcome of one check.
+type Verdict int
+
+// Check outcomes.
+const (
+	// Pass means the server behaved as the RFC requires.
+	Pass Verdict = iota + 1
+	// Fail means the server violated the cited requirement.
+	Fail
+	// Skip means the check could not run (e.g. the target died earlier).
+	Skip
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "PASS"
+	case Fail:
+		return "FAIL"
+	case Skip:
+		return "SKIP"
+	default:
+		return "?"
+	}
+}
+
+// Result is one executed check.
+type Result struct {
+	// ID is the stable check identifier, e.g. "6.9/zero-increment-stream".
+	ID string
+	// Section is the RFC 7540 section the check covers.
+	Section string
+	// Description states the requirement.
+	Description string
+	// Verdict is the outcome.
+	Verdict Verdict
+	// Detail explains a Fail or Skip.
+	Detail string
+}
+
+// Check is one runnable conformance check.
+type Check struct {
+	// ID is the stable identifier.
+	ID string
+	// Section is the RFC 7540 section covered.
+	Section string
+	// Description states the requirement being verified.
+	Description string
+	// Run executes the check over a fresh connection factory.
+	Run func(env *Env) (Verdict, string)
+}
+
+// Env gives checks connection-level access to the target.
+type Env struct {
+	// Dialer opens transport connections.
+	Dialer core.Dialer
+	// Authority is the :authority for requests.
+	Authority string
+	// SmallPath and LargePath are resources known to exist on the target.
+	SmallPath string
+	LargePath string
+	// Timeout bounds waits; ReactionWindow bounds ignore-detection.
+	Timeout        time.Duration
+	ReactionWindow time.Duration
+}
+
+// connect opens an HTTP/2 connection with opts.
+func (e *Env) connect(opts h2conn.Options) (*h2conn.Conn, error) {
+	nc, err := e.Dialer.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: dial: %w", err)
+	}
+	c, err := h2conn.Dial(nc, opts)
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// fetchOK fetches SmallPath and reports whether a 200 arrived — the
+// liveness primitive most checks end with.
+func (e *Env) fetchOK(c *h2conn.Conn) bool {
+	resp, err := c.FetchBody(h2conn.Request{Authority: e.Authority, Path: e.SmallPath}, e.Timeout)
+	return err == nil && resp.Status() == "200"
+}
+
+// waitGoAway reports whether a GOAWAY (optionally with a required error
+// code) arrives within the reaction window.
+func (e *Env) waitGoAway(c *h2conn.Conn, code frame.ErrCode, any bool) (bool, frame.ErrCode) {
+	events, _ := c.WaitFor(e.ReactionWindow, func(evs []h2conn.Event) bool {
+		for _, ev := range evs {
+			if ev.Type == frame.TypeGoAway {
+				return true
+			}
+		}
+		return false
+	})
+	for _, ev := range events {
+		if ev.Type == frame.TypeGoAway {
+			return any || ev.ErrCode == code, ev.ErrCode
+		}
+	}
+	return false, 0
+}
+
+// Suite returns the built-in checks, ordered by RFC section.
+func Suite() []Check {
+	checks := []Check{
+		{
+			ID:          "3.5/settings-first",
+			Section:     "3.5",
+			Description: "server sends SETTINGS as its connection preface",
+			Run:         checkSettingsFirst,
+		},
+		{
+			ID:          "4.1/unknown-frame-type",
+			Section:     "4.1",
+			Description: "frames of unknown type are ignored and discarded",
+			Run:         checkUnknownFrameIgnored,
+		},
+		{
+			ID:          "5.1/ping-on-stream",
+			Section:     "6.7",
+			Description: "PING on a nonzero stream is a connection error",
+			Run:         checkPingOnStream,
+		},
+		{
+			ID:          "6.5/settings-ack",
+			Section:     "6.5.3",
+			Description: "client SETTINGS are acknowledged",
+			Run:         checkSettingsAcked,
+		},
+		{
+			ID:          "6.5/unknown-setting",
+			Section:     "6.5.2",
+			Description: "unknown SETTINGS identifiers are ignored",
+			Run:         checkUnknownSettingIgnored,
+		},
+		{
+			ID:          "6.5/enable-push-invalid",
+			Section:     "6.5.2",
+			Description: "SETTINGS_ENABLE_PUSH outside {0,1} is a protocol error",
+			Run:         checkEnablePushInvalid,
+		},
+		{
+			ID:          "6.7/ping-ack-payload",
+			Section:     "6.7",
+			Description: "PING is acknowledged with an identical 8-byte payload",
+			Run:         checkPingAckPayload,
+		},
+		{
+			ID:          "6.9/window-overflow-conn",
+			Section:     "6.9.1",
+			Description: "connection window above 2^31-1 draws GOAWAY(FLOW_CONTROL_ERROR)",
+			Run:         checkWindowOverflowConn,
+		},
+		{
+			ID:          "6.9/data-respects-window",
+			Section:     "6.9.1",
+			Description: "DATA frames never exceed the advertised stream window",
+			Run:         checkDataRespectsWindow,
+		},
+		{
+			ID:          "6.10/interleaved-continuation",
+			Section:     "6.10",
+			Description: "a non-CONTINUATION frame inside a header block is a connection error",
+			Run:         checkInterleavedContinuation,
+		},
+		{
+			ID:          "5.1.1/even-stream-id",
+			Section:     "5.1.1",
+			Description: "client use of even stream IDs is a connection error",
+			Run:         checkEvenStreamID,
+		},
+		{
+			ID:          "4.3/header-decode-failure",
+			Section:     "4.3",
+			Description: "an undecodable header block is a COMPRESSION_ERROR connection error",
+			Run:         checkHeaderDecodeFailure,
+		},
+		{
+			ID:          "6.2/headers-on-stream-zero",
+			Section:     "6.2",
+			Description: "HEADERS on stream 0 is a connection error",
+			Run:         checkHeadersOnStreamZero,
+		},
+		{
+			ID:          "6.5/settings-bad-length",
+			Section:     "6.5",
+			Description: "a SETTINGS payload not a multiple of 6 octets is FRAME_SIZE_ERROR",
+			Run:         checkSettingsBadLength,
+		},
+		{
+			ID:          "6.7/ping-bad-length",
+			Section:     "6.7",
+			Description: "a PING payload other than 8 octets is FRAME_SIZE_ERROR",
+			Run:         checkPingBadLength,
+		},
+		{
+			ID:          "6.5/max-frame-size-invalid",
+			Section:     "6.5.2",
+			Description: "SETTINGS_MAX_FRAME_SIZE below 2^14 is a protocol error",
+			Run:         checkMaxFrameSizeInvalid,
+		},
+		{
+			ID:          "4.2/data-frame-size-limit",
+			Section:     "4.2",
+			Description: "DATA frames never exceed the advertised SETTINGS_MAX_FRAME_SIZE",
+			Run:         checkDataFrameSizeLimit,
+		},
+	}
+	sort.Slice(checks, func(i, j int) bool { return checks[i].ID < checks[j].ID })
+	return checks
+}
+
+// RunSuite executes every check in the suite against env.
+func RunSuite(env *Env) []Result {
+	if env.Timeout == 0 {
+		env.Timeout = 5 * time.Second
+	}
+	if env.ReactionWindow == 0 {
+		env.ReactionWindow = 150 * time.Millisecond
+	}
+	if env.SmallPath == "" {
+		env.SmallPath = "/about.html"
+	}
+	if env.LargePath == "" {
+		env.LargePath = "/large/1"
+	}
+	checks := Suite()
+	out := make([]Result, 0, len(checks))
+	for _, ch := range checks {
+		verdict, detail := ch.Run(env)
+		out = append(out, Result{
+			ID:          ch.ID,
+			Section:     ch.Section,
+			Description: ch.Description,
+			Verdict:     verdict,
+			Detail:      detail,
+		})
+	}
+	return out
+}
+
+// Render formats results as a report table.
+func Render(results []Result) string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		detail := r.Detail
+		if detail == "" {
+			detail = "-"
+		}
+		rows = append(rows, []string{r.ID, r.Verdict.String(), r.Description, detail})
+	}
+	return stats.FormatTable([]string{"Check", "Verdict", "Requirement", "Detail"}, rows)
+}
+
+// Passed counts passing results.
+func Passed(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Verdict == Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures returns the IDs of failing checks.
+func Failures(results []Result) []string {
+	var out []string
+	for _, r := range results {
+		if r.Verdict == Fail {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+// --- the checks ---
+
+func checkSettingsFirst(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	events, err := c.WaitFor(env.Timeout, func(evs []h2conn.Event) bool { return len(evs) > 0 })
+	if err != nil || len(events) == 0 {
+		return Fail, "no frames from server"
+	}
+	first := events[0]
+	if first.Type != frame.TypeSettings || first.IsAck() {
+		return Fail, fmt.Sprintf("first frame was %v", first.Type)
+	}
+	return Pass, ""
+}
+
+func checkUnknownFrameIgnored(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if err := c.WriteUnknownFrame(0xEE, 0x3, []byte{1, 2, 3, 4}); err != nil {
+		return Skip, err.Error()
+	}
+	if !env.fetchOK(c) {
+		return Fail, "connection unusable after unknown frame"
+	}
+	return Pass, ""
+}
+
+func checkPingOnStream(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	// A PING frame carrying a nonzero stream ID (stream 3).
+	if err := c.WriteRawFrame(frame.TypePing, 0, 3, make([]byte, 8)); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeProtocol, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want PROTOCOL_ERROR", code)
+		}
+		return Fail, "no GOAWAY"
+	}
+	return Pass, ""
+}
+
+func checkSettingsAcked(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	events, err := c.WaitFor(env.Timeout, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeSettings && e.IsAck() {
+				return true
+			}
+		}
+		return false
+	})
+	_ = events
+	if err != nil {
+		return Fail, "no SETTINGS ACK"
+	}
+	return Pass, ""
+}
+
+func checkUnknownSettingIgnored(env *Env) (Verdict, string) {
+	opts := h2conn.DefaultOptions()
+	opts.Settings = []frame.Setting{{ID: frame.SettingID(0xABCD), Val: 42}}
+	c, err := env.connect(opts)
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if !env.fetchOK(c) {
+		return Fail, "connection unusable after unknown setting"
+	}
+	return Pass, ""
+}
+
+func checkEnablePushInvalid(env *Env) (Verdict, string) {
+	opts := h2conn.DefaultOptions()
+	opts.Settings = []frame.Setting{{ID: frame.SettingEnablePush, Val: 7}}
+	c, err := env.connect(opts)
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	ok, code := env.waitGoAway(c, frame.ErrCodeProtocol, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want PROTOCOL_ERROR", code)
+		}
+		return Fail, "invalid ENABLE_PUSH accepted"
+	}
+	return Pass, ""
+}
+
+func checkPingAckPayload(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	payload := [8]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}
+	rtt, err := c.Ping(payload, env.ReactionWindow)
+	if err != nil {
+		return Fail, "no matching PING ACK"
+	}
+	if rtt <= 0 {
+		return Fail, "non-positive RTT"
+	}
+	return Pass, ""
+}
+
+func checkWindowOverflowConn(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if _, err := c.OpenStream(h2conn.Request{Authority: env.Authority, Path: env.SmallPath}); err != nil {
+		return Skip, err.Error()
+	}
+	if err := c.WriteWindowUpdate(0, frame.MaxWindowSize); err != nil {
+		return Skip, err.Error()
+	}
+	if err := c.WriteWindowUpdate(0, frame.MaxWindowSize); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeFlowControl, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want FLOW_CONTROL_ERROR", code)
+		}
+		return Fail, "window overflow accepted"
+	}
+	return Pass, ""
+}
+
+func checkDataRespectsWindow(env *Env) (Verdict, string) {
+	opts := h2conn.Options{
+		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: 100}},
+		AutoSettingsAck: true,
+		AutoPingAck:     true,
+	}
+	c, err := env.connect(opts)
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	id, err := c.OpenStream(h2conn.Request{Authority: env.Authority, Path: env.LargePath})
+	if err != nil {
+		return Skip, err.Error()
+	}
+	events, _ := c.WaitFor(env.ReactionWindow, func(evs []h2conn.Event) bool {
+		total := 0
+		for _, e := range evs {
+			if e.Type == frame.TypeData && e.StreamID == id {
+				total += len(e.Data)
+			}
+		}
+		return total > 100
+	})
+	total := 0
+	for _, e := range events {
+		if e.Type == frame.TypeData && e.StreamID == id {
+			total += len(e.Data)
+		}
+	}
+	if total > 100 {
+		return Fail, fmt.Sprintf("server sent %d bytes against a 100-byte window", total)
+	}
+	return Pass, ""
+}
+
+func checkInterleavedContinuation(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	id := c.NextStreamID()
+	// A HEADERS frame without END_HEADERS followed by a PING.
+	if err := c.WriteHeadersRaw(id, []byte{0x82}, true, false); err != nil {
+		return Skip, err.Error()
+	}
+	if err := c.WritePing([8]byte{9}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeProtocol, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want PROTOCOL_ERROR", code)
+		}
+		return Fail, "interleaved frame tolerated mid header block"
+	}
+	return Pass, ""
+}
+
+func checkEvenStreamID(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if err := c.OpenStreamID(2, h2conn.Request{Authority: env.Authority, Path: env.SmallPath}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeProtocol, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want PROTOCOL_ERROR", code)
+		}
+		return Fail, "even client stream ID accepted"
+	}
+	return Pass, ""
+}
+
+func checkHeaderDecodeFailure(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	id := c.NextStreamID()
+	// Indexed reference far beyond both tables.
+	if err := c.WriteHeadersRaw(id, []byte{0xff, 0x7f}, true, true); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeCompression, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want COMPRESSION_ERROR", code)
+		}
+		return Fail, "undecodable header block tolerated"
+	}
+	return Pass, ""
+}
+
+func checkHeadersOnStreamZero(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if err := c.WriteRawFrame(frame.TypeHeaders, frame.FlagEndHeaders|frame.FlagEndStream, 0, []byte{0x82}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeProtocol, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want PROTOCOL_ERROR", code)
+		}
+		return Fail, "HEADERS on stream 0 tolerated"
+	}
+	return Pass, ""
+}
+
+func checkSettingsBadLength(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	// Four bytes: not a multiple of six.
+	if err := c.WriteRawFrame(frame.TypeSettings, 0, 0, []byte{0, 3, 0, 0}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeFrameSize, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want FRAME_SIZE_ERROR", code)
+		}
+		return Fail, "truncated SETTINGS tolerated"
+	}
+	return Pass, ""
+}
+
+func checkPingBadLength(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if err := c.WriteRawFrame(frame.TypePing, 0, 0, []byte{1, 2, 3}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeFrameSize, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want FRAME_SIZE_ERROR", code)
+		}
+		return Fail, "3-byte PING tolerated"
+	}
+	return Pass, ""
+}
+
+func checkMaxFrameSizeInvalid(env *Env) (Verdict, string) {
+	opts := h2conn.DefaultOptions()
+	opts.Settings = []frame.Setting{{ID: frame.SettingMaxFrameSize, Val: 1024}}
+	c, err := env.connect(opts)
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	ok, _ := env.waitGoAway(c, frame.ErrCodeProtocol, true)
+	if !ok {
+		return Fail, "SETTINGS_MAX_FRAME_SIZE=1024 accepted"
+	}
+	return Pass, ""
+}
+
+func checkDataFrameSizeLimit(env *Env) (Verdict, string) {
+	// Advertise the default 16 KiB and verify no DATA frame exceeds it.
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	resp, err := c.FetchBody(h2conn.Request{Authority: env.Authority, Path: env.LargePath}, env.Timeout)
+	if err != nil {
+		return Skip, err.Error()
+	}
+	for _, n := range resp.DataFrameSizes {
+		if n > frame.DefaultMaxFrameSize {
+			return Fail, fmt.Sprintf("DATA frame of %d bytes against a %d limit", n, frame.DefaultMaxFrameSize)
+		}
+	}
+	return Pass, ""
+}
+
+func closeConn(c *h2conn.Conn) {
+	_ = c.Close()
+}
+
+// Summary one-lines a result set.
+func Summary(results []Result) string {
+	return fmt.Sprintf("%d/%d checks passed%s", Passed(results), len(results), failSuffix(results))
+}
+
+func failSuffix(results []Result) string {
+	fails := Failures(results)
+	if len(fails) == 0 {
+		return ""
+	}
+	return " (failed: " + strings.Join(fails, ", ") + ")"
+}

@@ -1,0 +1,96 @@
+package conformance_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"h2scope/internal/conformance"
+	"h2scope/internal/core"
+	"h2scope/internal/netsim"
+	"h2scope/internal/server"
+)
+
+func newEnv(t *testing.T, p server.Profile) *conformance.Env {
+	t.Helper()
+	srv := server.New(p, server.DefaultSite("conf.example"))
+	l := netsim.NewListener("conformance")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	return &conformance.Env{
+		Dialer:         core.DialerFunc(func() (net.Conn, error) { return l.Dial() }),
+		Authority:      "conf.example",
+		Timeout:        5 * time.Second,
+		ReactionWindow: 100 * time.Millisecond,
+	}
+}
+
+func TestSuiteAgainstCompliantProfiles(t *testing.T) {
+	// The engine behind every profile implements the generic RFC rules, so
+	// the suite must fully pass regardless of the profile's paper-level
+	// behavior quirks.
+	for _, p := range []server.Profile{server.ApacheProfile(), server.NginxProfile()} {
+		p := p
+		t.Run(p.Family, func(t *testing.T) {
+			t.Parallel()
+			results := conformance.RunSuite(newEnv(t, p))
+			if len(results) != len(conformance.Suite()) {
+				t.Fatalf("results = %d, want %d", len(results), len(conformance.Suite()))
+			}
+			for _, r := range results {
+				if r.Verdict != conformance.Pass {
+					t.Errorf("%s: %v (%s)", r.ID, r.Verdict, r.Detail)
+				}
+			}
+			if got := conformance.Passed(results); got != len(results) {
+				t.Errorf("Passed = %d", got)
+			}
+			if fails := conformance.Failures(results); len(fails) != 0 {
+				t.Errorf("Failures = %v", fails)
+			}
+		})
+	}
+}
+
+func TestSuiteDetectsPingViolation(t *testing.T) {
+	p := server.NginxProfile()
+	p.AnswerPing = false
+	results := conformance.RunSuite(newEnv(t, p))
+	var found *conformance.Result
+	for i := range results {
+		if results[i].ID == "6.7/ping-ack-payload" {
+			found = &results[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("ping check missing from suite")
+	}
+	if found.Verdict != conformance.Fail {
+		t.Errorf("ping check = %v, want FAIL for a non-acking server", found.Verdict)
+	}
+	if len(conformance.Failures(results)) == 0 {
+		t.Error("Failures empty despite a violation")
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	results := conformance.RunSuite(newEnv(t, server.H2OProfile()))
+	out := conformance.Render(results)
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "6.9/window-overflow-conn") {
+		t.Errorf("render output:\n%s", out)
+	}
+	sum := conformance.Summary(results)
+	if !strings.Contains(sum, "checks passed") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if conformance.Pass.String() != "PASS" || conformance.Fail.String() != "FAIL" ||
+		conformance.Skip.String() != "SKIP" {
+		t.Error("verdict strings wrong")
+	}
+}

@@ -1,0 +1,496 @@
+package core_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"h2scope/internal/core"
+	"h2scope/internal/http1"
+	"h2scope/internal/netsim"
+	"h2scope/internal/server"
+)
+
+// newProber starts a profile server over an in-memory listener and returns
+// a prober aimed at it.
+func newProber(t *testing.T, p server.Profile) *core.Prober {
+	t.Helper()
+	srv := server.New(p, server.DefaultSite("testbed.example"))
+	l := netsim.NewListener(p.Name)
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	cfg := core.DefaultConfig("testbed.example")
+	cfg.Timeout = 5 * time.Second
+	cfg.QuietWindow = 20 * time.Millisecond
+	return core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l.Dial() }), cfg)
+}
+
+// tableIIIExpectation is one column of the paper's Table III.
+type tableIIIExpectation struct {
+	profile           server.Profile
+	flowOnHeaders     bool
+	zeroWUStream      core.Observation
+	zeroWUConn        core.Observation
+	push              bool
+	priorityPass      bool
+	selfDep           core.Observation
+	headerCompression string
+}
+
+func tableIII() []tableIIIExpectation {
+	return []tableIIIExpectation{
+		{
+			profile:           server.NginxProfile(),
+			zeroWUStream:      core.ObserveIgnore,
+			zeroWUConn:        core.ObserveIgnore,
+			selfDep:           core.ObserveRSTStream,
+			headerCompression: "support*",
+		},
+		{
+			profile:           server.LiteSpeedProfile(),
+			flowOnHeaders:     true,
+			zeroWUStream:      core.ObserveRSTStream,
+			zeroWUConn:        core.ObserveGoAway,
+			selfDep:           core.ObserveIgnore,
+			headerCompression: "support",
+		},
+		{
+			profile:           server.H2OProfile(),
+			zeroWUStream:      core.ObserveRSTStream,
+			zeroWUConn:        core.ObserveGoAway,
+			push:              true,
+			priorityPass:      true,
+			selfDep:           core.ObserveGoAway,
+			headerCompression: "support",
+		},
+		{
+			profile:           server.NghttpdProfile(),
+			zeroWUStream:      core.ObserveGoAway,
+			zeroWUConn:        core.ObserveGoAway,
+			push:              true,
+			priorityPass:      true,
+			selfDep:           core.ObserveGoAway,
+			headerCompression: "support",
+		},
+		{
+			profile:           server.TengineProfile(),
+			zeroWUStream:      core.ObserveIgnore,
+			zeroWUConn:        core.ObserveIgnore,
+			selfDep:           core.ObserveRSTStream,
+			headerCompression: "support*",
+		},
+		{
+			profile:           server.ApacheProfile(),
+			zeroWUStream:      core.ObserveGoAway,
+			zeroWUConn:        core.ObserveGoAway,
+			push:              true,
+			priorityPass:      true,
+			selfDep:           core.ObserveGoAway,
+			headerCompression: "support",
+		},
+	}
+}
+
+// TestTableIIIMatrix is the paper's Table III, re-measured: the full probe
+// battery against all six testbed profiles, asserting every divergent cell.
+func TestTableIIIMatrix(t *testing.T) {
+	for _, exp := range tableIII() {
+		exp := exp
+		t.Run(exp.profile.Family, func(t *testing.T) {
+			t.Parallel()
+			prober := newProber(t, exp.profile)
+			r, err := prober.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(r.Errors) > 0 {
+				t.Fatalf("probe errors: %v", r.Errors)
+			}
+			if !r.SupportsMultiplexing() {
+				t.Error("Request Multiplexing = no support, want support")
+			}
+			if !r.FlowControlOnData() {
+				t.Errorf("Flow Control on DATA = no (class %v), want yes", r.FlowData.Class)
+			}
+			if got := r.FlowControlOnHeaders(); got != exp.flowOnHeaders {
+				t.Errorf("Flow Control on HEADERS = %v, want %v", got, exp.flowOnHeaders)
+			}
+			if r.ZeroWU.Stream != exp.zeroWUStream {
+				t.Errorf("Zero WU stream = %v, want %v", r.ZeroWU.Stream, exp.zeroWUStream)
+			}
+			if r.ZeroWU.Conn != exp.zeroWUConn {
+				t.Errorf("Zero WU conn = %v, want %v", r.ZeroWU.Conn, exp.zeroWUConn)
+			}
+			if r.LargeWU.Conn != core.ObserveGoAway {
+				t.Errorf("Large WU conn = %v, want GOAWAY", r.LargeWU.Conn)
+			}
+			if r.LargeWU.Stream != core.ObserveRSTStream {
+				t.Errorf("Large WU stream = %v, want RST_STREAM", r.LargeWU.Stream)
+			}
+			if got := r.Push.Supported; got != exp.push {
+				t.Errorf("Server Push = %v, want %v", got, exp.push)
+			}
+			if got := r.Priority.Pass; got != exp.priorityPass {
+				t.Errorf("Priority (Algorithm 1) = %v, want %v (last=%v first=%v completed=%d)",
+					got, exp.priorityPass, r.Priority.LastRuleOK, r.Priority.FirstRuleOK, r.Priority.Completed)
+			}
+			if r.SelfDep.Reaction != exp.selfDep {
+				t.Errorf("Self-dependent stream = %v, want %v", r.SelfDep.Reaction, exp.selfDep)
+			}
+			if got := r.HeaderCompressionVerdict(); got != exp.headerCompression {
+				t.Errorf("Header Compression = %q (ratio %.3f), want %q", got, r.HPACK.Ratio, exp.headerCompression)
+			}
+			if !r.Ping.Supported {
+				t.Error("HTTP/2 PING = no support, want support")
+			}
+			if row := r.TableIIIRow(); len(row) != len(core.TableIIIRowNames) {
+				t.Errorf("TableIIIRow has %d cells, want %d", len(row), len(core.TableIIIRowNames))
+			}
+		})
+	}
+}
+
+func TestSettingsProbeReadsAdvertisement(t *testing.T) {
+	p := server.H2OProfile()
+	prober := newProber(t, p)
+	res, err := prober.ProbeSettings()
+	if err != nil {
+		t.Fatalf("ProbeSettings: %v", err)
+	}
+	if !res.GotHeaders {
+		t.Error("GotHeaders = false")
+	}
+	if res.ServerHeader != p.Name {
+		t.Errorf("ServerHeader = %q, want %q", res.ServerHeader, p.Name)
+	}
+	if v, ok := res.Value(4); !ok || v != p.InitialWindowSize { // SETTINGS_INITIAL_WINDOW_SIZE
+		t.Errorf("INITIAL_WINDOW_SIZE = %d,%v, want %d,true", v, ok, p.InitialWindowSize)
+	}
+}
+
+func TestPriorityProbeDetailsOnPriorityServer(t *testing.T) {
+	prober := newProber(t, server.NghttpdProfile())
+	res, err := prober.ProbePriority()
+	if err != nil {
+		t.Fatalf("ProbePriority: %v", err)
+	}
+	if res.DrainStreams < 1 {
+		t.Errorf("DrainStreams = %d, want >= 1", res.DrainStreams)
+	}
+	if res.Completed != 6 {
+		t.Errorf("Completed = %d, want 6", res.Completed)
+	}
+	if !res.LastRuleOK || !res.FirstRuleOK || !res.Pass {
+		t.Errorf("rules: last=%v first=%v pass=%v, want all true", res.LastRuleOK, res.FirstRuleOK, res.Pass)
+	}
+	if !res.HeadersWhileBlocked {
+		t.Error("HeadersWhileBlocked = false, want true for a compliant server")
+	}
+}
+
+func TestPriorityProbeLiteSpeedWithholdsHeaders(t *testing.T) {
+	prober := newProber(t, server.LiteSpeedProfile())
+	res, err := prober.ProbePriority()
+	if err != nil {
+		t.Fatalf("ProbePriority: %v", err)
+	}
+	if res.HeadersWhileBlocked {
+		t.Error("HeadersWhileBlocked = true, want false (flow control applied to HEADERS)")
+	}
+	if res.Pass {
+		t.Error("Pass = true, want false for round-robin scheduling")
+	}
+}
+
+func TestZeroWindowUpdateDebugData(t *testing.T) {
+	p := server.ApacheProfile()
+	p.ZeroWindowDebugData = true
+	prober := newProber(t, p)
+	res, err := prober.ProbeZeroWindowUpdate()
+	if err != nil {
+		t.Fatalf("ProbeZeroWindowUpdate: %v", err)
+	}
+	if res.Conn != core.ObserveGoAway {
+		t.Fatalf("Conn = %v, want GOAWAY", res.Conn)
+	}
+	if res.ConnDebugData == "" {
+		t.Error("ConnDebugData empty, want explanatory text")
+	}
+}
+
+func TestTinyWindowClasses(t *testing.T) {
+	silent := server.LiteSpeedProfile()
+	silent.TinyWindow = server.TinyWindowSilent
+	zero := server.NginxProfile()
+	zero.TinyWindow = server.TinyWindowZeroData
+	tests := []struct {
+		name    string
+		profile server.Profile
+		want    core.TinyWindowClass
+	}{
+		{"comply", server.ApacheProfile(), core.TinyWindowOneByte},
+		{"zero-data", zero, core.TinyWindowZeroLen},
+		{"silent", silent, core.TinyWindowNothing},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			prober := newProber(t, tt.profile)
+			res, err := prober.ProbeFlowControlData(1)
+			if err != nil {
+				t.Fatalf("ProbeFlowControlData: %v", err)
+			}
+			if res.Class != tt.want {
+				t.Errorf("Class = %v, want %v", res.Class, tt.want)
+			}
+		})
+	}
+}
+
+func TestHPACKProbeRatios(t *testing.T) {
+	nginx := newProber(t, server.NginxProfile())
+	rn, err := nginx.ProbeHPACK()
+	if err != nil {
+		t.Fatalf("ProbeHPACK(nginx): %v", err)
+	}
+	if rn.Ratio < 0.99 {
+		t.Errorf("nginx ratio = %.3f, want ~1", rn.Ratio)
+	}
+	gse := newProber(t, server.H2OProfile())
+	rg, err := gse.ProbeHPACK()
+	if err != nil {
+		t.Fatalf("ProbeHPACK(h2o): %v", err)
+	}
+	if rg.Ratio > 0.5 {
+		t.Errorf("h2o ratio = %.3f, want < 0.5", rg.Ratio)
+	}
+	if len(rg.BlockSizes) != rg.Requests {
+		t.Errorf("BlockSizes len = %d, want %d", len(rg.BlockSizes), rg.Requests)
+	}
+}
+
+func TestPingProbeCollectsRTTs(t *testing.T) {
+	prober := newProber(t, server.NginxProfile())
+	res, err := prober.ProbePing()
+	if err != nil {
+		t.Fatalf("ProbePing: %v", err)
+	}
+	if !res.Supported || len(res.RTTs) == 0 {
+		t.Fatalf("Supported=%v RTTs=%v", res.Supported, res.RTTs)
+	}
+	if res.Min() <= 0 {
+		t.Errorf("Min() = %v, want > 0", res.Min())
+	}
+}
+
+func TestSchedulingModePartialCompliance(t *testing.T) {
+	// The population's dominant partially-compliant behavior: last-DATA
+	// order obeys the tree while first-DATA order does not.
+	lastOnly := server.H2OProfile()
+	lastOnly.Scheduling = server.SchedPriorityLastOnly
+	prober := newProber(t, lastOnly)
+	res, err := prober.ProbePriority()
+	if err != nil {
+		t.Fatalf("ProbePriority: %v", err)
+	}
+	if !res.LastRuleOK {
+		t.Error("LastRuleOK = false, want true")
+	}
+	if res.FirstRuleOK {
+		t.Error("FirstRuleOK = true, want false for eager-first scheduling")
+	}
+	if res.Pass {
+		t.Error("Pass = true, want false")
+	}
+}
+
+func TestProbeExtensionsCompliantServer(t *testing.T) {
+	prober := newProber(t, server.ApacheProfile())
+	res, err := prober.ProbeExtensions()
+	if err != nil {
+		t.Fatalf("ProbeExtensions: %v", err)
+	}
+	if !res.SettingsAcked {
+		t.Error("SettingsAcked = false")
+	}
+	if !res.UnknownSettingIgnored {
+		t.Error("UnknownSettingIgnored = false")
+	}
+	if !res.UnknownFrameIgnored {
+		t.Error("UnknownFrameIgnored = false")
+	}
+	if !res.PingAckPrioritized {
+		t.Error("PingAckPrioritized = false")
+	}
+}
+
+func TestProbeExtensionsPingDisabled(t *testing.T) {
+	p := server.NginxProfile()
+	p.AnswerPing = false
+	prober := newProber(t, p)
+	res, err := prober.ProbeExtensions()
+	if err != nil {
+		t.Fatalf("ProbeExtensions: %v", err)
+	}
+	if res.PingAckPrioritized {
+		t.Error("PingAckPrioritized = true for a server that never ACKs PING")
+	}
+}
+
+func TestProbeH2CUpgrade(t *testing.T) {
+	// An HTTP/1.1 front end with h2c support accepts the upgrade and
+	// serves HTTP/2 on the same connection; one without it refuses.
+	site := server.DefaultSite("h2c.example")
+	h2srv := server.New(server.NginxProfile(), site)
+	withH2C := &http1.Handler{Site: site, ServerName: "front/1.0", H2C: h2srv}
+	withoutH2C := &http1.Handler{Site: site, ServerName: "front/1.0"}
+
+	start := func(h *http1.Handler) *netsim.Listener {
+		l := netsim.NewListener("h2c-probe")
+		go func() {
+			_ = h.Serve(l)
+		}()
+		t.Cleanup(func() {
+			_ = l.Close()
+		})
+		return l
+	}
+	cfg := core.DefaultConfig("h2c.example")
+	cfg.QuietWindow = 10 * time.Millisecond
+
+	l := start(withH2C)
+	p := core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l.Dial() }), cfg)
+	res, err := p.ProbeH2CUpgrade()
+	if err != nil {
+		t.Fatalf("ProbeH2CUpgrade: %v", err)
+	}
+	if !res.UpgradeAccepted || !res.H2Works {
+		t.Errorf("with h2c: %+v, want accepted and working", res)
+	}
+
+	l2 := start(withoutH2C)
+	p2 := core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l2.Dial() }), cfg)
+	res2, err := p2.ProbeH2CUpgrade()
+	if err != nil {
+		t.Fatalf("ProbeH2CUpgrade: %v", err)
+	}
+	if res2.UpgradeAccepted {
+		t.Errorf("without h2c: %+v, want refused", res2)
+	}
+}
+
+func TestMultiplexingProbeDetectsSequentialServer(t *testing.T) {
+	// The probe's negative case: a server that serves one whole response
+	// at a time shows no interleaving.
+	p := server.NginxProfile()
+	p.Scheduling = server.SchedSequential
+	prober := newProber(t, p)
+	res, err := prober.ProbeMultiplexing(4)
+	if err != nil {
+		t.Fatalf("ProbeMultiplexing: %v", err)
+	}
+	if res.Interleaved {
+		t.Error("Interleaved = true for a sequential server")
+	}
+	if res.Completed != 4 {
+		t.Errorf("Completed = %d, want 4", res.Completed)
+	}
+}
+
+func TestRunAgainstDeadTargetFails(t *testing.T) {
+	cfg := core.DefaultConfig("dead.example")
+	cfg.Timeout = 200 * time.Millisecond
+	cfg.QuietWindow = 10 * time.Millisecond
+	prober := core.NewProber(core.DialerFunc(func() (net.Conn, error) {
+		return nil, net.ErrClosed
+	}), cfg)
+	r, err := prober.Run()
+	if err == nil {
+		t.Fatal("Run against dead target succeeded")
+	}
+	if r == nil || len(r.Errors) == 0 {
+		t.Fatal("no partial report or errors recorded")
+	}
+}
+
+func TestRunAgainstSilentTargetFails(t *testing.T) {
+	// A listener that accepts and never speaks: ProbeSettings must time
+	// out rather than hang.
+	l := netsim.NewListener("silent")
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = nc // accepted, never answered
+		}
+	}()
+	t.Cleanup(func() { _ = l.Close() })
+	cfg := core.DefaultConfig("silent.example")
+	cfg.Timeout = 200 * time.Millisecond
+	cfg.QuietWindow = 10 * time.Millisecond
+	prober := core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l.Dial() }), cfg)
+	start := time.Now()
+	if _, err := prober.Run(); err == nil {
+		t.Fatal("Run against silent target succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Run hung for %v", elapsed)
+	}
+}
+
+func TestTableIIIRowHandlesPartialReport(t *testing.T) {
+	r := &core.Report{Authority: "partial.example"}
+	row := r.TableIIIRow()
+	if len(row) != len(core.TableIIIRowNames) {
+		t.Fatalf("row cells = %d, want %d", len(row), len(core.TableIIIRowNames))
+	}
+	for i, cell := range row {
+		if cell == "" {
+			t.Errorf("cell %d empty", i)
+		}
+	}
+	if r.PriorityVerdict() != "fail" || r.PushVerdict() != "no" ||
+		r.HeaderCompressionVerdict() != "unknown" || r.PingVerdict() != "no support" {
+		t.Error("nil-safe verdicts wrong")
+	}
+	if r.MinPingRTT() != 0 {
+		t.Error("MinPingRTT on empty report != 0")
+	}
+}
+
+func TestProbeMultiplexingNeedsTwoObjects(t *testing.T) {
+	cfg := core.DefaultConfig("x")
+	cfg.LargePaths = []string{"/only-one"}
+	prober := core.NewProber(core.DialerFunc(func() (net.Conn, error) {
+		return nil, net.ErrClosed
+	}), cfg)
+	if _, err := prober.ProbeMultiplexing(4); err == nil {
+		t.Fatal("multiplexing probe with one object succeeded")
+	}
+}
+
+func TestMultiplexingProbeHonorsAdvertisedStreamLimit(t *testing.T) {
+	// Section III-A.1: N stays below SETTINGS_MAX_CONCURRENT_STREAMS, so a
+	// low advertised limit must not draw REFUSED_STREAM resets.
+	p := server.ApacheProfile()
+	p.MaxConcurrentStreams = 2
+	prober := newProber(t, p)
+	res, err := prober.ProbeMultiplexing(4)
+	if err != nil {
+		t.Fatalf("ProbeMultiplexing: %v", err)
+	}
+	if res.Streams != 2 {
+		t.Errorf("Streams = %d, want clamped to 2", res.Streams)
+	}
+	if !res.Interleaved {
+		t.Error("Interleaved = false with two concurrent streams")
+	}
+	if res.Completed != 2 {
+		t.Errorf("Completed = %d, want 2 (no refused streams)", res.Completed)
+	}
+}

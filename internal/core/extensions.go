@@ -1,0 +1,153 @@
+package core
+
+import (
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+)
+
+// ExtensionsResult holds conformance checks beyond the paper's battery —
+// the "regular scanning" extensions its future-work section proposes, in
+// the spirit of h2spec-style testing.
+type ExtensionsResult struct {
+	// SettingsAcked reports whether the server acknowledged the client's
+	// SETTINGS frame (RFC 7540 section 6.5.3 requires it).
+	SettingsAcked bool
+	// UnknownFrameIgnored reports whether the server ignored a frame of an
+	// unknown type and kept serving (RFC 7540 section 4.1 requires it).
+	UnknownFrameIgnored bool
+	// UnknownSettingIgnored reports whether the server ignored an unknown
+	// SETTINGS identifier (RFC 7540 section 6.5.2 requires it).
+	UnknownSettingIgnored bool
+	// PingAckPrioritized reports whether a PING sent while a bulk response
+	// is in flight is answered before the transfer completes — RFC 7540
+	// section 6.7's SHOULD, which the paper leans on for RTT accuracy.
+	PingAckPrioritized bool
+}
+
+// ProbeExtensions runs the beyond-paper conformance checks.
+func (p *Prober) ProbeExtensions() (*ExtensionsResult, error) {
+	res := &ExtensionsResult{}
+	if err := p.probeSettingsAckAndUnknowns(res); err != nil {
+		return nil, err
+	}
+	if err := p.probePingPriority(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (p *Prober) probeSettingsAckAndUnknowns(res *ExtensionsResult) error {
+	opts := h2conn.Options{
+		// An unknown SETTINGS identifier rides along with the handshake.
+		Settings:        []frame.Setting{{ID: frame.SettingID(0xF0F0), Val: 1}},
+		AutoSettingsAck: true,
+		AutoPingAck:     true,
+	}
+	c, err := p.connect(opts)
+	if err != nil {
+		return err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return err
+	}
+	// SETTINGS ACK for our (unknown-carrying) SETTINGS frame.
+	events, _ := c.WaitFor(p.reactionWindow(), func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeSettings && e.IsAck() {
+				return true
+			}
+		}
+		return false
+	})
+	for _, e := range events {
+		if e.Type == frame.TypeSettings && e.IsAck() {
+			res.SettingsAcked = true
+		}
+		if e.Type == frame.TypeGoAway {
+			return nil // unknown setting killed the connection: both fail
+		}
+	}
+	res.UnknownSettingIgnored = res.SettingsAcked
+
+	// An unknown frame type must be ignored; the connection must still
+	// answer a request afterwards.
+	if err := c.WriteUnknownFrame(0xBE, 0x7, []byte{0xde, 0xad}); err != nil {
+		return err
+	}
+	resp, err := c.FetchBody(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.SmallPath}, p.cfg.Timeout)
+	if err == nil && resp.Status() == "200" {
+		res.UnknownFrameIgnored = true
+	}
+	return nil
+}
+
+func (p *Prober) probePingPriority(res *ExtensionsResult) error {
+	// Open a bulk transfer that stalls on the 65,535-octet connection
+	// window, ping while the response is incomplete, and require the ACK to
+	// arrive before the transfer's final DATA frame (which we only unblock
+	// afterwards with WINDOW_UPDATE). A server that queues the PING behind
+	// the pending response bytes fails.
+	opts := h2conn.Options{AutoSettingsAck: true, AutoPingAck: true}
+	c, err := p.connect(opts)
+	if err != nil {
+		return err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return err
+	}
+	id, err := c.OpenStream(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.LargePaths[0]})
+	if err != nil {
+		return err
+	}
+	// Wait for the first DATA so the transfer is in flight (and stalled).
+	if _, err := c.WaitFor(p.cfg.Timeout, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeData && e.StreamID == id {
+				return true
+			}
+		}
+		return false
+	}); err != nil {
+		return err
+	}
+	data := [8]byte{'p', 'r', 'i', 'o'}
+	if err := c.WritePing(data); err != nil {
+		return err
+	}
+	ackEvents, err := c.WaitFor(p.reactionWindow(), func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypePing && e.IsAck() && e.PingData == data {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return nil // no ACK while stalled: not prioritized
+	}
+	transferDone := false
+	for _, e := range ackEvents {
+		if e.Type == frame.TypeData && e.StreamID == id && e.StreamEnded() {
+			transferDone = true
+		}
+	}
+	// Unblock and drain the rest of the transfer.
+	if err := c.WriteWindowUpdate(0, frame.MaxWindowSize); err != nil {
+		return err
+	}
+	if err := c.WriteWindowUpdate(id, 1<<20); err != nil {
+		return err
+	}
+	_, _ = c.WaitFor(p.cfg.Timeout, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeData && e.StreamID == id && e.StreamEnded() {
+				return true
+			}
+		}
+		return false
+	})
+	res.PingAckPrioritized = !transferDone
+	return nil
+}

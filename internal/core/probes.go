@@ -1,0 +1,568 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/hpack"
+)
+
+// SettingsResult captures the server's SETTINGS advertisement and identity
+// (Section V-B, V-C; Tables IV-VII; Figure 2).
+type SettingsResult struct {
+	// Settings is the raw advertisement in wire order.
+	Settings []frame.Setting
+	// ServerHeader is the "server" response header value.
+	ServerHeader string
+	// GotHeaders reports whether any HEADERS frame was received — the
+	// paper's criterion for a working HTTP/2 site.
+	GotHeaders bool
+}
+
+// Value returns the advertised value for id, if present.
+func (r *SettingsResult) Value(id frame.SettingID) (uint32, bool) {
+	var (
+		val   uint32
+		found bool
+	)
+	for _, s := range r.Settings {
+		if s.ID == id {
+			val, found = s.Val, true
+		}
+	}
+	return val, found
+}
+
+// ProbeSettings records the server's SETTINGS frame and fetches one small
+// page to learn the server header.
+func (p *Prober) ProbeSettings() (*SettingsResult, error) {
+	c, err := p.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	res := &SettingsResult{}
+	ev, err := c.WaitSettings(p.cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("core: no SETTINGS from server: %w", err)
+	}
+	res.Settings = ev.Settings
+	resp, err := c.FetchBody(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.SmallPath}, p.cfg.Timeout)
+	if err == nil && resp.HeadersSeq >= 0 {
+		res.GotHeaders = true
+		res.ServerHeader = resp.Header("server")
+	}
+	return res, nil
+}
+
+// MultiplexResult reports the request-multiplexing probe (Section III-A.1).
+type MultiplexResult struct {
+	// Streams is the number of concurrent downloads issued (N).
+	Streams int
+	// Interleaved reports whether responses overlapped on the wire rather
+	// than arriving strictly one-after-another.
+	Interleaved bool
+	// Completed is the number of downloads that finished.
+	Completed int
+}
+
+// ProbeMultiplexing issues N concurrent large downloads and checks whether
+// the response DATA frames interleave.
+func (p *Prober) ProbeMultiplexing(n int) (*MultiplexResult, error) {
+	if n > len(p.cfg.LargePaths) {
+		n = len(p.cfg.LargePaths)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("core: multiplexing probe needs >= 2 large objects, have %d", n)
+	}
+	c, err := p.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	ev, err := c.WaitSettings(p.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	// Section III-A.1: N must stay below the server's advertised
+	// SETTINGS_MAX_CONCURRENT_STREAMS, or refused streams would masquerade
+	// as missing multiplexing.
+	for _, s := range ev.Settings {
+		if s.ID == frame.SettingMaxConcurrentStreams && s.Val >= 2 && int(s.Val) < n {
+			n = int(s.Val)
+		}
+	}
+	ids := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := c.OpenStream(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.LargePaths[i]})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	events, _ := c.WaitFor(p.cfg.Timeout, func(evs []h2conn.Event) bool {
+		return completedStreams(evs, ids) == len(ids)
+	})
+	res := &MultiplexResult{Streams: n, Completed: completedStreams(events, ids)}
+	// Strictly sequential responses satisfy: sorted by first DATA, each
+	// stream's last DATA precedes the next stream's first. Any violation
+	// is interleaving.
+	resps := make([]*h2conn.Response, 0, len(ids))
+	for _, id := range ids {
+		r := h2conn.AssembleResponse(events, id)
+		if r.FirstDataSeq >= 0 {
+			resps = append(resps, r)
+		}
+	}
+	for i := 0; i < len(resps); i++ {
+		for j := i + 1; j < len(resps); j++ {
+			a, b := resps[i], resps[j]
+			if a.FirstDataSeq > b.FirstDataSeq {
+				a, b = b, a
+			}
+			if b.FirstDataSeq < a.LastDataSeq {
+				res.Interleaved = true
+			}
+		}
+	}
+	return res, nil
+}
+
+func completedStreams(events []h2conn.Event, ids []uint32) int {
+	done := make(map[uint32]bool)
+	for _, e := range events {
+		if e.Type == frame.TypeData && e.StreamEnded() {
+			done[e.StreamID] = true
+		}
+		if e.Type == frame.TypeHeaders && e.StreamEnded() {
+			done[e.StreamID] = true
+		}
+		if e.Type == frame.TypeRSTStream {
+			done[e.StreamID] = true
+		}
+	}
+	n := 0
+	for _, id := range ids {
+		if done[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// TinyWindowClass classifies a server's response under a 1-byte stream
+// window (Section V-D.1).
+type TinyWindowClass int
+
+// Tiny-window classes, matching the paper's three buckets.
+const (
+	// TinyWindowOneByte: DATA frames sized exactly to the window (compliant).
+	TinyWindowOneByte TinyWindowClass = iota + 1
+	// TinyWindowZeroLen: zero-length DATA frames.
+	TinyWindowZeroLen
+	// TinyWindowNothing: no response at all.
+	TinyWindowNothing
+)
+
+// String names the class.
+func (t TinyWindowClass) String() string {
+	switch t {
+	case TinyWindowOneByte:
+		return "1-byte DATA"
+	case TinyWindowZeroLen:
+		return "0-length DATA"
+	case TinyWindowNothing:
+		return "no response"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowDataResult reports the DATA-frame flow-control probe.
+type FlowDataResult struct {
+	// WindowSize is the S_frame the probe advertised.
+	WindowSize uint32
+	// Class is the observed behavior bucket.
+	Class TinyWindowClass
+	// FirstDataLen is the payload size of the first DATA frame (-1 none).
+	FirstDataLen int
+	// GotHeaders reports whether response headers arrived.
+	GotHeaders bool
+}
+
+// ProbeFlowControlData sets SETTINGS_INITIAL_WINDOW_SIZE to windowSize
+// (the paper uses 1) and classifies the response (Section III-B.1).
+func (p *Prober) ProbeFlowControlData(windowSize uint32) (*FlowDataResult, error) {
+	opts := h2conn.Options{
+		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: windowSize}},
+		AutoSettingsAck: true,
+		AutoPingAck:     true,
+	}
+	c, err := p.connect(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	id, err := c.OpenStream(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.LargePaths[0]})
+	if err != nil {
+		return nil, err
+	}
+	events, _ := c.WaitFor(p.reactionWindow(), func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeData && e.StreamID == id {
+				return true
+			}
+		}
+		return false
+	})
+	resp := h2conn.AssembleResponse(events, id)
+	res := &FlowDataResult{WindowSize: windowSize, FirstDataLen: -1, GotHeaders: resp.HeadersSeq >= 0}
+	switch {
+	case len(resp.DataFrameSizes) == 0:
+		res.Class = TinyWindowNothing
+	case resp.DataFrameSizes[0] == 0:
+		res.Class = TinyWindowZeroLen
+		res.FirstDataLen = 0
+	default:
+		res.Class = TinyWindowOneByte
+		res.FirstDataLen = resp.DataFrameSizes[0]
+	}
+	return res, nil
+}
+
+// ZeroWindowHeadersResult reports the zero-initial-window probe
+// (Section III-B.2).
+type ZeroWindowHeadersResult struct {
+	// GotHeaders reports whether the server returned HEADERS despite the
+	// zero DATA window — the RFC-compliant behavior.
+	GotHeaders bool
+	// GotData reports whether the server (incorrectly) sent nonempty DATA.
+	GotData bool
+}
+
+// ProbeZeroWindowHeaders sets SETTINGS_INITIAL_WINDOW_SIZE to 0 and checks
+// whether HEADERS still arrive.
+func (p *Prober) ProbeZeroWindowHeaders() (*ZeroWindowHeadersResult, error) {
+	opts := h2conn.Options{
+		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: 0}},
+		AutoSettingsAck: true,
+		AutoPingAck:     true,
+	}
+	c, err := p.connect(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	id, err := c.OpenStream(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.LargePaths[0]})
+	if err != nil {
+		return nil, err
+	}
+	events, _ := c.WaitFor(p.reactionWindow(), func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeHeaders && e.StreamID == id {
+				return true
+			}
+		}
+		return false
+	})
+	res := &ZeroWindowHeadersResult{}
+	for _, e := range events {
+		if e.StreamID != id {
+			continue
+		}
+		switch e.Type {
+		case frame.TypeHeaders:
+			res.GotHeaders = true
+		case frame.TypeData:
+			if len(e.Data) > 0 {
+				res.GotData = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// WindowUpdateResult reports the zero / large WINDOW_UPDATE probes
+// (Sections III-B.3 and III-B.4).
+type WindowUpdateResult struct {
+	// Stream and Conn are the observations at the two levels.
+	Stream Observation
+	Conn   Observation
+	// ConnDebugData is the GOAWAY debug text, when present (the paper
+	// found 26/42 sites explaining "the window update shouldn't be zero").
+	ConnDebugData string
+}
+
+// ProbeZeroWindowUpdate sends WINDOW_UPDATE frames with increment 0 at the
+// stream and connection levels (fresh connection each) and classifies the
+// reactions.
+func (p *Prober) ProbeZeroWindowUpdate() (*WindowUpdateResult, error) {
+	return p.probeWindowUpdate(func(c *h2conn.Conn, streamID uint32) error {
+		return c.WriteWindowUpdate(streamID, 0)
+	})
+}
+
+// ProbeLargeWindowUpdate sends WINDOW_UPDATE frames whose sum exceeds
+// 2^31-1 at both levels and classifies the reactions.
+func (p *Prober) ProbeLargeWindowUpdate() (*WindowUpdateResult, error) {
+	return p.probeWindowUpdate(func(c *h2conn.Conn, streamID uint32) error {
+		if err := c.WriteWindowUpdate(streamID, frame.MaxWindowSize); err != nil {
+			return err
+		}
+		return c.WriteWindowUpdate(streamID, frame.MaxWindowSize)
+	})
+}
+
+func (p *Prober) probeWindowUpdate(provoke func(*h2conn.Conn, uint32) error) (*WindowUpdateResult, error) {
+	res := &WindowUpdateResult{}
+
+	// Stream level: the stream must be open and flow-blocked, so request a
+	// large object without automatic window refills.
+	opts := h2conn.Options{AutoSettingsAck: true, AutoPingAck: true}
+	c, err := p.connect(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		closeConn(c)
+		return nil, err
+	}
+	id, err := c.OpenStream(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.LargePaths[0]})
+	if err != nil {
+		closeConn(c)
+		return nil, err
+	}
+	// Let the response start so the provocation hits a live stream.
+	_, _ = c.WaitFor(p.reactionWindow(), func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.StreamID == id && (e.Type == frame.TypeHeaders || e.Type == frame.TypeData) {
+				return true
+			}
+		}
+		return false
+	})
+	if err := provoke(c, id); err != nil {
+		closeConn(c)
+		return nil, err
+	}
+	res.Stream = classifyReaction(c, id, p.reactionWindow())
+	closeConn(c)
+
+	// Connection level, on a fresh connection.
+	c, err = p.connect(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	if _, err := c.OpenStream(h2conn.Request{Authority: p.cfg.Authority, Path: p.cfg.LargePaths[0]}); err != nil {
+		return nil, err
+	}
+	if err := provoke(c, 0); err != nil {
+		return nil, err
+	}
+	res.Conn = classifyReaction(c, 0, p.reactionWindow())
+	res.ConnDebugData = goAwayDebug(c.Events())
+	return res, nil
+}
+
+// PushResult reports the server-push probe (Sections III-D and V-F).
+type PushResult struct {
+	// Supported reports whether any PUSH_PROMISE arrived.
+	Supported bool
+	// PromisedPaths lists the :path values of the promised requests.
+	PromisedPaths []string
+}
+
+// ProbeServerPush enables push, browses the configured pages, and records
+// PUSH_PROMISE frames.
+func (p *Prober) ProbeServerPush() (*PushResult, error) {
+	opts := h2conn.DefaultOptions()
+	opts.Settings = []frame.Setting{{ID: frame.SettingEnablePush, Val: 1}}
+	c, err := p.connect(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	res := &PushResult{}
+	for _, page := range p.cfg.PagePaths {
+		if _, err := c.FetchBody(h2conn.Request{Authority: p.cfg.Authority, Path: page}, p.cfg.Timeout); err != nil {
+			continue
+		}
+	}
+	events := c.WaitQuiet(p.cfg.QuietWindow, p.cfg.Timeout)
+	for _, e := range events {
+		if e.Type != frame.TypePushPromise {
+			continue
+		}
+		res.Supported = true
+		for _, hf := range e.Headers {
+			if hf.Name == ":path" {
+				res.PromisedPaths = append(res.PromisedPaths, hf.Value)
+			}
+		}
+	}
+	return res, nil
+}
+
+// HPACKResult reports the header-compression probe (Section III-E).
+type HPACKResult struct {
+	// Requests is H, the number of identical requests sent.
+	Requests int
+	// BlockSizes lists the response header block sizes in order.
+	BlockSizes []int
+	// Ratio is r = sum(S_i) / (S_1 * H); small means effective compression.
+	Ratio float64
+}
+
+// ProbeHPACK sends H identical requests and computes the compression ratio
+// over the response header block sizes.
+func (p *Prober) ProbeHPACK() (*HPACKResult, error) {
+	h := p.cfg.HPACKRequests
+	if h < 2 {
+		h = 8
+	}
+	c, err := p.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	req := h2conn.Request{
+		Authority: p.cfg.Authority,
+		Path:      p.cfg.SmallPath,
+		Extra: []hpack.HeaderField{
+			{Name: "user-agent", Value: "H2Scope/1.0 (reproduction)"},
+			{Name: "accept", Value: "text/html,application/xhtml+xml"},
+			{Name: "accept-language", Value: "en-US,en;q=0.9"},
+		},
+	}
+	res := &HPACKResult{Requests: h}
+	total := 0
+	for i := 0; i < h; i++ {
+		resp, err := c.FetchBody(req, p.cfg.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("core: hpack request %d: %w", i+1, err)
+		}
+		if resp.HeaderBlockLen == 0 {
+			return nil, fmt.Errorf("core: hpack request %d: empty header block", i+1)
+		}
+		res.BlockSizes = append(res.BlockSizes, resp.HeaderBlockLen)
+		total += resp.HeaderBlockLen
+	}
+	res.Ratio = float64(total) / (float64(res.BlockSizes[0]) * float64(h))
+	return res, nil
+}
+
+// PingResult reports the HTTP/2 PING probe (Section III-F).
+type PingResult struct {
+	// Supported reports whether PING ACKs arrived.
+	Supported bool
+	// RTTs holds one sample per successful ping.
+	RTTs []time.Duration
+}
+
+// Min returns the smallest RTT sample, or 0.
+func (r *PingResult) Min() time.Duration {
+	var best time.Duration
+	for _, d := range r.RTTs {
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ProbePing sends PING frames and measures RTTs.
+func (p *Prober) ProbePing() (*PingResult, error) {
+	n := p.cfg.PingSamples
+	if n < 1 {
+		n = 3
+	}
+	c, err := p.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	res := &PingResult{}
+	for i := 0; i < n; i++ {
+		var payload [8]byte
+		payload[0] = byte(i + 1)
+		payload[7] = 0x5c
+		rtt, err := c.Ping(payload, p.cfg.Timeout)
+		if err != nil {
+			continue
+		}
+		res.Supported = true
+		res.RTTs = append(res.RTTs, rtt)
+	}
+	return res, nil
+}
+
+// SelfDependencyResult reports the self-dependent-stream probe
+// (Section III-C.2).
+type SelfDependencyResult struct {
+	// Reaction is the observed server behavior; RFC 7540 calls for
+	// RST_STREAM.
+	Reaction Observation
+}
+
+// ProbeSelfDependency sends PRIORITY making a stream depend on itself.
+func (p *Prober) ProbeSelfDependency() (*SelfDependencyResult, error) {
+	c, err := p.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer closeConn(c)
+	if _, err := c.WaitSettings(p.cfg.Timeout); err != nil {
+		return nil, err
+	}
+	id := c.NextStreamID()
+	if err := c.WritePriority(id, frame.PriorityParam{StreamDep: id, Weight: 15}); err != nil {
+		return nil, err
+	}
+	return &SelfDependencyResult{Reaction: classifyReaction(c, id, p.reactionWindow())}, nil
+}
+
+func closeConn(c *h2conn.Conn) {
+	_ = c.Close()
+}
+
+// MarshalJSON renders the class as its Section V-D bucket name.
+func (t TinyWindowClass) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(t.String())), nil
+}
+
+// UnmarshalJSON parses the bucket name back into a TinyWindowClass.
+func (t *TinyWindowClass) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("core: tiny-window class %s: %w", data, err)
+	}
+	for _, cand := range []TinyWindowClass{TinyWindowOneByte, TinyWindowZeroLen, TinyWindowNothing} {
+		if cand.String() == s {
+			*t = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown tiny-window class %q", s)
+}

@@ -1,0 +1,102 @@
+// Package flowcontrol implements HTTP/2 flow-control window accounting
+// (RFC 7540 sections 5.2 and 6.9).
+//
+// A Window tracks one direction of one flow-control scope (a stream or the
+// connection). Both the client connection and the server maintain a pair of
+// windows per scope. The package validates the two boundary conditions the
+// paper probes deliberately: zero-increment WINDOW_UPDATE frames and window
+// overflow past 2^31-1.
+package flowcontrol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxWindow is the largest legal flow-control window, 2^31-1 octets.
+const MaxWindow = 1<<31 - 1
+
+// DefaultWindow is the initial window size for streams and the connection.
+const DefaultWindow = 1<<16 - 1 // 65,535
+
+// ErrZeroIncrement reports a WINDOW_UPDATE with a zero increment, which
+// RFC 7540 section 6.9 defines as a PROTOCOL_ERROR.
+var ErrZeroIncrement = errors.New("flowcontrol: zero window increment")
+
+// ErrWindowOverflow reports an increment that would push the window past
+// 2^31-1, a FLOW_CONTROL_ERROR per RFC 7540 section 6.9.1.
+var ErrWindowOverflow = errors.New("flowcontrol: window exceeds 2^31-1")
+
+// ErrWindowUnderflow reports consuming more octets than the window allows.
+var ErrWindowUnderflow = errors.New("flowcontrol: consumed past window")
+
+// Window is one directional flow-control window. The zero value is not
+// useful; construct with New. Window performs no locking: the owner
+// serializes access (both our server and client touch windows only from the
+// connection's serialized write path).
+type Window struct {
+	// avail may be negative: lowering SETTINGS_INITIAL_WINDOW_SIZE below the
+	// amount already consumed legally drives a window negative (RFC 7540
+	// section 6.9.2).
+	avail int64
+}
+
+// New returns a window with the given initial size.
+func New(initial int32) *Window {
+	return &Window{avail: int64(initial)}
+}
+
+// Available returns the current window size in octets (may be negative).
+func (w *Window) Available() int64 { return w.avail }
+
+// Consume removes n octets from the window. It fails with
+// ErrWindowUnderflow if n exceeds the available window; the caller decides
+// whether that is a FLOW_CONTROL_ERROR (receiving overlong DATA) or a
+// scheduling bug.
+func (w *Window) Consume(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("flowcontrol: negative consume %d", n)
+	}
+	if n > w.avail {
+		return fmt.Errorf("%w: consume %d with %d available", ErrWindowUnderflow, n, w.avail)
+	}
+	w.avail -= n
+	return nil
+}
+
+// Increase grows the window by a WINDOW_UPDATE increment, validating the
+// RFC 7540 boundary conditions.
+func (w *Window) Increase(n uint32) error {
+	if n == 0 {
+		return ErrZeroIncrement
+	}
+	if w.avail+int64(n) > MaxWindow {
+		return fmt.Errorf("%w: %d + %d", ErrWindowOverflow, w.avail, n)
+	}
+	w.avail += int64(n)
+	return nil
+}
+
+// Adjust applies a SETTINGS_INITIAL_WINDOW_SIZE delta to an existing stream
+// window (RFC 7540 section 6.9.2). The result may be negative; a result
+// above 2^31-1 is an error.
+func (w *Window) Adjust(delta int64) error {
+	if w.avail+delta > MaxWindow {
+		return fmt.Errorf("%w: adjust by %d", ErrWindowOverflow, delta)
+	}
+	w.avail += delta
+	return nil
+}
+
+// ClampTake returns how many of the n octets the caller wants to send are
+// permitted by the window, without consuming them. Negative windows permit
+// nothing.
+func (w *Window) ClampTake(n int64) int64 {
+	if w.avail <= 0 {
+		return 0
+	}
+	if n > w.avail {
+		return w.avail
+	}
+	return n
+}

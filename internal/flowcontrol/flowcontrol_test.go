@@ -1,0 +1,115 @@
+package flowcontrol
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsumeAndIncrease(t *testing.T) {
+	w := New(DefaultWindow)
+	if w.Available() != 65535 {
+		t.Fatalf("Available() = %d, want 65535", w.Available())
+	}
+	if err := w.Consume(65535); err != nil {
+		t.Fatalf("Consume(65535): %v", err)
+	}
+	if w.Available() != 0 {
+		t.Fatalf("Available() = %d, want 0", w.Available())
+	}
+	if err := w.Consume(1); !errors.Is(err, ErrWindowUnderflow) {
+		t.Fatalf("Consume past window = %v, want ErrWindowUnderflow", err)
+	}
+	if err := w.Increase(1000); err != nil {
+		t.Fatalf("Increase: %v", err)
+	}
+	if w.Available() != 1000 {
+		t.Fatalf("Available() = %d, want 1000", w.Available())
+	}
+}
+
+func TestZeroIncrementRejected(t *testing.T) {
+	w := New(10)
+	if err := w.Increase(0); !errors.Is(err, ErrZeroIncrement) {
+		t.Fatalf("Increase(0) = %v, want ErrZeroIncrement", err)
+	}
+}
+
+func TestOverflowRejected(t *testing.T) {
+	// The paper's "large window update" probe: two increments whose sum
+	// exceeds 2^31-1 must fail on the second.
+	w := New(DefaultWindow)
+	if err := w.Increase(MaxWindow - DefaultWindow); err != nil {
+		t.Fatalf("Increase to max: %v", err)
+	}
+	if err := w.Increase(1); !errors.Is(err, ErrWindowOverflow) {
+		t.Fatalf("Increase past max = %v, want ErrWindowOverflow", err)
+	}
+	if w.Available() != MaxWindow {
+		t.Fatalf("Available() = %d, want %d (failed increase must not apply)", w.Available(), int64(MaxWindow))
+	}
+}
+
+func TestAdjustCanGoNegative(t *testing.T) {
+	w := New(65535)
+	if err := w.Consume(60000); err != nil {
+		t.Fatal(err)
+	}
+	// Peer shrinks SETTINGS_INITIAL_WINDOW_SIZE from 65535 to 0.
+	if err := w.Adjust(-65535); err != nil {
+		t.Fatalf("Adjust: %v", err)
+	}
+	if w.Available() != -60000+65535-65535 {
+		t.Fatalf("Available() = %d, want %d", w.Available(), -60000)
+	}
+	if got := w.ClampTake(100); got != 0 {
+		t.Fatalf("ClampTake on negative window = %d, want 0", got)
+	}
+	w2 := New(1)
+	if err := w2.Adjust(MaxWindow); !errors.Is(err, ErrWindowOverflow) {
+		t.Fatalf("Adjust overflow = %v, want ErrWindowOverflow", err)
+	}
+}
+
+func TestClampTake(t *testing.T) {
+	w := New(100)
+	if got := w.ClampTake(250); got != 100 {
+		t.Errorf("ClampTake(250) = %d, want 100", got)
+	}
+	if got := w.ClampTake(50); got != 50 {
+		t.Errorf("ClampTake(50) = %d, want 50", got)
+	}
+	if err := w.Consume(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ClampTake(1); got != 0 {
+		t.Errorf("ClampTake on empty window = %d, want 0", got)
+	}
+}
+
+func TestNegativeConsumeRejected(t *testing.T) {
+	w := New(10)
+	if err := w.Consume(-1); err == nil {
+		t.Error("Consume(-1) accepted")
+	}
+}
+
+func TestWindowNeverExceedsMaxProperty(t *testing.T) {
+	prop := func(ops []int32) bool {
+		w := New(DefaultWindow)
+		for _, op := range ops {
+			if op >= 0 {
+				_ = w.Increase(uint32(op))
+			} else {
+				_ = w.Consume(-int64(op) % (w.Available() + 1))
+			}
+			if w.Available() > MaxWindow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

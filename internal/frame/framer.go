@@ -1,0 +1,486 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrFrameTooLarge is returned by ReadFrame when an incoming frame exceeds
+// the framer's configured maximum read size.
+var ErrFrameTooLarge = errors.New("frame: frame payload exceeds maximum read size")
+
+// Framer reads and writes HTTP/2 frames on an underlying byte stream.
+//
+// A Framer is safe for one concurrent reader plus one concurrent writer:
+// reads and writes use separate buffers and the write path is serialized
+// internally with a mutex. That matches how both the client connection and
+// the server use it (a read loop plus multiple writers).
+type Framer struct {
+	r io.Reader
+
+	// readHdr and readBuf are owned by the reading goroutine.
+	readHdr [HeaderLen]byte
+	readBuf []byte
+	// maxReadSize limits accepted payload sizes; guarded by wmu because the
+	// read loop and the settings writer may race on it.
+	maxReadSize uint32
+
+	wmu  sync.Mutex
+	w    io.Writer
+	wbuf []byte
+
+	// Strict, when set, makes ReadFrame reject frames that violate RFC 7540
+	// framing rules (wrong stream IDs, bad lengths) with ConnError instead
+	// of surfacing them. Probing clients keep it on; lenient test harnesses
+	// may turn it off.
+	Strict bool
+}
+
+// NewFramer returns a Framer reading from r and writing to w.
+func NewFramer(w io.Writer, r io.Reader) *Framer {
+	return &Framer{
+		r:           r,
+		w:           w,
+		maxReadSize: MaxAllowedFrameSize,
+		Strict:      true,
+	}
+}
+
+// SetMaxReadFrameSize caps the payload size ReadFrame will accept.
+func (fr *Framer) SetMaxReadFrameSize(n uint32) {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	if n < DefaultMaxFrameSize {
+		n = DefaultMaxFrameSize
+	}
+	if n > MaxAllowedFrameSize {
+		n = MaxAllowedFrameSize
+	}
+	fr.maxReadSize = n
+}
+
+func (fr *Framer) maxRead() uint32 {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	return fr.maxReadSize
+}
+
+// ReadFrame reads one frame from the underlying reader. The returned frame's
+// payload slices are valid until the next ReadFrame call.
+func (fr *Framer) ReadFrame() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.readHdr[:]); err != nil {
+		return nil, err
+	}
+	hdr := parseHeader(fr.readHdr[:])
+	if hdr.Length > fr.maxRead() {
+		return nil, ErrFrameTooLarge
+	}
+	if int(hdr.Length) > cap(fr.readBuf) {
+		fr.readBuf = make([]byte, hdr.Length)
+	}
+	payload := fr.readBuf[:hdr.Length]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, fmt.Errorf("frame: short payload for %v: %w", hdr, err)
+	}
+	f, err := fr.parsePayload(hdr, payload)
+	if err != nil && !fr.Strict {
+		return &UnknownFrame{hdr: hdr, Payload: payload}, nil
+	}
+	return f, err
+}
+
+func (fr *Framer) parsePayload(hdr Header, p []byte) (Frame, error) {
+	switch hdr.Type {
+	case TypeData:
+		return parseDataFrame(hdr, p)
+	case TypeHeaders:
+		return parseHeadersFrame(hdr, p)
+	case TypePriority:
+		return parsePriorityFrame(hdr, p)
+	case TypeRSTStream:
+		return parseRSTStreamFrame(hdr, p)
+	case TypeSettings:
+		return parseSettingsFrame(hdr, p)
+	case TypePushPromise:
+		return parsePushPromiseFrame(hdr, p)
+	case TypePing:
+		return parsePingFrame(hdr, p)
+	case TypeGoAway:
+		return parseGoAwayFrame(hdr, p)
+	case TypeWindowUpdate:
+		return parseWindowUpdateFrame(hdr, p)
+	case TypeContinuation:
+		return parseContinuationFrame(hdr, p)
+	default:
+		return &UnknownFrame{hdr: hdr, Payload: p}, nil
+	}
+}
+
+func parseDataFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, ConnError{ErrCodeProtocol, "DATA frame with stream ID 0"}
+	}
+	f := &DataFrame{hdr: hdr}
+	if hdr.Flags.Has(FlagPadded) {
+		if len(p) == 0 {
+			return nil, ConnError{ErrCodeFrameSize, "padded DATA frame with empty payload"}
+		}
+		f.PadLength = int(p[0])
+		p = p[1:]
+		if f.PadLength > len(p) {
+			return nil, ConnError{ErrCodeProtocol, "DATA padding exceeds payload"}
+		}
+		p = p[:len(p)-f.PadLength]
+	}
+	f.Data = p
+	return f, nil
+}
+
+func parseHeadersFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, ConnError{ErrCodeProtocol, "HEADERS frame with stream ID 0"}
+	}
+	f := &HeadersFrame{hdr: hdr}
+	if hdr.Flags.Has(FlagPadded) {
+		if len(p) == 0 {
+			return nil, ConnError{ErrCodeFrameSize, "padded HEADERS frame with empty payload"}
+		}
+		f.PadLength = int(p[0])
+		p = p[1:]
+	}
+	if hdr.Flags.Has(FlagPriority) {
+		if len(p) < 5 {
+			return nil, ConnError{ErrCodeFrameSize, "HEADERS priority fields truncated"}
+		}
+		dep := binary.BigEndian.Uint32(p[0:4])
+		f.Priority = PriorityParam{
+			StreamDep: dep & MaxStreamID,
+			Exclusive: dep&(1<<31) != 0,
+			Weight:    p[4],
+		}
+		p = p[5:]
+	}
+	if f.PadLength > len(p) {
+		return nil, ConnError{ErrCodeProtocol, "HEADERS padding exceeds payload"}
+	}
+	f.Fragment = p[:len(p)-f.PadLength]
+	return f, nil
+}
+
+func parsePriorityFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, ConnError{ErrCodeProtocol, "PRIORITY frame with stream ID 0"}
+	}
+	if len(p) != 5 {
+		return nil, StreamError{hdr.StreamID, ErrCodeFrameSize, "PRIORITY payload must be 5 bytes"}
+	}
+	dep := binary.BigEndian.Uint32(p[0:4])
+	return &PriorityFrame{
+		hdr: hdr,
+		Priority: PriorityParam{
+			StreamDep: dep & MaxStreamID,
+			Exclusive: dep&(1<<31) != 0,
+			Weight:    p[4],
+		},
+	}, nil
+}
+
+func parseRSTStreamFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, ConnError{ErrCodeProtocol, "RST_STREAM frame with stream ID 0"}
+	}
+	if len(p) != 4 {
+		return nil, ConnError{ErrCodeFrameSize, "RST_STREAM payload must be 4 bytes"}
+	}
+	return &RSTStreamFrame{hdr: hdr, Code: ErrCode(binary.BigEndian.Uint32(p))}, nil
+}
+
+func parseSettingsFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID != 0 {
+		return nil, ConnError{ErrCodeProtocol, "SETTINGS frame with nonzero stream ID"}
+	}
+	if hdr.Flags.Has(FlagAck) && len(p) != 0 {
+		return nil, ConnError{ErrCodeFrameSize, "SETTINGS ACK with payload"}
+	}
+	if len(p)%6 != 0 {
+		return nil, ConnError{ErrCodeFrameSize, "SETTINGS payload not a multiple of 6"}
+	}
+	f := &SettingsFrame{hdr: hdr, Settings: make([]Setting, 0, len(p)/6)}
+	for i := 0; i+6 <= len(p); i += 6 {
+		f.Settings = append(f.Settings, Setting{
+			ID:  SettingID(binary.BigEndian.Uint16(p[i : i+2])),
+			Val: binary.BigEndian.Uint32(p[i+2 : i+6]),
+		})
+	}
+	return f, nil
+}
+
+func parsePushPromiseFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, ConnError{ErrCodeProtocol, "PUSH_PROMISE frame with stream ID 0"}
+	}
+	f := &PushPromiseFrame{hdr: hdr}
+	if hdr.Flags.Has(FlagPadded) {
+		if len(p) == 0 {
+			return nil, ConnError{ErrCodeFrameSize, "padded PUSH_PROMISE with empty payload"}
+		}
+		f.PadLength = int(p[0])
+		p = p[1:]
+	}
+	if len(p) < 4 {
+		return nil, ConnError{ErrCodeFrameSize, "PUSH_PROMISE missing promised stream ID"}
+	}
+	f.PromiseID = binary.BigEndian.Uint32(p[0:4]) & MaxStreamID
+	p = p[4:]
+	if f.PadLength > len(p) {
+		return nil, ConnError{ErrCodeProtocol, "PUSH_PROMISE padding exceeds payload"}
+	}
+	f.Fragment = p[:len(p)-f.PadLength]
+	return f, nil
+}
+
+func parsePingFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID != 0 {
+		return nil, ConnError{ErrCodeProtocol, "PING frame with nonzero stream ID"}
+	}
+	if len(p) != 8 {
+		return nil, ConnError{ErrCodeFrameSize, "PING payload must be 8 bytes"}
+	}
+	f := &PingFrame{hdr: hdr}
+	copy(f.Data[:], p)
+	return f, nil
+}
+
+func parseGoAwayFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID != 0 {
+		return nil, ConnError{ErrCodeProtocol, "GOAWAY frame with nonzero stream ID"}
+	}
+	if len(p) < 8 {
+		return nil, ConnError{ErrCodeFrameSize, "GOAWAY payload shorter than 8 bytes"}
+	}
+	return &GoAwayFrame{
+		hdr:          hdr,
+		LastStreamID: binary.BigEndian.Uint32(p[0:4]) & MaxStreamID,
+		Code:         ErrCode(binary.BigEndian.Uint32(p[4:8])),
+		DebugData:    p[8:],
+	}, nil
+}
+
+func parseWindowUpdateFrame(hdr Header, p []byte) (Frame, error) {
+	if len(p) != 4 {
+		return nil, ConnError{ErrCodeFrameSize, "WINDOW_UPDATE payload must be 4 bytes"}
+	}
+	return &WindowUpdateFrame{
+		hdr:       hdr,
+		Increment: binary.BigEndian.Uint32(p) & MaxStreamID,
+	}, nil
+}
+
+func parseContinuationFrame(hdr Header, p []byte) (Frame, error) {
+	if hdr.StreamID == 0 {
+		return nil, ConnError{ErrCodeProtocol, "CONTINUATION frame with stream ID 0"}
+	}
+	return &ContinuationFrame{hdr: hdr, Fragment: p}, nil
+}
+
+// startWrite begins a frame under wmu and returns the payload buffer slot.
+func (fr *Framer) startWrite(t Type, flags Flags, streamID uint32) {
+	fr.wbuf = append(fr.wbuf[:0],
+		0, 0, 0, // length, patched in endWrite
+		byte(t),
+		byte(flags),
+		byte(streamID>>24), byte(streamID>>16), byte(streamID>>8), byte(streamID))
+}
+
+func (fr *Framer) endWrite() error {
+	length := len(fr.wbuf) - HeaderLen
+	if length >= 1<<24 {
+		return fmt.Errorf("frame: payload of %d bytes exceeds 24-bit length field", length)
+	}
+	fr.wbuf[0] = byte(length >> 16)
+	fr.wbuf[1] = byte(length >> 8)
+	fr.wbuf[2] = byte(length)
+	_, err := fr.w.Write(fr.wbuf)
+	if err != nil {
+		err = fmt.Errorf("frame: write: %w", err)
+	}
+	return err
+}
+
+func (fr *Framer) writeUint32(v uint32) {
+	fr.wbuf = append(fr.wbuf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// WriteData writes a DATA frame. Padding is not applied (pad == nil path is
+// the only one the reproduction needs on the write side).
+func (fr *Framer) WriteData(streamID uint32, endStream bool, data []byte) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	var flags Flags
+	if endStream {
+		flags |= FlagEndStream
+	}
+	fr.startWrite(TypeData, flags, streamID)
+	fr.wbuf = append(fr.wbuf, data...)
+	return fr.endWrite()
+}
+
+// HeadersParams configures WriteHeaders.
+type HeadersParams struct {
+	// StreamID is the stream to open or continue.
+	StreamID uint32
+	// Fragment is the HPACK-encoded header block fragment.
+	Fragment []byte
+	// EndStream sets END_STREAM.
+	EndStream bool
+	// EndHeaders sets END_HEADERS.
+	EndHeaders bool
+	// Priority, when non-zero, is encoded with FlagPriority.
+	Priority PriorityParam
+}
+
+// WriteHeaders writes a HEADERS frame.
+func (fr *Framer) WriteHeaders(p HeadersParams) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	var flags Flags
+	if p.EndStream {
+		flags |= FlagEndStream
+	}
+	if p.EndHeaders {
+		flags |= FlagEndHeaders
+	}
+	if !p.Priority.IsZero() {
+		flags |= FlagPriority
+	}
+	fr.startWrite(TypeHeaders, flags, p.StreamID)
+	if !p.Priority.IsZero() {
+		dep := p.Priority.StreamDep & MaxStreamID
+		if p.Priority.Exclusive {
+			dep |= 1 << 31
+		}
+		fr.writeUint32(dep)
+		fr.wbuf = append(fr.wbuf, p.Priority.Weight)
+	}
+	fr.wbuf = append(fr.wbuf, p.Fragment...)
+	return fr.endWrite()
+}
+
+// WritePriority writes a PRIORITY frame. It happily encodes self-dependent
+// streams; H2Scope's self-dependency probe relies on that.
+func (fr *Framer) WritePriority(streamID uint32, p PriorityParam) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.startWrite(TypePriority, 0, streamID)
+	dep := p.StreamDep & MaxStreamID
+	if p.Exclusive {
+		dep |= 1 << 31
+	}
+	fr.writeUint32(dep)
+	fr.wbuf = append(fr.wbuf, p.Weight)
+	return fr.endWrite()
+}
+
+// WriteRSTStream writes an RST_STREAM frame.
+func (fr *Framer) WriteRSTStream(streamID uint32, code ErrCode) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.startWrite(TypeRSTStream, 0, streamID)
+	fr.writeUint32(uint32(code))
+	return fr.endWrite()
+}
+
+// WriteSettings writes a (non-ACK) SETTINGS frame.
+func (fr *Framer) WriteSettings(settings ...Setting) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.startWrite(TypeSettings, 0, 0)
+	for _, s := range settings {
+		fr.wbuf = append(fr.wbuf, byte(s.ID>>8), byte(s.ID))
+		fr.writeUint32(s.Val)
+	}
+	return fr.endWrite()
+}
+
+// WriteSettingsAck writes a SETTINGS frame with the ACK flag.
+func (fr *Framer) WriteSettingsAck() error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.startWrite(TypeSettings, FlagAck, 0)
+	return fr.endWrite()
+}
+
+// WritePushPromise writes a PUSH_PROMISE frame.
+func (fr *Framer) WritePushPromise(streamID, promiseID uint32, endHeaders bool, fragment []byte) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	var flags Flags
+	if endHeaders {
+		flags |= FlagEndHeaders
+	}
+	fr.startWrite(TypePushPromise, flags, streamID)
+	fr.writeUint32(promiseID & MaxStreamID)
+	fr.wbuf = append(fr.wbuf, fragment...)
+	return fr.endWrite()
+}
+
+// WritePing writes a PING frame.
+func (fr *Framer) WritePing(ack bool, data [8]byte) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	var flags Flags
+	if ack {
+		flags |= FlagAck
+	}
+	fr.startWrite(TypePing, flags, 0)
+	fr.wbuf = append(fr.wbuf, data[:]...)
+	return fr.endWrite()
+}
+
+// WriteGoAway writes a GOAWAY frame.
+func (fr *Framer) WriteGoAway(lastStreamID uint32, code ErrCode, debug []byte) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.startWrite(TypeGoAway, 0, 0)
+	fr.writeUint32(lastStreamID & MaxStreamID)
+	fr.writeUint32(uint32(code))
+	fr.wbuf = append(fr.wbuf, debug...)
+	return fr.endWrite()
+}
+
+// WriteWindowUpdate writes a WINDOW_UPDATE frame. Increment 0 and increments
+// that would overflow a peer's window are encoded as-is: the probes need to
+// send them.
+func (fr *Framer) WriteWindowUpdate(streamID, increment uint32) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.startWrite(TypeWindowUpdate, 0, streamID)
+	fr.writeUint32(increment & MaxStreamID)
+	return fr.endWrite()
+}
+
+// WriteContinuation writes a CONTINUATION frame.
+func (fr *Framer) WriteContinuation(streamID uint32, endHeaders bool, fragment []byte) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	var flags Flags
+	if endHeaders {
+		flags |= FlagEndHeaders
+	}
+	fr.startWrite(TypeContinuation, flags, streamID)
+	fr.wbuf = append(fr.wbuf, fragment...)
+	return fr.endWrite()
+}
+
+// WriteRawFrame writes an arbitrary frame verbatim. Probes use it to emit
+// deliberately malformed frames.
+func (fr *Framer) WriteRawFrame(t Type, flags Flags, streamID uint32, payload []byte) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.startWrite(t, flags, streamID)
+	fr.wbuf = append(fr.wbuf, payload...)
+	return fr.endWrite()
+}

@@ -1,0 +1,661 @@
+// Package h2conn provides the client-side HTTP/2 connection H2Scope probes
+// run over.
+//
+// Unlike a general-purpose HTTP/2 client, this connection exposes raw frame
+// control — custom SETTINGS, zero or overflowing WINDOW_UPDATEs,
+// self-dependent PRIORITY frames — and records every received frame in an
+// ordered event log that probes query with wait predicates. The paper's
+// methodology (Section III) is entirely about sending frame sequences a
+// normal client never would and classifying the server's frame-level
+// reaction, so the event log is the central artifact.
+package h2conn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/hpack"
+)
+
+// ErrTimeout is returned by wait helpers when the predicate does not become
+// true in time.
+var ErrTimeout = errors.New("h2conn: wait timed out")
+
+// ErrConnClosed is returned when the connection ends before a wait
+// predicate is satisfied.
+var ErrConnClosed = errors.New("h2conn: connection closed")
+
+// Event is one received frame, decoded and copied out of the framer's
+// buffers. Fields are populated according to Type.
+type Event struct {
+	// Seq is the 0-based receive index of the frame on this connection.
+	Seq int
+	// At is the receive time.
+	At time.Time
+	// Type, Flags, StreamID and PayloadLen mirror the frame header.
+	Type       frame.Type
+	Flags      frame.Flags
+	StreamID   uint32
+	PayloadLen int
+
+	// Data is the DATA payload (padding removed).
+	Data []byte
+	// Headers is the decoded header list of a HEADERS or PUSH_PROMISE
+	// block, set on the frame that carries END_HEADERS.
+	Headers []hpack.HeaderField
+	// HeaderBlockLen is the total encoded size of the header block.
+	HeaderBlockLen int
+	// Settings is the decoded SETTINGS list.
+	Settings []frame.Setting
+	// ErrCode is the RST_STREAM or GOAWAY error code.
+	ErrCode frame.ErrCode
+	// LastStreamID is the GOAWAY last-stream-id.
+	LastStreamID uint32
+	// DebugData is the GOAWAY debug payload.
+	DebugData []byte
+	// Increment is the WINDOW_UPDATE increment.
+	Increment uint32
+	// PingData is the PING payload.
+	PingData [8]byte
+	// PromiseID is the PUSH_PROMISE promised stream.
+	PromiseID uint32
+}
+
+// StreamEnded reports whether the frame carried END_STREAM.
+func (e Event) StreamEnded() bool { return e.Flags.Has(frame.FlagEndStream) }
+
+// IsAck reports whether a SETTINGS or PING event is an acknowledgment.
+func (e Event) IsAck() bool { return e.Flags.Has(frame.FlagAck) }
+
+// Options configures Dial.
+type Options struct {
+	// Settings is the client SETTINGS frame payload. Nil sends an empty
+	// SETTINGS frame (still required by RFC 7540 section 3.5).
+	Settings []frame.Setting
+	// AutoPingAck answers server PINGs; on by default in NewOptions-less
+	// zero value it is false, so set it for long-lived connections.
+	AutoPingAck bool
+	// AutoSettingsAck acknowledges server SETTINGS frames.
+	AutoSettingsAck bool
+	// AutoStreamWindow, when nonzero, enables automatic stream-level flow
+	// control: after each DATA frame the consumed octets are replenished
+	// with a WINDOW_UPDATE, keeping the window at its initial size (a
+	// blind fixed-size refill would eventually overflow the peer's 2^31-1
+	// accounting). Probes leave it zero for manual control.
+	AutoStreamWindow uint32
+	// AutoConnWindow is the connection-level analogue of AutoStreamWindow.
+	AutoConnWindow uint32
+	// EventLogLimit, when > 0, bounds the retained event log: once it
+	// grows past the limit, the oldest half is discarded (Seq numbers stay
+	// absolute). Probes need the full log and leave this zero; long-lived
+	// connections issuing thousands of requests (h2load, benchmarks) set
+	// it to keep memory and per-request scan cost constant.
+	EventLogLimit int
+}
+
+// DefaultOptions returns the options a well-behaved client would use:
+// automatic SETTINGS/PING acknowledgment plus consumed-octet window
+// replenishment, which keeps both flow-control windows steady at their
+// RFC-default sizes indefinitely. Clients that want deeper pipelines (bulk
+// transfer, page loads) advertise a larger SETTINGS_INITIAL_WINDOW_SIZE on
+// top, as pageload does.
+func DefaultOptions() Options {
+	return Options{
+		AutoPingAck:      true,
+		AutoSettingsAck:  true,
+		AutoStreamWindow: 1 << 20,
+		AutoConnWindow:   1 << 20,
+	}
+}
+
+// Conn is a client-side HTTP/2 connection.
+type Conn struct {
+	nc   net.Conn
+	fr   *frame.Framer
+	opts Options
+
+	// enc encodes request headers; guarded by encMu since probes may open
+	// streams from multiple goroutines.
+	encMu sync.Mutex
+	enc   *hpack.Encoder
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	events       []Event
+	nextSeq      int
+	readErr      error
+	closed       bool
+	nextStreamID uint32
+
+	// dec decodes response header blocks; touched only by the read loop.
+	dec *hpack.Decoder
+	// contBuf accumulates header fragments across CONTINUATION frames.
+	contBuf      []byte
+	contStreamID uint32
+	contType     frame.Type
+	contPromise  uint32
+	contFlags    frame.Flags
+
+	readDone chan struct{}
+}
+
+// Dial establishes an HTTP/2 connection over nc: it starts the read loop,
+// sends the client preface and SETTINGS, and returns. The server's SETTINGS
+// arrive asynchronously; use WaitSettings.
+func Dial(nc net.Conn, opts Options) (*Conn, error) {
+	c := &Conn{
+		nc:           nc,
+		fr:           frame.NewFramer(nc, nc),
+		opts:         opts,
+		enc:          hpack.NewEncoder(hpack.PolicyIndexAll),
+		dec:          hpack.NewDecoder(hpack.DefaultDynamicTableSize),
+		nextStreamID: 1,
+		readDone:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	// The read loop must be running before any writes: over synchronous
+	// in-process pipes, concurrent client and server writes deadlock unless
+	// both sides are also draining.
+	go c.readLoop()
+	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("h2conn: writing preface: %w", err)
+	}
+	if err := c.fr.WriteSettings(opts.Settings...); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("h2conn: writing settings: %w", err)
+	}
+	return c, nil
+}
+
+// Close tears down the connection. It is safe to call multiple times.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	err := c.nc.Close()
+	<-c.readDone
+	return err
+}
+
+// ReadErr returns the terminal read-loop error, if the connection ended.
+func (c *Conn) ReadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+func (c *Conn) readLoop() {
+	defer close(c.readDone)
+	for {
+		f, err := c.fr.ReadFrame()
+		if err != nil {
+			c.mu.Lock()
+			if c.readErr == nil {
+				c.readErr = err
+			}
+			c.closed = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.dispatch(f)
+	}
+}
+
+// dispatch converts a frame into an Event, running HPACK decoding in
+// receive order so the dynamic table stays synchronized.
+func (c *Conn) dispatch(f frame.Frame) {
+	hdr := f.Header()
+	ev := Event{
+		At:         time.Now(),
+		Type:       hdr.Type,
+		Flags:      hdr.Flags,
+		StreamID:   hdr.StreamID,
+		PayloadLen: int(hdr.Length),
+	}
+	emit := true
+	switch f := f.(type) {
+	case *frame.DataFrame:
+		ev.Data = append([]byte(nil), f.Data...)
+	case *frame.HeadersFrame:
+		if !f.HeadersEnded() {
+			c.contBuf = append(c.contBuf[:0], f.Fragment...)
+			c.contStreamID = hdr.StreamID
+			c.contType = frame.TypeHeaders
+			c.contFlags = hdr.Flags
+			emit = false
+			break
+		}
+		ev.Headers = c.decodeBlock(f.Fragment)
+		ev.HeaderBlockLen = len(f.Fragment)
+	case *frame.ContinuationFrame:
+		c.contBuf = append(c.contBuf, f.Fragment...)
+		if !f.HeadersEnded() {
+			emit = false
+			break
+		}
+		ev.Type = c.contType
+		ev.StreamID = c.contStreamID
+		ev.Flags = c.contFlags
+		ev.PromiseID = c.contPromise
+		ev.Headers = c.decodeBlock(c.contBuf)
+		ev.HeaderBlockLen = len(c.contBuf)
+		c.contBuf = nil
+	case *frame.SettingsFrame:
+		ev.Settings = append([]frame.Setting(nil), f.Settings...)
+		if !f.IsAck() && c.opts.AutoSettingsAck {
+			_ = c.fr.WriteSettingsAck()
+		}
+	case *frame.RSTStreamFrame:
+		ev.ErrCode = f.Code
+	case *frame.GoAwayFrame:
+		ev.ErrCode = f.Code
+		ev.LastStreamID = f.LastStreamID
+		ev.DebugData = append([]byte(nil), f.DebugData...)
+	case *frame.WindowUpdateFrame:
+		ev.Increment = f.Increment
+	case *frame.PingFrame:
+		ev.PingData = f.Data
+		if !f.IsAck() && c.opts.AutoPingAck {
+			_ = c.fr.WritePing(true, f.Data)
+		}
+	case *frame.PushPromiseFrame:
+		if !f.HeadersEnded() {
+			c.contBuf = append(c.contBuf[:0], f.Fragment...)
+			c.contStreamID = hdr.StreamID
+			c.contType = frame.TypePushPromise
+			c.contPromise = f.PromiseID
+			c.contFlags = hdr.Flags
+			emit = false
+			break
+		}
+		ev.PromiseID = f.PromiseID
+		ev.Headers = c.decodeBlock(f.Fragment)
+		ev.HeaderBlockLen = len(f.Fragment)
+	}
+	if !emit {
+		return
+	}
+	c.mu.Lock()
+	ev.Seq = c.nextSeq
+	c.nextSeq++
+	c.events = append(c.events, ev)
+	if limit := c.opts.EventLogLimit; limit > 0 && len(c.events) > limit {
+		keep := limit / 2
+		c.events = append(c.events[:0:0], c.events[len(c.events)-keep:]...)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	if ev.Type == frame.TypeData && len(ev.Data) > 0 {
+		// Replenish exactly what the frame consumed, so the peer's send
+		// windows hold steady at their initial sizes indefinitely.
+		if c.opts.AutoStreamWindow > 0 {
+			_ = c.fr.WriteWindowUpdate(ev.StreamID, uint32(len(ev.Data)))
+		}
+		if c.opts.AutoConnWindow > 0 {
+			_ = c.fr.WriteWindowUpdate(0, uint32(len(ev.Data)))
+		}
+	}
+}
+
+func (c *Conn) decodeBlock(block []byte) []hpack.HeaderField {
+	fields, err := c.dec.DecodeFull(block)
+	if err != nil {
+		// Record what decoded; probes treat decode failures as anomalies
+		// but the log must keep the frame.
+		return fields
+	}
+	return fields
+}
+
+// Events returns a snapshot of all events received so far.
+func (c *Conn) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// WaitFor blocks until pred returns true over the event log, the connection
+// closes, or the timeout elapses, and returns the event snapshot.
+//
+// On connection close the snapshot is still returned with ErrConnClosed,
+// because several probes (GOAWAY reactions) expect the connection to die.
+func (c *Conn) WaitFor(timeout time.Duration, pred func([]Event) bool) ([]Event, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if pred(c.events) {
+			return append([]Event(nil), c.events...), nil
+		}
+		if c.closed {
+			return append([]Event(nil), c.events...), ErrConnClosed
+		}
+		if !time.Now().Before(deadline) {
+			return append([]Event(nil), c.events...), ErrTimeout
+		}
+		c.cond.Wait()
+	}
+}
+
+// WaitQuiet waits until no new event has arrived for the given idle window
+// (or the connection closed), then returns the snapshot. Probes use it to
+// let a response ordering settle.
+func (c *Conn) WaitQuiet(idle, maxWait time.Duration) []Event {
+	deadline := time.Now().Add(maxWait)
+	last := -1
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := len(c.events)
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			break
+		}
+		if n == last {
+			break
+		}
+		last = n
+		time.Sleep(idle)
+	}
+	return c.Events()
+}
+
+// WaitSettings waits for the server's (non-ACK) SETTINGS frame.
+func (c *Conn) WaitSettings(timeout time.Duration) (Event, error) {
+	events, err := c.WaitFor(timeout, func(evs []Event) bool {
+		return findSettings(evs) >= 0
+	})
+	if i := findSettings(events); i >= 0 {
+		return events[i], nil
+	}
+	if err == nil {
+		err = ErrTimeout
+	}
+	return Event{}, err
+}
+
+func findSettings(evs []Event) int {
+	for i, e := range evs {
+		if e.Type == frame.TypeSettings && !e.IsAck() {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- senders ---
+
+// NextStreamID reserves and returns the next client stream ID.
+func (c *Conn) NextStreamID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextStreamID
+	c.nextStreamID += 2
+	return id
+}
+
+// Request describes one HTTP/2 request to open.
+type Request struct {
+	Method    string
+	Scheme    string
+	Authority string
+	Path      string
+	// Extra appends additional header fields.
+	Extra []hpack.HeaderField
+	// Priority, when non-zero, is carried on the HEADERS frame.
+	Priority frame.PriorityParam
+}
+
+func (r Request) fields() []hpack.HeaderField {
+	method := r.Method
+	if method == "" {
+		method = "GET"
+	}
+	scheme := r.Scheme
+	if scheme == "" {
+		scheme = "https"
+	}
+	path := r.Path
+	if path == "" {
+		path = "/"
+	}
+	fields := []hpack.HeaderField{
+		{Name: ":method", Value: method},
+		{Name: ":scheme", Value: scheme},
+		{Name: ":authority", Value: r.Authority},
+		{Name: ":path", Value: path},
+	}
+	return append(fields, r.Extra...)
+}
+
+// OpenStream sends a request on a fresh stream and returns its ID.
+func (c *Conn) OpenStream(req Request) (uint32, error) {
+	id := c.NextStreamID()
+	return id, c.OpenStreamID(id, req)
+}
+
+// OpenStreamID sends a request on the given stream ID (probes sometimes
+// need explicit IDs to build dependency trees).
+func (c *Conn) OpenStreamID(id uint32, req Request) error {
+	c.encMu.Lock()
+	block := c.enc.EncodeBlock(req.fields())
+	err := c.fr.WriteHeaders(frame.HeadersParams{
+		StreamID:   id,
+		Fragment:   block,
+		EndStream:  true,
+		EndHeaders: true,
+		Priority:   req.Priority,
+	})
+	c.encMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("h2conn: open stream %d: %w", id, err)
+	}
+	return nil
+}
+
+// WriteSettings sends a SETTINGS frame mid-connection.
+func (c *Conn) WriteSettings(settings ...frame.Setting) error {
+	return c.fr.WriteSettings(settings...)
+}
+
+// WriteWindowUpdate sends a WINDOW_UPDATE; increment 0 is sent verbatim.
+func (c *Conn) WriteWindowUpdate(streamID, increment uint32) error {
+	return c.fr.WriteWindowUpdate(streamID, increment)
+}
+
+// WritePriority sends a PRIORITY frame; self-dependencies are sent verbatim.
+func (c *Conn) WritePriority(streamID uint32, p frame.PriorityParam) error {
+	return c.fr.WritePriority(streamID, p)
+}
+
+// WriteRSTStream resets a stream.
+func (c *Conn) WriteRSTStream(streamID uint32, code frame.ErrCode) error {
+	return c.fr.WriteRSTStream(streamID, code)
+}
+
+// WriteRawFrame sends an arbitrary frame verbatim — the escape hatch for
+// conformance checks that need deliberately malformed frames.
+func (c *Conn) WriteRawFrame(t frame.Type, flags frame.Flags, streamID uint32, payload []byte) error {
+	return c.fr.WriteRawFrame(t, flags, streamID, payload)
+}
+
+// WriteHeadersRaw sends a HEADERS frame with a caller-supplied (possibly
+// invalid) header block fragment, bypassing the HPACK encoder.
+func (c *Conn) WriteHeadersRaw(streamID uint32, fragment []byte, endStream, endHeaders bool) error {
+	return c.fr.WriteHeaders(frame.HeadersParams{
+		StreamID:   streamID,
+		Fragment:   fragment,
+		EndStream:  endStream,
+		EndHeaders: endHeaders,
+	})
+}
+
+// WritePing sends a PING without waiting for the acknowledgment.
+func (c *Conn) WritePing(data [8]byte) error {
+	return c.fr.WritePing(false, data)
+}
+
+// WriteUnknownFrame sends a frame of an arbitrary (possibly unknown) type
+// on stream 0; RFC 7540 section 4.1 requires peers to ignore types they do
+// not understand.
+func (c *Conn) WriteUnknownFrame(t frame.Type, flags frame.Flags, payload []byte) error {
+	return c.fr.WriteRawFrame(t, flags, 0, payload)
+}
+
+// Ping sends a PING and waits for the matching ACK, returning the RTT.
+func (c *Conn) Ping(data [8]byte, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	if err := c.fr.WritePing(false, data); err != nil {
+		return 0, fmt.Errorf("h2conn: ping: %w", err)
+	}
+	events, err := c.WaitFor(timeout, func(evs []Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypePing && e.IsAck() && e.PingData == data {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range events {
+		if e.Type == frame.TypePing && e.IsAck() && e.PingData == data {
+			return e.At.Sub(start), nil
+		}
+	}
+	return 0, ErrTimeout
+}
+
+// --- response assembly ---
+
+// Response aggregates the events of one stream.
+type Response struct {
+	StreamID uint32
+	// Headers is the decoded response header list (first HEADERS block).
+	Headers []hpack.HeaderField
+	// HeaderBlockLen is the encoded size of that block — the S_header of
+	// the paper's compression-ratio formula.
+	HeaderBlockLen int
+	// Body is the concatenated DATA payload.
+	Body []byte
+	// DataFrameSizes lists each DATA frame's payload length in order.
+	DataFrameSizes []int
+	// FirstDataSeq and LastDataSeq are global receive indexes of the
+	// stream's first and last DATA frames (-1 if none).
+	FirstDataSeq int
+	LastDataSeq  int
+	// HeadersSeq is the receive index of the HEADERS frame (-1 if none).
+	HeadersSeq int
+	// EndStream reports whether the response completed.
+	EndStream bool
+	// Reset holds the RST_STREAM code if the stream was reset.
+	Reset *frame.ErrCode
+}
+
+// Status returns the :status pseudo-header, or "" when headers are absent.
+func (r *Response) Status() string {
+	for _, f := range r.Headers {
+		if f.Name == ":status" {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// Header returns the first value of the named header.
+func (r *Response) Header(name string) string {
+	for _, f := range r.Headers {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// AssembleResponse builds the Response view of streamID from an event
+// snapshot.
+func AssembleResponse(events []Event, streamID uint32) *Response {
+	r := &Response{
+		StreamID:     streamID,
+		FirstDataSeq: -1,
+		LastDataSeq:  -1,
+		HeadersSeq:   -1,
+	}
+	for _, e := range events {
+		if e.StreamID != streamID {
+			continue
+		}
+		switch e.Type {
+		case frame.TypeHeaders:
+			if r.HeadersSeq < 0 {
+				r.HeadersSeq = e.Seq
+				r.Headers = e.Headers
+				r.HeaderBlockLen = e.HeaderBlockLen
+			}
+			if e.StreamEnded() {
+				r.EndStream = true
+			}
+		case frame.TypeData:
+			if r.FirstDataSeq < 0 {
+				r.FirstDataSeq = e.Seq
+			}
+			r.LastDataSeq = e.Seq
+			r.Body = append(r.Body, e.Data...)
+			r.DataFrameSizes = append(r.DataFrameSizes, len(e.Data))
+			if e.StreamEnded() {
+				r.EndStream = true
+			}
+		case frame.TypeRSTStream:
+			code := e.ErrCode
+			r.Reset = &code
+		}
+	}
+	return r
+}
+
+// FetchBody opens a stream for req and waits for the complete response.
+// It requires auto window updates (DefaultOptions) for bodies larger than
+// the initial windows.
+func (c *Conn) FetchBody(req Request, timeout time.Duration) (*Response, error) {
+	id, err := c.OpenStream(req)
+	if err != nil {
+		return nil, err
+	}
+	events, err := c.WaitFor(timeout, func(evs []Event) bool {
+		for _, e := range evs {
+			if e.StreamID != id {
+				continue
+			}
+			if e.StreamEnded() || e.Type == frame.TypeRSTStream {
+				return true
+			}
+		}
+		return false
+	})
+	resp := AssembleResponse(events, id)
+	if err != nil && !resp.EndStream && resp.Reset == nil {
+		return resp, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,542 @@
+package h2conn_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/hpack"
+	"h2scope/internal/netsim"
+	"h2scope/internal/server"
+)
+
+// fakeServer gives tests frame-level control over the server side of a
+// connection: it consumes the preface and exposes a framer plus the decoded
+// client requests.
+type fakeServer struct {
+	t  *testing.T
+	nc *netsim.Conn
+	fr *frame.Framer
+	// enc encodes response headers.
+	enc *hpack.Encoder
+	dec *hpack.Decoder
+}
+
+func dialFake(t *testing.T, opts h2conn.Options) (*h2conn.Conn, *fakeServer) {
+	t.Helper()
+	clientNC, serverNC := netsim.Pipe()
+	c, err := h2conn.Dial(clientNC, opts)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = c.Close()
+	})
+	fs := &fakeServer{
+		t:   t,
+		nc:  serverNC,
+		fr:  frame.NewFramer(serverNC, serverNC),
+		enc: hpack.NewEncoder(hpack.PolicyIndexAll),
+		dec: hpack.NewDecoder(hpack.DefaultDynamicTableSize),
+	}
+	t.Cleanup(func() {
+		_ = serverNC.Close()
+	})
+	buf := make([]byte, len(frame.ClientPreface))
+	if _, err := io.ReadFull(serverNC, buf); err != nil {
+		t.Fatalf("reading preface: %v", err)
+	}
+	if string(buf) != frame.ClientPreface {
+		t.Fatalf("preface = %q", buf)
+	}
+	return c, fs
+}
+
+// expectFrame reads frames until one of the wanted type arrives.
+func (fs *fakeServer) expectFrame(want frame.Type) frame.Frame {
+	fs.t.Helper()
+	for i := 0; i < 32; i++ {
+		f, err := fs.fr.ReadFrame()
+		if err != nil {
+			fs.t.Fatalf("ReadFrame: %v", err)
+		}
+		if f.Header().Type == want {
+			return f
+		}
+	}
+	fs.t.Fatalf("no %v frame in 32 reads", want)
+	return nil
+}
+
+func TestDialSendsPrefaceAndSettings(t *testing.T) {
+	_, fs := dialFake(t, h2conn.Options{
+		Settings: []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: 123}},
+	})
+	sf, ok := fs.expectFrame(frame.TypeSettings).(*frame.SettingsFrame)
+	if !ok || sf.IsAck() {
+		t.Fatalf("first frame = %+v", sf)
+	}
+	if v, found := sf.Value(frame.SettingInitialWindowSize); !found || v != 123 {
+		t.Errorf("INITIAL_WINDOW_SIZE = %d,%v", v, found)
+	}
+}
+
+func TestAutoSettingsAck(t *testing.T) {
+	_, fs := dialFake(t, h2conn.Options{AutoSettingsAck: true})
+	fs.expectFrame(frame.TypeSettings) // client settings
+	if err := fs.fr.WriteSettings(); err != nil {
+		t.Fatal(err)
+	}
+	ack := fs.expectFrame(frame.TypeSettings).(*frame.SettingsFrame)
+	if !ack.IsAck() {
+		t.Fatal("client did not ACK server SETTINGS")
+	}
+}
+
+func TestAutoPingAck(t *testing.T) {
+	_, fs := dialFake(t, h2conn.Options{AutoPingAck: true})
+	fs.expectFrame(frame.TypeSettings)
+	data := [8]byte{9, 8, 7, 6, 5, 4, 3, 2}
+	if err := fs.fr.WritePing(false, data); err != nil {
+		t.Fatal(err)
+	}
+	ack := fs.expectFrame(frame.TypePing).(*frame.PingFrame)
+	if !ack.IsAck() || ack.Data != data {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+func TestOpenStreamEncodesRequest(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	id, err := c.OpenStream(h2conn.Request{
+		Authority: "test.example",
+		Path:      "/x",
+		Extra:     []hpack.HeaderField{{Name: "x-probe", Value: "1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("first stream id = %d, want 1", id)
+	}
+	hf := fs.expectFrame(frame.TypeHeaders).(*frame.HeadersFrame)
+	if !hf.StreamEnded() || !hf.HeadersEnded() {
+		t.Error("missing END_STREAM/END_HEADERS")
+	}
+	fields, err := fs.dec.DecodeFull(hf.Fragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, f := range fields {
+		got[f.Name] = f.Value
+	}
+	if got[":method"] != "GET" || got[":path"] != "/x" || got[":authority"] != "test.example" ||
+		got[":scheme"] != "https" || got["x-probe"] != "1" {
+		t.Errorf("decoded request = %v", got)
+	}
+
+	// Stream IDs advance by 2.
+	id2, err := c.OpenStream(h2conn.Request{Authority: "test.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != 3 {
+		t.Errorf("second stream id = %d, want 3", id2)
+	}
+}
+
+func TestEventLogAndHeaderDecoding(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	id, err := c.OpenStream(h2conn.Request{Authority: "a", Path: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.expectFrame(frame.TypeHeaders)
+
+	block := fs.enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":status", Value: "200"},
+		{Name: "server", Value: "fake/1"},
+	})
+	if err := fs.fr.WriteHeaders(frame.HeadersParams{
+		StreamID: id, Fragment: block, EndHeaders: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.fr.WriteData(id, true, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.WaitFor(2*time.Second, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeData && e.StreamEnded() {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatalf("WaitFor: %v", err)
+	}
+	resp := h2conn.AssembleResponse(events, id)
+	if resp.Status() != "200" || resp.Header("server") != "fake/1" {
+		t.Errorf("resp headers = %v", resp.Headers)
+	}
+	if string(resp.Body) != "hello" {
+		t.Errorf("body = %q", resp.Body)
+	}
+	if resp.HeaderBlockLen != len(block) {
+		t.Errorf("HeaderBlockLen = %d, want %d", resp.HeaderBlockLen, len(block))
+	}
+	if !resp.EndStream || resp.FirstDataSeq < 0 || resp.LastDataSeq < resp.FirstDataSeq {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestContinuationReassembly(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	id, err := c.OpenStream(h2conn.Request{Authority: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.expectFrame(frame.TypeHeaders)
+
+	block := fs.enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":status", Value: "200"},
+		{Name: "x-long", Value: "a-header-value-split-across-frames"},
+	})
+	half := len(block) / 2
+	if err := fs.fr.WriteHeaders(frame.HeadersParams{
+		StreamID: id, Fragment: block[:half], EndHeaders: false, EndStream: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.fr.WriteContinuation(id, true, block[half:]); err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.WaitFor(2*time.Second, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeHeaders && e.StreamID == id {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatalf("WaitFor: %v", err)
+	}
+	resp := h2conn.AssembleResponse(events, id)
+	if resp.Header("x-long") != "a-header-value-split-across-frames" {
+		t.Errorf("headers = %v", resp.Headers)
+	}
+	if resp.HeaderBlockLen != len(block) {
+		t.Errorf("HeaderBlockLen = %d, want %d", resp.HeaderBlockLen, len(block))
+	}
+}
+
+func TestPingMeasuresRTT(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	go func() {
+		f := fs.expectFrame(frame.TypePing).(*frame.PingFrame)
+		time.Sleep(10 * time.Millisecond)
+		_ = fs.fr.WritePing(true, f.Data)
+	}()
+	rtt, err := c.Ping([8]byte{1}, 2*time.Second)
+	if err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if rtt < 10*time.Millisecond {
+		t.Errorf("rtt = %v, want >= 10ms", rtt)
+	}
+}
+
+func TestWaitForTimeout(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	_ = fs
+	start := time.Now()
+	_, err := c.WaitFor(50*time.Millisecond, func([]h2conn.Event) bool { return false })
+	if !errors.Is(err, h2conn.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("returned before timeout")
+	}
+}
+
+func TestWaitForConnClosed(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_ = fs.nc.Close()
+	}()
+	_, err := c.WaitFor(2*time.Second, func([]h2conn.Event) bool { return false })
+	if !errors.Is(err, h2conn.ErrConnClosed) {
+		t.Fatalf("err = %v, want ErrConnClosed", err)
+	}
+	if c.ReadErr() == nil {
+		t.Error("ReadErr() = nil after close")
+	}
+}
+
+func TestGoAwayEventCarriesDebugData(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	if err := fs.fr.WriteGoAway(7, frame.ErrCodeProtocol, []byte("zero increment")); err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.WaitFor(2*time.Second, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeGoAway {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Type == frame.TypeGoAway {
+			if e.ErrCode != frame.ErrCodeProtocol || string(e.DebugData) != "zero increment" ||
+				e.LastStreamID != 7 {
+				t.Errorf("GOAWAY event = %+v", e)
+			}
+			return
+		}
+	}
+	t.Fatal("no GOAWAY event recorded")
+}
+
+func TestAutoWindowUpdateRefillsAfterData(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{
+		AutoStreamWindow: 4096,
+		AutoConnWindow:   8192,
+	})
+	fs.expectFrame(frame.TypeSettings)
+	id, err := c.OpenStream(h2conn.Request{Authority: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.expectFrame(frame.TypeHeaders)
+	if err := fs.fr.WriteData(id, false, []byte("xxxx")); err != nil {
+		t.Fatal(err)
+	}
+	// Auto flow control replenishes exactly the consumed octets.
+	var gotStream, gotConn bool
+	for i := 0; i < 4 && !(gotStream && gotConn); i++ {
+		wu := fs.expectFrame(frame.TypeWindowUpdate).(*frame.WindowUpdateFrame)
+		switch wu.Header().StreamID {
+		case id:
+			gotStream = wu.Increment == 4
+		case 0:
+			gotConn = wu.Increment == 4
+		}
+	}
+	if !gotStream || !gotConn {
+		t.Errorf("window updates: stream=%v conn=%v", gotStream, gotConn)
+	}
+}
+
+func TestWaitSettings(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	if err := fs.fr.WriteSettings(frame.Setting{ID: frame.SettingMaxConcurrentStreams, Val: 77}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.WaitSettings(2 * time.Second)
+	if err != nil {
+		t.Fatalf("WaitSettings: %v", err)
+	}
+	if len(ev.Settings) != 1 || ev.Settings[0].Val != 77 {
+		t.Errorf("settings = %v", ev.Settings)
+	}
+}
+
+func TestFormatEventsTranscript(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	if err := fs.fr.WriteSettings(frame.Setting{ID: frame.SettingMaxConcurrentStreams, Val: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.fr.WriteGoAway(3, frame.ErrCodeProtocol, []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.WaitFor(2*time.Second, func(evs []h2conn.Event) bool {
+		return len(evs) >= 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h2conn.FormatEvents(events)
+	for _, want := range []string{"SETTINGS", "SETTINGS_MAX_CONCURRENT_STREAMS=5", "GOAWAY", "PROTOCOL_ERROR", `debug="bye"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	if got := h2conn.FormatEvents(nil); got != "(no frames)\n" {
+		t.Errorf("empty transcript = %q", got)
+	}
+}
+
+func TestPushPromiseWithContinuation(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	if _, err := c.OpenStream(h2conn.Request{Authority: "a", Path: "/"}); err != nil {
+		t.Fatal(err)
+	}
+	fs.expectFrame(frame.TypeHeaders)
+
+	block := fs.enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":path", Value: "/pushed-resource-with-a-long-path.css"},
+	})
+	half := len(block) / 2
+	if err := fs.fr.WritePushPromise(1, 2, false, block[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.fr.WriteContinuation(1, true, block[half:]); err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.WaitFor(2*time.Second, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypePushPromise {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Type != frame.TypePushPromise {
+			continue
+		}
+		if e.PromiseID != 2 {
+			t.Errorf("PromiseID = %d, want 2", e.PromiseID)
+		}
+		found := false
+		for _, hf := range e.Headers {
+			if hf.Name == ":path" && strings.Contains(hf.Value, "long-path") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("reassembled push headers = %v", e.Headers)
+		}
+		return
+	}
+	t.Fatal("no PUSH_PROMISE event")
+}
+
+func TestWaitQuietReturnsAfterIdle(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{})
+	fs.expectFrame(frame.TypeSettings)
+	go func() {
+		for i := 0; i < 3; i++ {
+			_ = fs.fr.WritePing(true, [8]byte{byte(i)})
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	events := c.WaitQuiet(40*time.Millisecond, 2*time.Second)
+	if len(events) < 3 {
+		t.Errorf("events = %d, want >= 3", len(events))
+	}
+}
+
+func TestCloseIsIdempotentAndUnblocksWaiters(t *testing.T) {
+	c, _ := dialFake(t, h2conn.Options{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.WaitFor(5*time.Second, func([]h2conn.Event) bool { return false })
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, h2conn.ErrConnClosed) {
+			t.Fatalf("waiter got %v, want ErrConnClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not unblocked by Close")
+	}
+}
+
+func TestEventLogLimitBoundsRetention(t *testing.T) {
+	c, fs := dialFake(t, h2conn.Options{EventLogLimit: 8})
+	fs.expectFrame(frame.TypeSettings)
+	for i := 0; i < 40; i++ {
+		if err := fs.fr.WritePing(true, [8]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := c.WaitFor(2*time.Second, func(evs []h2conn.Event) bool {
+		return len(evs) > 0 && evs[len(evs)-1].PingData[0] == 39
+	})
+	if err != nil {
+		t.Fatalf("WaitFor: %v", err)
+	}
+	if len(events) > 8 {
+		t.Errorf("retained %d events, limit 8", len(events))
+	}
+	// Seq numbering stays absolute despite pruning.
+	last := events[len(events)-1]
+	if last.Seq != 39 { // 40 pings, 0-based
+		t.Errorf("last Seq = %d, want 39", last.Seq)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous Seq after trim: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestLongLivedConnectionSurvivesManyRequests(t *testing.T) {
+	// Regression: blind fixed-increment auto WINDOW_UPDATEs used to
+	// overflow the server's connection window after ~2,000 requests and
+	// draw GOAWAY(FLOW_CONTROL_ERROR). Replenish-consumed semantics must
+	// keep one connection serviceable indefinitely.
+	srv := server.New(server.H2OProfile(), server.DefaultSite("long.example"))
+	l := netsim.NewListener("long-lived")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := h2conn.DefaultOptions()
+	opts.EventLogLimit = 512
+	c, err := h2conn.Dial(nc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	n := 3000
+	if testing.Short() {
+		n = 300
+	}
+	for i := 0; i < n; i++ {
+		resp, err := c.FetchBody(h2conn.Request{Authority: "long.example", Path: "/about.html"}, 5*time.Second)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Status() != "200" {
+			t.Fatalf("request %d: status %q", i, resp.Status())
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package h2conn
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"h2scope/internal/frame"
+)
+
+// FormatEvents renders an event log as a human-readable frame transcript,
+// one line per frame, relative-timestamped from the first event. Probes and
+// the CLI use it for diagnostics; it is the reproduction's equivalent of
+// the wire captures the paper's authors inspected when validating H2Scope
+// against open-source servers (Section V-A).
+func FormatEvents(events []Event) string {
+	if len(events) == 0 {
+		return "(no frames)\n"
+	}
+	var b strings.Builder
+	start := events[0].At
+	for _, e := range events {
+		fmt.Fprintf(&b, "%8.3fms  #%-3d %-13s stream=%-4d len=%-6d %s\n",
+			float64(e.At.Sub(start))/float64(time.Millisecond),
+			e.Seq, e.Type, e.StreamID, e.PayloadLen, eventDetail(e))
+	}
+	return b.String()
+}
+
+func eventDetail(e Event) string {
+	var parts []string
+	// Flag 0x1 means END_STREAM only on DATA and HEADERS; on SETTINGS and
+	// PING it is ACK.
+	if e.StreamEnded() && (e.Type == frame.TypeData || e.Type == frame.TypeHeaders) {
+		parts = append(parts, "END_STREAM")
+	}
+	switch e.Type {
+	case frame.TypeSettings:
+		if e.IsAck() {
+			parts = append(parts, "ACK")
+		} else {
+			for _, s := range e.Settings {
+				parts = append(parts, s.String())
+			}
+		}
+	case frame.TypePing:
+		if e.IsAck() {
+			parts = append(parts, "ACK")
+		}
+		parts = append(parts, fmt.Sprintf("payload=%x", e.PingData))
+	case frame.TypeHeaders, frame.TypePushPromise:
+		for _, hf := range e.Headers {
+			if hf.Name == ":status" || hf.Name == ":path" {
+				parts = append(parts, hf.Name+"="+hf.Value)
+			}
+		}
+		if e.Type == frame.TypePushPromise {
+			parts = append(parts, fmt.Sprintf("promised=%d", e.PromiseID))
+		}
+	case frame.TypeData:
+		parts = append(parts, fmt.Sprintf("payload=%dB", len(e.Data)))
+	case frame.TypeRSTStream:
+		parts = append(parts, e.ErrCode.String())
+	case frame.TypeGoAway:
+		parts = append(parts, e.ErrCode.String(), fmt.Sprintf("last=%d", e.LastStreamID))
+		if len(e.DebugData) > 0 {
+			parts = append(parts, fmt.Sprintf("debug=%q", e.DebugData))
+		}
+	case frame.TypeWindowUpdate:
+		parts = append(parts, fmt.Sprintf("increment=%d", e.Increment))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,184 @@
+// Package h2load is a multiplexing-aware HTTP/2 load generator in the
+// spirit of nghttp2's h2load: N connections, M concurrent streams per
+// connection, a fixed request quota, and latency/throughput accounting.
+//
+// The paper's testbed characterization needs exactly this shape of driver
+// (many concurrent streams against one server); the package doubles as the
+// engine behind the server-throughput benchmarks.
+package h2load
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"h2scope/internal/h2conn"
+)
+
+// Options configures a load run.
+type Options struct {
+	// Connections is the number of HTTP/2 connections (N).
+	Connections int
+	// StreamsPerConn is the number of concurrent streams per connection (M).
+	StreamsPerConn int
+	// Requests is the total request quota across all workers.
+	Requests int
+	// Authority and Path select the resource to hammer.
+	Authority string
+	Path      string
+	// Timeout bounds each individual request.
+	Timeout time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Connections < 1 {
+		o.Connections = 1
+	}
+	if o.StreamsPerConn < 1 {
+		o.StreamsPerConn = 1
+	}
+	if o.Requests < 1 {
+		o.Requests = 100
+	}
+	if o.Path == "" {
+		o.Path = "/"
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 10 * time.Second
+	}
+	return o
+}
+
+// Result is the aggregate outcome of a load run.
+type Result struct {
+	// Requests is the number of successful responses.
+	Requests int
+	// Errors counts failed requests (transport errors, resets, non-200s).
+	Errors int
+	// BytesRead is the total response body volume.
+	BytesRead int64
+	// Duration is the wall-clock span of the run.
+	Duration time.Duration
+	// latencies holds one sample per successful request, sorted.
+	latencies []time.Duration
+}
+
+// RequestsPerSecond is the achieved throughput.
+func (r *Result) RequestsPerSecond() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Duration.Seconds()
+}
+
+// LatencyQuantile returns the q-quantile (0..1) of request latency.
+func (r *Result) LatencyQuantile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(r.latencies)))
+	if idx >= len(r.latencies) {
+		idx = len(r.latencies) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return r.latencies[idx]
+}
+
+// String renders an h2load-style summary.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"requests: %d ok, %d failed | %.0f req/s | %s read | latency p50 %v, p95 %v, p99 %v",
+		r.Requests, r.Errors, r.RequestsPerSecond(), byteCount(r.BytesRead),
+		r.LatencyQuantile(0.50), r.LatencyQuantile(0.95), r.LatencyQuantile(0.99))
+}
+
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Run drives the load and blocks until the quota is spent.
+func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+
+	// The quota is distributed over a shared ticket channel so fast
+	// workers take more.
+	tickets := make(chan struct{}, opts.Requests)
+	for i := 0; i < opts.Requests; i++ {
+		tickets <- struct{}{}
+	}
+	close(tickets)
+
+	var (
+		mu     sync.Mutex
+		res    = &Result{}
+		wg     sync.WaitGroup
+		dialMu sync.Mutex
+		errs   []error
+	)
+	start := time.Now()
+	for c := 0; c < opts.Connections; c++ {
+		nc, err := dial()
+		if err != nil {
+			return nil, fmt.Errorf("h2load: dial connection %d: %w", c, err)
+		}
+		connOpts := h2conn.DefaultOptions()
+		// Long-lived connections issue thousands of requests; bound the
+		// event log so memory and per-request cost stay flat.
+		connOpts.EventLogLimit = 4096
+		conn, err := h2conn.Dial(nc, connOpts)
+		if err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("h2load: handshake %d: %w", c, err)
+		}
+		for s := 0; s < opts.StreamsPerConn; s++ {
+			wg.Add(1)
+			go func(conn *h2conn.Conn) {
+				defer wg.Done()
+				req := h2conn.Request{Authority: opts.Authority, Path: opts.Path}
+				for range tickets {
+					t0 := time.Now()
+					resp, err := conn.FetchBody(req, opts.Timeout)
+					lat := time.Since(t0)
+					mu.Lock()
+					if err != nil || resp.Status() != "200" {
+						res.Errors++
+						if err != nil && len(errs) < 4 {
+							errs = append(errs, err)
+						}
+					} else {
+						res.Requests++
+						res.BytesRead += int64(len(resp.Body))
+						res.latencies = append(res.latencies, lat)
+					}
+					mu.Unlock()
+				}
+			}(conn)
+		}
+		// Close connections once all workers drain; the last worker out
+		// of each conn cannot know, so closing is deferred to run end.
+		defer func(conn *h2conn.Conn) {
+			dialMu.Lock()
+			defer dialMu.Unlock()
+			_ = conn.Close()
+		}(conn)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	if res.Requests == 0 && len(errs) > 0 {
+		return res, fmt.Errorf("h2load: all requests failed, first error: %w", errs[0])
+	}
+	return res, nil
+}

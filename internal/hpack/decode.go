@@ -1,0 +1,171 @@
+package hpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decoder decodes complete header blocks. A Decoder maintains one dynamic
+// table and therefore belongs to exactly one HTTP/2 connection direction.
+// It is not safe for concurrent use.
+type Decoder struct {
+	dt *dynamicTable
+
+	// allowedMaxSize caps dynamic-table size updates; it tracks the local
+	// SETTINGS_HEADER_TABLE_SIZE value.
+	allowedMaxSize uint32
+	// maxStringLen bounds individual decoded string literals; 0 means no
+	// bound beyond sanity.
+	maxStringLen int
+}
+
+// NewDecoder returns a decoder whose dynamic table is capped at
+// maxDynamicTableSize (use DefaultDynamicTableSize for the RFC default).
+func NewDecoder(maxDynamicTableSize uint32) *Decoder {
+	return &Decoder{
+		dt:             newDynamicTable(maxDynamicTableSize),
+		allowedMaxSize: maxDynamicTableSize,
+	}
+}
+
+// SetMaxStringLength bounds the length of any single decoded string.
+func (d *Decoder) SetMaxStringLength(n int) { d.maxStringLen = n }
+
+// SetAllowedMaxDynamicTableSize updates the ceiling the peer may raise the
+// dynamic table to, mirroring a SETTINGS_HEADER_TABLE_SIZE change.
+func (d *Decoder) SetAllowedMaxDynamicTableSize(n uint32) {
+	d.allowedMaxSize = n
+	if d.dt.maxSize > n {
+		d.dt.setMaxSize(n)
+	}
+}
+
+// DynamicTableLen returns the number of entries currently in the decoder's
+// dynamic table.
+func (d *Decoder) DynamicTableLen() int { return d.dt.length() }
+
+// DecodeFull decodes one complete header block.
+func (d *Decoder) DecodeFull(block []byte) ([]HeaderField, error) {
+	var (
+		fields     []HeaderField
+		seenField  bool
+		err        error
+		hf         HeaderField
+		emitted    bool
+		sizeUpdate bool
+	)
+	for len(block) > 0 {
+		b := block[0]
+		switch {
+		case b&0x80 != 0: // indexed field
+			hf, block, err = d.readIndexed(block)
+			emitted, sizeUpdate = true, false
+		case b&0xc0 == 0x40: // literal with incremental indexing
+			hf, block, err = d.readLiteral(block, 6)
+			if err == nil {
+				d.dt.add(hf)
+			}
+			emitted, sizeUpdate = true, false
+		case b&0xe0 == 0x20: // dynamic table size update
+			block, err = d.readSizeUpdate(block)
+			emitted, sizeUpdate = false, true
+		case b&0xf0 == 0x10: // literal never indexed
+			hf, block, err = d.readLiteral(block, 4)
+			hf.Sensitive = true
+			emitted, sizeUpdate = true, false
+		default: // 0000xxxx: literal without indexing
+			hf, block, err = d.readLiteral(block, 4)
+			emitted, sizeUpdate = true, false
+		}
+		if err != nil {
+			return fields, err
+		}
+		if sizeUpdate && seenField {
+			return fields, DecodingError{errors.New("dynamic table size update after header fields")}
+		}
+		if emitted {
+			fields = append(fields, hf)
+			seenField = true
+		}
+	}
+	return fields, nil
+}
+
+func (d *Decoder) readIndexed(buf []byte) (HeaderField, []byte, error) {
+	idx, rest, err := readVarInt(buf, 7)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	hf, ok := d.dt.lookup(idx)
+	if !ok {
+		return HeaderField{}, nil, DecodingError{fmt.Errorf("%w: %d", ErrInvalidIndex, idx)}
+	}
+	return hf, rest, nil
+}
+
+func (d *Decoder) readLiteral(buf []byte, prefix uint8) (HeaderField, []byte, error) {
+	nameIdx, rest, err := readVarInt(buf, prefix)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	var hf HeaderField
+	if nameIdx != 0 {
+		ent, ok := d.dt.lookup(nameIdx)
+		if !ok {
+			return HeaderField{}, nil, DecodingError{fmt.Errorf("%w: name index %d", ErrInvalidIndex, nameIdx)}
+		}
+		hf.Name = ent.Name
+	} else {
+		hf.Name, rest, err = d.readString(rest)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+	}
+	hf.Value, rest, err = d.readString(rest)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	return hf, rest, nil
+}
+
+func (d *Decoder) readString(buf []byte) (string, []byte, error) {
+	if len(buf) == 0 {
+		return "", nil, DecodingError{errors.New("truncated string literal")}
+	}
+	huffman := buf[0]&0x80 != 0
+	n, rest, err := readVarInt(buf, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if d.maxStringLen > 0 && n > uint64(d.maxStringLen) {
+		return "", nil, DecodingError{ErrStringLength}
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, DecodingError{errors.New("string literal exceeds block")}
+	}
+	raw := rest[:n]
+	rest = rest[n:]
+	if !huffman {
+		return string(raw), rest, nil
+	}
+	decoded, err := decodeHuffman(nil, raw)
+	if err != nil {
+		return "", nil, DecodingError{err}
+	}
+	if d.maxStringLen > 0 && len(decoded) > d.maxStringLen {
+		return "", nil, DecodingError{ErrStringLength}
+	}
+	return string(decoded), rest, nil
+}
+
+func (d *Decoder) readSizeUpdate(buf []byte) ([]byte, error) {
+	n, rest, err := readVarInt(buf, 5)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.allowedMaxSize) {
+		return nil, DecodingError{fmt.Errorf("table size update %d above allowed %d", n, d.allowedMaxSize)}
+	}
+	d.dt.setMaxSize(uint32(n))
+	return rest, nil
+}

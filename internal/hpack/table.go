@@ -1,0 +1,94 @@
+package hpack
+
+// dynamicTable is the HPACK dynamic table (RFC 7541 section 2.3.2).
+//
+// Entries are stored oldest-first in ents; the newest entry is at the end.
+// Wire indexing is newest-first and offset by the static table: wire index
+// staticTableLen+1 addresses the newest dynamic entry.
+type dynamicTable struct {
+	ents    []HeaderField
+	size    uint32
+	maxSize uint32
+}
+
+func newDynamicTable(maxSize uint32) *dynamicTable {
+	return &dynamicTable{maxSize: maxSize}
+}
+
+// setMaxSize updates the table's maximum size and evicts entries as needed
+// (RFC 7541 section 4.3).
+func (dt *dynamicTable) setMaxSize(n uint32) {
+	dt.maxSize = n
+	dt.evict()
+}
+
+// add inserts hf as the newest entry, evicting old entries to fit. An entry
+// larger than the whole table empties the table (RFC 7541 section 4.4).
+func (dt *dynamicTable) add(hf HeaderField) {
+	if hf.Size() > dt.maxSize {
+		dt.ents = dt.ents[:0]
+		dt.size = 0
+		return
+	}
+	dt.ents = append(dt.ents, hf)
+	dt.size += hf.Size()
+	dt.evict()
+}
+
+func (dt *dynamicTable) evict() {
+	drop := 0
+	for dt.size > dt.maxSize && drop < len(dt.ents) {
+		dt.size -= dt.ents[drop].Size()
+		drop++
+	}
+	if drop > 0 {
+		copy(dt.ents, dt.ents[drop:])
+		dt.ents = dt.ents[:len(dt.ents)-drop]
+	}
+}
+
+// length returns the number of dynamic entries.
+func (dt *dynamicTable) length() int { return len(dt.ents) }
+
+// at returns the entry with 1-based dynamic index i (1 = newest).
+func (dt *dynamicTable) at(i uint64) (HeaderField, bool) {
+	if i == 0 || i > uint64(len(dt.ents)) {
+		return HeaderField{}, false
+	}
+	return dt.ents[uint64(len(dt.ents))-i], true
+}
+
+// search returns the best wire index for hf among dynamic entries:
+// an exact name/value match if one exists, else a name-only match.
+// nameOnly reports which kind was found.
+func (dt *dynamicTable) search(hf HeaderField) (index uint64, nameOnly, found bool) {
+	var nameIdx uint64
+	for i := len(dt.ents) - 1; i >= 0; i-- {
+		ent := dt.ents[i]
+		if ent.Name != hf.Name {
+			continue
+		}
+		wire := uint64(staticTableLen) + uint64(len(dt.ents)-i)
+		if ent.Value == hf.Value {
+			return wire, false, true
+		}
+		if nameIdx == 0 {
+			nameIdx = wire
+		}
+	}
+	if nameIdx != 0 {
+		return nameIdx, true, true
+	}
+	return 0, false, false
+}
+
+// lookup resolves a wire index across the static and dynamic tables.
+func (dt *dynamicTable) lookup(i uint64) (HeaderField, bool) {
+	if i == 0 {
+		return HeaderField{}, false
+	}
+	if i <= uint64(staticTableLen) {
+		return staticTable[i-1], true
+	}
+	return dt.at(i - uint64(staticTableLen))
+}

@@ -1,0 +1,271 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer func() {
+		_ = a.Close()
+		_ = b.Close()
+	}()
+	msg := []byte("hello over the simulated wire")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q, want %q", buf, msg)
+	}
+}
+
+func TestPipeWritesDoNotRendezvous(t *testing.T) {
+	// Unlike net.Pipe, both ends must be able to write a burst before
+	// either reads — this is exactly the simultaneous-SETTINGS pattern
+	// that deadlocks protocol endpoints on synchronous pipes.
+	a, b := Pipe()
+	defer func() {
+		_ = a.Close()
+		_ = b.Close()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if _, err := a.Write(make([]byte, 1024)); err != nil {
+				t.Errorf("a.Write: %v", err)
+				return
+			}
+			if _, err := b.Write(make([]byte, 1024)); err != nil {
+				t.Errorf("b.Write: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writes blocked: pipe is rendezvous-based")
+	}
+}
+
+func TestPipeEOFAfterClose(t *testing.T) {
+	a, b := Pipe()
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Close()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("read buffered data after close: %v", err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("read after drain = %v, want io.EOF", err)
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestLatencyPipeDelaysDelivery(t *testing.T) {
+	const owd = 20 * time.Millisecond
+	a, b := LatencyPipe(owd, 0)
+	defer func() {
+		_ = a.Close()
+		_ = b.Close()
+	}()
+	start := time.Now()
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := b.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < owd {
+		t.Errorf("delivery took %v, want >= %v", elapsed, owd)
+	}
+}
+
+func TestListenerAcceptDial(t *testing.T) {
+	l := NewListener("site-a")
+	defer func() {
+		_ = l.Close()
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer func() {
+			_ = c.Close()
+		}()
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := c.Write(buf); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if string(buf) != "hi" {
+		t.Fatalf("echo = %q", buf)
+	}
+}
+
+func TestListenerDialAfterClose(t *testing.T) {
+	l := NewListener("dead")
+	_ = l.Close()
+	if _, err := l.Dial(); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("accept on closed listener succeeded")
+	}
+}
+
+func TestPathEstimators(t *testing.T) {
+	const base = 10 * time.Millisecond
+	p := NewPath(base, 2*time.Millisecond, 7)
+
+	icmp, err := p.ICMPPing()
+	if err != nil {
+		t.Fatalf("ICMPPing: %v", err)
+	}
+	tcp, err := p.TCPHandshakeRTT()
+	if err != nil {
+		t.Fatalf("TCPHandshakeRTT: %v", err)
+	}
+	for name, rtt := range map[string]time.Duration{"icmp": icmp, "tcp": tcp} {
+		if rtt < base {
+			t.Errorf("%s RTT %v below ground truth %v", name, rtt, base)
+		}
+		if rtt > base+30*time.Millisecond {
+			t.Errorf("%s RTT %v implausibly large", name, rtt)
+		}
+	}
+}
+
+func TestPipeConcurrentStress(t *testing.T) {
+	// Many writers and one reader per direction, under load: all bytes
+	// arrive, none duplicated.
+	a, b := Pipe()
+	defer func() {
+		_ = a.Close()
+		_ = b.Close()
+	}()
+	const (
+		writers = 8
+		chunks  = 200
+		size    = 512
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, size)
+			for i := 0; i < chunks; i++ {
+				if _, err := a.Write(buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan int, 1)
+	go func() {
+		total := 0
+		buf := make([]byte, 4096)
+		for total < writers*chunks*size {
+			n, err := b.Read(buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				break
+			}
+			total += n
+		}
+		done <- total
+	}()
+	wg.Wait()
+	select {
+	case total := <-done:
+		if total != writers*chunks*size {
+			t.Fatalf("read %d bytes, want %d", total, writers*chunks*size)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader stalled")
+	}
+}
+
+func TestLatencyPipePreservesOrder(t *testing.T) {
+	a, b := LatencyPipe(2*time.Millisecond, 0)
+	defer func() {
+		_ = a.Close()
+		_ = b.Close()
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := a.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 50)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != byte(i) {
+			t.Fatalf("byte %d = %d: reordered", i, v)
+		}
+	}
+}
+
+func TestPathGroundTruthTracking(t *testing.T) {
+	// Jitter-free path: both estimators must land within a small overhead
+	// of the configured RTT.
+	const base = 30 * time.Millisecond
+	p := NewPath(base, 0, 1)
+	icmp, err := p.ICMPPing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := p.TCPHandshakeRTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rtt := range map[string]time.Duration{"icmp": icmp, "tcp": tcp} {
+		if rtt < base || rtt > base+15*time.Millisecond {
+			t.Errorf("%s = %v, want %v..%v", name, rtt, base, base+15*time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Path models one network path to a host: a base round-trip time plus
+// per-packet jitter. All four RTT estimators of the paper's Fig. 6 run over
+// the same Path, so their results are directly comparable against the
+// path's ground truth.
+type Path struct {
+	// BaseRTT is the ground-truth round-trip time with zero jitter.
+	BaseRTT time.Duration
+	// Jitter is the maximum extra one-way delay added per packet.
+	Jitter time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPath returns a path with the given base RTT and jitter, seeded for
+// reproducible jitter sequences.
+func NewPath(baseRTT, jitter time.Duration, seed int64) *Path {
+	return &Path{
+		BaseRTT: baseRTT,
+		Jitter:  jitter,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// owd samples one one-way delay.
+func (p *Path) owd() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := p.BaseRTT / 2
+	if p.Jitter > 0 {
+		d += time.Duration(p.rng.Int63n(int64(p.Jitter)))
+	}
+	return d
+}
+
+// Connect returns a client/server pipe pair shaped with this path's delay.
+func (p *Path) Connect() (client, server *Conn) {
+	return LatencyPipe(p.owd(), p.owd())
+}
+
+// ICMPPing is the reproduction's equivalent of an ICMP echo: an 8-byte
+// probe is echoed by the remote end over a freshly shaped pipe and the
+// round trip is measured with wall-clock time. Real ICMP needs raw sockets;
+// the echo exercises the same path without them.
+func (p *Path) ICMPPing() (time.Duration, error) {
+	client, srv := p.Connect()
+	defer func() {
+		_ = client.Close()
+	}()
+	go func() {
+		defer func() {
+			_ = srv.Close()
+		}()
+		buf := make([]byte, 8)
+		if _, err := readFull(srv, buf); err != nil {
+			return
+		}
+		_, _ = srv.Write(buf)
+	}()
+	start := time.Now()
+	if _, err := client.Write([]byte("icmpecho")); err != nil {
+		return 0, fmt.Errorf("netsim: icmp write: %w", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := readFull(client, buf); err != nil {
+		return 0, fmt.Errorf("netsim: icmp read: %w", err)
+	}
+	return time.Since(start), nil
+}
+
+// TCPHandshakeRTT estimates RTT from a simulated three-way handshake: the
+// interval between sending SYN and receiving SYN/ACK, as in the paper's
+// TCP-based method.
+func (p *Path) TCPHandshakeRTT() (time.Duration, error) {
+	client, srv := p.Connect()
+	defer func() {
+		_ = client.Close()
+	}()
+	go func() {
+		defer func() {
+			_ = srv.Close()
+		}()
+		buf := make([]byte, 3)
+		if _, err := readFull(srv, buf); err != nil {
+			return
+		}
+		_, _ = srv.Write([]byte("SA.")) // SYN/ACK
+	}()
+	start := time.Now()
+	if _, err := client.Write([]byte("SYN")); err != nil {
+		return 0, fmt.Errorf("netsim: syn write: %w", err)
+	}
+	buf := make([]byte, 3)
+	if _, err := readFull(client, buf); err != nil {
+		return 0, fmt.Errorf("netsim: synack read: %w", err)
+	}
+	return time.Since(start), nil
+}
+
+func readFull(c *Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

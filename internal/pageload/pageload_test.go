@@ -1,0 +1,155 @@
+package pageload_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"h2scope/internal/netsim"
+	"h2scope/internal/pageload"
+	"h2scope/internal/server"
+)
+
+func startPushSite(t *testing.T, profile server.Profile) *netsim.Listener {
+	t.Helper()
+	site := server.DefaultSite("push.example")
+	site.SetPush("/", "/static/style.css", "/static/app.js", "/static/logo.png", "/static/hero.jpg")
+	srv := server.New(profile, site)
+	l := netsim.NewListener("pageload")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	return l
+}
+
+var pageResources = []string{
+	"/static/style.css", "/static/app.js", "/static/logo.png", "/static/hero.jpg",
+}
+
+func TestPushReducesPLTOverLatencyPath(t *testing.T) {
+	// Fig. 3: with a push-capable server and a non-trivial RTT, enabling
+	// push lowers page-load time (it saves the subresource request round
+	// trip).
+	l := startPushSite(t, server.H2OProfile())
+	const owd = 15 * time.Millisecond
+	dial := func() (net.Conn, error) { return l.DialLatency(owd, owd) }
+
+	series, err := pageload.Measure(dial, "push.example", "/", pageResources, 3, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	on, off := series.MeanOn(), series.MeanOff()
+	if on <= 0 || off <= 0 {
+		t.Fatalf("means = %v/%v, want positive", on, off)
+	}
+	if on >= off {
+		t.Errorf("push-on PLT %v >= push-off PLT %v, want lower with push", on, off)
+	}
+	// The saving should be roughly one round trip.
+	if off-on < owd {
+		t.Errorf("push saving %v < one-way delay %v", off-on, owd)
+	}
+}
+
+func TestPushOffEqualsNonPushServer(t *testing.T) {
+	// A server without push support yields the same schedule as push-off.
+	l := startPushSite(t, server.NginxProfile())
+	dial := func() (net.Conn, error) { return l.Dial() }
+	series, err := pageload.Measure(dial, "push.example", "/", pageResources, 2, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if len(series.PushOn) != 2 || len(series.PushOff) != 2 {
+		t.Fatalf("sample counts = %d/%d, want 2/2", len(series.PushOn), len(series.PushOff))
+	}
+}
+
+func TestLoadFailsOnMissingPage(t *testing.T) {
+	l := startPushSite(t, server.H2OProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = nc.Close()
+	}()
+	if _, err := pageload.Load(nc, pageload.Config{
+		Authority: "push.example",
+		Page:      "/missing",
+		Timeout:   5 * time.Second,
+	}); err == nil {
+		t.Fatal("Load of missing page succeeded, want 404 error")
+	}
+}
+
+func TestWarmCachePushWastesBandwidth(t *testing.T) {
+	// The Discussion section's concern: if the client already caches the
+	// pushed objects, a pushing server transmits them anyway, while a
+	// non-pushing schedule transfers nothing extra.
+	l := startPushSite(t, server.H2OProfile())
+	cached := pageResources // everything cached
+
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPush, err := pageload.LoadWithStats(nc, pageload.Config{
+		Authority: "push.example", Page: "/", Resources: pageResources,
+		EnablePush: true, Timeout: 10 * time.Second,
+	}, cached)
+	if err != nil {
+		t.Fatalf("LoadWithStats(push on): %v", err)
+	}
+	nc2, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutPush, err := pageload.LoadWithStats(nc2, pageload.Config{
+		Authority: "push.example", Page: "/", Resources: pageResources,
+		EnablePush: false, Timeout: 10 * time.Second,
+	}, cached)
+	if err != nil {
+		t.Fatalf("LoadWithStats(push off): %v", err)
+	}
+
+	if withPush.WastedPushBytes == 0 {
+		t.Error("no wasted push bytes despite a fully warm cache")
+	}
+	// Pushed waste is the four subresources (~96 KiB).
+	if withPush.WastedPushBytes < 90*1024 {
+		t.Errorf("WastedPushBytes = %d, want ~96 KiB", withPush.WastedPushBytes)
+	}
+	if withoutPush.PushedBytes != 0 || withoutPush.WastedPushBytes != 0 {
+		t.Errorf("push-off transferred pushed bytes: %+v", withoutPush)
+	}
+	if withoutPush.BodyBytes >= withPush.BodyBytes {
+		t.Errorf("push-off moved %d bytes >= push-on %d despite warm cache",
+			withoutPush.BodyBytes, withPush.BodyBytes)
+	}
+}
+
+func TestLoadWithStatsColdCacheMatchesLoad(t *testing.T) {
+	l := startPushSite(t, server.H2OProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pageload.LoadWithStats(nc, pageload.Config{
+		Authority: "push.example", Page: "/", Resources: pageResources,
+		EnablePush: true, Timeout: 10 * time.Second,
+	}, nil)
+	if err != nil {
+		t.Fatalf("LoadWithStats: %v", err)
+	}
+	if stats.WastedPushBytes != 0 {
+		t.Errorf("cold cache wasted %d bytes", stats.WastedPushBytes)
+	}
+	if stats.PushedBytes == 0 {
+		t.Error("no pushed bytes on a pushing server")
+	}
+	// Page + all four subresources arrived.
+	if stats.BodyBytes < 96*1024 {
+		t.Errorf("BodyBytes = %d, want > 96 KiB", stats.BodyBytes)
+	}
+}

@@ -1,0 +1,286 @@
+package population
+
+import (
+	"fmt"
+	"sort"
+
+	"h2scope/internal/server"
+)
+
+// NameCount is one row of Table IV.
+type NameCount struct {
+	Name  string
+	Count int
+}
+
+// DistRow is one row of a settings distribution table (Tables V-VII).
+type DistRow struct {
+	Label string
+	Count int
+}
+
+// AdoptionCounts returns the Section V-B.1 numbers: sites negotiating via
+// NPN, via ALPN, and sites returning HEADERS.
+func (p *Population) AdoptionCounts() (npn, alpn, working int) {
+	return p.NPNSites, p.ALPNSites, len(p.Sites)
+}
+
+// ServerNameCounts aggregates the "server" header (Table IV), returning
+// names with at least minCount sites, by descending count.
+func (p *Population) ServerNameCounts(minCount int) []NameCount {
+	counts := make(map[string]int)
+	for i := range p.Sites {
+		counts[p.Sites[i].ServerName]++
+	}
+	out := make([]NameCount, 0, len(counts))
+	for name, c := range counts {
+		if c >= minCount {
+			out = append(out, NameCount{name, c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ServerKinds returns the number of distinct server names observed
+// ("223 and 345 different kinds of servers").
+func (p *Population) ServerKinds() int {
+	kinds := make(map[string]bool)
+	for i := range p.Sites {
+		kinds[p.Sites[i].ServerName] = true
+	}
+	return len(kinds)
+}
+
+// InitialWindowTable reproduces Table V (SETTINGS_INITIAL_WINDOW_SIZE).
+func (p *Population) InitialWindowTable() []DistRow {
+	return p.distTable(func(s *SiteSpec) (string, bool) {
+		if s.OmitSettings {
+			return "NULL", true
+		}
+		return fmt.Sprintf("%d", s.InitialWindow), true
+	})
+}
+
+// MaxFrameTable reproduces Table VI (SETTINGS_MAX_FRAME_SIZE).
+func (p *Population) MaxFrameTable() []DistRow {
+	return p.distTable(func(s *SiteSpec) (string, bool) {
+		if s.OmitSettings {
+			return "NULL", true
+		}
+		return fmt.Sprintf("%d", s.MaxFrame), true
+	})
+}
+
+// MaxHeaderListTable reproduces Table VII (SETTINGS_MAX_HEADER_LIST_SIZE).
+func (p *Population) MaxHeaderListTable() []DistRow {
+	return p.distTable(func(s *SiteSpec) (string, bool) {
+		if s.OmitSettings {
+			return "NULL", true
+		}
+		if s.MaxHeaderList == 0 {
+			return "unlimited", true
+		}
+		return fmt.Sprintf("%d", s.MaxHeaderList), true
+	})
+}
+
+func (p *Population) distTable(key func(*SiteSpec) (string, bool)) []DistRow {
+	counts := make(map[string]int)
+	for i := range p.Sites {
+		if k, ok := key(&p.Sites[i]); ok {
+			counts[k]++
+		}
+	}
+	out := make([]DistRow, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, DistRow{k, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return distLess(out[i].Label, out[j].Label) })
+	return out
+}
+
+// distLess orders NULL first, then numeric labels ascending, then the rest.
+func distLess(a, b string) bool {
+	rank := func(s string) (int, int64) {
+		switch s {
+		case "NULL":
+			return 0, 0
+		case "unlimited":
+			return 1, 0
+		}
+		var n int64
+		if _, err := fmt.Sscanf(s, "%d", &n); err == nil {
+			return 2, n
+		}
+		return 3, 0
+	}
+	ra, na := rank(a)
+	rb, nb := rank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// MaxConcurrentSamples returns SETTINGS_MAX_CONCURRENT_STREAMS values of
+// all advertising sites, the input of Fig. 2's CDF.
+func (p *Population) MaxConcurrentSamples() []float64 {
+	out := make([]float64, 0, len(p.Sites))
+	for i := range p.Sites {
+		if !p.Sites[i].OmitSettings {
+			out = append(out, float64(p.Sites[i].MaxConcurrent))
+		}
+	}
+	return out
+}
+
+// TinyWindowCounts returns the Section V-D.1 buckets: 1-byte DATA,
+// zero-length DATA, and no response.
+func (p *Population) TinyWindowCounts() (oneByte, zeroLen, silent int) {
+	for i := range p.Sites {
+		switch p.Sites[i].TinyWindow {
+		case server.TinyWindowComply:
+			oneByte++
+		case server.TinyWindowZeroData:
+			zeroLen++
+		case server.TinyWindowSilent:
+			silent++
+		}
+	}
+	return oneByte, zeroLen, silent
+}
+
+// ZeroWindowHeadersCount returns how many sites return HEADERS under a
+// zero initial window (Section V-D.2).
+func (p *Population) ZeroWindowHeadersCount() int {
+	n := 0
+	for i := range p.Sites {
+		if !p.Sites[i].FlowControlHeaders {
+			n++
+		}
+	}
+	return n
+}
+
+// ReactionCounts buckets a reaction dimension.
+type ReactionCounts struct {
+	RSTStream int
+	GoAway    int
+	Ignore    int
+	Debug     int
+}
+
+// ZeroWUStreamCounts returns Section V-D.3's stream-level buckets.
+func (p *Population) ZeroWUStreamCounts() ReactionCounts {
+	return p.reactionCounts(func(s *SiteSpec) (server.Reaction, bool) {
+		return s.ZeroWUStream, s.ZeroWUDebug
+	})
+}
+
+// ZeroWUConnCounts returns Section V-D.3's connection-level buckets.
+func (p *Population) ZeroWUConnCounts() ReactionCounts {
+	return p.reactionCounts(func(s *SiteSpec) (server.Reaction, bool) {
+		return s.ZeroWUConn, s.ZeroWUDebug
+	})
+}
+
+// LargeWUStreamCounts returns Section V-D.4's stream-level buckets.
+func (p *Population) LargeWUStreamCounts() ReactionCounts {
+	return p.reactionCounts(func(s *SiteSpec) (server.Reaction, bool) {
+		return s.LargeWUStream, false
+	})
+}
+
+// LargeWUConnCounts returns Section V-D.4's connection-level buckets.
+func (p *Population) LargeWUConnCounts() ReactionCounts {
+	return p.reactionCounts(func(s *SiteSpec) (server.Reaction, bool) {
+		return s.LargeWUConn, false
+	})
+}
+
+func (p *Population) reactionCounts(get func(*SiteSpec) (server.Reaction, bool)) ReactionCounts {
+	var rc ReactionCounts
+	for i := range p.Sites {
+		r, debug := get(&p.Sites[i])
+		switch r {
+		case server.ReactRSTStream:
+			rc.RSTStream++
+		case server.ReactGoAway:
+			rc.GoAway++
+			if debug {
+				rc.Debug++
+			}
+		default:
+			rc.Ignore++
+		}
+	}
+	return rc
+}
+
+// PriorityCounts returns Section V-E.1's compliance buckets the way the
+// paper reports them: sites obeying the last-DATA rule, the first-DATA
+// rule, and both.
+func (p *Population) PriorityCounts() (lastRule, firstRule, both int) {
+	for i := range p.Sites {
+		switch p.Sites[i].Scheduling {
+		case server.SchedPriority:
+			lastRule++
+			firstRule++
+			both++
+		case server.SchedPriorityLastOnly:
+			lastRule++
+		case server.SchedPriorityFirstOnly:
+			firstRule++
+		}
+	}
+	return lastRule, firstRule, both
+}
+
+// SelfDepCounts returns Section V-E.2's buckets.
+func (p *Population) SelfDepCounts() ReactionCounts {
+	return p.reactionCounts(func(s *SiteSpec) (server.Reaction, bool) {
+		return s.SelfDep, false
+	})
+}
+
+// PushSites returns the domains that send PUSH_PROMISE (Section V-F).
+func (p *Population) PushSites() []string {
+	var out []string
+	for i := range p.Sites {
+		if p.Sites[i].Push {
+			out = append(out, p.Sites[i].Domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HPACKRatioByFamily returns per-family target compression ratios, the
+// ground truth behind Figs. 4 and 5.
+func (p *Population) HPACKRatioByFamily() map[string][]float64 {
+	out := make(map[string][]float64)
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		out[s.Family] = append(out[s.Family], s.HPACKRatio)
+	}
+	return out
+}
+
+// SiteByDomain finds a site spec by domain.
+func (p *Population) SiteByDomain(domain string) (*SiteSpec, bool) {
+	for i := range p.Sites {
+		if p.Sites[i].Domain == domain {
+			return &p.Sites[i], true
+		}
+	}
+	return nil, false
+}

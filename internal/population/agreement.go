@@ -1,0 +1,128 @@
+package population
+
+import (
+	"fmt"
+	"strings"
+
+	"h2scope/internal/core"
+	"h2scope/internal/server"
+)
+
+// Agreement quantifies how faithfully a measured scan reproduced the
+// generator's ground truth, per behavioral dimension. It is the
+// reproduction's calibration instrument: if any fraction drops below 1.0,
+// either a probe or the server engine mis-measures that dimension.
+type Agreement struct {
+	// Sites is how many scanned sites carried comparable reports.
+	Sites int
+	// Dimensions maps a dimension name to the fraction of sites whose
+	// measured classification equals the spec ([0,1]).
+	Dimensions map[string]float64
+	// Mismatches lists "domain: dimension" entries for disagreements.
+	Mismatches []string
+}
+
+// ComputeAgreement compares each scanned site's report with its spec.
+func ComputeAgreement(sum *ScanSummary) *Agreement {
+	agr := &Agreement{Dimensions: make(map[string]float64)}
+	counts := make(map[string]int)
+	matches := make(map[string]int)
+	record := func(domain, dim string, ok bool) {
+		counts[dim]++
+		if ok {
+			matches[dim]++
+		} else {
+			agr.Mismatches = append(agr.Mismatches, domain+": "+dim)
+		}
+	}
+	for _, res := range sum.Results {
+		spec, r := res.Spec, res.Report
+		if r == nil || r.Settings == nil {
+			continue
+		}
+		agr.Sites++
+		record(spec.Domain, "server-name", r.Settings.ServerHeader == spec.ServerName)
+		if r.FlowData != nil {
+			record(spec.Domain, "tiny-window", tinyClassOf(spec.TinyWindow) == r.FlowData.Class)
+		}
+		if r.ZeroWindowHeaders != nil {
+			record(spec.Domain, "zero-window-headers",
+				r.ZeroWindowHeaders.GotHeaders == !spec.FlowControlHeaders)
+		}
+		if r.ZeroWU != nil {
+			record(spec.Domain, "zero-wu-stream", observationOf(spec.ZeroWUStream) == r.ZeroWU.Stream)
+			record(spec.Domain, "zero-wu-conn", observationOf(spec.ZeroWUConn) == r.ZeroWU.Conn)
+		}
+		if r.LargeWU != nil {
+			record(spec.Domain, "large-wu-stream", observationOf(spec.LargeWUStream) == r.LargeWU.Stream)
+			record(spec.Domain, "large-wu-conn", observationOf(spec.LargeWUConn) == r.LargeWU.Conn)
+		}
+		if r.SelfDep != nil {
+			record(spec.Domain, "self-dependency", observationOf(spec.SelfDep) == r.SelfDep.Reaction)
+		}
+		if r.Push != nil {
+			record(spec.Domain, "server-push", r.Push.Supported == spec.Push)
+		}
+		if r.Priority != nil {
+			wantLast := spec.Scheduling == server.SchedPriority || spec.Scheduling == server.SchedPriorityLastOnly
+			record(spec.Domain, "priority-last-rule", r.Priority.LastRuleOK == wantLast)
+		}
+	}
+	for dim, n := range counts {
+		agr.Dimensions[dim] = float64(matches[dim]) / float64(n)
+	}
+	return agr
+}
+
+// tinyClassOf maps a behavior knob to the probe's observation class.
+func tinyClassOf(b server.TinyWindowBehavior) core.TinyWindowClass {
+	switch b {
+	case server.TinyWindowZeroData:
+		return core.TinyWindowZeroLen
+	case server.TinyWindowSilent:
+		return core.TinyWindowNothing
+	default:
+		return core.TinyWindowOneByte
+	}
+}
+
+// observationOf maps a behavior knob to the probe's observation.
+func observationOf(r server.Reaction) core.Observation {
+	switch r {
+	case server.ReactRSTStream:
+		return core.ObserveRSTStream
+	case server.ReactGoAway:
+		return core.ObserveGoAway
+	default:
+		return core.ObserveIgnore
+	}
+}
+
+// Perfect reports whether every dimension agreed on every site.
+func (a *Agreement) Perfect() bool { return len(a.Mismatches) == 0 }
+
+// String renders the agreement report.
+func (a *Agreement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "measurement-vs-ground-truth agreement over %d sites:\n", a.Sites)
+	dims := make([]string, 0, len(a.Dimensions))
+	for dim := range a.Dimensions {
+		dims = append(dims, dim)
+	}
+	sortStrings(dims)
+	for _, dim := range dims {
+		fmt.Fprintf(&b, "  %-22s %.3f\n", dim, a.Dimensions[dim])
+	}
+	if len(a.Mismatches) > 0 {
+		fmt.Fprintf(&b, "  mismatches: %s\n", strings.Join(a.Mismatches, "; "))
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package population synthesizes the paper's measurement universe: the
+// Alexa top 1M as observed in the two scans (Jul. 2016 and Jan. 2017).
+//
+// The 2016/2017 Internet is unreachable, so the generator reproduces the
+// *published* marginal distributions — adoption counts (Section V-B),
+// server-name shares (Table IV), SETTINGS values (Tables V-VII, Fig. 2),
+// flow-control behaviors (Section V-D), priority compliance (Section V-E),
+// push support (Section V-F), and per-family HPACK ratios (Figs. 4-5) — as
+// a deterministic population of SiteSpecs. Each spec can be materialized as
+// a live in-process HTTP/2 server, so the same H2Scope probes that would
+// have scanned the real Internet re-measure the synthetic one; the
+// reproduction's tables are *measured*, not copied.
+//
+// Where the paper publishes only marginals, dimensions are assigned
+// independently (each with its own seeded shuffle); where it names a joint
+// relationship — LiteSpeed dominating the silent tiny-window bucket, Nginx
+// and Tengine pinning the HPACK ratio at 1, tmall.com's Tengine fleet
+// sharing one ratio, the NULL-settings sites being the same sites in every
+// settings table — that relationship is honored.
+package population
+
+// Epoch selects one of the paper's two measurement campaigns.
+type Epoch int
+
+// The two experiments of Section V.
+const (
+	// EpochJul2016 is "the first experiment" (Jul. 2016).
+	EpochJul2016 Epoch = iota + 1
+	// EpochJan2017 is "the second experiment" (Jan. 2017).
+	EpochJan2017
+)
+
+// String names the epoch as the paper does.
+func (e Epoch) String() string {
+	switch e {
+	case EpochJul2016:
+		return "1st Exp. (Jul 2016)"
+	case EpochJan2017:
+		return "2nd Exp. (Jan 2017)"
+	default:
+		return "unknown epoch"
+	}
+}
+
+// valueCount is one row of a published distribution table.
+type valueCount struct {
+	value int64
+	count int
+}
+
+// nameCount is one row of Table IV.
+type nameCount struct {
+	name   string
+	family string
+	count  int
+}
+
+// reactionCounts allocates Observation-style behavior buckets; remainder
+// goes to "ignore".
+type reactionCounts struct {
+	rst    int
+	goAway int
+	debug  int // subset of goAway carrying debug text
+}
+
+// epochData holds every published number for one experiment.
+type epochData struct {
+	totalSites int
+
+	// Adoption (Section V-B.1): NPN 49,334 / ALPN 47,966 in exp. 1;
+	// 78,714 / 70,859 in exp. 2. The published values fix the margins; the
+	// overlap is chosen so both margins hold.
+	npnOnly  int
+	alpnOnly int
+	npnAlpn  int
+	// working is the number of sites that returned HEADERS frames
+	// (44,390 / 64,299) — the denominator of every later table.
+	working int
+
+	// servers is Table IV plus a long tail ("223 and 345 different kinds
+	// of servers").
+	servers     []nameCount
+	tailKinds   int
+	tailFamily  string
+	omitNullRow int // sites whose SETTINGS frame is empty (the NULL rows)
+
+	// initialWindow is Table V, excluding the NULL row.
+	initialWindow []valueCount
+	// maxFrame is Table VI, excluding the NULL row.
+	maxFrame []valueCount
+	// maxHeaderList is Table VII, excluding the NULL row; value 0 encodes
+	// "unlimited" (the setting is omitted).
+	maxHeaderList []valueCount
+	// maxConcurrent approximates Fig. 2's CDF, excluding the NULL row.
+	maxConcurrent []valueCount
+
+	// tiny window behavior under SETTINGS_INITIAL_WINDOW_SIZE=1
+	// (Section V-D.1): 1-byte / zero-length / silent.
+	tinyOneByte int
+	tinyZeroLen int
+	tinySilent  int
+	// tinySilentLiteSpeedShare is the fraction of silent sites assigned to
+	// LiteSpeed (the paper: 10,472 of 12,039 in exp. 2).
+	tinySilentLiteSpeedShare float64
+
+	// zeroWindowHeadersOK is Section V-D.2: sites that returned HEADERS
+	// under a zero window (17,191 / 23,834).
+	zeroWindowHeadersOK int
+
+	// zeroWUStream / zeroWUConn are Section V-D.3.
+	zeroWUStream reactionCounts
+	zeroWUConn   reactionCounts
+
+	// largeWUStreamRST / largeWUConnGoAway are Section V-D.4; the
+	// remainders ignored the overflow.
+	largeWUStreamRST  int
+	largeWUConnGoAway int
+
+	// Priority compliance (Section V-E.1): both rules / last-rule only /
+	// first-rule only; the rest schedule round-robin.
+	priorityBoth      int
+	priorityLastOnly  int
+	priorityFirstOnly int
+
+	// selfDepRST is Section V-E.2; the remainder splits between GOAWAY and
+	// ignore.
+	selfDepRST         int
+	selfDepGoAwayShare float64
+
+	// pushDomains are the sites that sent PUSH_PROMISE (Section V-F);
+	// the paper's Fig. 3 names them.
+	pushDomains []string
+}
+
+// jul2016 is the first experiment's published numbers.
+func jul2016() *epochData {
+	return &epochData{
+		totalSites: 1_000_000,
+		npnOnly:    4_034,
+		alpnOnly:   2_666,
+		npnAlpn:    45_300, // NPN 49,334; ALPN 47,966; union 52,000
+		working:    44_390,
+
+		servers: []nameCount{
+			{"LiteSpeed", "litespeed", 12_637},
+			{"nginx", "nginx", 11_293},
+			{"GSE", "GSE", 9_928},
+			{"Tengine", "tengine", 2_535},
+			{"cloudflare-nginx", "nginx", 1_197},
+			{"IdeaWebServer/v0.80", "ideaweb", 1_128},
+		},
+		tailKinds:   217, // 223 kinds total, 6 named above
+		tailFamily:  "other",
+		omitNullRow: 1_050,
+
+		initialWindow: []valueCount{
+			{0, 3_072},
+			{32_768, 3},
+			{65_535, 49},
+			{65_536, 20_477},
+			{131_072, 1},
+			{262_144, 1},
+			{1_048_576, 10_799},
+			{16_777_216, 11},
+			{20_000_000, 1},
+			{2_147_483_647, 8_926},
+		},
+		maxFrame: []valueCount{
+			{16_384, 24_781},
+			{1_048_576, 27},
+			{16_777_215, 18_532},
+		},
+		maxHeaderList: []valueCount{
+			{0, 32_568}, // unlimited
+			{16_384, 10_717},
+			{32_768, 3},
+			{81_920, 2},
+			{131_072, 24},
+			{1_048_896, 26},
+		},
+		maxConcurrent: []valueCount{
+			{1, 150},
+			{10, 300},
+			{32, 500},
+			{50, 700},
+			{100, 17_500},
+			{101, 400},
+			{128, 14_000},
+			{200, 1_200},
+			{250, 800},
+			{256, 3_000},
+			{512, 1_200},
+			{1_000, 1_500},
+			{2_000, 590},
+			{4_096, 800},
+			{100_000, 700},
+		},
+
+		tinyOneByte:              37_525,
+		tinyZeroLen:              2_433,
+		tinySilent:               4_432,
+		tinySilentLiteSpeedShare: 0.80,
+
+		zeroWindowHeadersOK: 17_191,
+
+		zeroWUStream:      reactionCounts{rst: 23_673, goAway: 31, debug: 26},
+		zeroWUConn:        reactionCounts{rst: 0, goAway: 43_500, debug: 26},
+		largeWUStreamRST:  36_619,
+		largeWUConnGoAway: 40_567,
+
+		priorityBoth:      38,
+		priorityLastOnly:  1_109, // 1,147 obey the last rule, 38 obey both
+		priorityFirstOnly: 8,     // 46 obey the first rule, 38 obey both
+
+		selfDepRST:         18_237,
+		selfDepGoAwayShare: 0.6,
+
+		pushDomains: []string{
+			"miconcinemas.com", "nghttp2.org", "paperculture.com",
+			"rememberthemilk.com", "tollmanz.com", "travelground.com",
+		},
+	}
+}
+
+// jan2017 is the second experiment's published numbers.
+func jan2017() *epochData {
+	return &epochData{
+		totalSites: 1_000_000,
+		npnOnly:    12_714,
+		alpnOnly:   4_859,
+		npnAlpn:    66_000, // NPN 78,714; ALPN 70,859; union 83,573
+		working:    64_299,
+
+		servers: []nameCount{
+			{"nginx", "nginx", 27_394},
+			{"LiteSpeed", "litespeed", 13_626},
+			{"GSE", "GSE", 9_929},
+			{"Tengine/Aserver", "tengine", 2_620},
+			{"cloudflare-nginx", "nginx", 1_766},
+			{"IdeaWebServer/v0.80", "ideaweb", 1_261},
+			{"Tengine", "tengine", 674},
+		},
+		tailKinds:   338, // 345 kinds total, 7 named above
+		tailFamily:  "other",
+		omitNullRow: 1_015,
+
+		initialWindow: []valueCount{
+			{0, 7_499},
+			{32_768, 59},
+			{65_535, 106},
+			{65_536, 40_612},
+			{131_072, 1},
+			{262_144, 1},
+			{1_048_576, 10_929},
+			{16_777_216, 15},
+			{2_147_483_647, 4_062},
+		},
+		maxFrame: []valueCount{
+			{16_384, 25_987},
+			{1_048_576, 81},
+			{16_777_215, 37_216},
+		},
+		maxHeaderList: []valueCount{
+			{0, 52_311}, // unlimited
+			{16_384, 10_806},
+			{32_768, 59},
+			{81_920, 3},
+			{131_072, 25},
+			{1_048_896, 80},
+		},
+		maxConcurrent: []valueCount{
+			{1, 200},
+			{10, 400},
+			{32, 600},
+			{50, 900},
+			{100, 25_000},
+			{101, 500},
+			{128, 21_000},
+			{200, 1_800},
+			{250, 1_000},
+			{256, 4_500},
+			{512, 1_700},
+			{1_000, 2_500},
+			{2_000, 884},
+			{4_096, 1_300},
+			{100_000, 1_000},
+		},
+
+		tinyOneByte:              44_204,
+		tinyZeroLen:              8_056,
+		tinySilent:               12_039,
+		tinySilentLiteSpeedShare: 0.87, // 10,472 of 12,039 are LiteSpeed
+
+		zeroWindowHeadersOK: 23_834,
+
+		zeroWUStream:      reactionCounts{rst: 26_156, goAway: 162, debug: 42},
+		zeroWUConn:        reactionCounts{rst: 0, goAway: 63_000, debug: 42},
+		largeWUStreamRST:  44_057,
+		largeWUConnGoAway: 62_668,
+
+		priorityBoth:      111,
+		priorityLastOnly:  2_076, // 2,187 obey the last rule, 111 obey both
+		priorityFirstOnly: 6,     // 117 obey the first rule, 111 obey both
+
+		selfDepRST:         53_379,
+		selfDepGoAwayShare: 0.6,
+
+		pushDomains: []string{
+			"miconcinemas.com", "nghttp2.org", "paperculture.com",
+			"rememberthemilk.com", "tollmanz.com", "travelground.com",
+			"addtoany.com", "cloudflare.com", "eotica.com.br",
+			"getapp.com", "intimshop.ru", "neobux.com",
+			"powerforen.de", "recreoviral.com", "tvgazeta.com.br",
+		},
+	}
+}
+
+// dataFor returns the published numbers for an epoch.
+func dataFor(e Epoch) *epochData {
+	if e == EpochJan2017 {
+		return jan2017()
+	}
+	return jul2016()
+}

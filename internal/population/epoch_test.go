@@ -1,0 +1,90 @@
+package population
+
+import "testing"
+
+// TestEpochDataInternalConsistency cross-checks the transcribed published
+// numbers: every settings table must cover exactly the working sites, and
+// the adoption margins must match the paper's sums.
+func TestEpochDataInternalConsistency(t *testing.T) {
+	for _, tc := range []struct {
+		epoch     Epoch
+		npn, alpn int
+	}{
+		{EpochJul2016, 49_334, 47_966},
+		{EpochJan2017, 78_714, 70_859},
+	} {
+		d := dataFor(tc.epoch)
+		t.Run(tc.epoch.String(), func(t *testing.T) {
+			if got := d.npnOnly + d.npnAlpn; got != tc.npn {
+				t.Errorf("NPN margin = %d, want %d", got, tc.npn)
+			}
+			if got := d.alpnOnly + d.npnAlpn; got != tc.alpn {
+				t.Errorf("ALPN margin = %d, want %d", got, tc.alpn)
+			}
+			if union := d.npnOnly + d.alpnOnly + d.npnAlpn; union < d.working {
+				t.Errorf("announce union %d below working %d", union, d.working)
+			}
+			sum := func(rows []valueCount) int {
+				s := d.omitNullRow
+				for _, r := range rows {
+					s += r.count
+				}
+				return s
+			}
+			if got := sum(d.initialWindow); got != d.working {
+				t.Errorf("Table V total = %d, want %d", got, d.working)
+			}
+			if got := sum(d.maxFrame); got != d.working {
+				t.Errorf("Table VI total = %d, want %d", got, d.working)
+			}
+			if got := sum(d.maxHeaderList); got != d.working {
+				t.Errorf("Table VII total = %d, want %d", got, d.working)
+			}
+			if got := sum(d.maxConcurrent); got != d.working {
+				t.Errorf("Fig 2 total = %d, want %d", got, d.working)
+			}
+			if got := d.tinyOneByte + d.tinyZeroLen + d.tinySilent; got != d.working {
+				t.Errorf("tiny-window buckets = %d, want %d", got, d.working)
+			}
+			if d.zeroWindowHeadersOK > d.working {
+				t.Error("zero-window HEADERS above working")
+			}
+			if d.zeroWUStream.debug > d.zeroWUStream.goAway {
+				t.Error("debug-bearing GOAWAYs exceed GOAWAYs")
+			}
+			if d.priorityBoth > d.priorityLastOnly+d.priorityBoth {
+				t.Error("priority buckets inconsistent")
+			}
+			named := 0
+			for _, sv := range d.servers {
+				named += sv.count
+			}
+			if named > d.working {
+				t.Errorf("named servers %d exceed working %d", named, d.working)
+			}
+			if len(d.pushDomains) == 0 {
+				t.Error("no push domains")
+			}
+		})
+	}
+}
+
+func TestScaleBucketsPreservesTotal(t *testing.T) {
+	counts := []int{3072, 3, 49, 20477, 1, 1, 10799, 11, 1, 8926}
+	for _, total := range []int{100, 4334, 43340, 7} {
+		out := scaleBuckets(counts, total)
+		sum := 0
+		for _, c := range out {
+			if c < 0 {
+				t.Fatalf("negative bucket in %v", out)
+			}
+			sum += c
+		}
+		if sum != total {
+			t.Errorf("scaled sum = %d, want %d", sum, total)
+		}
+	}
+	if out := scaleBuckets(nil, 10); len(out) != 0 {
+		t.Errorf("empty counts produced %v", out)
+	}
+}

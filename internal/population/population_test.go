@@ -1,0 +1,516 @@
+package population_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"h2scope/internal/core"
+	"h2scope/internal/population"
+	"h2scope/internal/server"
+)
+
+func fullPop(t *testing.T, e population.Epoch) *population.Population {
+	t.Helper()
+	return population.Generate(e, 1.0, 2016)
+}
+
+func TestAdoptionCountsMatchPaper(t *testing.T) {
+	tests := []struct {
+		epoch              population.Epoch
+		npn, alpn, working int
+	}{
+		{population.EpochJul2016, 49_334, 47_966, 44_390},
+		{population.EpochJan2017, 78_714, 70_859, 64_299},
+	}
+	for _, tt := range tests {
+		t.Run(tt.epoch.String(), func(t *testing.T) {
+			pop := fullPop(t, tt.epoch)
+			npn, alpn, working := pop.AdoptionCounts()
+			if npn != tt.npn || alpn != tt.alpn || working != tt.working {
+				t.Errorf("adoption = %d/%d/%d, want %d/%d/%d",
+					npn, alpn, working, tt.npn, tt.alpn, tt.working)
+			}
+			if len(pop.Sites) != tt.working {
+				t.Errorf("len(Sites) = %d, want %d", len(pop.Sites), tt.working)
+			}
+		})
+	}
+}
+
+func TestTableIVServerCounts(t *testing.T) {
+	pop := fullPop(t, population.EpochJul2016)
+	counts := map[string]int{}
+	for _, nc := range pop.ServerNameCounts(1) {
+		counts[nc.Name] = nc.Count
+	}
+	want := map[string]int{
+		"LiteSpeed":           12_637,
+		"nginx":               11_293,
+		"GSE":                 9_928,
+		"Tengine":             2_535,
+		"cloudflare-nginx":    1_197,
+		"IdeaWebServer/v0.80": 1_128,
+	}
+	for name, n := range want {
+		if counts[name] != n {
+			t.Errorf("%s = %d, want %d", name, counts[name], n)
+		}
+	}
+	if kinds := pop.ServerKinds(); kinds != 223 {
+		t.Errorf("ServerKinds = %d, want 223", kinds)
+	}
+
+	pop2 := fullPop(t, population.EpochJan2017)
+	counts2 := map[string]int{}
+	for _, nc := range pop2.ServerNameCounts(1) {
+		counts2[nc.Name] = nc.Count
+	}
+	want2 := map[string]int{
+		"nginx":           27_394,
+		"LiteSpeed":       13_626,
+		"GSE":             9_929,
+		"Tengine/Aserver": 2_620,
+		"Tengine":         674,
+	}
+	for name, n := range want2 {
+		if counts2[name] != n {
+			t.Errorf("exp2 %s = %d, want %d", name, counts2[name], n)
+		}
+	}
+	if kinds := pop2.ServerKinds(); kinds != 345 {
+		t.Errorf("exp2 ServerKinds = %d, want 345", kinds)
+	}
+}
+
+func TestTableVInitialWindowDistribution(t *testing.T) {
+	pop := fullPop(t, population.EpochJul2016)
+	rows := map[string]int{}
+	total := 0
+	for _, r := range pop.InitialWindowTable() {
+		rows[r.Label] = r.Count
+		total += r.Count
+	}
+	want := map[string]int{
+		"NULL":       1_050,
+		"0":          3_072,
+		"32768":      3,
+		"65535":      49,
+		"65536":      20_477,
+		"131072":     1,
+		"262144":     1,
+		"1048576":    10_799,
+		"16777216":   11,
+		"20000000":   1,
+		"2147483647": 8_926,
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("Table V rows = %v, want %v", rows, want)
+	}
+	if total != 44_390 {
+		t.Errorf("Table V total = %d, want 44390", total)
+	}
+}
+
+func TestTableVIAndVIIDistributions(t *testing.T) {
+	pop := fullPop(t, population.EpochJan2017)
+	frameRows := map[string]int{}
+	for _, r := range pop.MaxFrameTable() {
+		frameRows[r.Label] = r.Count
+	}
+	wantFrame := map[string]int{
+		"NULL":     1_015,
+		"16384":    25_987,
+		"1048576":  81,
+		"16777215": 37_216,
+	}
+	if !reflect.DeepEqual(frameRows, wantFrame) {
+		t.Errorf("Table VI rows = %v, want %v", frameRows, wantFrame)
+	}
+
+	hlRows := map[string]int{}
+	for _, r := range pop.MaxHeaderListTable() {
+		hlRows[r.Label] = r.Count
+	}
+	wantHL := map[string]int{
+		"NULL":      1_015,
+		"unlimited": 52_311,
+		"16384":     10_806,
+		"32768":     59,
+		"81920":     3,
+		"131072":    25,
+		"1048896":   80,
+	}
+	if !reflect.DeepEqual(hlRows, wantHL) {
+		t.Errorf("Table VII rows = %v, want %v", hlRows, wantHL)
+	}
+}
+
+func TestNullSettingsConsistentAcrossTables(t *testing.T) {
+	// The NULL rows of Tables V-VII are the same sites: those whose
+	// SETTINGS frame is empty.
+	pop := fullPop(t, population.EpochJul2016)
+	nulls := 0
+	for i := range pop.Sites {
+		if pop.Sites[i].OmitSettings {
+			nulls++
+		}
+	}
+	if nulls != 1_050 {
+		t.Errorf("OmitSettings sites = %d, want 1050", nulls)
+	}
+}
+
+func TestSectionVDCounts(t *testing.T) {
+	pop := fullPop(t, population.EpochJan2017)
+	oneByte, zeroLen, silent := pop.TinyWindowCounts()
+	if oneByte != 44_204 || zeroLen != 8_056 || silent != 12_039 {
+		t.Errorf("tiny window = %d/%d/%d, want 44204/8056/12039", oneByte, zeroLen, silent)
+	}
+	// Most silent sites are LiteSpeed (paper: 10,472 of 12,039).
+	litespeedSilent := 0
+	for i := range pop.Sites {
+		if pop.Sites[i].TinyWindow == server.TinyWindowSilent && pop.Sites[i].Family == "litespeed" {
+			litespeedSilent++
+		}
+	}
+	if litespeedSilent < 9_000 {
+		t.Errorf("LiteSpeed silent sites = %d, want ~10,472", litespeedSilent)
+	}
+	if got := pop.ZeroWindowHeadersCount(); got != 23_834 {
+		t.Errorf("zero-window HEADERS = %d, want 23834", got)
+	}
+	zs := pop.ZeroWUStreamCounts()
+	if zs.RSTStream != 26_156 {
+		t.Errorf("zero WU stream RST = %d, want 26156", zs.RSTStream)
+	}
+	if zs.GoAway != 162 || zs.Debug != 42 {
+		t.Errorf("zero WU stream GOAWAY/debug = %d/%d, want 162/42", zs.GoAway, zs.Debug)
+	}
+	ls := pop.LargeWUStreamCounts()
+	if ls.RSTStream != 44_057 {
+		t.Errorf("large WU stream RST = %d, want 44057", ls.RSTStream)
+	}
+	if ls.Ignore != 20_242 {
+		t.Errorf("large WU stream ignore = %d, want 20242", ls.Ignore)
+	}
+	lc := pop.LargeWUConnCounts()
+	if lc.GoAway != 62_668 {
+		t.Errorf("large WU conn GOAWAY = %d, want 62668", lc.GoAway)
+	}
+}
+
+func TestSectionVECounts(t *testing.T) {
+	pop := fullPop(t, population.EpochJul2016)
+	last, first, both := pop.PriorityCounts()
+	if last != 1_147 || first != 46 || both != 38 {
+		t.Errorf("priority = last %d / first %d / both %d, want 1147/46/38", last, first, both)
+	}
+	sd := pop.SelfDepCounts()
+	if sd.RSTStream != 18_237 {
+		t.Errorf("self-dep RST = %d, want 18237", sd.RSTStream)
+	}
+
+	pop2 := fullPop(t, population.EpochJan2017)
+	last, first, both = pop2.PriorityCounts()
+	if last != 2_187 || first != 117 || both != 111 {
+		t.Errorf("exp2 priority = %d/%d/%d, want 2187/117/111", last, first, both)
+	}
+	if sd := pop2.SelfDepCounts(); sd.RSTStream != 53_379 {
+		t.Errorf("exp2 self-dep RST = %d, want 53379", sd.RSTStream)
+	}
+}
+
+func TestPushSites(t *testing.T) {
+	pop := fullPop(t, population.EpochJul2016)
+	push := pop.PushSites()
+	if len(push) != 6 {
+		t.Fatalf("push sites = %d, want 6", len(push))
+	}
+	pop2 := fullPop(t, population.EpochJan2017)
+	if got := len(pop2.PushSites()); got != 15 {
+		t.Fatalf("exp2 push sites = %d, want 15", got)
+	}
+	// The paper's Fig. 3 names the push sites; nghttp2.org is among them.
+	found := false
+	for _, d := range push {
+		if d == "nghttp2.org" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("push sites %v missing nghttp2.org", push)
+	}
+}
+
+func TestHPACKRatioShapes(t *testing.T) {
+	pop := fullPop(t, population.EpochJul2016)
+	ratios := pop.HPACKRatioByFamily()
+	// GSE: all below 0.3 ("all of which are less than 0.3").
+	for _, r := range ratios["GSE"] {
+		if r >= 0.3 {
+			t.Fatalf("GSE ratio %v >= 0.3", r)
+		}
+	}
+	// Nginx: ~93.5% exactly 1.
+	ones := 0
+	for _, r := range ratios["nginx"] {
+		if r == 1.0 {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(len(ratios["nginx"]))
+	if math.Abs(frac-0.935) > 0.02 {
+		t.Errorf("nginx ratio==1 fraction = %.3f, want ~0.935", frac)
+	}
+	// LiteSpeed: ~80% below 0.3.
+	below := 0
+	for _, r := range ratios["litespeed"] {
+		if r < 0.3 {
+			below++
+		}
+	}
+	lsFrac := float64(below) / float64(len(ratios["litespeed"]))
+	if math.Abs(lsFrac-0.80) > 0.03 {
+		t.Errorf("litespeed ratio<0.3 fraction = %.3f, want ~0.80", lsFrac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := population.Generate(population.EpochJul2016, 0.01, 7)
+	b := population.Generate(population.EpochJul2016, 0.01, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different populations")
+	}
+	c := population.Generate(population.EpochJul2016, 0.01, 8)
+	if reflect.DeepEqual(a.Sites, c.Sites) {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestScaledGeneration(t *testing.T) {
+	pop := population.Generate(population.EpochJul2016, 0.1, 3)
+	if got, want := len(pop.Sites), 4_439; got != want {
+		t.Errorf("scaled working sites = %d, want %d", got, want)
+	}
+	oneByte, zeroLen, silent := pop.TinyWindowCounts()
+	if got := oneByte + zeroLen + silent; got != len(pop.Sites) {
+		t.Errorf("tiny window buckets sum to %d, want %d", got, len(pop.Sites))
+	}
+	if silent < 400 || silent > 500 {
+		t.Errorf("scaled silent = %d, want ~443", silent)
+	}
+}
+
+// TestScanMeasurementsMatchGroundTruth is the reproduction's core validity
+// check: for a sample of materialized sites, the H2Scope *measured*
+// classification must equal the generator's ground truth on every
+// dimension. This is what justifies reporting generator-level tables at
+// full scale.
+func TestScanMeasurementsMatchGroundTruth(t *testing.T) {
+	pop := population.Generate(population.EpochJan2017, 0.003, 11) // ~193 sites
+	sum, err := population.Scan(pop, population.ScanOptions{
+		SampleSize:  40,
+		Parallelism: 8,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if sum.Scanned != 40 {
+		t.Fatalf("Scanned = %d, want 40", sum.Scanned)
+	}
+	obsOfReaction := func(r server.Reaction) core.Observation {
+		switch r {
+		case server.ReactRSTStream:
+			return core.ObserveRSTStream
+		case server.ReactGoAway:
+			return core.ObserveGoAway
+		default:
+			return core.ObserveIgnore
+		}
+	}
+	for _, res := range sum.Results {
+		spec, r := res.Spec, res.Report
+		if r == nil || r.Settings == nil {
+			t.Errorf("%s: no report", spec.Domain)
+			continue
+		}
+		if r.Settings.ServerHeader != spec.ServerName {
+			t.Errorf("%s: server header %q, want %q", spec.Domain, r.Settings.ServerHeader, spec.ServerName)
+		}
+		wantClass := map[server.TinyWindowBehavior]core.TinyWindowClass{
+			server.TinyWindowComply:   core.TinyWindowOneByte,
+			server.TinyWindowZeroData: core.TinyWindowZeroLen,
+			server.TinyWindowSilent:   core.TinyWindowNothing,
+		}[spec.TinyWindow]
+		if r.FlowData == nil || r.FlowData.Class != wantClass {
+			t.Errorf("%s: tiny window class = %v, want %v", spec.Domain, r.FlowData.Class, wantClass)
+		}
+		if r.ZeroWindowHeaders == nil || r.ZeroWindowHeaders.GotHeaders == spec.FlowControlHeaders {
+			t.Errorf("%s: zero-window headers = %+v, spec FCH=%v", spec.Domain, r.ZeroWindowHeaders, spec.FlowControlHeaders)
+		}
+		if r.ZeroWU == nil || r.ZeroWU.Stream != obsOfReaction(spec.ZeroWUStream) {
+			t.Errorf("%s: zero WU stream = %v, want %v", spec.Domain, r.ZeroWU.Stream, obsOfReaction(spec.ZeroWUStream))
+		}
+		if r.ZeroWU.Conn != obsOfReaction(spec.ZeroWUConn) {
+			t.Errorf("%s: zero WU conn = %v, want %v", spec.Domain, r.ZeroWU.Conn, obsOfReaction(spec.ZeroWUConn))
+		}
+		if r.SelfDep == nil || r.SelfDep.Reaction != obsOfReaction(spec.SelfDep) {
+			t.Errorf("%s: self-dep = %v, want %v", spec.Domain, r.SelfDep.Reaction, obsOfReaction(spec.SelfDep))
+		}
+		if r.Push == nil || r.Push.Supported != spec.Push {
+			t.Errorf("%s: push = %v, want %v", spec.Domain, r.Push.Supported, spec.Push)
+		}
+		wantLast := spec.Scheduling == server.SchedPriority || spec.Scheduling == server.SchedPriorityLastOnly
+		if r.Priority == nil || r.Priority.LastRuleOK != wantLast {
+			t.Errorf("%s: priority last rule = %v, want %v (mode %v)",
+				spec.Domain, r.Priority.LastRuleOK, wantLast, spec.Scheduling)
+		}
+	}
+}
+
+func TestScanHPACKRatiosTrackTargets(t *testing.T) {
+	pop := population.Generate(population.EpochJul2016, 0.002, 13)
+	sum, err := population.Scan(pop, population.ScanOptions{SampleSize: 30, Parallelism: 8, Seed: 3})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for _, res := range sum.Results {
+		if res.Report == nil || res.Report.HPACK == nil {
+			continue
+		}
+		got := res.Report.HPACK.Ratio
+		want := res.Spec.HPACKRatio
+		// The ratio model is approximate; demand qualitative agreement.
+		if want >= 0.97 && got < 0.97 {
+			t.Errorf("%s (%s): measured ratio %.3f, target ~1", res.Spec.Domain, res.Spec.Family, got)
+		}
+		if want < 0.3 && got > 0.5 {
+			t.Errorf("%s (%s): measured ratio %.3f, target %.3f", res.Spec.Domain, res.Spec.Family, got, want)
+		}
+	}
+}
+
+func TestFigure2DistributionProperties(t *testing.T) {
+	pop := fullPop(t, population.EpochJul2016)
+	samples := pop.MaxConcurrentSamples()
+	if len(samples) != 44_390-1_050 {
+		t.Fatalf("samples = %d, want working minus NULL", len(samples))
+	}
+	below100, at100or128 := 0, 0
+	for _, v := range samples {
+		if v < 100 {
+			below100++
+		}
+		if v == 100 || v == 128 {
+			at100or128++
+		}
+	}
+	// "the majority of web sites use a value larger than or equal to 100"
+	if frac := float64(below100) / float64(len(samples)); frac > 0.10 {
+		t.Errorf("P(X < 100) = %.3f, want small", frac)
+	}
+	// "100 and 128 are popular values"
+	if frac := float64(at100or128) / float64(len(samples)); frac < 0.5 {
+		t.Errorf("P(X in {100,128}) = %.3f, want majority", frac)
+	}
+}
+
+func TestDomainsUniqueAndRTTsPlausible(t *testing.T) {
+	pop := population.Generate(population.EpochJan2017, 0.05, 17)
+	seen := make(map[string]bool, len(pop.Sites))
+	for i := range pop.Sites {
+		s := &pop.Sites[i]
+		if seen[s.Domain] {
+			t.Fatalf("duplicate domain %s", s.Domain)
+		}
+		seen[s.Domain] = true
+		if s.BaseRTT < 2*time.Millisecond || s.BaseRTT > 350*time.Millisecond {
+			t.Errorf("%s: BaseRTT %v out of range", s.Domain, s.BaseRTT)
+		}
+		if s.ServerName == "" || s.Family == "" {
+			t.Errorf("%s: missing identity", s.Domain)
+		}
+	}
+}
+
+func TestProfileMappingConsistency(t *testing.T) {
+	pop := population.Generate(population.EpochJul2016, 0.01, 23)
+	for i := range pop.Sites {
+		s := &pop.Sites[i]
+		p := s.Profile()
+		if p.Name != s.ServerName || p.Family != s.Family {
+			t.Fatalf("%s: identity mismatch", s.Domain)
+		}
+		if s.OmitSettings {
+			if p.AdvertiseMaxStreams {
+				t.Errorf("%s: NULL-settings site advertises max streams", s.Domain)
+			}
+			if len := p.MaxFrameSize; len != 16_384 {
+				t.Errorf("%s: NULL-settings site frame size %d", s.Domain, len)
+			}
+		} else if s.InitialWindow == 0 && p.ConnWindowBoost == 0 {
+			t.Errorf("%s: zero-window site without boost", s.Domain)
+		}
+		if s.Push {
+			if !p.EnablePush {
+				t.Errorf("%s: push site profile has push disabled", s.Domain)
+			}
+			site := s.NewSite()
+			if r, ok := site.Lookup("/"); !ok || len(r.Push) == 0 {
+				t.Errorf("%s: push site has no manifest", s.Domain)
+			}
+		}
+	}
+}
+
+func TestScaledPriorityAndPushCounts(t *testing.T) {
+	pop := population.Generate(population.EpochJan2017, 0.1, 29)
+	last, first, both := pop.PriorityCounts()
+	if last < 180 || last > 260 {
+		t.Errorf("scaled last-rule count = %d, want ~219", last)
+	}
+	if both < 5 || both > 20 {
+		t.Errorf("scaled both-rule count = %d, want ~11", both)
+	}
+	if first < both {
+		t.Errorf("first-rule %d < both %d", first, both)
+	}
+	if got := len(pop.PushSites()); got < 1 || got > 3 {
+		t.Errorf("scaled push sites = %d, want 1-2", got)
+	}
+}
+
+func TestEpochString(t *testing.T) {
+	if population.EpochJul2016.String() == population.EpochJan2017.String() {
+		t.Error("epoch strings not distinct")
+	}
+	if s := population.Epoch(99).String(); s != "unknown epoch" {
+		t.Errorf("unknown epoch = %q", s)
+	}
+}
+
+func TestAgreementPerfectOnCleanScan(t *testing.T) {
+	pop := population.Generate(population.EpochJul2016, 0.003, 31)
+	sum, err := population.Scan(pop, population.ScanOptions{SampleSize: 25, Parallelism: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agr := population.ComputeAgreement(sum)
+	if agr.Sites != 25 {
+		t.Fatalf("Sites = %d, want 25", agr.Sites)
+	}
+	if !agr.Perfect() {
+		t.Errorf("agreement not perfect:\n%s", agr)
+	}
+	for dim, frac := range agr.Dimensions {
+		if frac != 1.0 {
+			t.Errorf("%s agreement = %.3f", dim, frac)
+		}
+	}
+	if out := agr.String(); out == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,276 @@
+package population
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"h2scope/internal/core"
+	"h2scope/internal/netsim"
+)
+
+// siteDialer connects H2Scope to one materialized site and answers the
+// negotiation queries (Section IV-A) from the site's metadata — the
+// stand-in for the TLS ALPN/NPN exchange against live Internet hosts.
+type siteDialer struct {
+	l    *netsim.Listener
+	spec *SiteSpec
+}
+
+var (
+	_ core.Dialer     = (*siteDialer)(nil)
+	_ core.Negotiator = (*siteDialer)(nil)
+)
+
+// Dial implements core.Dialer.
+func (d *siteDialer) Dial() (net.Conn, error) { return d.l.Dial() }
+
+// NegotiateALPN implements core.Negotiator.
+func (d *siteDialer) NegotiateALPN(protos []string) (string, error) {
+	if !d.spec.ALPN {
+		return "", fmt.Errorf("population: %s does not negotiate ALPN", d.spec.Domain)
+	}
+	for _, p := range protos {
+		if p == "h2" {
+			return "h2", nil
+		}
+	}
+	return "http/1.1", nil
+}
+
+// NegotiateNPN implements core.Negotiator.
+func (d *siteDialer) NegotiateNPN() ([]string, error) {
+	if !d.spec.NPN {
+		return nil, fmt.Errorf("population: %s does not negotiate NPN", d.spec.Domain)
+	}
+	return []string{"h2", "spdy/3.1", "http/1.1"}, nil
+}
+
+// SiteResult pairs a probed site with its H2Scope report.
+type SiteResult struct {
+	Spec   *SiteSpec
+	Report *core.Report
+}
+
+// ScanSummary aggregates measured probe results over a scanned sample, in
+// the same buckets the paper reports. Every count here comes from frames
+// observed on the wire, not from the generator's ground truth.
+type ScanSummary struct {
+	// Scanned is the number of sites probed.
+	Scanned int
+	// NPN and ALPN count sites negotiating each mechanism.
+	NPN, ALPN int
+	// GotHeaders counts working sites (returned HEADERS).
+	GotHeaders int
+	// ServerNames histograms the measured "server" header.
+	ServerNames map[string]int
+	// TinyOneByte / TinyZeroLen / TinySilent are Section V-D.1 buckets.
+	TinyOneByte, TinyZeroLen, TinySilent int
+	// ZeroWindowHeadersOK counts HEADERS received under a zero window.
+	ZeroWindowHeadersOK int
+	// ZeroWUStream / ZeroWUConn / LargeWUStream / LargeWUConn bucket the
+	// WINDOW_UPDATE reactions.
+	ZeroWUStream, ZeroWUConn, LargeWUStream, LargeWUConn map[core.Observation]int
+	// ZeroWUConnDebug counts GOAWAYs carrying debug text.
+	ZeroWUConnDebug int
+	// PriorityLast / PriorityFirst / PriorityBoth are Section V-E.1 rule
+	// compliance counts.
+	PriorityLast, PriorityFirst, PriorityBoth int
+	// SelfDep buckets the self-dependency reactions.
+	SelfDep map[core.Observation]int
+	// PushSites counts sites that sent PUSH_PROMISE.
+	PushSites int
+	// HPACKRatios collects measured compression ratios per family.
+	HPACKRatios map[string][]float64
+	// MaxConcurrent collects measured SETTINGS_MAX_CONCURRENT_STREAMS.
+	MaxConcurrent []float64
+	// InitialWindow histograms measured SETTINGS_INITIAL_WINDOW_SIZE
+	// ("NULL" for sites that advertise nothing).
+	InitialWindow map[string]int
+	// MaxFrame and MaxHeaderList histogram the other settings tables.
+	MaxFrame, MaxHeaderList map[string]int
+	// Results holds the raw per-site reports.
+	Results []SiteResult
+}
+
+func newScanSummary() *ScanSummary {
+	return &ScanSummary{
+		ServerNames:   make(map[string]int),
+		ZeroWUStream:  make(map[core.Observation]int),
+		ZeroWUConn:    make(map[core.Observation]int),
+		LargeWUStream: make(map[core.Observation]int),
+		LargeWUConn:   make(map[core.Observation]int),
+		SelfDep:       make(map[core.Observation]int),
+		HPACKRatios:   make(map[string][]float64),
+		InitialWindow: make(map[string]int),
+		MaxFrame:      make(map[string]int),
+		MaxHeaderList: make(map[string]int),
+	}
+}
+
+// ScanOptions configures a measured scan.
+type ScanOptions struct {
+	// SampleSize is how many sites to probe (0 = all).
+	SampleSize int
+	// Parallelism is the scanning thread-pool size (Section IV-B builds
+	// "a thread pool with configurable number of threads").
+	Parallelism int
+	// Seed drives sample selection.
+	Seed int64
+	// Timeout bounds each probe wait.
+	Timeout time.Duration
+}
+
+// Scan materializes a sample of the population as live servers, runs the
+// full H2Scope battery against each, and aggregates the measured results.
+func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 8
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	idx := rand.New(rand.NewSource(opts.Seed)).Perm(len(pop.Sites))
+	if opts.SampleSize > 0 && opts.SampleSize < len(idx) {
+		idx = idx[:opts.SampleSize]
+	}
+
+	summary := newScanSummary()
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, opts.Parallelism)
+	)
+	for _, i := range idx {
+		spec := &pop.Sites[i]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			result := probeSite(spec, opts.Timeout)
+			mu.Lock()
+			defer mu.Unlock()
+			summary.add(spec, result)
+		}()
+	}
+	wg.Wait()
+	return summary, nil
+}
+
+// probeSite materializes one site and runs the battery against it.
+func probeSite(spec *SiteSpec, timeout time.Duration) *core.Report {
+	srv := spec.NewServer()
+	l := netsim.NewListener(spec.Domain)
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	defer srv.Close()
+	defer func() {
+		_ = l.Close()
+	}()
+
+	cfg := core.DefaultConfig(spec.Domain)
+	cfg.Timeout = timeout
+	cfg.QuietWindow = 10 * time.Millisecond
+	prober := core.NewProber(&siteDialer{l: l, spec: spec}, cfg)
+	report, err := prober.Run()
+	if err != nil {
+		return report // partially filled; aggregation tolerates nils
+	}
+	return report
+}
+
+func (s *ScanSummary) add(spec *SiteSpec, r *core.Report) {
+	s.Scanned++
+	s.Results = append(s.Results, SiteResult{Spec: spec, Report: r})
+	if r == nil {
+		return
+	}
+	if r.NPN != nil && *r.NPN {
+		s.NPN++
+	}
+	if r.ALPN != nil && *r.ALPN {
+		s.ALPN++
+	}
+	if r.Settings != nil && r.Settings.GotHeaders {
+		s.GotHeaders++
+		s.ServerNames[r.Settings.ServerHeader]++
+		s.addSettings(r)
+	}
+	if r.FlowData != nil {
+		switch r.FlowData.Class {
+		case core.TinyWindowOneByte:
+			s.TinyOneByte++
+		case core.TinyWindowZeroLen:
+			s.TinyZeroLen++
+		case core.TinyWindowNothing:
+			s.TinySilent++
+		}
+	}
+	if r.ZeroWindowHeaders != nil && r.ZeroWindowHeaders.GotHeaders {
+		s.ZeroWindowHeadersOK++
+	}
+	if r.ZeroWU != nil {
+		s.ZeroWUStream[r.ZeroWU.Stream]++
+		s.ZeroWUConn[r.ZeroWU.Conn]++
+		if r.ZeroWU.ConnDebugData != "" {
+			s.ZeroWUConnDebug++
+		}
+	}
+	if r.LargeWU != nil {
+		s.LargeWUStream[r.LargeWU.Stream]++
+		s.LargeWUConn[r.LargeWU.Conn]++
+	}
+	if r.Priority != nil {
+		if r.Priority.LastRuleOK {
+			s.PriorityLast++
+		}
+		if r.Priority.FirstRuleOK {
+			s.PriorityFirst++
+		}
+		if r.Priority.Pass {
+			s.PriorityBoth++
+		}
+	}
+	if r.SelfDep != nil {
+		s.SelfDep[r.SelfDep.Reaction]++
+	}
+	if r.Push != nil && r.Push.Supported {
+		s.PushSites++
+	}
+	if r.HPACK != nil && r.HPACK.Ratio <= 1.0 {
+		// The paper filters r > 1 (sites inserting fresh cookies).
+		s.HPACKRatios[spec.Family] = append(s.HPACKRatios[spec.Family], r.HPACK.Ratio)
+	}
+}
+
+func (s *ScanSummary) addSettings(r *core.Report) {
+	set := r.Settings
+	if len(set.Settings) == 0 {
+		s.InitialWindow["NULL"]++
+		s.MaxFrame["NULL"]++
+		s.MaxHeaderList["NULL"]++
+		return
+	}
+	if v, ok := set.Value(3); ok { // SETTINGS_MAX_CONCURRENT_STREAMS
+		s.MaxConcurrent = append(s.MaxConcurrent, float64(v))
+	}
+	if v, ok := set.Value(4); ok { // SETTINGS_INITIAL_WINDOW_SIZE
+		s.InitialWindow[fmt.Sprintf("%d", v)]++
+	} else {
+		s.InitialWindow["65535"]++ // default when unadvertised
+	}
+	if v, ok := set.Value(5); ok { // SETTINGS_MAX_FRAME_SIZE
+		s.MaxFrame[fmt.Sprintf("%d", v)]++
+	} else {
+		s.MaxFrame["16384"]++
+	}
+	if v, ok := set.Value(6); ok { // SETTINGS_MAX_HEADER_LIST_SIZE
+		s.MaxHeaderList[fmt.Sprintf("%d", v)]++
+	} else {
+		s.MaxHeaderList["unlimited"]++
+	}
+}

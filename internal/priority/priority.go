@@ -1,0 +1,342 @@
+// Package priority implements the HTTP/2 stream prioritization model of
+// RFC 7540 section 5.3: the dependency tree, exclusive and non-exclusive
+// (re)prioritization including the descendant-parent corner case, and a
+// weighted scheduler a server can use to order DATA transmission.
+//
+// The paper's Algorithm 1 infers whether a remote server implements this
+// machinery by observing response ordering; our server's priority-aware
+// profiles use this package, and its FCFS profiles bypass it, reproducing
+// the pass/fail split in Table III.
+package priority
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultWeight is the wire-format default weight (16 effective, RFC 7540
+// section 5.3.5 — wire value is effective weight minus one).
+const DefaultWeight = 15
+
+// ErrSelfDependency reports a stream declared dependent on itself, which
+// RFC 7540 section 5.3.1 defines as a stream error of type PROTOCOL_ERROR.
+var ErrSelfDependency = errors.New("priority: stream depends on itself")
+
+// Param mirrors the prioritization fields of HEADERS and PRIORITY frames.
+type Param struct {
+	// StreamDep is the parent stream ID; 0 is the virtual root.
+	StreamDep uint32
+	// Exclusive makes the stream the sole dependency of its parent.
+	Exclusive bool
+	// Weight is the wire-format weight (0-255, effective weight 1-256).
+	Weight uint8
+}
+
+type node struct {
+	id       uint32
+	weight   uint8
+	parent   *node
+	children []*node
+}
+
+func (n *node) removeChild(c *node) {
+	for i, ch := range n.children {
+		if ch == c {
+			n.children = append(n.children[:i], n.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// isDescendantOf reports whether n sits strictly below anc.
+func (n *node) isDescendantOf(anc *node) bool {
+	for p := n.parent; p != nil; p = p.parent {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is an HTTP/2 stream dependency tree rooted at virtual stream 0.
+// Tree is not safe for concurrent use; the owning connection serializes
+// access.
+type Tree struct {
+	root  *node
+	nodes map[uint32]*node
+}
+
+// NewTree returns an empty dependency tree.
+func NewTree() *Tree {
+	root := &node{id: 0}
+	return &Tree{
+		root:  root,
+		nodes: map[uint32]*node{0: root},
+	}
+}
+
+// Len returns the number of streams in the tree, excluding the root.
+func (t *Tree) Len() int { return len(t.nodes) - 1 }
+
+// Contains reports whether stream id is in the tree.
+func (t *Tree) Contains(id uint32) bool {
+	_, ok := t.nodes[id]
+	return ok
+}
+
+// get returns the node for id, creating an idle placeholder under the root
+// when the stream is unknown (RFC 7540 section 5.3.4 allows dependencies on
+// streams in any state).
+func (t *Tree) get(id uint32) *node {
+	if n, ok := t.nodes[id]; ok {
+		return n
+	}
+	n := &node{id: id, weight: DefaultWeight, parent: t.root}
+	t.root.children = append(t.root.children, n)
+	t.nodes[id] = n
+	return n
+}
+
+// Add inserts stream id with the given prioritization, as carried by a
+// HEADERS frame. Adding an existing stream reprioritizes it.
+func (t *Tree) Add(id uint32, p Param) error {
+	if id == 0 {
+		return fmt.Errorf("priority: cannot add stream 0")
+	}
+	if p.StreamDep == id {
+		return fmt.Errorf("%w: stream %d", ErrSelfDependency, id)
+	}
+	n := t.get(id)
+	t.reparent(n, p)
+	return nil
+}
+
+// Update reprioritizes stream id, as carried by a PRIORITY frame. Unknown
+// streams are created idle first, per RFC 7540 section 5.3.4.
+func (t *Tree) Update(id uint32, p Param) error {
+	return t.Add(id, p)
+}
+
+// reparent implements RFC 7540 section 5.3.3.
+func (t *Tree) reparent(n *node, p Param) {
+	newParent := t.get(p.StreamDep)
+	// If the new parent is currently a descendant of n, it is first moved
+	// to be dependent on n's current parent, retaining its weight.
+	if newParent.isDescendantOf(n) {
+		newParent.parent.removeChild(newParent)
+		newParent.parent = n.parent
+		n.parent.children = append(n.parent.children, newParent)
+	}
+	n.parent.removeChild(n)
+	if p.Exclusive {
+		// n adopts all of newParent's current children.
+		for _, c := range newParent.children {
+			c.parent = n
+		}
+		n.children = append(n.children, newParent.children...)
+		newParent.children = newParent.children[:0]
+	}
+	n.parent = newParent
+	n.weight = p.Weight
+	newParent.children = append(newParent.children, n)
+}
+
+// Remove closes stream id. Its children are reassigned to its parent,
+// keeping their weights (a simplification of the proportional redistribution
+// RFC 7540 section 5.3.4 suggests; ordering-relevant structure is preserved).
+func (t *Tree) Remove(id uint32) {
+	n, ok := t.nodes[id]
+	if !ok || id == 0 {
+		return
+	}
+	n.parent.removeChild(n)
+	for _, c := range n.children {
+		c.parent = n.parent
+		n.parent.children = append(n.parent.children, c)
+	}
+	delete(t.nodes, id)
+}
+
+// Parent returns the parent stream of id (0 for root-attached streams) and
+// whether the stream exists.
+func (t *Tree) Parent(id uint32) (uint32, bool) {
+	n, ok := t.nodes[id]
+	if !ok || n.parent == nil {
+		return 0, ok
+	}
+	return n.parent.id, true
+}
+
+// Weight returns the wire-format weight of stream id.
+func (t *Tree) Weight(id uint32) (uint8, bool) {
+	n, ok := t.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	return n.weight, true
+}
+
+// Children returns the stream IDs directly dependent on id, sorted.
+func (t *Tree) Children(id uint32) []uint32 {
+	n, ok := t.nodes[id]
+	if !ok {
+		return nil
+	}
+	out := make([]uint32, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c.id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Depth returns the number of edges between id and the root.
+func (t *Tree) Depth(id uint32) (int, bool) {
+	n, ok := t.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	d := 0
+	for p := n.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d, true
+}
+
+// Eligible returns, in deterministic order, the streams for which ready
+// returns true and none of whose proper ancestors (other than the root) are
+// also ready. Per RFC 7540 section 5.3.1, a dependent stream should only be
+// allocated resources when its ancestors are closed or blocked.
+func (t *Tree) Eligible(ready func(uint32) bool) []uint32 {
+	var out []uint32
+	for id, n := range t.nodes {
+		if id == 0 || !ready(id) {
+			continue
+		}
+		blocked := false
+		for p := n.parent; p != nil && p.id != 0; p = p.parent {
+			if ready(p.id) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural invariants (used by property tests): every
+// non-root node has a parent, parent/child links are symmetric, and the
+// graph is acyclic.
+func (t *Tree) Validate() error {
+	for id, n := range t.nodes {
+		if id == 0 {
+			if n.parent != nil {
+				return errors.New("priority: root has a parent")
+			}
+			continue
+		}
+		if n.parent == nil {
+			return fmt.Errorf("priority: stream %d has no parent", id)
+		}
+		found := false
+		for _, c := range n.parent.children {
+			if c == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("priority: stream %d missing from parent %d child list", id, n.parent.id)
+		}
+		// Cycle check: walking up must reach the root within len(nodes) hops.
+		hops := 0
+		for p := n; p != nil; p = p.parent {
+			if hops > len(t.nodes) {
+				return fmt.Errorf("priority: cycle reachable from stream %d", id)
+			}
+			hops++
+		}
+	}
+	return nil
+}
+
+// Scheduler orders transmission among ready streams using the dependency
+// tree and smooth weighted round-robin among eligible siblings.
+type Scheduler struct {
+	tree   *Tree
+	credit map[uint32]int64
+}
+
+// NewScheduler returns a scheduler over tree. The tree may keep changing;
+// the scheduler reads it on every pick.
+func NewScheduler(tree *Tree) *Scheduler {
+	return &Scheduler{
+		tree:   tree,
+		credit: make(map[uint32]int64),
+	}
+}
+
+// Pick selects the next stream to transmit a quantum for, among streams for
+// which ready returns true. It returns false when nothing is eligible.
+//
+// Selection is smooth weighted round-robin over the eligible set: each
+// eligible stream earns credit equal to its effective weight, the stream
+// with the highest credit wins (ties break toward the lowest stream ID),
+// and the winner is charged the total weight of the round.
+func (s *Scheduler) Pick(ready func(uint32) bool) (uint32, bool) {
+	elig := s.tree.Eligible(ready)
+	if len(elig) == 0 {
+		return 0, false
+	}
+	if len(elig) == 1 {
+		return elig[0], true
+	}
+	var total int64
+	for _, id := range elig {
+		w, _ := s.tree.Weight(id)
+		eff := int64(w) + 1
+		s.credit[id] += eff
+		total += eff
+	}
+	best := elig[0]
+	for _, id := range elig[1:] {
+		if s.credit[id] > s.credit[best] {
+			best = id
+		}
+	}
+	s.credit[best] -= total
+	return best, true
+}
+
+// Forget clears accumulated credit for a closed stream.
+func (s *Scheduler) Forget(id uint32) { delete(s.credit, id) }
+
+// String renders the tree as an indented outline, children sorted by ID —
+// a debugging aid for Algorithm 1's reprioritization steps.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		if n.id == 0 {
+			b.WriteString("root\n")
+		} else {
+			fmt.Fprintf(&b, "stream %d (weight %d)\n", n.id, int(n.weight)+1)
+		}
+		children := append([]*node(nil), n.children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].id < children[j].id })
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package rtt_test
+
+import (
+	"testing"
+	"time"
+
+	"h2scope/internal/rtt"
+	"h2scope/internal/server"
+)
+
+func TestFig6MethodRelationships(t *testing.T) {
+	// Fig. 6's finding: h2-ping ≈ tcp-rtt ≈ icmp, while h1-request runs
+	// longer because it includes server processing time.
+	targets := []rtt.Target{
+		{Domain: "fast.example", BaseRTT: 20 * time.Millisecond, Jitter: 2 * time.Millisecond,
+			H1ProcessingDelay: 15 * time.Millisecond, Profile: server.NginxProfile(), Seed: 1},
+		{Domain: "slow.example", BaseRTT: 80 * time.Millisecond, Jitter: 5 * time.Millisecond,
+			H1ProcessingDelay: 25 * time.Millisecond, Profile: server.ApacheProfile(), Seed: 2},
+	}
+	cmp, err := rtt.Compare(targets, rtt.Options{
+		SamplesPerTarget: 3,
+		TimeScale:        0.2, // 5x faster wall clock, same relationships
+		Parallelism:      2,
+	})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	byMethod := cmp.ByMethod()
+	for _, m := range rtt.Methods() {
+		if len(byMethod[m]) != 6 {
+			t.Fatalf("%s has %d samples, want 6", m, len(byMethod[m]))
+		}
+	}
+	means := map[rtt.Method]float64{}
+	for m, vals := range byMethod {
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		means[m] = sum / float64(len(vals))
+	}
+	// h1-request must exceed the network-level methods.
+	for _, m := range []rtt.Method{rtt.MethodH2Ping, rtt.MethodICMP, rtt.MethodTCP} {
+		if means[rtt.MethodH1Request] <= means[m] {
+			t.Errorf("h1-request mean %.1fms <= %s mean %.1fms, want larger", means[rtt.MethodH1Request], m, means[m])
+		}
+	}
+	// h2-ping must track icmp within jitter plus overhead (a few ms at
+	// full scale).
+	diff := means[rtt.MethodH2Ping] - means[rtt.MethodICMP]
+	if diff < -15 || diff > 30 {
+		t.Errorf("h2-ping mean %.1fms vs icmp mean %.1fms: out of family", means[rtt.MethodH2Ping], means[rtt.MethodICMP])
+	}
+	// All estimates sit at or above the ground-truth RTT.
+	for m, vals := range byMethod {
+		for _, v := range vals {
+			if v < 19 { // fastest ground truth is 20ms
+				t.Errorf("%s sample %.2fms below ground truth", m, v)
+			}
+		}
+	}
+}
+
+func TestCompareDefaults(t *testing.T) {
+	cmp, err := rtt.Compare([]rtt.Target{
+		{Domain: "d.example", BaseRTT: 5 * time.Millisecond, Seed: 3},
+	}, rtt.Options{SamplesPerTarget: 1})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(cmp.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(cmp.Samples))
+	}
+}

@@ -1,0 +1,473 @@
+package server_test
+
+import (
+	"crypto/tls"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/hpack"
+	"h2scope/internal/netsim"
+	"h2scope/internal/server"
+	"h2scope/internal/tlsutil"
+)
+
+// rawConn dials the server and returns a raw framer after sending the
+// preface, bypassing h2conn's conveniences.
+func rawConn(t *testing.T, l *netsim.Listener) (*frame.Framer, net.Conn) {
+	t.Helper()
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nc.Close()
+	})
+	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(nc, nc)
+	if err := fr.WriteSettings(); err != nil {
+		t.Fatal(err)
+	}
+	return fr, nc
+}
+
+func startRaw(t *testing.T, p server.Profile) *netsim.Listener {
+	t.Helper()
+	srv := server.New(p, server.DefaultSite("raw.example"))
+	l := netsim.NewListener("raw")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	return l
+}
+
+// waitFrameType reads until a frame of the wanted type or EOF/error.
+func waitFrameType(t *testing.T, fr *frame.Framer, want frame.Type) frame.Frame {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("waiting for %v: %v", want, err)
+		}
+		if f.Header().Type == want {
+			return f
+		}
+	}
+	t.Fatalf("no %v frame", want)
+	return nil
+}
+
+func TestBadPrefaceClosesConnection(t *testing.T) {
+	l := startRaw(t, server.NginxProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = nc.Close()
+	}()
+	if _, err := io.WriteString(nc, "GET / HTTP/1.1\r\nHost: x\r\n\r\n padding-to-24"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		// Server may send nothing; any read must eventually error out.
+		if _, err := io.ReadAll(nc); err != nil && err != io.EOF {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestMalformedHPACKDrawsCompressionError(t *testing.T) {
+	l := startRaw(t, server.ApacheProfile())
+	fr, _ := rawConn(t, l)
+	// An indexed-field reference to index 200 with an empty dynamic table.
+	if err := fr.WriteHeaders(frame.HeadersParams{
+		StreamID:   1,
+		Fragment:   []byte{0x80 | 0x7f, 0x79}, // index 127+121 = 248
+		EndStream:  true,
+		EndHeaders: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ga := waitFrameType(t, fr, frame.TypeGoAway).(*frame.GoAwayFrame)
+	if ga.Code != frame.ErrCodeCompression {
+		t.Errorf("GOAWAY code = %v, want COMPRESSION_ERROR", ga.Code)
+	}
+}
+
+func TestInvalidEnablePushSettingDrawsGoAway(t *testing.T) {
+	l := startRaw(t, server.H2OProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = nc.Close()
+	}()
+	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(nc, nc)
+	if err := fr.WriteSettings(frame.Setting{ID: frame.SettingEnablePush, Val: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ga := waitFrameType(t, fr, frame.TypeGoAway).(*frame.GoAwayFrame)
+	if ga.Code != frame.ErrCodeProtocol {
+		t.Errorf("GOAWAY code = %v, want PROTOCOL_ERROR", ga.Code)
+	}
+}
+
+func TestEvenStreamIDFromClientDrawsGoAway(t *testing.T) {
+	l := startRaw(t, server.NginxProfile())
+	fr, _ := rawConn(t, l)
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	block := enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "raw.example"},
+		{Name: ":path", Value: "/"},
+	})
+	if err := fr.WriteHeaders(frame.HeadersParams{
+		StreamID: 2, Fragment: block, EndStream: true, EndHeaders: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ga := waitFrameType(t, fr, frame.TypeGoAway).(*frame.GoAwayFrame)
+	if ga.Code != frame.ErrCodeProtocol {
+		t.Errorf("GOAWAY code = %v, want PROTOCOL_ERROR", ga.Code)
+	}
+}
+
+func TestRequestHeadersAcrossContinuation(t *testing.T) {
+	l := startRaw(t, server.NginxProfile())
+	fr, _ := rawConn(t, l)
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	block := enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "raw.example"},
+		{Name: ":path", Value: "/about.html"},
+		{Name: "user-agent", Value: "continuation-test/1.0"},
+	})
+	half := len(block) / 2
+	if err := fr.WriteHeaders(frame.HeadersParams{
+		StreamID: 1, Fragment: block[:half], EndStream: true, EndHeaders: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.WriteContinuation(1, true, block[half:]); err != nil {
+		t.Fatal(err)
+	}
+	hf := waitFrameType(t, fr, frame.TypeHeaders).(*frame.HeadersFrame)
+	dec := hpack.NewDecoder(hpack.DefaultDynamicTableSize)
+	fields, err := dec.DecodeFull(hf.Fragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := ""
+	for _, f := range fields {
+		if f.Name == ":status" {
+			status = f.Value
+		}
+	}
+	if status != "200" {
+		t.Errorf("status = %q, want 200 (fields %v)", status, fields)
+	}
+}
+
+func TestInterleavedFrameDuringContinuationDrawsGoAway(t *testing.T) {
+	l := startRaw(t, server.NginxProfile())
+	fr, _ := rawConn(t, l)
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	block := enc.EncodeBlock([]hpack.HeaderField{{Name: ":method", Value: "GET"}})
+	if err := fr.WriteHeaders(frame.HeadersParams{
+		StreamID: 1, Fragment: block, EndStream: true, EndHeaders: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A PING in the middle of a header block is a connection error
+	// (RFC 7540 section 6.10).
+	if err := fr.WritePing(false, [8]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	ga := waitFrameType(t, fr, frame.TypeGoAway).(*frame.GoAwayFrame)
+	if ga.Code != frame.ErrCodeProtocol {
+		t.Errorf("GOAWAY code = %v, want PROTOCOL_ERROR", ga.Code)
+	}
+}
+
+func TestClientDataOverflowingConnWindowDrawsFlowControlError(t *testing.T) {
+	l := startRaw(t, server.ApacheProfile())
+	fr, _ := rawConn(t, l)
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	block := enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":method", Value: "POST"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "raw.example"},
+		{Name: ":path", Value: "/"},
+	})
+	if err := fr.WriteHeaders(frame.HeadersParams{
+		StreamID: 1, Fragment: block, EndHeaders: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Flood past the server's 65,535-octet connection receive window.
+	chunk := make([]byte, 16384)
+	var sawGoAway bool
+	for i := 0; i < 8 && !sawGoAway; i++ {
+		if err := fr.WriteData(1, false, chunk); err != nil {
+			break // server likely tore the connection down already
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			break
+		}
+		if ga, ok := f.(*frame.GoAwayFrame); ok {
+			if ga.Code != frame.ErrCodeFlowControl {
+				t.Errorf("GOAWAY code = %v, want FLOW_CONTROL_ERROR", ga.Code)
+			}
+			sawGoAway = true
+			break
+		}
+	}
+	if !sawGoAway {
+		t.Fatal("no GOAWAY after flooding the connection window")
+	}
+}
+
+func TestAbruptClientCloseDoesNotWedgeServer(t *testing.T) {
+	srv := server.New(server.H2OProfile(), server.DefaultSite("raw.example"))
+	l := netsim.NewListener("abrupt")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	// Open and abandon a handful of mid-request connections.
+	for i := 0; i < 5; i++ {
+		nc, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.WriteString(nc, frame.ClientPreface)
+		_ = nc.Close()
+	}
+	// The server must still accept and serve new connections.
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := h2conn.Dial(nc, h2conn.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.FetchBody(h2conn.Request{Authority: "raw.example", Path: "/"}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("FetchBody after abrupt closes: %v", err)
+	}
+	if resp.Status() != "200" {
+		t.Errorf("status = %q", resp.Status())
+	}
+	_ = c.Close()
+	srv.Close() // must return promptly with no wedged goroutines
+}
+
+func TestPingFloodStaysResponsive(t *testing.T) {
+	l := startRaw(t, server.NginxProfile())
+	fr, _ := rawConn(t, l)
+	const pings = 500
+	go func() {
+		for i := 0; i < pings; i++ {
+			var data [8]byte
+			data[0], data[1] = byte(i>>8), byte(i)
+			if err := fr.WritePing(false, data); err != nil {
+				return
+			}
+		}
+	}()
+	acks := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for acks < pings && time.Now().Before(deadline) {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if pf, ok := f.(*frame.PingFrame); ok && pf.IsAck() {
+			acks++
+		}
+	}
+	if acks != pings {
+		t.Fatalf("acks = %d, want %d", acks, pings)
+	}
+}
+
+func TestHeaderTableSizeShrinkEmitsTableSizeUpdate(t *testing.T) {
+	// A client shrinking SETTINGS_HEADER_TABLE_SIZE must see the server's
+	// next header block start with a dynamic table size update.
+	l := startRaw(t, server.H2OProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = nc.Close()
+	}()
+	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(nc, nc)
+	if err := fr.WriteSettings(frame.Setting{ID: frame.SettingHeaderTableSize, Val: 0}); err != nil {
+		t.Fatal(err)
+	}
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	block := enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "raw.example"},
+		{Name: ":path", Value: "/about.html"},
+	})
+	if err := fr.WriteHeaders(frame.HeadersParams{
+		StreamID: 1, Fragment: block, EndStream: true, EndHeaders: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hf := waitFrameType(t, fr, frame.TypeHeaders).(*frame.HeadersFrame)
+	if len(hf.Fragment) == 0 || hf.Fragment[0]&0xe0 != 0x20 {
+		t.Errorf("header block starts with 0x%x, want a table size update (0x20)", hf.Fragment[0])
+	}
+	dec := hpack.NewDecoder(0)
+	if _, err := dec.DecodeFull(hf.Fragment); err != nil {
+		t.Errorf("decode with 0-byte table: %v", err)
+	}
+}
+
+func TestTLSEndToEndOverTCP(t *testing.T) {
+	// Full-stack: real TCP socket, TLS with ALPN, the HTTP/2 server, and
+	// the probing client.
+	cert, err := tlsutil.SelfSignedCert("tls.example", "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no TCP loopback available: %v", err)
+	}
+	srv := server.New(server.ApacheProfile(), server.DefaultSite("tls.example"))
+	tlsL := tls.NewListener(tcpL, tlsutil.ServerConfig(cert, true))
+	go func() {
+		_ = srv.Serve(tlsL)
+	}()
+	t.Cleanup(srv.Close)
+
+	nc, err := net.Dial("tcp", tcpL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, tc, err := tlsutil.NegotiateALPN(nc, "tls.example")
+	if err != nil {
+		t.Fatalf("ALPN: %v", err)
+	}
+	if proto != tlsutil.ProtoH2 {
+		t.Fatalf("negotiated %q, want h2", proto)
+	}
+	c, err := h2conn.Dial(tc, h2conn.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	resp, err := c.FetchBody(h2conn.Request{Authority: "tls.example", Path: "/"}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("FetchBody over TLS: %v", err)
+	}
+	if resp.Status() != "200" {
+		t.Errorf("status = %q", resp.Status())
+	}
+}
+
+func TestGracefulShutdownSendsGoAwayNoError(t *testing.T) {
+	srv := server.New(server.H2OProfile(), server.DefaultSite("bye.example"))
+	l := netsim.NewListener("shutdown")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := h2conn.Dial(nc, h2conn.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	// An active request proves the connection is live first.
+	if _, err := c.FetchBody(h2conn.Request{Authority: "bye.example", Path: "/about.html"}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(2 * time.Second)
+		close(done)
+	}()
+	events, err := c.WaitFor(5*time.Second, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypeGoAway {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatalf("no GOAWAY during shutdown: %v", err)
+	}
+	for _, e := range events {
+		if e.Type == frame.TypeGoAway {
+			if e.ErrCode != frame.ErrCodeNo {
+				t.Errorf("GOAWAY code = %v, want NO_ERROR", e.ErrCode)
+			}
+			if len(e.DebugData) == 0 {
+				t.Error("GOAWAY missing shutdown notice")
+			}
+		}
+	}
+	_ = c.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+}
+
+func TestShutdownForcesLingeringConnections(t *testing.T) {
+	srv := server.New(server.NginxProfile(), server.DefaultSite("linger.example"))
+	l := netsim.NewListener("linger")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client that never closes: Shutdown must force it after the grace
+	// period and still return.
+	c, err := h2conn.Dial(nc, h2conn.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	start := time.Now()
+	srv.Shutdown(100 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Shutdown took %v", elapsed)
+	}
+}

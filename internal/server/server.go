@@ -1,0 +1,962 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"h2scope/internal/flowcontrol"
+	"h2scope/internal/frame"
+	"h2scope/internal/hpack"
+	"h2scope/internal/priority"
+)
+
+// fixedDate keeps response header bytes deterministic across runs; the
+// HPACK-ratio experiment depends on responses being byte-identical.
+const fixedDate = "Tue, 05 Jul 2016 10:00:00 GMT"
+
+// tinyWindowThreshold is the stream-window size below which the
+// TinyWindowZeroData and TinyWindowSilent behaviors trigger.
+const tinyWindowThreshold = 64
+
+// Server is an HTTP/2 origin server for one Site, with behavior selected by
+// a Profile.
+type Server struct {
+	profile Profile
+	site    *Site
+
+	// Logf, when non-nil, receives debug lines.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	lis    []net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New returns a server for site with the given behavior profile.
+func New(p Profile, site *Site) *Server {
+	return &Server{
+		profile: p,
+		site:    site,
+		conns:   make(map[*conn]struct{}),
+	}
+}
+
+// Profile returns the server's behavior profile.
+func (s *Server) Profile() Profile { return s.profile }
+
+// Site returns the server's document tree.
+func (s *Server) Site() *Site { return s.site }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections from l until the listener fails or Close is
+// called. Each connection is served on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: closed")
+	}
+	s.lis = append(s.lis, l)
+	s.mu.Unlock()
+
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.ServeConn(nc); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("conn %v: %v", nc.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops all listeners and waits for in-flight connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.lis = nil
+	s.mu.Unlock()
+	for _, l := range lis {
+		_ = l.Close()
+	}
+	s.wg.Wait()
+}
+
+// Shutdown closes gracefully (RFC 7540 section 6.8): listeners stop
+// accepting, every live connection receives GOAWAY(NO_ERROR), and
+// connections that have not wound down after the grace period are closed
+// forcibly. Shutdown blocks until all connections ended.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.lis = nil
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range lis {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		// The framer serializes writes, so announcing shutdown from here
+		// is safe alongside the connection's own goroutine.
+		_ = c.fr.WriteGoAway(c.maxClientStream(), frame.ErrCodeNo, []byte("server shutting down"))
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		for _, c := range conns {
+			_ = c.nc.Close()
+		}
+		<-done
+	}
+}
+
+func (s *Server) track(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[c] = struct{}{}
+}
+
+func (s *Server) untrack(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// ServeConn serves one already-established connection (TCP, TLS, or an
+// in-process pipe) and blocks until it ends.
+func (s *Server) ServeConn(nc net.Conn) error {
+	defer func() {
+		_ = nc.Close()
+	}()
+	c := &conn{
+		srv:           s,
+		nc:            nc,
+		fr:            frame.NewFramer(nc, nc),
+		enc:           newResponseEncoder(&s.profile),
+		dec:           hpack.NewDecoder(hpack.DefaultDynamicTableSize),
+		streams:       make(map[uint32]*stream),
+		sendWindow:    flowcontrol.New(flowcontrol.DefaultWindow),
+		recvWindow:    flowcontrol.New(flowcontrol.DefaultWindow),
+		clientInitWin: frame.DefaultInitialWindowSize,
+		maxSendFrame:  frame.DefaultMaxFrameSize,
+		clientMaxConc: ^uint32(0),
+		pushEnabled:   true,
+		tree:          priority.NewTree(),
+		nextPushID:    2,
+		eagerPending:  make(map[uint32]bool),
+		firstSent:     make(map[uint32]bool),
+	}
+	c.sched = priority.NewScheduler(c.tree)
+	s.track(c)
+	defer s.untrack(c)
+	return c.serve()
+}
+
+// stream is one server-side stream with a pending or in-flight response.
+type stream struct {
+	id      uint32
+	arrival int
+	// pushed marks server-initiated (even-ID) streams.
+	pushed bool
+	// window is the server's send window for this stream.
+	window *flowcontrol.Window
+	// reqHeaders is the decoded request header list.
+	reqHeaders []hpack.HeaderField
+	// reqDone is set once the client half-closed (END_STREAM seen).
+	reqDone bool
+	// respHeaders is the encoded-on-demand response header list; nil until
+	// the response is generated.
+	respHeaders []hpack.HeaderField
+	// body is the unsent remainder of the response payload.
+	body []byte
+	// headersWritten is set once the response HEADERS frame went out.
+	headersWritten bool
+	// responded is set once a response has been generated for the request.
+	responded bool
+	// zeroDataSent throttles the TinyWindowZeroData behavior to one empty
+	// frame per window state.
+	zeroDataSent bool
+	// headerFragment accumulates CONTINUATION payloads for this stream.
+	headerFragment []byte
+	headerDone     bool
+	headerEnd      bool
+}
+
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	fr  *frame.Framer
+	enc *hpack.Encoder
+	dec *hpack.Decoder
+
+	streams  map[uint32]*stream
+	arrival  int
+	rrCursor int
+
+	sendWindow *flowcontrol.Window
+	recvWindow *flowcontrol.Window
+
+	// clientInitWin tracks the client's SETTINGS_INITIAL_WINDOW_SIZE, the
+	// initial send window for new streams.
+	clientInitWin int64
+	maxSendFrame  uint32
+	clientMaxConc uint32
+	pushEnabled   bool
+
+	tree  *priority.Tree
+	sched *priority.Scheduler
+
+	nextPushID uint32
+	pushOpen   int
+	clientOpen int
+	goingAway  bool
+	// eagerPending and firstSent support the partially-compliant
+	// scheduling modes.
+	eagerPending map[uint32]bool
+	firstSent    map[uint32]bool
+	// contStream, when nonzero, is the stream whose header block is being
+	// continued.
+	contStream uint32
+}
+
+// newResponseEncoder builds the HPACK encoder the profile calls for.
+func newResponseEncoder(p *Profile) *hpack.Encoder {
+	if p.HPACKPolicy == hpack.PolicyIndexPartial {
+		return hpack.NewPartialEncoder(p.HPACKPartialFraction, p.HPACKPartialSalt)
+	}
+	return hpack.NewEncoder(p.HPACKPolicy)
+}
+
+func (c *conn) serve() error {
+	if err := c.readPreface(); err != nil {
+		return err
+	}
+	if err := c.fr.WriteSettings(c.srv.profile.settings()...); err != nil {
+		return err
+	}
+	if boost := c.srv.profile.ConnWindowBoost; boost > 0 {
+		if err := c.fr.WriteWindowUpdate(0, boost); err != nil {
+			return err
+		}
+		// Track our own receive window so incoming DATA accounting stays
+		// consistent with what we advertised.
+		_ = c.recvWindow.Increase(boost)
+	}
+	for {
+		f, err := c.fr.ReadFrame()
+		if err != nil {
+			var ce frame.ConnError
+			if errors.As(err, &ce) {
+				_ = c.goAway(ce.Code, ce.Reason)
+				return nil
+			}
+			var se frame.StreamError
+			if errors.As(err, &se) {
+				_ = c.fr.WriteRSTStream(se.StreamID, se.Code)
+				continue
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if err := c.handleFrame(f); err != nil {
+			var ce frame.ConnError
+			if errors.As(err, &ce) {
+				_ = c.goAway(ce.Code, ce.Reason)
+				return nil
+			}
+			return err
+		}
+		if c.goingAway {
+			return nil
+		}
+		if err := c.flush(); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *conn) readPreface() error {
+	buf := make([]byte, len(frame.ClientPreface))
+	if _, err := io.ReadFull(c.nc, buf); err != nil {
+		return fmt.Errorf("server: reading preface: %w", err)
+	}
+	if string(buf) != frame.ClientPreface {
+		return errors.New("server: bad client preface")
+	}
+	return nil
+}
+
+// goAway emits GOAWAY and marks the connection for teardown.
+func (c *conn) goAway(code frame.ErrCode, debug string) error {
+	c.goingAway = true
+	var debugData []byte
+	if debug != "" {
+		debugData = []byte(debug)
+	}
+	return c.fr.WriteGoAway(c.maxClientStream(), code, debugData)
+}
+
+func (c *conn) maxClientStream() uint32 {
+	var maxID uint32
+	for id := range c.streams {
+		if id%2 == 1 && id > maxID {
+			maxID = id
+		}
+	}
+	return maxID
+}
+
+func (c *conn) handleFrame(f frame.Frame) error {
+	if c.contStream != 0 {
+		cf, ok := f.(*frame.ContinuationFrame)
+		if !ok || cf.Header().StreamID != c.contStream {
+			return frame.ConnError{Code: frame.ErrCodeProtocol, Reason: "expected CONTINUATION"}
+		}
+	}
+	switch f := f.(type) {
+	case *frame.SettingsFrame:
+		return c.handleSettings(f)
+	case *frame.HeadersFrame:
+		return c.handleHeaders(f)
+	case *frame.ContinuationFrame:
+		return c.handleContinuation(f)
+	case *frame.DataFrame:
+		return c.handleData(f)
+	case *frame.PriorityFrame:
+		return c.handlePriority(f)
+	case *frame.WindowUpdateFrame:
+		return c.handleWindowUpdate(f)
+	case *frame.PingFrame:
+		return c.handlePing(f)
+	case *frame.RSTStreamFrame:
+		c.closeStream(f.Header().StreamID)
+		return nil
+	case *frame.GoAwayFrame:
+		c.goingAway = true
+		return nil
+	case *frame.PushPromiseFrame:
+		return frame.ConnError{Code: frame.ErrCodeProtocol, Reason: "client sent PUSH_PROMISE"}
+	default:
+		// Unknown frame types must be ignored (RFC 7540 section 4.1).
+		return nil
+	}
+}
+
+func (c *conn) handleSettings(f *frame.SettingsFrame) error {
+	if f.IsAck() {
+		return nil
+	}
+	for _, s := range f.Settings {
+		if err := s.Valid(); err != nil {
+			return err
+		}
+		switch s.ID {
+		case frame.SettingInitialWindowSize:
+			delta := int64(s.Val) - c.clientInitWin
+			c.clientInitWin = int64(s.Val)
+			for _, st := range c.streams {
+				if err := st.window.Adjust(delta); err != nil {
+					return frame.ConnError{Code: frame.ErrCodeFlowControl, Reason: err.Error()}
+				}
+				st.zeroDataSent = false
+			}
+		case frame.SettingMaxFrameSize:
+			c.maxSendFrame = s.Val
+		case frame.SettingHeaderTableSize:
+			c.enc.SetMaxDynamicTableSize(s.Val)
+		case frame.SettingMaxConcurrentStreams:
+			c.clientMaxConc = s.Val
+		case frame.SettingEnablePush:
+			c.pushEnabled = s.Val == 1
+		}
+	}
+	return c.fr.WriteSettingsAck()
+}
+
+func (c *conn) handleHeaders(f *frame.HeadersFrame) error {
+	id := f.Header().StreamID
+	if id%2 == 0 {
+		return frame.ConnError{Code: frame.ErrCodeProtocol, Reason: "client used even stream ID"}
+	}
+	p := c.srv.profile
+	if f.HasPriority() && f.Priority.StreamDep == id {
+		return c.reactSelfDependency(id)
+	}
+	if _, exists := c.streams[id]; !exists {
+		if p.AdvertiseMaxStreams && uint32(c.clientOpen) >= p.MaxConcurrentStreams {
+			return c.fr.WriteRSTStream(id, frame.ErrCodeRefusedStream)
+		}
+	}
+	st := c.openStream(id, false)
+	if f.HasPriority() {
+		if err := c.tree.Update(id, priority.Param{
+			StreamDep: f.Priority.StreamDep,
+			Exclusive: f.Priority.Exclusive,
+			Weight:    f.Priority.Weight,
+		}); err != nil {
+			return c.reactSelfDependency(id)
+		}
+	}
+	st.headerFragment = append(st.headerFragment, f.Fragment...)
+	st.headerEnd = f.StreamEnded()
+	if !f.HeadersEnded() {
+		c.contStream = id
+		return nil
+	}
+	return c.finishHeaderBlock(st)
+}
+
+func (c *conn) handleContinuation(f *frame.ContinuationFrame) error {
+	st, ok := c.streams[f.Header().StreamID]
+	if !ok {
+		return frame.ConnError{Code: frame.ErrCodeProtocol, Reason: "CONTINUATION for unknown stream"}
+	}
+	st.headerFragment = append(st.headerFragment, f.Fragment...)
+	if !f.HeadersEnded() {
+		return nil
+	}
+	c.contStream = 0
+	return c.finishHeaderBlock(st)
+}
+
+func (c *conn) finishHeaderBlock(st *stream) error {
+	fields, err := c.dec.DecodeFull(st.headerFragment)
+	st.headerFragment = nil
+	if err != nil {
+		return frame.ConnError{Code: frame.ErrCodeCompression, Reason: err.Error()}
+	}
+	st.reqHeaders = fields
+	st.headerDone = true
+	if st.headerEnd {
+		st.reqDone = true
+	}
+	if st.reqDone || requestMethod(fields) == "GET" {
+		c.respond(st)
+	}
+	if boost := c.srv.profile.StreamWindowBoost; boost > 0 {
+		if err := c.fr.WriteWindowUpdate(st.id, boost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func requestMethod(fields []hpack.HeaderField) string {
+	for _, f := range fields {
+		if f.Name == ":method" {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+func requestPath(fields []hpack.HeaderField) string {
+	for _, f := range fields {
+		if f.Name == ":path" {
+			return f.Value
+		}
+	}
+	return "/"
+}
+
+func (c *conn) openStream(id uint32, pushed bool) *stream {
+	if st, ok := c.streams[id]; ok {
+		return st
+	}
+	c.arrival++
+	st := &stream{
+		id:      id,
+		arrival: c.arrival,
+		pushed:  pushed,
+		window:  flowcontrol.New(0),
+	}
+	// New streams start at the client's advertised initial window size.
+	_ = st.window.Adjust(c.clientInitWin)
+	c.streams[id] = st
+	if !c.tree.Contains(id) {
+		_ = c.tree.Add(id, priority.Param{Weight: priority.DefaultWeight})
+	}
+	if pushed {
+		c.pushOpen++
+	} else {
+		c.clientOpen++
+	}
+	return st
+}
+
+func (c *conn) closeStream(id uint32) {
+	st, ok := c.streams[id]
+	if !ok {
+		return
+	}
+	delete(c.streams, id)
+	c.tree.Remove(id)
+	c.sched.Forget(id)
+	delete(c.eagerPending, id)
+	delete(c.firstSent, id)
+	if st.pushed {
+		c.pushOpen--
+	} else {
+		c.clientOpen--
+	}
+}
+
+// respond generates the response for a request stream and queues any pushes.
+func (c *conn) respond(st *stream) {
+	if st.responded {
+		return
+	}
+	st.responded = true
+	path := requestPath(st.reqHeaders)
+	res, ok := c.srv.site.Lookup(path)
+	if !ok {
+		notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
+		st.respHeaders = c.responseHeaders("404", "text/html; charset=utf-8", len(notFound), nil)
+		st.body = notFound
+		c.eagerPending[st.id] = true
+		return
+	}
+	st.respHeaders = c.responseHeaders("200", res.ContentType, len(res.Body), res.ExtraHeaders)
+	st.body = res.Body
+	c.eagerPending[st.id] = true
+
+	if c.srv.profile.EnablePush && c.pushEnabled && !st.pushed {
+		c.queuePushes(st, res)
+	}
+}
+
+func (c *conn) queuePushes(parent *stream, res *Resource) {
+	for _, path := range res.Push {
+		pres, ok := c.srv.site.Lookup(path)
+		if !ok {
+			continue
+		}
+		if uint32(c.pushOpen) >= c.clientMaxConc {
+			return
+		}
+		promiseID := c.nextPushID
+		c.nextPushID += 2
+		reqFields := []hpack.HeaderField{
+			{Name: ":method", Value: "GET"},
+			{Name: ":scheme", Value: "https"},
+			{Name: ":authority", Value: c.srv.site.Domain},
+			{Name: ":path", Value: path},
+		}
+		block := c.enc.EncodeBlock(reqFields)
+		if err := c.fr.WritePushPromise(parent.id, promiseID, true, block); err != nil {
+			return
+		}
+		ps := c.openStream(promiseID, true)
+		// Pushed streams depend on the associated request stream
+		// (RFC 7540 section 5.3.5 default prioritization).
+		_ = c.tree.Update(promiseID, priority.Param{StreamDep: parent.id, Weight: priority.DefaultWeight})
+		ps.respHeaders = c.responseHeaders("200", pres.ContentType, len(pres.Body), pres.ExtraHeaders)
+		ps.body = pres.Body
+		ps.responded = true
+		c.eagerPending[promiseID] = true
+	}
+}
+
+// responseHeaders builds a realistic response header list. Values are
+// deterministic so repeated identical requests produce byte-identical
+// header blocks — the precondition of the paper's HPACK ratio experiment.
+func (c *conn) responseHeaders(status, contentType string, bodyLen int, extra []hpack.HeaderField) []hpack.HeaderField {
+	fields := []hpack.HeaderField{
+		{Name: ":status", Value: status},
+		{Name: "server", Value: c.srv.profile.Name},
+		{Name: "date", Value: fixedDate},
+		{Name: "content-type", Value: contentType},
+		{Name: "content-length", Value: strconv.Itoa(bodyLen)},
+		{Name: "last-modified", Value: fixedDate},
+		{Name: "etag", Value: fmt.Sprintf("%q", strconv.FormatInt(int64(bodyLen)*2654435761, 36))},
+		{Name: "accept-ranges", Value: "bytes"},
+		{Name: "vary", Value: "accept-encoding"},
+	}
+	return append(fields, extra...)
+}
+
+func (c *conn) handleData(f *frame.DataFrame) error {
+	n := int64(f.FlowControlLen())
+	if err := c.recvWindow.Consume(n); err != nil {
+		return frame.ConnError{Code: frame.ErrCodeFlowControl, Reason: "connection flow-control window exceeded"}
+	}
+	st, ok := c.streams[f.Header().StreamID]
+	if !ok {
+		return nil
+	}
+	if f.StreamEnded() {
+		st.reqDone = true
+		if !st.responded && st.headerDone {
+			c.respond(st)
+		}
+	}
+	return nil
+}
+
+func (c *conn) reactSelfDependency(id uint32) error {
+	switch c.srv.profile.SelfDependency {
+	case ReactRSTStream:
+		return c.fr.WriteRSTStream(id, frame.ErrCodeProtocol)
+	case ReactGoAway:
+		return c.goAway(frame.ErrCodeProtocol, "stream cannot depend on itself")
+	default:
+		return nil
+	}
+}
+
+func (c *conn) handlePriority(f *frame.PriorityFrame) error {
+	id := f.Header().StreamID
+	if f.Priority.StreamDep == id {
+		return c.reactSelfDependency(id)
+	}
+	return c.tree.Update(id, priority.Param{
+		StreamDep: f.Priority.StreamDep,
+		Exclusive: f.Priority.Exclusive,
+		Weight:    f.Priority.Weight,
+	})
+}
+
+func (c *conn) handleWindowUpdate(f *frame.WindowUpdateFrame) error {
+	id := f.Header().StreamID
+	p := c.srv.profile
+	if f.Increment == 0 {
+		if id == 0 {
+			switch p.ZeroWindowUpdateConn {
+			case ReactGoAway:
+				debug := ""
+				if p.ZeroWindowDebugData {
+					debug = "window update shouldn't be zero"
+				}
+				return c.goAway(frame.ErrCodeProtocol, debug)
+			default:
+				return nil
+			}
+		}
+		switch p.ZeroWindowUpdateStream {
+		case ReactRSTStream:
+			return c.fr.WriteRSTStream(id, frame.ErrCodeProtocol)
+		case ReactGoAway:
+			return c.goAway(frame.ErrCodeProtocol, "")
+		default:
+			return nil
+		}
+	}
+
+	if id == 0 {
+		if err := c.sendWindow.Increase(f.Increment); err != nil {
+			if errors.Is(err, flowcontrol.ErrWindowOverflow) {
+				switch p.LargeWindowUpdateConn {
+				case ReactGoAway:
+					return c.goAway(frame.ErrCodeFlowControl, "")
+				default:
+					return nil
+				}
+			}
+			return err
+		}
+		c.resetZeroDataFlags()
+		return nil
+	}
+	st, ok := c.streams[id]
+	if !ok {
+		return nil // closed or idle stream: tolerate (RFC section 5.1)
+	}
+	if err := st.window.Increase(f.Increment); err != nil {
+		if errors.Is(err, flowcontrol.ErrWindowOverflow) {
+			switch p.LargeWindowUpdateStream {
+			case ReactRSTStream:
+				return c.fr.WriteRSTStream(id, frame.ErrCodeFlowControl)
+			case ReactGoAway:
+				return c.goAway(frame.ErrCodeFlowControl, "")
+			default:
+				return nil
+			}
+		}
+		return err
+	}
+	st.zeroDataSent = false
+	return nil
+}
+
+func (c *conn) resetZeroDataFlags() {
+	for _, st := range c.streams {
+		st.zeroDataSent = false
+	}
+}
+
+func (c *conn) handlePing(f *frame.PingFrame) error {
+	if f.IsAck() || !c.srv.profile.AnswerPing {
+		return nil
+	}
+	// RFC 7540 section 6.7: PING responses get higher priority than any
+	// other frame, so the ACK is written immediately, ahead of queued DATA.
+	return c.fr.WritePing(true, f.Data)
+}
+
+// --- response transmission ---
+
+// flush sends as many response bytes as windows and scheduling allow.
+func (c *conn) flush() error {
+	if err := c.flushHeaders(); err != nil {
+		return err
+	}
+	return c.flushData()
+}
+
+// canSendHeaders applies the profile's (mis)behaviors that withhold
+// response headers.
+func (c *conn) canSendHeaders(st *stream) bool {
+	p := c.srv.profile
+	if p.FlowControlHeaders {
+		if st.window.Available() <= 0 || c.sendWindow.Available() <= 0 {
+			return false
+		}
+	}
+	if p.TinyWindow == TinyWindowSilent && len(st.body) > 0 &&
+		st.window.Available() > 0 && st.window.Available() < tinyWindowThreshold {
+		return false
+	}
+	return true
+}
+
+func (c *conn) flushHeaders() error {
+	for _, st := range c.streamsByArrival() {
+		if st.respHeaders == nil || st.headersWritten || !c.canSendHeaders(st) {
+			continue
+		}
+		block := c.enc.EncodeBlock(st.respHeaders)
+		endStream := len(st.body) == 0
+		// Split across CONTINUATION frames if the block exceeds the
+		// client's maximum frame size.
+		first := block
+		var rest []byte
+		if uint32(len(block)) > c.maxSendFrame {
+			first, rest = block[:c.maxSendFrame], block[c.maxSendFrame:]
+		}
+		err := c.fr.WriteHeaders(frame.HeadersParams{
+			StreamID:   st.id,
+			Fragment:   first,
+			EndStream:  endStream,
+			EndHeaders: len(rest) == 0,
+		})
+		if err != nil {
+			return err
+		}
+		for len(rest) > 0 {
+			chunk := rest
+			if uint32(len(chunk)) > c.maxSendFrame {
+				chunk = chunk[:c.maxSendFrame]
+			}
+			rest = rest[len(chunk):]
+			if err := c.fr.WriteContinuation(st.id, len(rest) == 0, chunk); err != nil {
+				return err
+			}
+		}
+		st.headersWritten = true
+		if endStream {
+			c.closeStream(st.id)
+		}
+	}
+	return nil
+}
+
+func (c *conn) streamsByArrival() []*stream {
+	out := make([]*stream, 0, len(c.streams))
+	for _, st := range c.streams {
+		out = append(out, st)
+	}
+	// Insertion sort by arrival: stream counts are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].arrival < out[j-1].arrival; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ready reports whether stream id can transmit at least one DATA byte.
+// Streams stalled by the TinyWindowZeroData behavior are not ready: they
+// emit empty DATA frames instead of real payload.
+func (c *conn) ready(id uint32) bool {
+	st, ok := c.streams[id]
+	if !ok {
+		return false
+	}
+	if !st.headersWritten || len(st.body) == 0 || st.window.Available() <= 0 {
+		return false
+	}
+	if c.srv.profile.TinyWindow == TinyWindowZeroData {
+		avail := st.window.Available()
+		if avail < tinyWindowThreshold && avail < int64(len(st.body)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *conn) flushData() error {
+	p := c.srv.profile
+	for guard := 0; guard < 1<<20; guard++ {
+		if c.sendWindow.Available() <= 0 {
+			return c.maybeZeroData()
+		}
+		st := c.pickStream(p.Scheduling)
+		if st == nil {
+			return c.maybeZeroData()
+		}
+		if err := c.sendQuantum(st); err != nil {
+			return err
+		}
+	}
+	return errors.New("server: flush loop guard tripped")
+}
+
+// pickStream selects the next stream for one DATA quantum.
+func (c *conn) pickStream(mode SchedulingMode) *stream {
+	switch mode {
+	case SchedPriority:
+		if id, ok := c.sched.Pick(c.ready); ok {
+			return c.streams[id]
+		}
+		return nil
+	case SchedPriorityLastOnly:
+		// One eager quantum per stream in arrival order first.
+		for _, st := range c.streamsByArrival() {
+			if c.eagerPending[st.id] && c.ready(st.id) {
+				delete(c.eagerPending, st.id)
+				return st
+			}
+		}
+		if id, ok := c.sched.Pick(c.ready); ok {
+			return c.streams[id]
+		}
+		return nil
+	case SchedPriorityFirstOnly:
+		// First quanta in priority order, then round-robin.
+		firstReady := func(id uint32) bool { return c.ready(id) && !c.firstSent[id] }
+		if id, ok := c.sched.Pick(firstReady); ok {
+			return c.streams[id]
+		}
+		return c.pickRoundRobin()
+	case SchedSequential:
+		// One whole response at a time, in arrival order: the oldest
+		// stream with pending data always wins, and when it is
+		// window-blocked nothing else transmits (true head-of-line
+		// serialization, the anti-pattern multiplexing removes).
+		for _, st := range c.streamsByArrival() {
+			if !st.headersWritten || len(st.body) == 0 {
+				continue
+			}
+			if c.ready(st.id) {
+				return st
+			}
+			return nil
+		}
+		return nil
+	default:
+		return c.pickRoundRobin()
+	}
+}
+
+func (c *conn) pickRoundRobin() *stream {
+	order := c.streamsByArrival()
+	if len(order) == 0 {
+		return nil
+	}
+	for i := 0; i < len(order); i++ {
+		st := order[(c.rrCursor+i)%len(order)]
+		if c.ready(st.id) {
+			c.rrCursor = (c.rrCursor + i + 1) % len(order)
+			return st
+		}
+	}
+	return nil
+}
+
+// sendQuantum transmits one DATA frame for st, sized by both windows and
+// the client's maximum frame size.
+func (c *conn) sendQuantum(st *stream) error {
+	n := int64(len(st.body))
+	n = st.window.ClampTake(n)
+	n = c.sendWindow.ClampTake(n)
+	if n > int64(c.maxSendFrame) {
+		n = int64(c.maxSendFrame)
+	}
+	if n <= 0 {
+		return nil
+	}
+	chunk := st.body[:n]
+	end := int(n) == len(st.body)
+	if err := c.fr.WriteData(st.id, end, chunk); err != nil {
+		return err
+	}
+	if err := st.window.Consume(n); err != nil {
+		return err
+	}
+	if err := c.sendWindow.Consume(n); err != nil {
+		return err
+	}
+	st.body = st.body[n:]
+	c.firstSent[st.id] = true
+	if end {
+		c.closeStream(st.id)
+	}
+	return nil
+}
+
+// maybeZeroData implements the TinyWindowZeroData population behavior:
+// blocked streams with a sub-threshold window emit a single empty DATA
+// frame per window state.
+func (c *conn) maybeZeroData() error {
+	if c.srv.profile.TinyWindow != TinyWindowZeroData {
+		return nil
+	}
+	for _, st := range c.streamsByArrival() {
+		if !st.headersWritten || len(st.body) == 0 || st.zeroDataSent {
+			continue
+		}
+		avail := st.window.Available()
+		if avail >= tinyWindowThreshold || avail >= int64(len(st.body)) {
+			continue
+		}
+		if err := c.fr.WriteData(st.id, false, nil); err != nil {
+			return err
+		}
+		st.zeroDataSent = true
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package stats provides the small statistical and rendering toolkit the
+// measurement harness uses: empirical CDFs (every figure in the paper's
+// evaluation is a CDF or a distribution table), quantiles, and fixed-width
+// table formatting for terminal output.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// Include equal samples.
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)))
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Point is one (x, P(X<=x)) pair of a rendered CDF series.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Points samples the CDF at n evenly spaced probability levels, producing a
+// plottable series equivalent to the paper's figure curves.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out = append(out, Point{X: c.Quantile(q), P: q})
+	}
+	return out
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// FormatTable renders a fixed-width text table.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Histogram renders an ASCII bar chart of labeled counts, largest bar
+// scaled to width.
+func Histogram(labels []string, counts []int, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxCount := 0
+	maxLabel := 0
+	for i, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%-*s | %-*s %d\n", maxLabel, labels[i], width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// AsciiCDF renders one or more CDF series as a rough terminal plot: rows
+// are probability levels, columns the series' x-values at that level.
+func AsciiCDF(names []string, cdfs []*CDF, levels []float64, format string) string {
+	headers := append([]string{"CDF"}, names...)
+	rows := make([][]string, 0, len(levels))
+	for _, q := range levels {
+		row := []string{fmt.Sprintf("%.2f", q)}
+		for _, c := range cdfs {
+			row = append(row, fmt.Sprintf(format, c.Quantile(q)))
+		}
+		rows = append(rows, row)
+	}
+	return FormatTable(headers, rows)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Errorf("At(4) = %v, want 1", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %v, want 1", got)
+	}
+	if got := c.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	c := NewCDF(samples)
+	if got := c.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 50 {
+		t.Errorf("Quantile(0.5) = %v, want 50", got)
+	}
+	if got := c.Quantile(1); got != 99 {
+		t.Errorf("Quantile(1) = %v, want 99", got)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 || c.Mean() != 0 {
+		t.Error("empty CDF not zero-valued")
+	}
+	if pts := c.Points(5); pts != nil {
+		t.Errorf("Points on empty CDF = %v", pts)
+	}
+}
+
+func TestPointsMonotonic(t *testing.T) {
+	prop := func(raw []float64) bool {
+		clean := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		pts := NewCDF(clean).Points(10)
+		return sort.SliceIsSorted(pts, func(i, j int) bool {
+			if pts[i].X != pts[j].X {
+				return pts[i].X < pts[j].X
+			}
+			return pts[i].P < pts[j].P
+		})
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	_ = NewCDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"name", "count"}, [][]string{
+		{"nginx", "27394"},
+		{"LiteSpeed", "13626"},
+	})
+	if !strings.Contains(out, "nginx") || !strings.Contains(out, "13626") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]string{"a", "bb"}, []int{10, 5}, 20)
+	if !strings.Contains(out, "####") {
+		t.Errorf("histogram missing bars:\n%s", out)
+	}
+	if !strings.Contains(out, "10") || !strings.Contains(out, "5") {
+		t.Errorf("histogram missing counts:\n%s", out)
+	}
+}
+
+func TestAsciiCDF(t *testing.T) {
+	c1 := NewCDF([]float64{1, 2, 3})
+	c2 := NewCDF([]float64{10, 20, 30})
+	out := AsciiCDF([]string{"small", "big"}, []*CDF{c1, c2}, []float64{0, 0.5, 1}, "%.1f")
+	if !strings.Contains(out, "small") || !strings.Contains(out, "30.0") {
+		t.Errorf("AsciiCDF output:\n%s", out)
+	}
+}

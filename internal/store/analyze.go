@@ -1,0 +1,163 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"h2scope/internal/core"
+	"h2scope/internal/stats"
+)
+
+// Analysis re-derives the paper's census aggregates offline, from persisted
+// scan records instead of a live scan — the "further study" step that
+// Section IV-B's database exists for. Counts here are measurement-backed:
+// they come from the stored probe reports.
+type Analysis struct {
+	// Records is the number of analyzable records (with reports).
+	Records int
+	// ServerNames is the Table IV histogram.
+	ServerNames map[string]int
+	// TinyWindow buckets Section V-D.1.
+	TinyWindow map[core.TinyWindowClass]int
+	// ZeroWindowHeadersOK counts Section V-D.2 compliance.
+	ZeroWindowHeadersOK int
+	// ZeroWUStream and LargeWUConn bucket the WINDOW_UPDATE reactions.
+	ZeroWUStream map[core.Observation]int
+	LargeWUConn  map[core.Observation]int
+	// PriorityLast/First/Both are Section V-E.1 rule counts.
+	PriorityLast, PriorityFirst, PriorityBoth int
+	// SelfDep buckets Section V-E.2.
+	SelfDep map[core.Observation]int
+	// PushSites counts PUSH_PROMISE senders; PushDomains lists them.
+	PushSites   int
+	PushDomains []string
+	// HPACKRatios holds measured compression ratios (r <= 1, the paper's
+	// filter).
+	HPACKRatios []float64
+	// PingRTTsMillis holds minimum h2-PING RTT samples in milliseconds.
+	PingRTTsMillis []float64
+}
+
+// Analyze builds the aggregates from records.
+func Analyze(records []Record) *Analysis {
+	a := &Analysis{
+		ServerNames:  make(map[string]int),
+		TinyWindow:   make(map[core.TinyWindowClass]int),
+		ZeroWUStream: make(map[core.Observation]int),
+		LargeWUConn:  make(map[core.Observation]int),
+		SelfDep:      make(map[core.Observation]int),
+	}
+	for i := range records {
+		rec := &records[i]
+		r := rec.Report
+		if r == nil {
+			continue
+		}
+		a.Records++
+		if r.Settings != nil && r.Settings.ServerHeader != "" {
+			a.ServerNames[r.Settings.ServerHeader]++
+		}
+		if r.FlowData != nil {
+			a.TinyWindow[r.FlowData.Class]++
+		}
+		if r.ZeroWindowHeaders != nil && r.ZeroWindowHeaders.GotHeaders {
+			a.ZeroWindowHeadersOK++
+		}
+		if r.ZeroWU != nil {
+			a.ZeroWUStream[r.ZeroWU.Stream]++
+		}
+		if r.LargeWU != nil {
+			a.LargeWUConn[r.LargeWU.Conn]++
+		}
+		if r.Priority != nil {
+			if r.Priority.LastRuleOK {
+				a.PriorityLast++
+			}
+			if r.Priority.FirstRuleOK {
+				a.PriorityFirst++
+			}
+			if r.Priority.Pass {
+				a.PriorityBoth++
+			}
+		}
+		if r.SelfDep != nil {
+			a.SelfDep[r.SelfDep.Reaction]++
+		}
+		if r.Push != nil && r.Push.Supported {
+			a.PushSites++
+			a.PushDomains = append(a.PushDomains, rec.Domain)
+		}
+		if r.HPACK != nil && r.HPACK.Ratio <= 1.0 {
+			a.HPACKRatios = append(a.HPACKRatios, r.HPACK.Ratio)
+		}
+		if r.Ping != nil && r.Ping.Supported {
+			a.PingRTTsMillis = append(a.PingRTTsMillis,
+				float64(r.Ping.Min().Microseconds())/1000)
+		}
+	}
+	sort.Strings(a.PushDomains)
+	sort.Float64s(a.HPACKRatios)
+	return a
+}
+
+// TopServers returns the Table IV rows with at least minCount sites.
+func (a *Analysis) TopServers(minCount int) []struct {
+	Name  string
+	Count int
+} {
+	type row struct {
+		Name  string
+		Count int
+	}
+	rows := make([]row, 0, len(a.ServerNames))
+	for name, c := range a.ServerNames {
+		if c >= minCount {
+			rows = append(rows, row{name, c})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	out := make([]struct {
+		Name  string
+		Count int
+	}, len(rows))
+	for i, r := range rows {
+		out[i] = struct {
+			Name  string
+			Count int
+		}{r.Name, r.Count}
+	}
+	return out
+}
+
+// HPACKRatioCDF returns the measured ratio distribution (Figs. 4/5 input).
+func (a *Analysis) HPACKRatioCDF() *stats.CDF {
+	return stats.NewCDF(a.HPACKRatios)
+}
+
+// String renders the analysis as a census-style report.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offline analysis of %d stored records\n", a.Records)
+	fmt.Fprintf(&b, "  tiny window: %d one-byte / %d zero-length / %d silent\n",
+		a.TinyWindow[core.TinyWindowOneByte], a.TinyWindow[core.TinyWindowZeroLen],
+		a.TinyWindow[core.TinyWindowNothing])
+	fmt.Fprintf(&b, "  zero-window HEADERS: %d sites\n", a.ZeroWindowHeadersOK)
+	fmt.Fprintf(&b, "  zero WU (stream): RST %d / GOAWAY %d / ignore %d\n",
+		a.ZeroWUStream[core.ObserveRSTStream], a.ZeroWUStream[core.ObserveGoAway],
+		a.ZeroWUStream[core.ObserveIgnore])
+	fmt.Fprintf(&b, "  priority: last %d / first %d / both %d\n",
+		a.PriorityLast, a.PriorityFirst, a.PriorityBoth)
+	fmt.Fprintf(&b, "  push sites: %d %v\n", a.PushSites, a.PushDomains)
+	if len(a.HPACKRatios) > 0 {
+		cdf := a.HPACKRatioCDF()
+		fmt.Fprintf(&b, "  HPACK ratio: p25 %.2f / p50 %.2f / p75 %.2f\n",
+			cdf.Quantile(0.25), cdf.Quantile(0.5), cdf.Quantile(0.75))
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+// Package store persists scan results. The paper's H2Scope "stores the
+// request and the response into a database for further study" (Section
+// IV-B); the reproduction's equivalent is an append-only JSON-lines store
+// of per-site probe reports, which downstream analysis (or a re-run of the
+// census tables) can read back without re-scanning.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"h2scope/internal/core"
+)
+
+// Record is one probed site's persisted result.
+type Record struct {
+	// Domain is the site's authority.
+	Domain string `json:"domain"`
+	// Epoch labels the measurement campaign (e.g. "1st Exp. (Jul 2016)").
+	Epoch string `json:"epoch,omitempty"`
+	// ServerName is the observed "server" header, duplicated out of the
+	// report for cheap aggregation.
+	ServerName string `json:"serverName,omitempty"`
+	// ScannedAt is when the probe battery ran.
+	ScannedAt time.Time `json:"scannedAt"`
+	// Report is the full H2Scope battery result.
+	Report *core.Report `json:"report"`
+}
+
+// Writer appends records to an underlying stream as JSON lines. It is safe
+// for concurrent use (scanner workers share one Writer).
+type Writer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter returns a Writer appending to w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Append writes one record.
+func (w *Writer) Append(rec *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("store: encoding record for %s: %w", rec.Domain, err)
+	}
+	return nil
+}
+
+// Flush drains buffered output to the underlying writer.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	return nil
+}
+
+// Read decodes all records from a JSON-lines stream.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("store: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// Summarize aggregates stored records into the paper-style buckets; it is
+// the offline counterpart of a live scan summary.
+type Summary struct {
+	Records     int
+	ServerNames map[string]int
+	// PriorityPass counts reports whose Algorithm 1 verdict is "pass".
+	PriorityPass int
+	// PushSupported counts reports that saw PUSH_PROMISE.
+	PushSupported int
+	// HPACKSupportStar counts "support*" header-compression verdicts.
+	HPACKSupportStar int
+}
+
+// Summarize scans the records once.
+func Summarize(records []Record) *Summary {
+	s := &Summary{ServerNames: make(map[string]int)}
+	for i := range records {
+		rec := &records[i]
+		s.Records++
+		if rec.ServerName != "" {
+			s.ServerNames[rec.ServerName]++
+		}
+		r := rec.Report
+		if r == nil {
+			continue
+		}
+		if r.PriorityVerdict() == "pass" {
+			s.PriorityPass++
+		}
+		if r.PushVerdict() == "yes" {
+			s.PushSupported++
+		}
+		if r.HeaderCompressionVerdict() == "support*" {
+			s.HPACKSupportStar++
+		}
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package store_test
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"h2scope/internal/core"
+	"h2scope/internal/netsim"
+	"h2scope/internal/population"
+	"h2scope/internal/server"
+	"h2scope/internal/store"
+)
+
+// liveReport probes one emulated server so the stored record carries a
+// real battery result.
+func liveReport(t *testing.T, p server.Profile) *core.Report {
+	t.Helper()
+	srv := server.New(p, server.DefaultSite("store.example"))
+	l := netsim.NewListener("store")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	cfg := core.DefaultConfig("store.example")
+	cfg.QuietWindow = 10 * time.Millisecond
+	r, err := core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l.Dial() }), cfg).Run()
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	report := liveReport(t, server.NginxProfile())
+	var buf bytes.Buffer
+	w := store.NewWriter(&buf)
+	rec := &store.Record{
+		Domain:     "store.example",
+		Epoch:      "1st Exp. (Jul 2016)",
+		ServerName: report.Settings.ServerHeader,
+		ScannedAt:  time.Date(2016, 7, 5, 12, 0, 0, 0, time.UTC),
+		Report:     report,
+	}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Observations serialize as their Table III strings.
+	if !strings.Contains(buf.String(), `"ignore"`) {
+		t.Errorf("serialized record missing observation string:\n%s", buf.String())
+	}
+
+	records, err := store.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("records = %d, want 1", len(records))
+	}
+	got := records[0]
+	if got.Domain != "store.example" || got.ServerName != "nginx/1.9.15" {
+		t.Errorf("record = %+v", got)
+	}
+	if got.Report == nil || got.Report.HPACK == nil {
+		t.Fatal("report lost in round trip")
+	}
+	if got.Report.HPACK.Ratio < 0.99 {
+		t.Errorf("HPACK ratio = %v, want ~1 for nginx", got.Report.HPACK.Ratio)
+	}
+	if got.Report.PriorityVerdict() != "fail" {
+		t.Errorf("priority verdict = %q after round trip", got.Report.PriorityVerdict())
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	var buf bytes.Buffer
+	w := store.NewWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = w.Append(&store.Record{Domain: "d", ScannedAt: time.Unix(int64(i), 0)})
+		}(i)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := store.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read after concurrent appends: %v", err)
+	}
+	if len(records) != 32 {
+		t.Fatalf("records = %d, want 32", len(records))
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	if _, err := store.Read(strings.NewReader("{\"domain\":\"a\"}\nnot-json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reports := []*core.Report{
+		liveReport(t, server.NginxProfile()),
+		liveReport(t, server.ApacheProfile()),
+	}
+	records := []store.Record{
+		{Domain: "a", ServerName: "nginx/1.9.15", Report: reports[0]},
+		{Domain: "b", ServerName: "Apache/2.4.23", Report: reports[1]},
+		{Domain: "c", ServerName: "nginx/1.9.15"}, // report lost
+	}
+	s := store.Summarize(records)
+	if s.Records != 3 {
+		t.Errorf("Records = %d", s.Records)
+	}
+	if s.ServerNames["nginx/1.9.15"] != 2 {
+		t.Errorf("nginx count = %d, want 2", s.ServerNames["nginx/1.9.15"])
+	}
+	if s.PriorityPass != 1 {
+		t.Errorf("PriorityPass = %d, want 1 (apache only)", s.PriorityPass)
+	}
+	if s.PushSupported != 1 {
+		t.Errorf("PushSupported = %d, want 1", s.PushSupported)
+	}
+	if s.HPACKSupportStar != 1 {
+		t.Errorf("HPACKSupportStar = %d, want 1 (nginx)", s.HPACKSupportStar)
+	}
+}
+
+func TestAnalyzeStoredScan(t *testing.T) {
+	// End-to-end: scan a population sample, persist it, read it back, and
+	// re-derive the census aggregates offline.
+	pop := population.Generate(population.EpochJul2016, 0.002, 19)
+	sum, err := population.Scan(pop, population.ScanOptions{SampleSize: 20, Parallelism: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := store.NewWriter(&buf)
+	for _, res := range sum.Results {
+		name := ""
+		if res.Report != nil && res.Report.Settings != nil {
+			name = res.Report.Settings.ServerHeader
+		}
+		if err := w.Append(&store.Record{
+			Domain:     res.Spec.Domain,
+			ServerName: name,
+			ScannedAt:  time.Unix(0, 0),
+			Report:     res.Report,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := store.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := store.Analyze(records)
+	if a.Records != 20 {
+		t.Fatalf("Records = %d, want 20", a.Records)
+	}
+	// Offline aggregates must equal the live scan's.
+	if got := a.TinyWindow[core.TinyWindowOneByte]; got != sum.TinyOneByte {
+		t.Errorf("one-byte = %d, live %d", got, sum.TinyOneByte)
+	}
+	if got := a.TinyWindow[core.TinyWindowNothing]; got != sum.TinySilent {
+		t.Errorf("silent = %d, live %d", got, sum.TinySilent)
+	}
+	if a.ZeroWindowHeadersOK != sum.ZeroWindowHeadersOK {
+		t.Errorf("zero-window headers = %d, live %d", a.ZeroWindowHeadersOK, sum.ZeroWindowHeadersOK)
+	}
+	if a.PriorityLast != sum.PriorityLast || a.PriorityBoth != sum.PriorityBoth {
+		t.Errorf("priority = %d/%d, live %d/%d", a.PriorityLast, a.PriorityBoth, sum.PriorityLast, sum.PriorityBoth)
+	}
+	if a.PushSites != sum.PushSites {
+		t.Errorf("push = %d, live %d", a.PushSites, sum.PushSites)
+	}
+	if len(a.HPACKRatios) == 0 || len(a.PingRTTsMillis) == 0 {
+		t.Error("missing HPACK or PING samples")
+	}
+	if tops := a.TopServers(1); len(tops) == 0 {
+		t.Error("no server rows")
+	}
+	if out := a.String(); !strings.Contains(out, "offline analysis of 20") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}
