@@ -2,18 +2,21 @@
 // (Tables IV-VII, Fig. 2, Figs. 4-5, and Sections V-B/D/E/F) from the
 // synthetic Alexa top-1M population, for either or both experiment epochs,
 // and optionally re-measures a sample of materialized sites with the full
-// H2Scope probe battery.
+// H2Scope probe battery through the resilient scan engine.
 //
 // Usage:
 //
 //	h2census                         # all spec-level tables, both epochs
 //	h2census -epoch 2 -sample 200    # Jan 2017 epoch plus a 200-site measured scan
 //	h2census -scale 0.1              # a 10%-scale universe
+//	h2census -sample 500 -retries 3 -timeout 2s -progress 5s -out scan.jsonl
+//	h2census -analyze scan.jsonl     # offline re-analysis of a records file
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,26 +24,102 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	opts, err := parseFlags(os.Args[1:], os.Stderr)
+	if err == flag.ErrHelp {
+		os.Exit(2)
+	}
+	if err == nil {
+		err = run(opts, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2census:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		epochFlag = flag.Int("epoch", 0, "experiment epoch: 1 (Jul 2016), 2 (Jan 2017), 0 = both")
-		scale     = flag.Float64("scale", 1.0, "population scale in (0,1]")
-		seed      = flag.Int64("seed", 42, "generator seed")
-		sample    = flag.Int("sample", 0, "if > 0, also probe this many materialized sites")
-		parallel  = flag.Int("parallel", 16, "scanner thread-pool size")
-		outPath   = flag.String("out", "", "append per-site scan records (JSON lines) to this file")
-		analyze   = flag.String("analyze", "", "skip generation: analyze a previously written records file and exit")
-	)
-	flag.Parse()
+// options carries the parsed, validated command line.
+type options struct {
+	epoch    int
+	scale    float64
+	seed     int64
+	sample   int
+	parallel int
+	retries  int
+	timeout  time.Duration
+	progress time.Duration
+	outPath  string
+	analyze  string
+}
 
-	if *analyze != "" {
-		f, err := os.Open(*analyze)
+// parseFlags parses args and validates flag combinations, returning clear
+// errors instead of silently misbehaving on nonsense like -scale 7 or
+// -analyze together with -sample.
+func parseFlags(args []string, errOut io.Writer) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("h2census", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.IntVar(&o.epoch, "epoch", 0, "experiment epoch: 1 (Jul 2016), 2 (Jan 2017), 0 = both")
+	fs.Float64Var(&o.scale, "scale", 1.0, "population scale in (0,1]")
+	fs.Int64Var(&o.seed, "seed", 42, "generator seed")
+	fs.IntVar(&o.sample, "sample", 0, "if > 0, also probe this many materialized sites")
+	fs.IntVar(&o.parallel, "parallel", 16, "scanner worker-pool size")
+	fs.IntVar(&o.retries, "retries", 2, "per-site retry cap for transient (dial/timeout) failures")
+	fs.DurationVar(&o.timeout, "timeout", 5*time.Second, "per-probe protocol wait; the per-site budget derives from it")
+	fs.DurationVar(&o.progress, "progress", 0, "if > 0, print scan progress to stderr at this interval")
+	fs.StringVar(&o.outPath, "out", "", "append per-site scan records (JSON lines) to this file")
+	fs.StringVar(&o.analyze, "analyze", "", "skip generation: analyze a previously written records file and exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if narg := fs.NArg(); narg > 0 {
+		return nil, fmt.Errorf("unexpected positional arguments: %v", fs.Args())
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// validate rejects out-of-range values and contradictory flag combinations.
+func (o *options) validate() error {
+	if o.epoch < 0 || o.epoch > 2 {
+		return fmt.Errorf("-epoch must be 0 (both), 1 (Jul 2016), or 2 (Jan 2017); got %d", o.epoch)
+	}
+	if o.scale <= 0 || o.scale > 1 {
+		return fmt.Errorf("-scale must be in (0,1]; got %g", o.scale)
+	}
+	if o.sample < 0 {
+		return fmt.Errorf("-sample must be >= 0; got %d", o.sample)
+	}
+	if o.parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1; got %d", o.parallel)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be >= 0; got %d", o.retries)
+	}
+	if o.timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive; got %v", o.timeout)
+	}
+	if o.progress < 0 {
+		return fmt.Errorf("-progress must be >= 0; got %v", o.progress)
+	}
+	if o.analyze != "" {
+		if o.sample > 0 {
+			return fmt.Errorf("-analyze reads a records file and probes nothing; it cannot be combined with -sample")
+		}
+		if o.outPath != "" {
+			return fmt.Errorf("-analyze does not write records; it cannot be combined with -out")
+		}
+	}
+	if o.outPath != "" && o.sample == 0 {
+		return fmt.Errorf("-out needs a measured scan; set -sample > 0")
+	}
+	return nil
+}
+
+func run(o *options, stdout io.Writer) error {
+	if o.analyze != "" {
+		f, err := os.Open(o.analyze)
 		if err != nil {
 			return err
 		}
@@ -51,76 +130,97 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(h2scope.AnalyzeScanRecords(records))
+		fmt.Fprintln(stdout, h2scope.AnalyzeScanRecords(records))
 		return nil
 	}
 
 	var epochs []h2scope.Epoch
-	switch *epochFlag {
+	switch o.epoch {
 	case 0:
 		epochs = []h2scope.Epoch{h2scope.EpochJul2016, h2scope.EpochJan2017}
 	case 1:
 		epochs = []h2scope.Epoch{h2scope.EpochJul2016}
 	case 2:
 		epochs = []h2scope.Epoch{h2scope.EpochJan2017}
-	default:
-		return fmt.Errorf("bad -epoch %d", *epochFlag)
 	}
 
 	for _, epoch := range epochs {
-		census := h2scope.NewCensus(epoch, *scale, *seed)
-		fmt.Printf("==== %s (scale %.3g, seed %d) ====\n\n", epoch, *scale, *seed)
-		fmt.Println("-- Adoption (Section V-B) --")
-		fmt.Println(census.Adoption())
-		fmt.Println("-- Table IV: servers used by more than 1,000 sites --")
-		fmt.Println(census.TableIV(int(1000 * *scale)))
-		fmt.Println("-- Table V: SETTINGS_INITIAL_WINDOW_SIZE --")
-		fmt.Println(census.TableV())
-		fmt.Println("-- Table VI: SETTINGS_MAX_FRAME_SIZE --")
-		fmt.Println(census.TableVI())
-		fmt.Println("-- Table VII: SETTINGS_MAX_HEADER_LIST_SIZE --")
-		fmt.Println(census.TableVII())
-		fmt.Println("-- Figure 2: SETTINGS_MAX_CONCURRENT_STREAMS CDF --")
-		fmt.Println(census.Figure2Rendered())
-		fmt.Println("-- Section V-D: flow control --")
-		fmt.Println(census.SectionVD())
-		fmt.Println("-- Section V-E: priority --")
-		fmt.Println(census.SectionVE())
-		fmt.Println("-- Section V-F: server push --")
-		fmt.Println(census.SectionVF())
+		census := h2scope.NewCensus(epoch, o.scale, o.seed)
+		fmt.Fprintf(stdout, "==== %s (scale %.3g, seed %d) ====\n\n", epoch, o.scale, o.seed)
+		fmt.Fprintln(stdout, "-- Adoption (Section V-B) --")
+		fmt.Fprintln(stdout, census.Adoption())
+		fmt.Fprintln(stdout, "-- Table IV: servers used by more than 1,000 sites --")
+		fmt.Fprintln(stdout, census.TableIV(int(1000*o.scale)))
+		fmt.Fprintln(stdout, "-- Table V: SETTINGS_INITIAL_WINDOW_SIZE --")
+		fmt.Fprintln(stdout, census.TableV())
+		fmt.Fprintln(stdout, "-- Table VI: SETTINGS_MAX_FRAME_SIZE --")
+		fmt.Fprintln(stdout, census.TableVI())
+		fmt.Fprintln(stdout, "-- Table VII: SETTINGS_MAX_HEADER_LIST_SIZE --")
+		fmt.Fprintln(stdout, census.TableVII())
+		fmt.Fprintln(stdout, "-- Figure 2: SETTINGS_MAX_CONCURRENT_STREAMS CDF --")
+		fmt.Fprintln(stdout, census.Figure2Rendered())
+		fmt.Fprintln(stdout, "-- Section V-D: flow control --")
+		fmt.Fprintln(stdout, census.SectionVD())
+		fmt.Fprintln(stdout, "-- Section V-E: priority --")
+		fmt.Fprintln(stdout, census.SectionVE())
+		fmt.Fprintln(stdout, "-- Section V-F: server push --")
+		fmt.Fprintln(stdout, census.SectionVF())
 		fig := "Figure 4"
 		if epoch == h2scope.EpochJan2017 {
 			fig = "Figure 5"
 		}
-		fmt.Printf("-- %s: HPACK compression ratio by family (CDF quantiles) --\n", fig)
-		fmt.Println(census.Figures4And5Rendered())
+		fmt.Fprintf(stdout, "-- %s: HPACK compression ratio by family (CDF quantiles) --\n", fig)
+		fmt.Fprintln(stdout, census.Figures4And5Rendered())
 
-		if *sample > 0 {
-			fmt.Printf("-- Measured scan (%d sites, %d threads) --\n", *sample, *parallel)
-			sum, err := h2scope.ScanPopulation(census.Pop, h2scope.ScanOptions{
-				SampleSize:  *sample,
-				Parallelism: *parallel,
-				Seed:        *seed,
-			})
-			if err != nil {
+		if o.sample > 0 {
+			if err := runScan(o, stdout, epoch, census); err != nil {
 				return err
-			}
-			fmt.Println(h2scope.RenderScan(sum))
-			if *outPath != "" {
-				f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-				if err != nil {
-					return err
-				}
-				err = h2scope.WriteScanRecords(f, epoch, time.Now(), sum)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-				if err != nil {
-					return err
-				}
-				fmt.Printf("wrote %d records to %s\n", len(sum.Results), *outPath)
 			}
 		}
 	}
+	return nil
+}
+
+// runScan performs the measured scan of one epoch through the scan engine
+// and reports its stats, optionally persisting records plus a stats trailer.
+func runScan(o *options, stdout io.Writer, epoch h2scope.Epoch, census *h2scope.Census) error {
+	fmt.Fprintf(stdout, "-- Measured scan (%d sites, %d workers, %d retries, timeout %v) --\n",
+		o.sample, o.parallel, o.retries, o.timeout)
+	scanOpts := h2scope.ScanOptions{
+		SampleSize:  o.sample,
+		Parallelism: o.parallel,
+		Seed:        o.seed,
+		Timeout:     o.timeout,
+		Retries:     o.retries,
+	}
+	if o.progress > 0 {
+		scanOpts.Progress = os.Stderr
+		scanOpts.ProgressInterval = o.progress
+	}
+	sum, err := h2scope.ScanPopulation(census.Pop, scanOpts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, h2scope.RenderScan(sum))
+	fmt.Fprintln(stdout, sum.Stats.String())
+	if o.outPath == "" {
+		return nil
+	}
+	f, err := os.OpenFile(o.outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	err = h2scope.WriteScanRecords(f, epoch, now, sum)
+	if err == nil {
+		err = h2scope.AppendScanStats(f, epoch, now, sum.Stats)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d records (+1 stats trailer) to %s\n", len(sum.Results), o.outPath)
 	return nil
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"h2scope"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty means the args must parse
+	}{
+		{"defaults", nil, ""},
+		{"sample scan", []string{"-sample", "10", "-retries", "1", "-timeout", "2s"}, ""},
+		{"analyze alone", []string{"-analyze", "records.jsonl"}, ""},
+		{"progress", []string{"-sample", "5", "-progress", "1s"}, ""},
+
+		{"scale zero", []string{"-scale", "0"}, "-scale must be in (0,1]"},
+		{"scale above one", []string{"-scale", "1.5"}, "-scale must be in (0,1]"},
+		{"scale negative", []string{"-scale", "-0.5"}, "-scale must be in (0,1]"},
+		{"bad epoch", []string{"-epoch", "3"}, "-epoch must be 0"},
+		{"negative sample", []string{"-sample", "-1"}, "-sample must be >= 0"},
+		{"zero parallel", []string{"-parallel", "0"}, "-parallel must be >= 1"},
+		{"negative retries", []string{"-retries", "-2"}, "-retries must be >= 0"},
+		{"zero timeout", []string{"-timeout", "0s"}, "-timeout must be positive"},
+		{"negative progress", []string{"-progress", "-1s"}, "-progress must be >= 0"},
+		{"analyze with sample", []string{"-analyze", "x.jsonl", "-sample", "10"},
+			"cannot be combined with -sample"},
+		{"analyze with out", []string{"-analyze", "x.jsonl", "-out", "y.jsonl"},
+			"cannot be combined with -out"},
+		{"out without sample", []string{"-out", "y.jsonl"}, "-out needs a measured scan"},
+		{"positional junk", []string{"extra"}, "unexpected positional arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseFlags(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunAnalyzeRoundTrip drives the -analyze path end to end: scan a tiny
+// population, persist records plus the stats trailer, then re-analyze the
+// file through run().
+func TestRunAnalyzeRoundTrip(t *testing.T) {
+	pop := h2scope.GeneratePopulation(h2scope.EpochJul2016, 0.002, 7)
+	sum, err := h2scope.ScanPopulation(pop, h2scope.ScanOptions{
+		SampleSize: 5, Parallelism: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "records.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := time.Date(2016, 7, 5, 0, 0, 0, 0, time.UTC)
+	if err := h2scope.WriteScanRecords(f, h2scope.EpochJul2016, when, sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2scope.AppendScanStats(f, h2scope.EpochJul2016, when, sum.Stats); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts, err := parseFlags([]string{"-analyze", path}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(opts, &out); err != nil {
+		t.Fatalf("run(-analyze): %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "offline analysis of 5 stored records") {
+		t.Errorf("analysis output missing record count:\n%s", got)
+	}
+	if !strings.Contains(got, "scan: 5 done (ok 5") {
+		t.Errorf("analysis output missing stats trailer line:\n%s", got)
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"h2scope"
 	"h2scope/internal/core"
+	"h2scope/internal/scan"
 	"h2scope/internal/stats"
 	"h2scope/internal/tlsutil"
 )
@@ -39,6 +41,7 @@ func run() error {
 		authority = flag.String("authority", "testbed.example", ":authority for requests")
 		useTLS    = flag.Bool("tls", false, "connect with TLS and negotiate h2 via ALPN")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-probe timeout")
+		retries   = flag.Int("retries", 0, "retry the battery this many times on transient (dial/timeout) failures")
 		quiet     = flag.Duration("quiet", 40*time.Millisecond, "idle window before concluding a server ignored a probe")
 		drainPath = flag.String("drain", "/drain/64k", "object of >= 65,535 bytes for the priority probe's window drain")
 		largeList = flag.String("large", "/large/1,/large/2,/large/3,/large/4,/large/5,/large/6", "comma-separated large objects")
@@ -51,6 +54,12 @@ func run() error {
 	if *target == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -target")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0; got %d", *retries)
+	}
+	if *timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive; got %v", *timeout)
 	}
 
 	dialer := h2scope.DialerFunc(func() (net.Conn, error) {
@@ -81,10 +90,33 @@ func run() error {
 	cfg.SmallPath = *smallPath
 	cfg.PagePaths = []string{"/", *smallPath}
 
-	report, err := h2scope.Probe(dialer, cfg)
+	// The battery runs through the scan engine: a hard per-attempt budget
+	// (one -timeout per battery probe) plus retries of transiently
+	// classified failures, so a stalling or refusing target cannot hang the
+	// tool and flaky paths get a second chance.
+	res, err := scan.Run(context.Background(),
+		[]scan.Target{{Key: *target}},
+		func(ctx context.Context, _ scan.Target) (any, error) {
+			r, perr := h2scope.NewProber(dialer, cfg).RunContext(ctx)
+			if r == nil {
+				return nil, perr
+			}
+			return r, perr
+		},
+		scan.Options{
+			Parallelism: 1,
+			Retries:     *retries,
+			Timeout:     time.Duration(len(cfg.LargePaths)+8) * *timeout,
+		})
 	if err != nil {
 		return err
 	}
+	rec := res.Records[0]
+	if rec.Outcome != scan.OutcomeSuccess {
+		return fmt.Errorf("probe %s after %d attempt(s): %s failure: %s",
+			rec.Outcome, rec.Attempts, rec.Kind, rec.Err)
+	}
+	report := rec.Value.(*h2scope.Report)
 	prober := h2scope.NewProber(dialer, cfg)
 	var extResult *core.ExtensionsResult
 	if *exts {

@@ -1,12 +1,12 @@
 package h2scope
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"h2scope/internal/core"
@@ -14,6 +14,7 @@ import (
 	"h2scope/internal/pageload"
 	"h2scope/internal/population"
 	"h2scope/internal/rtt"
+	"h2scope/internal/scan"
 	"h2scope/internal/stats"
 )
 
@@ -43,31 +44,29 @@ func RunTestbed() (*TestbedResult, error) {
 		Checks:  core.TableIIIRowNames,
 		Reports: make([]*Report, len(profiles)),
 	}
-	for _, p := range profiles {
-		res.Families = append(res.Families, p.Family)
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
+	targets := make([]scan.Target, len(profiles))
 	for i, p := range profiles {
-		wg.Add(1)
-		go func(i int, p Profile) {
-			defer wg.Done()
-			report, err := probeProfile(p)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, fmt.Errorf("h2scope: testbed %s: %w", p.Family, err))
-				return
-			}
-			res.Reports[i] = report
-		}(i, p)
+		res.Families = append(res.Families, p.Family)
+		targets[i] = scan.Target{Key: p.Family, Meta: p}
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	engineRes, err := scan.Run(context.Background(), targets,
+		func(ctx context.Context, t scan.Target) (any, error) {
+			return probeProfile(ctx, t.Meta.(Profile))
+		},
+		scan.Options{
+			Parallelism: len(profiles),
+			Timeout:     time.Minute,
+			Retries:     1,
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, rec := range engineRes.Records {
+		if rec.Outcome != scan.OutcomeSuccess {
+			return nil, fmt.Errorf("h2scope: testbed %s: %s failure after %d attempt(s): %s",
+				profiles[i].Family, rec.Kind, rec.Attempts, rec.Err)
+		}
+		res.Reports[i] = rec.Value.(*Report)
 	}
 	res.Cells = make([][]string, len(res.Checks))
 	for r := range res.Checks {
@@ -85,7 +84,7 @@ func RunTestbed() (*TestbedResult, error) {
 // probeProfile runs the battery against one profile served in-process. The
 // testbed knows the profile's negotiation support directly, standing in for
 // the TLS ALPN/NPN handshakes of Section IV-A.
-func probeProfile(p Profile) (*Report, error) {
+func probeProfile(ctx context.Context, p Profile) (*Report, error) {
 	srv := NewServer(p, DefaultSite("testbed.example"))
 	l := netsim.NewListener(p.Family)
 	go func() {
@@ -94,7 +93,7 @@ func probeProfile(p Profile) (*Report, error) {
 	defer srv.Close()
 	cfg := DefaultProbeConfig("testbed.example")
 	cfg.QuietWindow = 20 * time.Millisecond
-	return Probe(&testbedDialer{l: l, p: p}, cfg)
+	return NewProber(&testbedDialer{l: l, p: p}, cfg).RunContext(ctx)
 }
 
 type testbedDialer struct {
@@ -428,6 +427,14 @@ func RenderScan(sum *ScanSummary) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Measured scan of %d sites (NPN %d, ALPN %d, HEADERS %d)\n",
 		sum.Scanned, sum.NPN, sum.ALPN, sum.GotHeaders)
+	if sum.Failed > 0 || sum.Canceled > 0 {
+		fmt.Fprintf(&b, "coverage: %d complete / %d failed / %d canceled",
+			sum.Scanned-sum.Failed-sum.Canceled, sum.Failed, sum.Canceled)
+		if len(sum.FailureKinds) > 0 {
+			fmt.Fprintf(&b, " (by kind: %v)", sum.FailureKinds)
+		}
+		b.WriteString("\n")
+	}
 	fmt.Fprintf(&b, "1-byte window: %d one-byte / %d zero-length / %d silent\n",
 		sum.TinyOneByte, sum.TinyZeroLen, sum.TinySilent)
 	fmt.Fprintf(&b, "zero window: HEADERS from %d sites\n", sum.ZeroWindowHeadersOK)

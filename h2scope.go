@@ -28,6 +28,7 @@ import (
 	"h2scope/internal/core"
 	"h2scope/internal/h2conn"
 	"h2scope/internal/population"
+	"h2scope/internal/scan"
 	"h2scope/internal/server"
 	"h2scope/internal/store"
 )
@@ -69,6 +70,17 @@ type (
 	// ScanSummary aggregates measured probe results over a scanned sample.
 	ScanSummary = population.ScanSummary
 
+	// ScanStats is the scan engine's counter snapshot (attempted,
+	// succeeded, failed-by-kind, retries, latency histogram summary).
+	ScanStats = scan.Stats
+	// ScanErrorKind classifies a probe failure (dial, TLS, protocol,
+	// timeout, canceled); only transient kinds are retried.
+	ScanErrorKind = scan.ErrorKind
+	// ScanOutcome is a target's final disposition (ok/failed/canceled).
+	ScanOutcome = scan.Outcome
+	// ScanEngineRecord is the engine's typed per-target result.
+	ScanEngineRecord = scan.Record
+
 	// ClientConn is the raw-frame HTTP/2 client connection probes run on.
 	ClientConn = h2conn.Conn
 	// ClientOptions configures a ClientConn.
@@ -97,6 +109,16 @@ const (
 	ObserveRSTStream  = core.ObserveRSTStream
 	ObserveGoAway     = core.ObserveGoAway
 	ObserveNoResponse = core.ObserveNoResponse
+
+	ScanOutcomeSuccess  = scan.OutcomeSuccess
+	ScanOutcomeFailed   = scan.OutcomeFailed
+	ScanOutcomeCanceled = scan.OutcomeCanceled
+
+	ScanKindDial     = scan.KindDial
+	ScanKindTLS      = scan.KindTLS
+	ScanKindProtocol = scan.KindProtocol
+	ScanKindTimeout  = scan.KindTimeout
+	ScanKindCanceled = scan.KindCanceled
 )
 
 // NginxProfile reproduces Nginx v1.9.15 as characterized in Table III.
@@ -177,7 +199,8 @@ type ScanOptions = population.ScanOptions
 type ScanRecord = store.Record
 
 // WriteScanRecords persists a measured scan's per-site reports to w as
-// JSON lines.
+// JSON lines, including each site's engine outcome (failed probes keep
+// their classified error kind and attempt count).
 func WriteScanRecords(w io.Writer, epoch Epoch, scannedAt time.Time, sum *ScanSummary) error {
 	sw := store.NewWriter(w)
 	for _, res := range sum.Results {
@@ -191,10 +214,32 @@ func WriteScanRecords(w io.Writer, epoch Epoch, scannedAt time.Time, sum *ScanSu
 			ServerName: serverName,
 			ScannedAt:  scannedAt,
 			Report:     res.Report,
+			Outcome:    res.Outcome.String(),
+			ErrorKind:  res.Kind.String(),
+			Error:      res.Err,
+			Attempts:   res.Attempts,
+		}
+		if res.Outcome == scan.OutcomeSuccess {
+			rec.ErrorKind = ""
 		}
 		if err := sw.Append(rec); err != nil {
 			return err
 		}
+	}
+	return sw.Flush()
+}
+
+// AppendScanStats appends a scan-summary trailer record (the engine's final
+// ScanStats snapshot) to a JSON-lines record stream. Offline analysis
+// reports trailers separately from per-site records.
+func AppendScanStats(w io.Writer, epoch Epoch, scannedAt time.Time, stats ScanStats) error {
+	sw := store.NewWriter(w)
+	if err := sw.Append(&store.Record{
+		Epoch:     epoch.String(),
+		ScannedAt: scannedAt,
+		Stats:     &stats,
+	}); err != nil {
+		return err
 	}
 	return sw.Flush()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -37,6 +38,14 @@ type Report struct {
 // Run executes the complete probe battery. Individual probe failures are
 // recorded in Report.Errors rather than aborting the battery.
 func (p *Prober) Run() (*Report, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the complete probe battery, checking ctx between
+// probes: a canceled scan stops after the probe in flight and returns the
+// partially filled report with ctx's error, so large-scale runs can be
+// killed mid-battery without losing what was already measured.
+func (p *Prober) RunContext(ctx context.Context) (*Report, error) {
 	r := &Report{Authority: p.cfg.Authority}
 	if neg, ok := p.dialer.(Negotiator); ok {
 		p.probeNegotiation(neg, r)
@@ -46,35 +55,29 @@ func (p *Prober) Run() (*Report, error) {
 		r.fail("settings", err)
 		return r, fmt.Errorf("core: target not probeable: %w", err)
 	}
-	if r.Multiplex, err = p.ProbeMultiplexing(4); err != nil {
-		r.fail("multiplexing", err)
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"multiplexing", func() (err error) { r.Multiplex, err = p.ProbeMultiplexing(4); return }},
+		{"flow-data", func() (err error) { r.FlowData, err = p.ProbeFlowControlData(1); return }},
+		{"zero-window-headers", func() (err error) { r.ZeroWindowHeaders, err = p.ProbeZeroWindowHeaders(); return }},
+		{"zero-window-update", func() (err error) { r.ZeroWU, err = p.ProbeZeroWindowUpdate(); return }},
+		{"large-window-update", func() (err error) { r.LargeWU, err = p.ProbeLargeWindowUpdate(); return }},
+		{"priority", func() (err error) { r.Priority, err = p.ProbePriority(); return }},
+		{"self-dependency", func() (err error) { r.SelfDep, err = p.ProbeSelfDependency(); return }},
+		{"server-push", func() (err error) { r.Push, err = p.ProbeServerPush(); return }},
+		{"hpack", func() (err error) { r.HPACK, err = p.ProbeHPACK(); return }},
+		{"ping", func() (err error) { r.Ping, err = p.ProbePing(); return }},
 	}
-	if r.FlowData, err = p.ProbeFlowControlData(1); err != nil {
-		r.fail("flow-data", err)
-	}
-	if r.ZeroWindowHeaders, err = p.ProbeZeroWindowHeaders(); err != nil {
-		r.fail("zero-window-headers", err)
-	}
-	if r.ZeroWU, err = p.ProbeZeroWindowUpdate(); err != nil {
-		r.fail("zero-window-update", err)
-	}
-	if r.LargeWU, err = p.ProbeLargeWindowUpdate(); err != nil {
-		r.fail("large-window-update", err)
-	}
-	if r.Priority, err = p.ProbePriority(); err != nil {
-		r.fail("priority", err)
-	}
-	if r.SelfDep, err = p.ProbeSelfDependency(); err != nil {
-		r.fail("self-dependency", err)
-	}
-	if r.Push, err = p.ProbeServerPush(); err != nil {
-		r.fail("server-push", err)
-	}
-	if r.HPACK, err = p.ProbeHPACK(); err != nil {
-		r.fail("hpack", err)
-	}
-	if r.Ping, err = p.ProbePing(); err != nil {
-		r.fail("ping", err)
+	for _, step := range steps {
+		if cerr := ctx.Err(); cerr != nil {
+			r.fail("battery", cerr)
+			return r, cerr
+		}
+		if err := step.run(); err != nil {
+			r.fail(step.name, err)
+		}
 	}
 	return r, nil
 }

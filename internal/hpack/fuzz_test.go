@@ -1,0 +1,63 @@
+package hpack
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// fuzzSeed decodes an RFC 7541 Appendix C hex vector for the seed corpus.
+func fuzzSeed(s string) []byte {
+	b, err := hex.DecodeString(strings.ReplaceAll(s, " ", ""))
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FuzzDecode feeds arbitrary header blocks to the decoder. DecodeFull must
+// never panic, and its resource bounds must hold: no decoded string may
+// exceed the configured maximum, the field count cannot exceed the input
+// length (every representation costs at least one byte), and the dynamic
+// table must stay within its size budget.
+func FuzzDecode(f *testing.F) {
+	// RFC 7541 Appendix C vectors: literals, indexed fields, Huffman
+	// strings, and dynamic-table insertions/evictions.
+	f.Add(fuzzSeed("400a 6375 7374 6f6d 2d6b 6579 0d63 7573 746f 6d2d 6865 6164 6572")) // C.2.1
+	f.Add(fuzzSeed("8286 8441 0f77 7777 2e65 7861 6d70 6c65 2e63 6f6d"))                // C.3.1
+	f.Add(fuzzSeed("8286 84be 5808 6e6f 2d63 6163 6865"))                               // C.3.2
+	f.Add(fuzzSeed("8286 8441 8cf1 e3c2 e5f2 3a6b a0ab 90f4 ff"))                       // C.4.1
+	f.Add(fuzzSeed("4882 6402 5885 aec3 771a 4b61 96d0 7abe 9410 54d4 44a8 2005 9504" +
+		"0b81 66e0 82a6 2d1b ff6e 919d 29ad 1718 63c7 8f0b 97c8 e9ae 82ae 43d3")) // C.6.1
+	f.Add(fuzzSeed("3fe1 1f"))                           // dynamic table size update
+	f.Add(fuzzSeed("20"))                                // size update to zero
+	f.Add(fuzzSeed("82ff ffff ffff ffff ffff"))          // runaway varint
+	f.Add(fuzzSeed("0a6b 65 79"))                        // truncated literal
+	f.Add(fuzzSeed("418c f1e3 c2e5 f23a 6ba0 ab90 f4"))  // truncated Huffman string
+	f.Add([]byte{})
+
+	const (
+		tableSize = 4096
+		maxString = 16 << 10
+	)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(tableSize)
+		dec.SetMaxStringLength(maxString)
+		fields, err := dec.DecodeFull(data)
+		_ = err // any error is acceptable; panics and bound violations are not
+		for i, hf := range fields {
+			if len(hf.Name) > maxString || len(hf.Value) > maxString {
+				t.Fatalf("field %d exceeds max string length: name %d bytes, value %d bytes",
+					i, len(hf.Name), len(hf.Value))
+			}
+		}
+		if len(fields) > len(data) {
+			t.Fatalf("decoded %d fields from %d input bytes", len(fields), len(data))
+		}
+		// Every dynamic-table entry costs its 32-byte RFC 7541 overhead, so
+		// a 4096-byte table can never hold more than 128 entries.
+		if n := dec.DynamicTableLen(); n > tableSize/32 {
+			t.Fatalf("dynamic table holds %d entries, max possible is %d", n, tableSize/32)
+		}
+	})
+}

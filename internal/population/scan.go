@@ -1,14 +1,16 @@
 package population
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
-	"sync"
 	"time"
 
 	"h2scope/internal/core"
 	"h2scope/internal/netsim"
+	"h2scope/internal/scan"
 )
 
 // siteDialer connects H2Scope to one materialized site and answers the
@@ -48,10 +50,18 @@ func (d *siteDialer) NegotiateNPN() ([]string, error) {
 	return []string{"h2", "spdy/3.1", "http/1.1"}, nil
 }
 
-// SiteResult pairs a probed site with its H2Scope report.
+// SiteResult pairs a probed site with its H2Scope report and how the scan
+// engine fared getting it. Failed probes keep their partial Report (possibly
+// nil) alongside the classified failure, so nothing vanishes from the
+// sample.
 type SiteResult struct {
 	Spec   *SiteSpec
 	Report *core.Report
+	// Outcome, Kind, Err, and Attempts mirror the engine's scan.Record.
+	Outcome  scan.Outcome
+	Kind     scan.ErrorKind
+	Err      string
+	Attempts int
 }
 
 // ScanSummary aggregates measured probe results over a scanned sample, in
@@ -91,6 +101,13 @@ type ScanSummary struct {
 	InitialWindow map[string]int
 	// MaxFrame and MaxHeaderList histogram the other settings tables.
 	MaxFrame, MaxHeaderList map[string]int
+	// Failed and Canceled count sites whose probe did not complete; they are
+	// included in Scanned so aggregate tables report coverage honestly.
+	Failed, Canceled int
+	// FailureKinds histograms failed sites by classified error kind.
+	FailureKinds map[string]int
+	// Stats is the scan engine's final counter snapshot.
+	Stats scan.Stats
 	// Results holds the raw per-site reports.
 	Results []SiteResult
 }
@@ -107,6 +124,7 @@ func newScanSummary() *ScanSummary {
 		InitialWindow: make(map[string]int),
 		MaxFrame:      make(map[string]int),
 		MaxHeaderList: make(map[string]int),
+		FailureKinds:  make(map[string]int),
 	}
 }
 
@@ -117,14 +135,35 @@ type ScanOptions struct {
 	// Parallelism is the scanning thread-pool size (Section IV-B builds
 	// "a thread pool with configurable number of threads").
 	Parallelism int
-	// Seed drives sample selection.
+	// Seed drives sample selection and backoff jitter.
 	Seed int64
-	// Timeout bounds each probe wait.
+	// Timeout bounds each protocol wait inside a probe.
 	Timeout time.Duration
+	// HostBudget is the hard per-attempt deadline for one site's whole
+	// battery; 0 derives it from Timeout (one Timeout per battery probe).
+	HostBudget time.Duration
+	// Retries caps per-site retries of transiently classified failures.
+	Retries int
+	// Context cancels the scan; partial results are still returned.
+	Context context.Context
+	// Progress, when set, receives periodic scan.Stats lines every
+	// ProgressInterval.
+	Progress         io.Writer
+	ProgressInterval time.Duration
+	// OnRecord, when set, receives each site's finalized engine record as
+	// it completes (records are flushed in completion order).
+	OnRecord func(scan.Record)
 }
 
+// batteryProbes is how many connection-scoped probes one battery runs; the
+// default per-host budget allows one full Timeout for each.
+const batteryProbes = 12
+
 // Scan materializes a sample of the population as live servers, runs the
-// full H2Scope battery against each, and aggregates the measured results.
+// full H2Scope battery against each through the scan engine, and aggregates
+// the measured results. Failed sites stay in the summary as typed partial
+// results; cancellation via opts.Context drains quickly and returns what
+// was measured.
 func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 8
@@ -132,36 +171,51 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 	if opts.Timeout == 0 {
 		opts.Timeout = 5 * time.Second
 	}
+	if opts.HostBudget <= 0 {
+		opts.HostBudget = batteryProbes * opts.Timeout
+	}
 	idx := rand.New(rand.NewSource(opts.Seed)).Perm(len(pop.Sites))
 	if opts.SampleSize > 0 && opts.SampleSize < len(idx) {
 		idx = idx[:opts.SampleSize]
 	}
 
-	summary := newScanSummary()
-	var (
-		mu  sync.Mutex
-		wg  sync.WaitGroup
-		sem = make(chan struct{}, opts.Parallelism)
-	)
-	for _, i := range idx {
-		spec := &pop.Sites[i]
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			result := probeSite(spec, opts.Timeout)
-			mu.Lock()
-			defer mu.Unlock()
-			summary.add(spec, result)
-		}()
+	targets := make([]scan.Target, len(idx))
+	for i, siteIdx := range idx {
+		spec := &pop.Sites[siteIdx]
+		targets[i] = scan.Target{Key: spec.Domain, Meta: spec}
 	}
-	wg.Wait()
+	probe := func(ctx context.Context, t scan.Target) (any, error) {
+		report, err := probeSite(ctx, t.Meta.(*SiteSpec), opts.Timeout)
+		if report == nil {
+			// A typed nil inside a non-nil any would defeat the engine's
+			// partial-value bookkeeping.
+			return nil, err
+		}
+		return report, err
+	}
+	res, err := scan.Run(opts.Context, targets, probe, scan.Options{
+		Parallelism:      opts.Parallelism,
+		Timeout:          opts.HostBudget,
+		Retries:          opts.Retries,
+		Seed:             opts.Seed,
+		Progress:         opts.Progress,
+		ProgressInterval: opts.ProgressInterval,
+		OnRecord:         opts.OnRecord,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	summary := newScanSummary()
+	summary.Stats = res.Stats
+	for _, rec := range res.Records {
+		summary.add(rec)
+	}
 	return summary, nil
 }
 
 // probeSite materializes one site and runs the battery against it.
-func probeSite(spec *SiteSpec, timeout time.Duration) *core.Report {
+func probeSite(ctx context.Context, spec *SiteSpec, timeout time.Duration) (*core.Report, error) {
 	srv := spec.NewServer()
 	l := netsim.NewListener(spec.Domain)
 	go func() {
@@ -176,16 +230,31 @@ func probeSite(spec *SiteSpec, timeout time.Duration) *core.Report {
 	cfg.Timeout = timeout
 	cfg.QuietWindow = 10 * time.Millisecond
 	prober := core.NewProber(&siteDialer{l: l, spec: spec}, cfg)
-	report, err := prober.Run()
-	if err != nil {
-		return report // partially filled; aggregation tolerates nils
-	}
-	return report
+	return prober.RunContext(ctx)
 }
 
-func (s *ScanSummary) add(spec *SiteSpec, r *core.Report) {
+func (s *ScanSummary) add(rec scan.Record) {
+	spec := rec.Target.Meta.(*SiteSpec)
+	var r *core.Report
+	if rec.Value != nil {
+		r = rec.Value.(*core.Report)
+	}
 	s.Scanned++
-	s.Results = append(s.Results, SiteResult{Spec: spec, Report: r})
+	s.Results = append(s.Results, SiteResult{
+		Spec:     spec,
+		Report:   r,
+		Outcome:  rec.Outcome,
+		Kind:     rec.Kind,
+		Err:      rec.Err,
+		Attempts: rec.Attempts,
+	})
+	switch rec.Outcome {
+	case scan.OutcomeFailed:
+		s.Failed++
+		s.FailureKinds[rec.Kind.String()]++
+	case scan.OutcomeCanceled:
+		s.Canceled++
+	}
 	if r == nil {
 		return
 	}

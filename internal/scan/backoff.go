@@ -1,0 +1,67 @@
+package scan
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes exponential retry delays with jitter. The zero value is
+// usable and yields the defaults below.
+type Backoff struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps the un-jittered delay (default 5s).
+	Max time.Duration
+	// Factor is the per-retry multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay that is randomized (default 0.5,
+	// clamped to 1; negative disables jitter): the returned delay is
+	// uniform in [d*(1-Jitter), d]. Jittering decorrelates retry storms
+	// across a large fleet of workers hammering the same set of slow hosts.
+	Jitter float64
+}
+
+// withDefaults fills unset fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	switch {
+	case b.Jitter == 0:
+		b.Jitter = 0.5
+	case b.Jitter < 0:
+		b.Jitter = 0
+	case b.Jitter > 1:
+		b.Jitter = 1
+	}
+	return b
+}
+
+// Delay returns the backoff before retry number retry (0-based), drawing
+// jitter from rng so callers seeding rng get reproducible schedules.
+func (b Backoff) Delay(retry int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < retry; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && rng != nil {
+		d -= rng.Float64() * b.Jitter * d
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}

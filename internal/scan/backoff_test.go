@@ -1,0 +1,108 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayWithoutJitter(t *testing.T) {
+	cases := []struct {
+		name  string
+		b     Backoff
+		retry int
+		want  time.Duration
+	}{
+		{"defaults first retry", Backoff{Jitter: -1}, 0, 100 * time.Millisecond},
+		{"defaults second retry", Backoff{Jitter: -1}, 1, 200 * time.Millisecond},
+		{"defaults third retry", Backoff{Jitter: -1}, 2, 400 * time.Millisecond},
+		{"defaults capped", Backoff{Jitter: -1}, 20, 5 * time.Second},
+		{"custom base", Backoff{Base: time.Second, Jitter: -1}, 0, time.Second},
+		{"custom factor", Backoff{Base: time.Second, Factor: 3, Max: time.Minute, Jitter: -1}, 2, 9 * time.Second},
+		{"custom cap", Backoff{Base: time.Second, Factor: 10, Max: 4 * time.Second, Jitter: -1}, 5, 4 * time.Second},
+		{"factor below one coerced to 2", Backoff{Base: time.Second, Factor: 0.5, Max: time.Minute, Jitter: -1}, 1, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.b.Delay(tc.retry, nil); got != tc.want {
+				t.Errorf("Delay(%d) = %v, want %v", tc.retry, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBackoffZeroValueJitters pins the documented default: the zero value
+// jitters (0.5), so fleets do not retry in lockstep unless a caller
+// explicitly disables jitter with a negative value.
+func TestBackoffZeroValueJitters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var b Backoff
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 100; i++ {
+		d := b.Delay(0, rng)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("zero-value Delay(0) = %v, want within [50ms, 100ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Error("zero-value Backoff produced no jitter variation")
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	for retry := 0; retry < 8; retry++ {
+		full := Backoff{Base: b.Base, Max: b.Max, Factor: b.Factor, Jitter: -1}.Delay(retry, nil)
+		lo := time.Duration(float64(full) * (1 - b.Jitter))
+		seen := make(map[time.Duration]bool)
+		for i := 0; i < 200; i++ {
+			d := b.Delay(retry, rng)
+			if d < lo || d > full {
+				t.Fatalf("retry %d: Delay = %v outside [%v, %v]", retry, d, lo, full)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("retry %d: jitter produced no variation across 200 draws", retry)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicPerSeed(t *testing.T) {
+	b := Backoff{} // all defaults, including 0.5 jitter
+	schedule := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = b.Delay(i, rng)
+		}
+		return out
+	}
+	a, b1, c := schedule(7), schedule(7), schedule(8)
+	for i := range a {
+		if a[i] != b1[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, a[i], b1[i])
+		}
+	}
+	differs := false
+	for i := range a {
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestBackoffDelayFloor(t *testing.T) {
+	b := Backoff{Base: 1, Max: 1, Factor: 2, Jitter: 1}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if d := b.Delay(0, rng); d < 1 {
+			t.Fatalf("Delay returned %v, want >= 1ns", d)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package scan
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the engine's sense of time so backoff and latency
+// accounting can be driven deterministically in tests. Production code uses
+// SystemClock; unit tests inject a FakeClock and never sleep for real.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case and nil otherwise.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// SystemClock is the real-time Clock used outside tests.
+var SystemClock Clock = systemClock{}
+
+type systemClock struct{}
+
+// Now implements Clock.
+func (systemClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FakeClock is a deterministic Clock for tests. Sleep never blocks: it
+// advances the fake time by the requested duration and records it, so a test
+// can assert exactly which backoff delays the engine asked for without any
+// real waiting.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it advances the clock by d immediately.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	c.sleeps = append(c.sleeps, d)
+	return nil
+}
+
+// Advance moves the fake time forward without recording a sleep.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Sleeps returns a copy of every duration passed to Sleep, in order.
+func (c *FakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}

@@ -1,0 +1,357 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"h2scope/internal/frame"
+)
+
+// noJitter makes retry schedules exact so tests can assert the sleeps the
+// engine requested from the fake clock.
+var noJitter = Backoff{Base: 100 * time.Millisecond, Factor: 2, Max: 5 * time.Second, Jitter: -1}
+
+func TestRunNilProbe(t *testing.T) {
+	if _, err := Run(context.Background(), nil, nil, Options{}); err == nil {
+		t.Fatal("Run with nil probe succeeded")
+	}
+}
+
+func TestRunNoTargets(t *testing.T) {
+	res, err := Run(context.Background(), nil,
+		func(context.Context, Target) (any, error) { return nil, nil }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.Stats.Attempted != 0 || !res.Stats.Consistent() {
+		t.Fatalf("empty run produced %+v", res)
+	}
+}
+
+func TestRunSuccessKeepsInputOrder(t *testing.T) {
+	const n = 20
+	targets := make([]Target, n)
+	for i := range targets {
+		targets[i] = Target{Key: fmt.Sprintf("site-%02d", i)}
+	}
+	res, err := Run(context.Background(), targets,
+		func(_ context.Context, tg Target) (any, error) { return tg.Key, nil },
+		Options{Parallelism: 4, Clock: NewFakeClock(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != n {
+		t.Fatalf("got %d records, want %d", len(res.Records), n)
+	}
+	for i, rec := range res.Records {
+		if rec.Target.Key != targets[i].Key || rec.Value != targets[i].Key {
+			t.Errorf("record %d out of order: %+v", i, rec)
+		}
+		if rec.Outcome != OutcomeSuccess || rec.Attempts != 1 || rec.Err != "" {
+			t.Errorf("record %d not a clean success: %+v", i, rec)
+		}
+	}
+	s := res.Stats
+	if s.Attempted != n || s.Succeeded != n || s.Failed != 0 || s.Canceled != 0 ||
+		s.Retries != 0 || s.Attempts != n || s.InFlight != 0 || !s.Consistent() {
+		t.Errorf("stats inconsistent with %d clean successes: %+v", n, s)
+	}
+}
+
+// TestRetryScheduleDeterministic drives the retry loop with a fake clock:
+// a target that fails twice with a transient kind must sleep the exact
+// exponential schedule and then succeed, without any real waiting.
+func TestRetryScheduleDeterministic(t *testing.T) {
+	fc := NewFakeClock(time.Unix(1_700_000_000, 0))
+	var attempts int
+	probe := func(context.Context, Target) (any, error) {
+		attempts++
+		if attempts <= 2 {
+			return nil, WithKind(KindDial, errors.New("connection refused"))
+		}
+		return "ok", nil
+	}
+	res, err := Run(context.Background(), []Target{{Key: "flaky"}}, probe, Options{
+		Parallelism: 1,
+		Retries:     5,
+		Backoff:     noJitter,
+		Clock:       fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Records[0]
+	if rec.Outcome != OutcomeSuccess || rec.Attempts != 3 || rec.Value != "ok" {
+		t.Fatalf("record = %+v, want success after 3 attempts", rec)
+	}
+	wantSleeps := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	got := fc.Sleeps()
+	if len(got) != len(wantSleeps) {
+		t.Fatalf("engine slept %v, want %v", got, wantSleeps)
+	}
+	for i := range wantSleeps {
+		if got[i] != wantSleeps[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, got[i], wantSleeps[i])
+		}
+	}
+	if res.Stats.Retries != 2 || res.Stats.Attempts != 3 {
+		t.Errorf("stats = %+v, want 2 retries over 3 attempts", res.Stats)
+	}
+	// Elapsed is fake-clock time: exactly the backoff total.
+	if rec.Elapsed != 300*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 300ms of fake backoff", rec.Elapsed)
+	}
+}
+
+// TestNonTransientNotRetried: protocol errors are properties of the server;
+// retrying them would only re-measure the same violation.
+func TestNonTransientNotRetried(t *testing.T) {
+	fc := NewFakeClock(time.Unix(0, 0))
+	var attempts int
+	probe := func(context.Context, Target) (any, error) {
+		attempts++
+		return nil, frame.ConnError{Code: frame.ErrCodeProtocol, Reason: "goaway"}
+	}
+	res, err := Run(context.Background(), []Target{{Key: "broken"}}, probe, Options{
+		Retries: 5,
+		Backoff: noJitter,
+		Clock:   fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Records[0]
+	if rec.Outcome != OutcomeFailed || rec.Kind != KindProtocol || rec.Attempts != 1 || attempts != 1 {
+		t.Fatalf("record = %+v after %d attempts, want one failed protocol attempt", rec, attempts)
+	}
+	if len(fc.Sleeps()) != 0 {
+		t.Errorf("engine backed off %v for a non-transient failure", fc.Sleeps())
+	}
+	if res.Stats.FailedByKind["protocol"] != 1 || res.Stats.Retries != 0 {
+		t.Errorf("stats = %+v, want one protocol failure and no retries", res.Stats)
+	}
+}
+
+func TestRetryCapExhausted(t *testing.T) {
+	fc := NewFakeClock(time.Unix(0, 0))
+	probe := func(context.Context, Target) (any, error) {
+		return nil, WithKind(KindTimeout, errors.New("stalled"))
+	}
+	res, err := Run(context.Background(), []Target{{Key: "tarpit"}}, probe, Options{
+		Retries: 2,
+		Backoff: noJitter,
+		Clock:   fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Records[0]
+	if rec.Outcome != OutcomeFailed || rec.Kind != KindTimeout || rec.Attempts != 3 {
+		t.Fatalf("record = %+v, want failure after cap of 3 attempts", rec)
+	}
+	if n := len(fc.Sleeps()); n != 2 {
+		t.Fatalf("engine slept %d times, want 2", n)
+	}
+	if res.Stats.Retries != 2 || res.Stats.FailedByKind["timeout"] != 1 {
+		t.Errorf("stats = %+v, want 2 retries and one timeout failure", res.Stats)
+	}
+}
+
+// TestPartialValueKept: a probe that salvages a partial result alongside its
+// error must see that value preserved on the failed record.
+func TestPartialValueKept(t *testing.T) {
+	probe := func(context.Context, Target) (any, error) {
+		return "half a report", WithKind(KindProtocol, errors.New("battery aborted"))
+	}
+	res, err := Run(context.Background(), []Target{{Key: "partial"}}, probe, Options{
+		Clock: NewFakeClock(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Records[0]
+	if rec.Outcome != OutcomeFailed || rec.Value != "half a report" {
+		t.Fatalf("record = %+v, want failed record keeping its partial value", rec)
+	}
+}
+
+// TestAttemptDeadlineEnforced: the engine must free a worker from a probe
+// that ignores its context entirely.
+func TestAttemptDeadlineEnforced(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	probe := func(context.Context, Target) (any, error) {
+		<-release // ignores ctx on purpose
+		return nil, errors.New("too late")
+	}
+	start := time.Now()
+	res, err := Run(context.Background(), []Target{{Key: "wedge"}}, probe, Options{
+		Timeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Run took %v despite a 50ms attempt deadline", elapsed)
+	}
+	rec := res.Records[0]
+	if rec.Outcome != OutcomeFailed || rec.Kind != KindTimeout {
+		t.Fatalf("record = %+v, want timeout failure", rec)
+	}
+	if !strings.Contains(rec.Err, "attempt deadline") {
+		t.Errorf("Err = %q, want the deadline message", rec.Err)
+	}
+}
+
+// TestCancellationFinalizesEveryTarget: a canceled run must return promptly
+// with one finalized record per input target — including targets the feeder
+// never handed out — and stats that still partition.
+func TestCancellationFinalizesEveryTarget(t *testing.T) {
+	const n = 12
+	targets := make([]Target, n)
+	for i := range targets {
+		targets[i] = Target{Key: fmt.Sprintf("t%d", i)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, n)
+	probe := func(ctx context.Context, _ Target) (any, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	go func() {
+		<-started
+		<-started // both workers are blocked in a probe
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, targets, probe, Options{Parallelism: 2, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled run drained in %v, want well under one 10s attempt deadline", elapsed)
+	}
+	if len(res.Records) != n {
+		t.Fatalf("got %d records, want %d", len(res.Records), n)
+	}
+	for i, rec := range res.Records {
+		if rec.Outcome != OutcomeCanceled || rec.Kind != KindCanceled {
+			t.Errorf("record %d = %+v, want canceled", i, rec)
+		}
+		if rec.Err == "" {
+			t.Errorf("record %d has empty Err", i)
+		}
+	}
+	s := res.Stats
+	if s.Attempted != n || s.Canceled != n || s.Succeeded != 0 || s.Failed != 0 || !s.Consistent() {
+		t.Errorf("stats = %+v, want %d canceled and a consistent partition", s, n)
+	}
+}
+
+// TestOnRecordFlushesEveryRecord: the flush hook must see each finalized
+// record exactly once, cancellation included.
+func TestOnRecordFlushesEveryRecord(t *testing.T) {
+	const n = 10
+	targets := make([]Target, n)
+	for i := range targets {
+		targets[i] = Target{Key: fmt.Sprintf("t%d", i)}
+	}
+	var flushed []string // OnRecord calls are serialized by the engine
+	res, err := Run(context.Background(), targets,
+		func(_ context.Context, tg Target) (any, error) {
+			if tg.Key == "t3" {
+				return nil, WithKind(KindTLS, errors.New("bad cert"))
+			}
+			return tg.Key, nil
+		},
+		Options{
+			Parallelism: 4,
+			Clock:       NewFakeClock(time.Unix(0, 0)),
+			OnRecord:    func(rec Record) { flushed = append(flushed, rec.Target.Key) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) != n {
+		t.Fatalf("OnRecord saw %d records, want %d", len(flushed), n)
+	}
+	seen := make(map[string]int)
+	for _, k := range flushed {
+		seen[k]++
+	}
+	for _, tg := range targets {
+		if seen[tg.Key] != 1 {
+			t.Errorf("target %s flushed %d times, want exactly once", tg.Key, seen[tg.Key])
+		}
+	}
+	if res.Stats.Failed != 1 || res.Stats.FailedByKind["tls"] != 1 {
+		t.Errorf("stats = %+v, want exactly one tls failure", res.Stats)
+	}
+}
+
+// TestProgressReporter: a Progress writer must receive periodic stats lines
+// while the run is in flight.
+func TestProgressReporter(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	targets := make([]Target, 4)
+	for i := range targets {
+		targets[i] = Target{Key: fmt.Sprintf("t%d", i)}
+	}
+	_, err := Run(context.Background(), targets,
+		func(context.Context, Target) (any, error) {
+			time.Sleep(30 * time.Millisecond)
+			return nil, nil
+		},
+		Options{Parallelism: 1, Progress: w, ProgressInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "scan:") {
+		t.Errorf("progress writer got %q, want at least one stats line", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestFakeClock(t *testing.T) {
+	start := time.Unix(100, 0)
+	fc := NewFakeClock(start)
+	if err := fc.Sleep(context.Background(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Now(); !got.Equal(start.Add(2 * time.Second)) {
+		t.Errorf("Now = %v after 2s sleep from %v", got, start)
+	}
+	fc.Advance(time.Second)
+	if got := fc.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Errorf("Now = %v after Advance", got)
+	}
+	if got := fc.Sleeps(); len(got) != 1 || got[0] != 2*time.Second {
+		t.Errorf("Sleeps = %v, want [2s] (Advance must not record)", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := fc.Sleep(ctx, time.Second); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if got := fc.Sleeps(); len(got) != 1 {
+		t.Errorf("canceled Sleep was recorded: %v", got)
+	}
+}

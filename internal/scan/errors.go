@@ -1,0 +1,159 @@
+package scan
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/hpack"
+)
+
+// ErrorKind classifies a probe failure by which layer of the stack it came
+// from. The engine retries only transient kinds: a connection that was
+// refused or timed out may succeed on a second attempt, while a TLS
+// negotiation failure or an HTTP/2 protocol violation is a property of the
+// server and will not improve with retrying.
+type ErrorKind int
+
+// The failure vocabulary, ordered roughly by stack layer.
+const (
+	// KindNone means no failure (successful probes).
+	KindNone ErrorKind = iota
+	// KindDial covers transport-establishment and transport-loss failures:
+	// refused connections, DNS errors, resets, closed pipes.
+	KindDial
+	// KindTLS covers TLS handshake and certificate failures.
+	KindTLS
+	// KindProtocol covers HTTP/2 and HPACK violations: the transport worked
+	// but the peer spoke the protocol wrong (or we provoked it to).
+	KindProtocol
+	// KindTimeout means an attempt exceeded its deadline or a protocol wait
+	// expired with the connection still nominally alive.
+	KindTimeout
+	// KindCanceled means the scan's context was canceled; the target was not
+	// given a fair chance and is excluded from failure accounting.
+	KindCanceled
+	// KindOther is everything unclassified.
+	KindOther
+
+	numErrorKinds = int(KindOther) + 1
+)
+
+// String names the kind for logs, stats maps, and persisted records.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindDial:
+		return "dial"
+	case KindTLS:
+		return "tls"
+	case KindProtocol:
+		return "protocol"
+	case KindTimeout:
+		return "timeout"
+	case KindCanceled:
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+// Transient reports whether a failure of this kind is worth retrying.
+func (k ErrorKind) Transient() bool {
+	return k == KindDial || k == KindTimeout
+}
+
+// KindError wraps an error with an explicit classification, letting probe
+// code that knows better than the generic classifier pin the kind.
+type KindError struct {
+	Kind ErrorKind
+	Err  error
+}
+
+// WithKind wraps err with an explicit kind.
+func WithKind(kind ErrorKind, err error) error {
+	return &KindError{Kind: kind, Err: err}
+}
+
+// Error implements the error interface.
+func (e *KindError) Error() string {
+	return fmt.Sprintf("%s: %v", e.Kind, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *KindError) Unwrap() error { return e.Err }
+
+// Classify maps an error to its ErrorKind. Explicit KindError wrappers win;
+// otherwise the chain is inspected for context, TLS, net, framing, and HPACK
+// error types, in roughly that order of specificity.
+func Classify(err error) ErrorKind {
+	if err == nil {
+		return KindNone
+	}
+	var ke *KindError
+	if errors.As(err, &ke) {
+		return ke.Kind
+	}
+	if errors.Is(err, context.Canceled) {
+		return KindCanceled
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, h2conn.ErrTimeout) {
+		return KindTimeout
+	}
+
+	// TLS layer: handshake record errors, certificate failures, alerts.
+	var (
+		recordErr tls.RecordHeaderError
+		certErr   *tls.CertificateVerificationError
+		alertErr  tls.AlertError
+		unkAuth   x509.UnknownAuthorityError
+		hostErr   x509.HostnameError
+		invCert   x509.CertificateInvalidError
+	)
+	if errors.As(err, &recordErr) || errors.As(err, &certErr) || errors.As(err, &alertErr) ||
+		errors.As(err, &unkAuth) || errors.As(err, &hostErr) || errors.As(err, &invCert) {
+		return KindTLS
+	}
+
+	// Protocol layer: HTTP/2 framing and HPACK violations, or a peer that
+	// dropped the connection mid-conversation without an error frame.
+	var (
+		connErr   frame.ConnError
+		streamErr frame.StreamError
+		hpackErr  hpack.DecodingError
+	)
+	if errors.As(err, &connErr) || errors.As(err, &streamErr) || errors.As(err, &hpackErr) ||
+		errors.Is(err, frame.ErrFrameTooLarge) || errors.Is(err, h2conn.ErrConnClosed) {
+		return KindProtocol
+	}
+
+	// Transport layer. Timeouts are classified as such even when they
+	// surface as net errors; everything else transport-shaped is dial-class.
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return KindTimeout
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return KindDial
+	}
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return KindDial
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) {
+		return KindDial
+	}
+	return KindOther
+}

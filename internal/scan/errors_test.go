@@ -1,0 +1,113 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/hpack"
+)
+
+// fakeTimeoutErr implements net.Error with Timeout() == true, the shape a
+// net.Dialer deadline failure takes.
+type fakeTimeoutErr struct{}
+
+func (fakeTimeoutErr) Error() string   { return "i/o timeout" }
+func (fakeTimeoutErr) Timeout() bool   { return true }
+func (fakeTimeoutErr) Temporary() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrorKind
+	}{
+		{"nil", nil, KindNone},
+		{"explicit kind wins", WithKind(KindTLS, errors.New("pinned")), KindTLS},
+		{"explicit kind wrapped", fmt.Errorf("outer: %w", WithKind(KindProtocol, errors.New("x"))), KindProtocol},
+		{"context canceled", context.Canceled, KindCanceled},
+		{"context canceled wrapped", fmt.Errorf("scan: %w", context.Canceled), KindCanceled},
+		{"context deadline", context.DeadlineExceeded, KindTimeout},
+		{"h2conn timeout", h2conn.ErrTimeout, KindTimeout},
+		{"h2conn timeout wrapped", fmt.Errorf("settings: %w", h2conn.ErrTimeout), KindTimeout},
+		{"net timeout", fakeTimeoutErr{}, KindTimeout},
+		{"frame conn error", frame.ConnError{Code: frame.ErrCodeProtocol, Reason: "x"}, KindProtocol},
+		{"frame stream error", frame.StreamError{StreamID: 1, Code: frame.ErrCodeCancel, Reason: "x"}, KindProtocol},
+		{"hpack decoding error", hpack.DecodingError{Err: errors.New("bad varint")}, KindProtocol},
+		{"frame too large", frame.ErrFrameTooLarge, KindProtocol},
+		{"conn closed", h2conn.ErrConnClosed, KindProtocol},
+		{"conn closed wrapped", fmt.Errorf("probe: %w", h2conn.ErrConnClosed), KindProtocol},
+		{"op error dial", &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}, KindDial},
+		{"dns error", &net.DNSError{Err: "no such host", Name: "example.invalid"}, KindDial},
+		{"econnrefused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), KindDial},
+		{"econnreset", fmt.Errorf("read: %w", syscall.ECONNRESET), KindDial},
+		{"epipe", syscall.EPIPE, KindDial},
+		{"net closed", net.ErrClosed, KindDial},
+		{"closed pipe", io.ErrClosedPipe, KindDial},
+		{"eof", io.EOF, KindDial},
+		{"unexpected eof", io.ErrUnexpectedEOF, KindDial},
+		{"mystery", errors.New("the server is haunted"), KindOther},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorKindTransient(t *testing.T) {
+	transient := map[ErrorKind]bool{
+		KindNone:     false,
+		KindDial:     true,
+		KindTLS:      false,
+		KindProtocol: false,
+		KindTimeout:  true,
+		KindCanceled: false,
+		KindOther:    false,
+	}
+	for kind, want := range transient {
+		if got := kind.Transient(); got != want {
+			t.Errorf("%v.Transient() = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestErrorKindString(t *testing.T) {
+	want := map[ErrorKind]string{
+		KindNone:     "none",
+		KindDial:     "dial",
+		KindTLS:      "tls",
+		KindProtocol: "protocol",
+		KindTimeout:  "timeout",
+		KindCanceled: "canceled",
+		KindOther:    "other",
+	}
+	if len(want) != numErrorKinds {
+		t.Fatalf("test covers %d kinds, package defines %d", len(want), numErrorKinds)
+	}
+	for kind, name := range want {
+		if got := kind.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", int(kind), got, name)
+		}
+	}
+}
+
+func TestKindErrorUnwrap(t *testing.T) {
+	inner := syscall.ECONNREFUSED
+	err := WithKind(KindOther, fmt.Errorf("wrapped: %w", inner))
+	if !errors.Is(err, inner) {
+		t.Error("WithKind hides the wrapped chain from errors.Is")
+	}
+	// The explicit kind must still beat what the chain would classify as.
+	if got := Classify(err); got != KindOther {
+		t.Errorf("Classify = %v, want explicit KindOther", got)
+	}
+}

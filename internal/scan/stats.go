@@ -1,0 +1,229 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the histogram resolution: bucket i covers target
+// latencies in [2^(i-1), 2^i) milliseconds, with bucket 0 for sub-1ms.
+const latencyBuckets = 32
+
+// counters is the engine's live, lock-free instrumentation. Workers bump it
+// from many goroutines; Snapshot renders a consistent-enough view at any
+// moment and an exactly consistent one once the run has drained.
+type counters struct {
+	attempted atomic.Int64
+	succeeded atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	retries   atomic.Int64
+	attempts  atomic.Int64
+	inFlight  atomic.Int64
+
+	failedByKind [numErrorKinds]atomic.Int64
+
+	latCount  atomic.Int64
+	latSumNS  atomic.Int64
+	latMinNS  atomic.Int64
+	latMaxNS  atomic.Int64
+	latBucket [latencyBuckets]atomic.Int64
+}
+
+func newCounters() *counters {
+	c := &counters{}
+	c.latMinNS.Store(math.MaxInt64)
+	return c
+}
+
+func latencyBucket(d time.Duration) int {
+	ms := uint64(d / time.Millisecond)
+	b := bits.Len64(ms)
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	return b
+}
+
+// observeLatency records one completed target's elapsed time.
+func (c *counters) observeLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	c.latCount.Add(1)
+	c.latSumNS.Add(ns)
+	for {
+		cur := c.latMinNS.Load()
+		if ns >= cur || c.latMinNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := c.latMaxNS.Load()
+		if ns <= cur || c.latMaxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	c.latBucket[latencyBucket(d)].Add(1)
+}
+
+// LatencyStats summarizes the per-target latency histogram. Quantiles are
+// approximate: each falls at the geometric midpoint of its power-of-two
+// bucket.
+type LatencyStats struct {
+	Count int64         `json:"count"`
+	Min   time.Duration `json:"min"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// Stats is a point-in-time snapshot of a scan's counters. After Run returns
+// it satisfies Attempted == Succeeded + Failed + Canceled.
+type Stats struct {
+	// Attempted counts targets the engine has finalized a record for.
+	Attempted int64 `json:"attempted"`
+	// Succeeded, Failed, and Canceled partition Attempted by outcome.
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	// Retries counts retry attempts beyond each target's first.
+	Retries int64 `json:"retries"`
+	// Attempts counts every probe attempt, first tries included.
+	Attempts int64 `json:"attempts"`
+	// InFlight is the number of attempts executing right now.
+	InFlight int64 `json:"inFlight"`
+	// FailedByKind histograms Failed by classified error kind.
+	FailedByKind map[string]int64 `json:"failedByKind,omitempty"`
+	// Latency summarizes per-target wall time.
+	Latency LatencyStats `json:"latency"`
+}
+
+// Snapshot renders the counters as a Stats value.
+func (c *counters) Snapshot() Stats {
+	s := Stats{
+		Attempted: c.attempted.Load(),
+		Succeeded: c.succeeded.Load(),
+		Failed:    c.failed.Load(),
+		Canceled:  c.canceled.Load(),
+		Retries:   c.retries.Load(),
+		Attempts:  c.attempts.Load(),
+		InFlight:  c.inFlight.Load(),
+	}
+	for k := 0; k < numErrorKinds; k++ {
+		if n := c.failedByKind[k].Load(); n > 0 {
+			if s.FailedByKind == nil {
+				s.FailedByKind = make(map[string]int64)
+			}
+			s.FailedByKind[ErrorKind(k).String()] = n
+		}
+	}
+	s.Latency = c.latencySnapshot()
+	return s
+}
+
+func (c *counters) latencySnapshot() LatencyStats {
+	n := c.latCount.Load()
+	if n == 0 {
+		return LatencyStats{}
+	}
+	ls := LatencyStats{
+		Count: n,
+		Min:   time.Duration(c.latMinNS.Load()),
+		Mean:  time.Duration(c.latSumNS.Load() / n),
+		Max:   time.Duration(c.latMaxNS.Load()),
+	}
+	var counts [latencyBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = c.latBucket[i].Load()
+		total += counts[i]
+	}
+	// Bucket midpoints can land outside the observed range; clamp every
+	// quantile into [Min, Max] so the summary never contradicts itself.
+	for _, q := range []struct {
+		dst *time.Duration
+		q   float64
+	}{{&ls.P50, 0.50}, {&ls.P90, 0.90}, {&ls.P99, 0.99}} {
+		v := bucketQuantile(counts[:], total, q.q)
+		if v < ls.Min {
+			v = ls.Min
+		}
+		if v > ls.Max {
+			v = ls.Max
+		}
+		*q.dst = v
+	}
+	return ls
+}
+
+// bucketQuantile locates quantile q in the power-of-two histogram.
+func bucketQuantile(counts []int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	last := time.Duration(0)
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if i == 0 {
+			last = 500 * time.Microsecond
+		} else {
+			// Geometric midpoint of [2^(i-1), 2^i) milliseconds.
+			mid := math.Sqrt(math.Pow(2, float64(i-1)) * math.Pow(2, float64(i)))
+			last = time.Duration(mid * float64(time.Millisecond))
+		}
+		seen += n
+		if seen >= rank {
+			return last
+		}
+	}
+	return last
+}
+
+// Consistent reports whether the outcome partition adds up; it holds
+// whenever no targets are mid-flight (always, after Run returns).
+func (s Stats) Consistent() bool {
+	return s.Attempted == s.Succeeded+s.Failed+s.Canceled
+}
+
+// String renders the snapshot as a one-line progress report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan: %d done (ok %d, fail %d, canceled %d)",
+		s.Attempted, s.Succeeded, s.Failed, s.Canceled)
+	if s.Retries > 0 {
+		fmt.Fprintf(&b, ", %d retries", s.Retries)
+	}
+	if s.InFlight > 0 {
+		fmt.Fprintf(&b, ", %d in flight", s.InFlight)
+	}
+	if len(s.FailedByKind) > 0 {
+		kinds := make([]string, 0, len(s.FailedByKind))
+		for k := 0; k < numErrorKinds; k++ {
+			name := ErrorKind(k).String()
+			if n, ok := s.FailedByKind[name]; ok {
+				kinds = append(kinds, fmt.Sprintf("%s %d", name, n))
+			}
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(kinds, ", "))
+	}
+	if s.Latency.Count > 0 {
+		fmt.Fprintf(&b, ", latency p50 %v p99 %v",
+			s.Latency.P50.Round(time.Millisecond), s.Latency.P99.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -471,3 +471,32 @@ func TestShutdownForcesLingeringConnections(t *testing.T) {
 		t.Fatalf("Shutdown took %v", elapsed)
 	}
 }
+
+// TestShutdownRacingAccept hammers the window between Accept returning a
+// connection and the handler registering it: Shutdown must either sweep the
+// connection or reject it, never strand it (which would hang wg.Wait
+// forever) and never race wg.Add against wg.Wait.
+func TestShutdownRacingAccept(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		srv := server.New(server.NginxProfile(), server.DefaultSite("race.example"))
+		l := netsim.NewListener("race")
+		go func() {
+			_ = srv.Serve(l)
+		}()
+		nc, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.Shutdown(10 * time.Millisecond)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: Shutdown stranded a connection", i)
+		}
+		_ = nc.Close()
+	}
+}

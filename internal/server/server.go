@@ -82,7 +82,17 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
+		// Registering under mu while !closed guarantees no wg.Add can race
+		// a Close/Shutdown wg.Wait: Wait only starts after closed is set,
+		// and a conn accepted around that moment is rejected here instead.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return nil
+		}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			if err := s.ServeConn(nc); err != nil && !errors.Is(err, io.EOF) {
@@ -142,10 +152,17 @@ func (s *Server) Shutdown(grace time.Duration) {
 	}
 }
 
-func (s *Server) track(c *conn) {
+// track registers c for Shutdown's GOAWAY/force-close sweep. It reports
+// false when the server already closed, so a connection accepted just
+// before Close/Shutdown cannot slip past the sweep and linger unclosed.
+func (s *Server) track(c *conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
 	s.conns[c] = struct{}{}
+	return true
 }
 
 func (s *Server) untrack(c *conn) {
@@ -179,7 +196,9 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		firstSent:     make(map[uint32]bool),
 	}
 	c.sched = priority.NewScheduler(c.tree)
-	s.track(c)
+	if !s.track(c) {
+		return errors.New("server: closed")
+	}
 	defer s.untrack(c)
 	return c.serve()
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"h2scope/internal/core"
+	"h2scope/internal/scan"
 	"h2scope/internal/stats"
 )
 
@@ -37,6 +38,13 @@ type Analysis struct {
 	HPACKRatios []float64
 	// PingRTTsMillis holds minimum h2-PING RTT samples in milliseconds.
 	PingRTTsMillis []float64
+	// Failed and Canceled count stored records whose probe did not
+	// complete; FailureKinds histograms them by classified kind.
+	Failed, Canceled int
+	FailureKinds     map[string]int
+	// EngineStats holds any scan-summary trailer snapshots found in the
+	// record stream (one per scan run that wrote the file).
+	EngineStats []scan.Stats
 }
 
 // Analyze builds the aggregates from records.
@@ -47,9 +55,23 @@ func Analyze(records []Record) *Analysis {
 		ZeroWUStream: make(map[core.Observation]int),
 		LargeWUConn:  make(map[core.Observation]int),
 		SelfDep:      make(map[core.Observation]int),
+		FailureKinds: make(map[string]int),
 	}
 	for i := range records {
 		rec := &records[i]
+		if rec.IsStatsTrailer() {
+			a.EngineStats = append(a.EngineStats, *rec.Stats)
+			continue
+		}
+		switch rec.Outcome {
+		case scan.OutcomeFailed.String():
+			a.Failed++
+			if rec.ErrorKind != "" {
+				a.FailureKinds[rec.ErrorKind]++
+			}
+		case scan.OutcomeCanceled.String():
+			a.Canceled++
+		}
 		r := rec.Report
 		if r == nil {
 			continue
@@ -144,6 +166,13 @@ func (a *Analysis) HPACKRatioCDF() *stats.CDF {
 func (a *Analysis) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "offline analysis of %d stored records\n", a.Records)
+	if a.Failed > 0 || a.Canceled > 0 {
+		fmt.Fprintf(&b, "  incomplete probes: %d failed / %d canceled (by kind: %v)\n",
+			a.Failed, a.Canceled, a.FailureKinds)
+	}
+	for _, s := range a.EngineStats {
+		fmt.Fprintf(&b, "  %s\n", s.String())
+	}
 	fmt.Fprintf(&b, "  tiny window: %d one-byte / %d zero-length / %d silent\n",
 		a.TinyWindow[core.TinyWindowOneByte], a.TinyWindow[core.TinyWindowZeroLen],
 		a.TinyWindow[core.TinyWindowNothing])

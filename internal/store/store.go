@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"h2scope/internal/core"
+	"h2scope/internal/scan"
 )
 
 // Record is one probed site's persisted result.
@@ -27,9 +28,24 @@ type Record struct {
 	ServerName string `json:"serverName,omitempty"`
 	// ScannedAt is when the probe battery ran.
 	ScannedAt time.Time `json:"scannedAt"`
-	// Report is the full H2Scope battery result.
+	// Report is the full H2Scope battery result; nil when the probe failed
+	// before producing anything.
 	Report *core.Report `json:"report"`
+	// Outcome, ErrorKind, Error, and Attempts describe how the scan engine
+	// fared: "ok" sites omit the error fields, failed sites keep their
+	// classified kind so offline analysis can report coverage honestly.
+	Outcome   string `json:"outcome,omitempty"`
+	ErrorKind string `json:"errorKind,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
+	// Stats marks a scan-summary trailer record: one per scan run, holding
+	// the engine's final counter snapshot instead of a per-site report.
+	Stats *scan.Stats `json:"stats,omitempty"`
 }
+
+// IsStatsTrailer reports whether the record is a scan-summary trailer
+// rather than a per-site result.
+func (r *Record) IsStatsTrailer() bool { return r.Stats != nil && r.Report == nil }
 
 // Writer appends records to an underlying stream as JSON lines. It is safe
 // for concurrent use (scanner workers share one Writer).
@@ -99,6 +115,9 @@ func Summarize(records []Record) *Summary {
 	s := &Summary{ServerNames: make(map[string]int)}
 	for i := range records {
 		rec := &records[i]
+		if rec.IsStatsTrailer() {
+			continue
+		}
 		s.Records++
 		if rec.ServerName != "" {
 			s.ServerNames[rec.ServerName]++
