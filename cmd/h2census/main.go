@@ -29,7 +29,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err == nil {
-		err = run(opts, os.Stdout)
+		err = run(opts, os.Stdout, os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2census:", err)
@@ -48,8 +48,13 @@ type options struct {
 	timeout  time.Duration
 	progress time.Duration
 	outPath  string
+	traceDir string
 	analyze  string
 }
+
+// machineStdout reports whether stdout is reserved for the JSONL record
+// stream (-out -), pushing all human-readable output to stderr.
+func (o *options) machineStdout() bool { return o.outPath == "-" }
 
 // parseFlags parses args and validates flag combinations, returning clear
 // errors instead of silently misbehaving on nonsense like -scale 7 or
@@ -66,7 +71,8 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.IntVar(&o.retries, "retries", 2, "per-site retry cap for transient (dial/timeout) failures")
 	fs.DurationVar(&o.timeout, "timeout", 5*time.Second, "per-probe protocol wait; the per-site budget derives from it")
 	fs.DurationVar(&o.progress, "progress", 0, "if > 0, print scan progress to stderr at this interval")
-	fs.StringVar(&o.outPath, "out", "", "append per-site scan records (JSON lines) to this file")
+	fs.StringVar(&o.outPath, "out", "", "append per-site scan records (JSON lines) to this file; \"-\" streams records to stdout and moves tables to stderr")
+	fs.StringVar(&o.traceDir, "trace", "", "directory to write per-site frame-level traces (JSONL, view with h2trace); needs -sample > 0")
 	fs.StringVar(&o.analyze, "analyze", "", "skip generation: analyze a previously written records file and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -114,10 +120,20 @@ func (o *options) validate() error {
 	if o.outPath != "" && o.sample == 0 {
 		return fmt.Errorf("-out needs a measured scan; set -sample > 0")
 	}
+	if o.traceDir != "" && o.sample == 0 {
+		return fmt.Errorf("-trace needs a measured scan; set -sample > 0")
+	}
 	return nil
 }
 
-func run(o *options, stdout io.Writer) error {
+// run drives the census. stdout carries the deliverable: human-readable
+// tables normally, or the machine-clean JSONL record stream under -out -
+// (all tables and notices shift to stderr so piped output stays parseable).
+func run(o *options, stdout, stderr io.Writer) error {
+	human := stdout
+	if o.machineStdout() {
+		human = stderr
+	}
 	if o.analyze != "" {
 		f, err := os.Open(o.analyze)
 		if err != nil {
@@ -130,7 +146,7 @@ func run(o *options, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, h2scope.AnalyzeScanRecords(records))
+		fmt.Fprintln(human, h2scope.AnalyzeScanRecords(records))
 		return nil
 	}
 
@@ -146,34 +162,34 @@ func run(o *options, stdout io.Writer) error {
 
 	for _, epoch := range epochs {
 		census := h2scope.NewCensus(epoch, o.scale, o.seed)
-		fmt.Fprintf(stdout, "==== %s (scale %.3g, seed %d) ====\n\n", epoch, o.scale, o.seed)
-		fmt.Fprintln(stdout, "-- Adoption (Section V-B) --")
-		fmt.Fprintln(stdout, census.Adoption())
-		fmt.Fprintln(stdout, "-- Table IV: servers used by more than 1,000 sites --")
-		fmt.Fprintln(stdout, census.TableIV(int(1000*o.scale)))
-		fmt.Fprintln(stdout, "-- Table V: SETTINGS_INITIAL_WINDOW_SIZE --")
-		fmt.Fprintln(stdout, census.TableV())
-		fmt.Fprintln(stdout, "-- Table VI: SETTINGS_MAX_FRAME_SIZE --")
-		fmt.Fprintln(stdout, census.TableVI())
-		fmt.Fprintln(stdout, "-- Table VII: SETTINGS_MAX_HEADER_LIST_SIZE --")
-		fmt.Fprintln(stdout, census.TableVII())
-		fmt.Fprintln(stdout, "-- Figure 2: SETTINGS_MAX_CONCURRENT_STREAMS CDF --")
-		fmt.Fprintln(stdout, census.Figure2Rendered())
-		fmt.Fprintln(stdout, "-- Section V-D: flow control --")
-		fmt.Fprintln(stdout, census.SectionVD())
-		fmt.Fprintln(stdout, "-- Section V-E: priority --")
-		fmt.Fprintln(stdout, census.SectionVE())
-		fmt.Fprintln(stdout, "-- Section V-F: server push --")
-		fmt.Fprintln(stdout, census.SectionVF())
+		fmt.Fprintf(human, "==== %s (scale %.3g, seed %d) ====\n\n", epoch, o.scale, o.seed)
+		fmt.Fprintln(human, "-- Adoption (Section V-B) --")
+		fmt.Fprintln(human, census.Adoption())
+		fmt.Fprintln(human, "-- Table IV: servers used by more than 1,000 sites --")
+		fmt.Fprintln(human, census.TableIV(int(1000*o.scale)))
+		fmt.Fprintln(human, "-- Table V: SETTINGS_INITIAL_WINDOW_SIZE --")
+		fmt.Fprintln(human, census.TableV())
+		fmt.Fprintln(human, "-- Table VI: SETTINGS_MAX_FRAME_SIZE --")
+		fmt.Fprintln(human, census.TableVI())
+		fmt.Fprintln(human, "-- Table VII: SETTINGS_MAX_HEADER_LIST_SIZE --")
+		fmt.Fprintln(human, census.TableVII())
+		fmt.Fprintln(human, "-- Figure 2: SETTINGS_MAX_CONCURRENT_STREAMS CDF --")
+		fmt.Fprintln(human, census.Figure2Rendered())
+		fmt.Fprintln(human, "-- Section V-D: flow control --")
+		fmt.Fprintln(human, census.SectionVD())
+		fmt.Fprintln(human, "-- Section V-E: priority --")
+		fmt.Fprintln(human, census.SectionVE())
+		fmt.Fprintln(human, "-- Section V-F: server push --")
+		fmt.Fprintln(human, census.SectionVF())
 		fig := "Figure 4"
 		if epoch == h2scope.EpochJan2017 {
 			fig = "Figure 5"
 		}
-		fmt.Fprintf(stdout, "-- %s: HPACK compression ratio by family (CDF quantiles) --\n", fig)
-		fmt.Fprintln(stdout, census.Figures4And5Rendered())
+		fmt.Fprintf(human, "-- %s: HPACK compression ratio by family (CDF quantiles) --\n", fig)
+		fmt.Fprintln(human, census.Figures4And5Rendered())
 
 		if o.sample > 0 {
-			if err := runScan(o, stdout, epoch, census); err != nil {
+			if err := runScan(o, stdout, human, stderr, epoch, census); err != nil {
 				return err
 			}
 		}
@@ -183,8 +199,10 @@ func run(o *options, stdout io.Writer) error {
 
 // runScan performs the measured scan of one epoch through the scan engine
 // and reports its stats, optionally persisting records plus a stats trailer.
-func runScan(o *options, stdout io.Writer, epoch h2scope.Epoch, census *h2scope.Census) error {
-	fmt.Fprintf(stdout, "-- Measured scan (%d sites, %d workers, %d retries, timeout %v) --\n",
+// Human-readable tables and notices go to human; with -out - the record
+// stream goes to stdout (and human is stderr, keeping stdout machine-clean).
+func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, census *h2scope.Census) (err error) {
+	fmt.Fprintf(human, "-- Measured scan (%d sites, %d workers, %d retries, timeout %v) --\n",
 		o.sample, o.parallel, o.retries, o.timeout)
 	scanOpts := h2scope.ScanOptions{
 		SampleSize:  o.sample,
@@ -192,35 +210,44 @@ func runScan(o *options, stdout io.Writer, epoch h2scope.Epoch, census *h2scope.
 		Seed:        o.seed,
 		Timeout:     o.timeout,
 		Retries:     o.retries,
+		TraceDir:    o.traceDir,
 	}
 	if o.progress > 0 {
-		scanOpts.Progress = os.Stderr
+		scanOpts.Progress = stderr
 		scanOpts.ProgressInterval = o.progress
 	}
 	sum, err := h2scope.ScanPopulation(census.Pop, scanOpts)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(stdout, h2scope.RenderScan(sum))
-	fmt.Fprintln(stdout, sum.Stats.String())
+	fmt.Fprintln(human, h2scope.RenderScan(sum))
+	fmt.Fprintln(human, sum.Stats.String())
 	if o.outPath == "" {
 		return nil
 	}
-	f, err := os.OpenFile(o.outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
+	var w io.Writer
+	if o.machineStdout() {
+		w = stdout
+	} else {
+		f, ferr := os.OpenFile(o.outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return ferr
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = f
 	}
 	now := time.Now()
-	err = h2scope.WriteScanRecords(f, epoch, now, sum)
+	err = h2scope.WriteScanRecords(w, epoch, now, sum)
 	if err == nil {
-		err = h2scope.AppendScanStats(f, epoch, now, sum.Stats)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
+		err = h2scope.AppendScanStats(w, epoch, now, sum.Stats)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote %d records (+1 stats trailer) to %s\n", len(sum.Results), o.outPath)
-	return nil
+	fmt.Fprintf(human, "wrote %d records (+1 stats trailer) to %s\n", len(sum.Results), o.outPath)
+	return err
 }

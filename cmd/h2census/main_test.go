@@ -36,6 +36,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"analyze with out", []string{"-analyze", "x.jsonl", "-out", "y.jsonl"},
 			"cannot be combined with -out"},
 		{"out without sample", []string{"-out", "y.jsonl"}, "-out needs a measured scan"},
+		{"out to stdout", []string{"-sample", "5", "-out", "-"}, ""},
+		{"trace with sample", []string{"-sample", "5", "-trace", "traces"}, ""},
+		{"trace without sample", []string{"-trace", "traces"}, "-trace needs a measured scan"},
 		{"positional junk", []string{"extra"}, "unexpected positional arguments"},
 	}
 	for _, tc := range cases {
@@ -85,8 +88,8 @@ func TestRunAnalyzeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out strings.Builder
-	if err := run(opts, &out); err != nil {
+	var out, errOut strings.Builder
+	if err := run(opts, &out, &errOut); err != nil {
 		t.Fatalf("run(-analyze): %v", err)
 	}
 	got := out.String()
@@ -95,5 +98,58 @@ func TestRunAnalyzeRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(got, "scan: 5 done (ok 5") {
 		t.Errorf("analysis output missing stats trailer line:\n%s", got)
+	}
+}
+
+// TestMachineCleanStdout covers the -out - contract: with records streamed
+// to stdout, every stdout line must be a parseable scan record and all
+// human-readable tables, progress, and notices must land on stderr only.
+func TestMachineCleanStdout(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-epoch", "1", "-scale", "0.002", "-sample", "4",
+		"-progress", "1s", "-out", "-",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatalf("run(-out -): %v", err)
+	}
+
+	records, err := h2scope.ReadScanRecords(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatalf("stdout is not a clean record stream: %v\nstdout:\n%s", err, stdout.String())
+	}
+	if len(records) != 5 {
+		t.Fatalf("stdout carried %d records, want 4 sites + 1 stats trailer", len(records))
+	}
+	for i, rec := range records[:4] {
+		if rec.IsStatsTrailer() {
+			t.Errorf("record %d is a stats trailer; the trailer must come last", i)
+		}
+	}
+	if !records[4].IsStatsTrailer() {
+		t.Error("last stdout record is not the stats trailer")
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != len(records) {
+		t.Errorf("stdout has %d lines, want %d (one JSON object per line)", len(lines), len(records))
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "{") {
+			t.Errorf("stdout line %d is not JSON: %q", i+1, line)
+		}
+	}
+	for _, banned := range []string{"====", "-- ", "wrote "} {
+		if strings.Contains(stdout.String(), banned) {
+			t.Errorf("stdout contains human-readable output %q:\n%s", banned, stdout.String())
+		}
+	}
+	errText := stderr.String()
+	for _, want := range []string{"====", "Table IV", "Measured scan", "wrote 4 records"} {
+		if !strings.Contains(errText, want) {
+			t.Errorf("stderr missing human output %q", want)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 // Command h2conform runs the h2spec-style RFC 7540 conformance suite
-// against an HTTP/2 server (see internal/conformance): twelve named checks
-// covering framing, SETTINGS handling, PING, flow-control boundaries, and
+// against an HTTP/2 server (see internal/conformance): named checks
+// covering framing and frame-size validation, reserved-bit and flag
+// handling, SETTINGS rules, PING, flow-control boundaries, and
 // header-block rules.
 //
 // Usage:

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"h2scope/internal/scan"
 	"h2scope/internal/stats"
 	"h2scope/internal/tlsutil"
+	"h2scope/internal/trace"
 )
 
 func main() {
@@ -33,6 +35,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "h2scope:", err)
 		os.Exit(1)
 	}
+}
+
+// traceFileName maps a target (host:port) onto a safe trace file name.
+func traceFileName(key string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	if safe == "" {
+		safe = "trace"
+	}
+	return safe + ".jsonl"
+}
+
+func writeTraceFile(path, target string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, target, tr); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run() error {
@@ -47,6 +78,7 @@ func run() error {
 		largeList = flag.String("large", "/large/1,/large/2,/large/3,/large/4,/large/5,/large/6", "comma-separated large objects")
 		smallPath = flag.String("small", "/about.html", "small page for settings/HPACK/ping probes")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
+		traceDir  = flag.String("trace", "", "directory to write a frame-level trace (JSONL, view with h2trace)")
 		exts      = flag.Bool("extensions", false, "also run the beyond-paper extension probes")
 		h2c       = flag.Bool("h2c-upgrade", false, "probe the cleartext Upgrade: h2c path (plain TCP targets only)")
 	)
@@ -94,20 +126,37 @@ func run() error {
 	// (one -timeout per battery probe) plus retries of transiently
 	// classified failures, so a stalling or refusing target cannot hang the
 	// tool and flaky paths get a second chance.
+	scanOpts := scan.Options{
+		Parallelism: 1,
+		Retries:     *retries,
+		Timeout:     time.Duration(len(cfg.LargePaths)+8) * *timeout,
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		scanOpts.NewTracer = func(scan.Target) *trace.Tracer { return trace.New(0) }
+		scanOpts.OnTrace = func(t scan.Target, tr *trace.Tracer) {
+			path := filepath.Join(*traceDir, traceFileName(t.Key))
+			if werr := writeTraceFile(path, t.Key, tr); werr != nil {
+				fmt.Fprintln(os.Stderr, "h2scope: trace export:", werr)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "h2scope: trace written to", path)
+		}
+	}
 	res, err := scan.Run(context.Background(),
 		[]scan.Target{{Key: *target}},
 		func(ctx context.Context, _ scan.Target) (any, error) {
-			r, perr := h2scope.NewProber(dialer, cfg).RunContext(ctx)
+			probeCfg := cfg
+			probeCfg.Tracer = trace.FromContext(ctx)
+			r, perr := h2scope.NewProber(dialer, probeCfg).RunContext(ctx)
 			if r == nil {
 				return nil, perr
 			}
 			return r, perr
 		},
-		scan.Options{
-			Parallelism: 1,
-			Retries:     *retries,
-			Timeout:     time.Duration(len(cfg.LargePaths)+8) * *timeout,
-		})
+		scanOpts)
 	if err != nil {
 		return err
 	}

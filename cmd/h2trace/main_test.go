@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/trace"
+)
+
+// writeSampleTrace exports a small two-stream trace to dir and returns its
+// path.
+func writeSampleTrace(t *testing.T, dir, name, target string) string {
+	t.Helper()
+	tr := trace.New(128)
+	conn := tr.ConnID()
+	tr.ConnOpen(conn, target)
+	end := tr.Phase("multiplexing")
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeHeaders, StreamID: 1, Flags: frame.FlagEndStream | frame.FlagEndHeaders})
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeHeaders, StreamID: 3, Flags: frame.FlagEndStream | frame.FlagEndHeaders})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 1, Length: 100})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 3, Length: 100, Flags: frame.FlagEndStream})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 1, Length: 10, Flags: frame.FlagEndStream})
+	end()
+	tr.ConnClose(conn, "eof")
+
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, target, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderSingleTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSampleTrace(t, dir, "one.example.jsonl", "one.example")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-events", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"trace one.example",
+		"stream 1",
+		"stream 3",
+		"[multiplexing]",
+		"END_STREAM",
+		"DATA",
+		"conn-close",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeDirectory(t *testing.T) {
+	dir := t.TempDir()
+	writeSampleTrace(t, dir, "a.example.jsonl", "a.example")
+	writeSampleTrace(t, dir, "b.example.jsonl", "b.example")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-merge", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"a.example.jsonl", "b.example.jsonl", "total (2 traces)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merge output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"does-not-exist.jsonl"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"domain":"not-a-trace"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &stdout, &stderr); code != 1 {
+		t.Errorf("non-trace file: exit %d, want 1", code)
+	}
+
+	a := writeSampleTrace(t, dir, "a.jsonl", "a")
+	b := writeSampleTrace(t, dir, "b.jsonl", "b")
+	if code := run([]string{a, b}, &stdout, &stderr); code != 2 {
+		t.Errorf("two files without -merge: exit %d, want 2", code)
+	}
+}

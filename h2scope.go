@@ -218,6 +218,7 @@ func WriteScanRecords(w io.Writer, epoch Epoch, scannedAt time.Time, sum *ScanSu
 			ErrorKind:  res.Kind.String(),
 			Error:      res.Err,
 			Attempts:   res.Attempts,
+			TraceFile:  res.TraceFile,
 		}
 		if res.Outcome == scan.OutcomeSuccess {
 			rec.ErrorKind = ""

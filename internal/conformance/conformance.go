@@ -234,6 +234,42 @@ func Suite() []Check {
 			Description: "DATA frames never exceed the advertised SETTINGS_MAX_FRAME_SIZE",
 			Run:         checkDataFrameSizeLimit,
 		},
+		{
+			ID:          "4.1/reserved-bit-ignored",
+			Section:     "4.1",
+			Description: "the reserved bit of the frame header is ignored on receipt",
+			Run:         checkReservedBitIgnored,
+		},
+		{
+			ID:          "4.1/undefined-flags-ignored",
+			Section:     "4.1",
+			Description: "flags with no defined semantics for a frame type are ignored",
+			Run:         checkUndefinedFlagsIgnored,
+		},
+		{
+			ID:          "6.1/data-padding-exceeds-payload",
+			Section:     "6.1",
+			Description: "DATA padding as long as or longer than the payload is PROTOCOL_ERROR",
+			Run:         checkDataPaddingExceedsPayload,
+		},
+		{
+			ID:          "6.4/rst-stream-bad-length",
+			Section:     "6.4",
+			Description: "an RST_STREAM payload other than 4 octets is FRAME_SIZE_ERROR",
+			Run:         checkRSTStreamBadLength,
+		},
+		{
+			ID:          "6.5/settings-ack-with-payload",
+			Section:     "6.5.3",
+			Description: "a SETTINGS ACK carrying a payload is FRAME_SIZE_ERROR",
+			Run:         checkSettingsAckWithPayload,
+		},
+		{
+			ID:          "6.9/window-update-bad-length",
+			Section:     "6.9",
+			Description: "a WINDOW_UPDATE payload other than 4 octets is FRAME_SIZE_ERROR",
+			Run:         checkWindowUpdateBadLength,
+		},
 	}
 	sort.Slice(checks, func(i, j int) bool { return checks[i].ID < checks[j].ID })
 	return checks
@@ -640,6 +676,152 @@ func checkDataFrameSizeLimit(env *Env) (Verdict, string) {
 		if n > frame.DefaultMaxFrameSize {
 			return Fail, fmt.Sprintf("DATA frame of %d bytes against a %d limit", n, frame.DefaultMaxFrameSize)
 		}
+	}
+	return Pass, ""
+}
+
+// awaitPingAck reports whether a PING ACK arrives within the timeout.
+func awaitPingAck(env *Env, c *h2conn.Conn) bool {
+	events, _ := c.WaitFor(env.Timeout, func(evs []h2conn.Event) bool {
+		for _, e := range evs {
+			if e.Type == frame.TypePing && e.IsAck() {
+				return true
+			}
+		}
+		return false
+	})
+	for _, e := range events {
+		if e.Type == frame.TypePing && e.IsAck() {
+			return true
+		}
+	}
+	return false
+}
+
+func checkReservedBitIgnored(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	// A PING whose header sets the reserved bit over stream 0. The framer
+	// writes the stream-ID field verbatim, so the bit reaches the wire; a
+	// compliant receiver masks it off and answers the PING normally.
+	if err := c.WriteRawFrame(frame.TypePing, 0, 1<<31, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		return Skip, err.Error()
+	}
+	if !awaitPingAck(env, c) {
+		return Fail, "no PING ACK after a reserved-bit frame"
+	}
+	if !env.fetchOK(c) {
+		return Fail, "connection unusable after a reserved-bit frame"
+	}
+	return Pass, ""
+}
+
+func checkUndefinedFlagsIgnored(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	// Every flag bit except ACK (0x1) is undefined for PING; all of them
+	// set at once must be ignored and the PING answered as usual.
+	if err := c.WriteRawFrame(frame.TypePing, 0xFE, 0, []byte{8, 7, 6, 5, 4, 3, 2, 1}); err != nil {
+		return Skip, err.Error()
+	}
+	if !awaitPingAck(env, c) {
+		return Fail, "no PING ACK after undefined flag bits"
+	}
+	if !env.fetchOK(c) {
+		return Fail, "connection unusable after undefined flag bits"
+	}
+	return Pass, ""
+}
+
+func checkDataPaddingExceedsPayload(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	id, err := c.OpenStream(h2conn.Request{Authority: env.Authority, Path: env.SmallPath})
+	if err != nil {
+		return Skip, err.Error()
+	}
+	// Pad Length 5 with a single octet of remaining payload.
+	if err := c.WriteRawFrame(frame.TypeData, frame.FlagPadded, id, []byte{5, 'x'}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeProtocol, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want PROTOCOL_ERROR", code)
+		}
+		return Fail, "oversized DATA padding tolerated"
+	}
+	return Pass, ""
+}
+
+func checkRSTStreamBadLength(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	// The stream must be nonzero or the stream-0 protocol check fires
+	// instead of the length check; use a stream the server has seen.
+	id, err := c.OpenStream(h2conn.Request{Authority: env.Authority, Path: env.SmallPath})
+	if err != nil {
+		return Skip, err.Error()
+	}
+	if err := c.WriteRawFrame(frame.TypeRSTStream, 0, id, []byte{0, 0, 0}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeFrameSize, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want FRAME_SIZE_ERROR", code)
+		}
+		return Fail, "3-byte RST_STREAM tolerated"
+	}
+	return Pass, ""
+}
+
+func checkSettingsAckWithPayload(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if err := c.WriteRawFrame(frame.TypeSettings, frame.FlagAck, 0, []byte{0, 0, 0, 0, 0, 0}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeFrameSize, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want FRAME_SIZE_ERROR", code)
+		}
+		return Fail, "SETTINGS ACK with payload tolerated"
+	}
+	return Pass, ""
+}
+
+func checkWindowUpdateBadLength(env *Env) (Verdict, string) {
+	c, err := env.connect(h2conn.DefaultOptions())
+	if err != nil {
+		return Skip, err.Error()
+	}
+	defer closeConn(c)
+	if err := c.WriteRawFrame(frame.TypeWindowUpdate, 0, 0, []byte{0, 0, 1}); err != nil {
+		return Skip, err.Error()
+	}
+	ok, code := env.waitGoAway(c, frame.ErrCodeFrameSize, false)
+	if !ok {
+		if code != 0 {
+			return Fail, fmt.Sprintf("GOAWAY code %v, want FRAME_SIZE_ERROR", code)
+		}
+		return Fail, "3-byte WINDOW_UPDATE tolerated"
 	}
 	return Pass, ""
 }

@@ -55,6 +55,44 @@ func TestSuiteAgainstCompliantProfiles(t *testing.T) {
 	}
 }
 
+// TestFrameValidationChecks pins the frame-size, reserved-bit, and
+// flag-validation checks: each must be in the suite, cover the expected RFC
+// section, and pass against a compliant testbed server.
+func TestFrameValidationChecks(t *testing.T) {
+	results := conformance.RunSuite(newEnv(t, server.ApacheProfile()))
+	byID := make(map[string]conformance.Result, len(results))
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	cases := []struct {
+		id      string
+		section string
+	}{
+		{"4.1/reserved-bit-ignored", "4.1"},
+		{"4.1/undefined-flags-ignored", "4.1"},
+		{"6.1/data-padding-exceeds-payload", "6.1"},
+		{"6.4/rst-stream-bad-length", "6.4"},
+		{"6.5/settings-ack-with-payload", "6.5.3"},
+		{"6.5/settings-bad-length", "6.5"},
+		{"6.7/ping-bad-length", "6.7"},
+		{"6.9/window-update-bad-length", "6.9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			r, ok := byID[tc.id]
+			if !ok {
+				t.Fatalf("check %s missing from suite", tc.id)
+			}
+			if r.Section != tc.section {
+				t.Errorf("section = %q, want %q", r.Section, tc.section)
+			}
+			if r.Verdict != conformance.Pass {
+				t.Errorf("verdict = %v (%s), want PASS", r.Verdict, r.Detail)
+			}
+		})
+	}
+}
+
 func TestSuiteDetectsPingViolation(t *testing.T) {
 	p := server.NginxProfile()
 	p.AnswerPing = false

@@ -17,6 +17,7 @@ import (
 
 	"h2scope/internal/frame"
 	"h2scope/internal/h2conn"
+	"h2scope/internal/trace"
 )
 
 // Dialer opens transport connections to the probe target.
@@ -96,6 +97,10 @@ type Config struct {
 	HPACKRequests int
 	// PingSamples is the number of PING RTT samples to collect.
 	PingSamples int
+	// Tracer, when non-nil, records every probe connection's frames plus
+	// probe-phase annotations, so a trace shows which probe step each
+	// frame belongs to. Nil disables tracing with no overhead.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a config matched to server.DefaultSite's document
@@ -134,9 +139,19 @@ func NewProber(dialer Dialer, cfg Config) *Prober {
 	return &Prober{dialer: dialer, cfg: cfg}
 }
 
+// phase marks a probe phase on the battery's tracer (a no-op without one)
+// and returns the closer; probes use `defer p.phase("name")()`.
+func (p *Prober) phase(name string) func() {
+	return p.cfg.Tracer.Phase(name)
+}
+
 // connect dials and establishes an HTTP/2 connection with the given client
-// options.
+// options. The battery's tracer, when set, is attached to every connection
+// here — the single point all probes dial through.
 func (p *Prober) connect(opts h2conn.Options) (*h2conn.Conn, error) {
+	if opts.Tracer == nil {
+		opts.Tracer = p.cfg.Tracer
+	}
 	nc, err := p.dialer.Dial()
 	if err != nil {
 		return nil, fmt.Errorf("core: dial: %w", err)

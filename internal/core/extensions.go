@@ -26,6 +26,7 @@ type ExtensionsResult struct {
 
 // ProbeExtensions runs the beyond-paper conformance checks.
 func (p *Prober) ProbeExtensions() (*ExtensionsResult, error) {
+	defer p.phase("extensions")()
 	res := &ExtensionsResult{}
 	if err := p.probeSettingsAckAndUnknowns(res); err != nil {
 		return nil, err

@@ -22,6 +22,7 @@ type H2CResult struct {
 // ProbeH2CUpgrade performs the cleartext upgrade handshake against the
 // target and, if accepted, verifies HTTP/2 works on the connection.
 func (p *Prober) ProbeH2CUpgrade() (*H2CResult, error) {
+	defer p.phase("h2c-upgrade")()
 	nc, err := p.dialer.Dial()
 	if err != nil {
 		return nil, fmt.Errorf("core: dial: %w", err)

@@ -44,6 +44,7 @@ var streamLabels = [...]string{"A", "B", "C", "D", "E", "F"}
 //  4. reopen the connection window with WINDOW_UPDATE and infer priority
 //     support from the order of DATA frames (line 30).
 func (p *Prober) ProbePriority() (*PriorityResult, error) {
+	defer p.phase("priority")()
 	opts := h2conn.Options{
 		Settings: []frame.Setting{
 			{ID: frame.SettingInitialWindowSize, Val: frame.MaxWindowSize},

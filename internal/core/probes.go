@@ -39,6 +39,7 @@ func (r *SettingsResult) Value(id frame.SettingID) (uint32, bool) {
 // ProbeSettings records the server's SETTINGS frame and fetches one small
 // page to learn the server header.
 func (p *Prober) ProbeSettings() (*SettingsResult, error) {
+	defer p.phase("settings")()
 	c, err := p.connect(h2conn.DefaultOptions())
 	if err != nil {
 		return nil, err
@@ -72,6 +73,7 @@ type MultiplexResult struct {
 // ProbeMultiplexing issues N concurrent large downloads and checks whether
 // the response DATA frames interleave.
 func (p *Prober) ProbeMultiplexing(n int) (*MultiplexResult, error) {
+	defer p.phase("multiplexing")()
 	if n > len(p.cfg.LargePaths) {
 		n = len(p.cfg.LargePaths)
 	}
@@ -196,6 +198,7 @@ type FlowDataResult struct {
 // ProbeFlowControlData sets SETTINGS_INITIAL_WINDOW_SIZE to windowSize
 // (the paper uses 1) and classifies the response (Section III-B.1).
 func (p *Prober) ProbeFlowControlData(windowSize uint32) (*FlowDataResult, error) {
+	defer p.phase("flow-data")()
 	opts := h2conn.Options{
 		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: windowSize}},
 		AutoSettingsAck: true,
@@ -249,6 +252,7 @@ type ZeroWindowHeadersResult struct {
 // ProbeZeroWindowHeaders sets SETTINGS_INITIAL_WINDOW_SIZE to 0 and checks
 // whether HEADERS still arrive.
 func (p *Prober) ProbeZeroWindowHeaders() (*ZeroWindowHeadersResult, error) {
+	defer p.phase("zero-window-headers")()
 	opts := h2conn.Options{
 		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: 0}},
 		AutoSettingsAck: true,
@@ -306,6 +310,7 @@ type WindowUpdateResult struct {
 // stream and connection levels (fresh connection each) and classifies the
 // reactions.
 func (p *Prober) ProbeZeroWindowUpdate() (*WindowUpdateResult, error) {
+	defer p.phase("zero-window-update")()
 	return p.probeWindowUpdate(func(c *h2conn.Conn, streamID uint32) error {
 		return c.WriteWindowUpdate(streamID, 0)
 	})
@@ -314,6 +319,7 @@ func (p *Prober) ProbeZeroWindowUpdate() (*WindowUpdateResult, error) {
 // ProbeLargeWindowUpdate sends WINDOW_UPDATE frames whose sum exceeds
 // 2^31-1 at both levels and classifies the reactions.
 func (p *Prober) ProbeLargeWindowUpdate() (*WindowUpdateResult, error) {
+	defer p.phase("large-window-update")()
 	return p.probeWindowUpdate(func(c *h2conn.Conn, streamID uint32) error {
 		if err := c.WriteWindowUpdate(streamID, frame.MaxWindowSize); err != nil {
 			return err
@@ -388,6 +394,7 @@ type PushResult struct {
 // ProbeServerPush enables push, browses the configured pages, and records
 // PUSH_PROMISE frames.
 func (p *Prober) ProbeServerPush() (*PushResult, error) {
+	defer p.phase("server-push")()
 	opts := h2conn.DefaultOptions()
 	opts.Settings = []frame.Setting{{ID: frame.SettingEnablePush, Val: 1}}
 	c, err := p.connect(opts)
@@ -432,6 +439,7 @@ type HPACKResult struct {
 // ProbeHPACK sends H identical requests and computes the compression ratio
 // over the response header block sizes.
 func (p *Prober) ProbeHPACK() (*HPACKResult, error) {
+	defer p.phase("hpack")()
 	h := p.cfg.HPACKRequests
 	if h < 2 {
 		h = 8
@@ -491,6 +499,7 @@ func (r *PingResult) Min() time.Duration {
 
 // ProbePing sends PING frames and measures RTTs.
 func (p *Prober) ProbePing() (*PingResult, error) {
+	defer p.phase("ping")()
 	n := p.cfg.PingSamples
 	if n < 1 {
 		n = 3
@@ -528,6 +537,7 @@ type SelfDependencyResult struct {
 
 // ProbeSelfDependency sends PRIORITY making a stream depend on itself.
 func (p *Prober) ProbeSelfDependency() (*SelfDependencyResult, error) {
+	defer p.phase("self-dependency")()
 	c, err := p.connect(h2conn.DefaultOptions())
 	if err != nil {
 		return nil, err

@@ -37,6 +37,11 @@ type Framer struct {
 	// of surfacing them. Probing clients keep it on; lenient test harnesses
 	// may turn it off.
 	Strict bool
+
+	// trace, when set, observes every frame header crossing the framer in
+	// either direction. It is the single instrumentation point shared by the
+	// probing client and the testbed server.
+	trace func(sent bool, hdr Header)
 }
 
 // NewFramer returns a Framer reading from r and writing to w.
@@ -47,6 +52,17 @@ func NewFramer(w io.Writer, r io.Reader) *Framer {
 		maxReadSize: MaxAllowedFrameSize,
 		Strict:      true,
 	}
+}
+
+// SetTrace installs fn to observe every frame header the framer reads
+// (sent == false) or writes (sent == true). Received frames are reported
+// after the full payload arrives but before validation, so deliberately
+// malformed frames still show up in traces; written frames are reported
+// after a successful write. fn must be safe for concurrent calls from the
+// reader and writer goroutines, and SetTrace must be called before the
+// framer is in use (there is no lock on the hook itself).
+func (fr *Framer) SetTrace(fn func(sent bool, hdr Header)) {
+	fr.trace = fn
 }
 
 // SetMaxReadFrameSize caps the payload size ReadFrame will accept.
@@ -84,6 +100,9 @@ func (fr *Framer) ReadFrame() (Frame, error) {
 	payload := fr.readBuf[:hdr.Length]
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
 		return nil, fmt.Errorf("frame: short payload for %v: %w", hdr, err)
+	}
+	if fr.trace != nil {
+		fr.trace(false, hdr)
 	}
 	f, err := fr.parsePayload(hdr, payload)
 	if err != nil && !fr.Strict {
@@ -305,9 +324,12 @@ func (fr *Framer) endWrite() error {
 	fr.wbuf[2] = byte(length)
 	_, err := fr.w.Write(fr.wbuf)
 	if err != nil {
-		err = fmt.Errorf("frame: write: %w", err)
+		return fmt.Errorf("frame: write: %w", err)
 	}
-	return err
+	if fr.trace != nil {
+		fr.trace(true, parseHeader(fr.wbuf[:HeaderLen]))
+	}
+	return nil
 }
 
 func (fr *Framer) writeUint32(v uint32) {

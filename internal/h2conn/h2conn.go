@@ -20,6 +20,7 @@ import (
 
 	"h2scope/internal/frame"
 	"h2scope/internal/hpack"
+	"h2scope/internal/trace"
 )
 
 // ErrTimeout is returned by wait helpers when the predicate does not become
@@ -90,12 +91,35 @@ type Options struct {
 	AutoStreamWindow uint32
 	// AutoConnWindow is the connection-level analogue of AutoStreamWindow.
 	AutoConnWindow uint32
-	// EventLogLimit, when > 0, bounds the retained event log: once it
-	// grows past the limit, the oldest half is discarded (Seq numbers stay
-	// absolute). Probes need the full log and leave this zero; long-lived
-	// connections issuing thousands of requests (h2load, benchmarks) set
-	// it to keep memory and per-request scan cost constant.
+	// EventLogLimit bounds the retained event log: once it grows past the
+	// limit, the oldest half is discarded (Seq numbers stay absolute).
+	// Zero applies DefaultEventLogLimit so an idle-but-chatty peer can
+	// never grow the log without bound; probes produce a few hundred
+	// events per connection and fit comfortably. Long-lived connections
+	// issuing thousands of requests (h2load, benchmarks) set a small
+	// explicit limit to keep per-request scan cost constant; a negative
+	// value disables the cap entirely.
 	EventLogLimit int
+	// Tracer, when non-nil, receives frame-level trace events for this
+	// connection (both directions) plus its open/close lifecycle. The
+	// decoded Event log above is unaffected; the tracer is the cross-layer
+	// observability bus (see internal/trace).
+	Tracer *trace.Tracer
+}
+
+// DefaultEventLogLimit is the event-log cap applied when
+// Options.EventLogLimit is zero.
+const DefaultEventLogLimit = 32768
+
+func (o Options) eventLogLimit() int {
+	switch {
+	case o.EventLogLimit > 0:
+		return o.EventLogLimit
+	case o.EventLogLimit < 0:
+		return 0 // unbounded, caller opted out explicitly
+	default:
+		return DefaultEventLogLimit
+	}
 }
 
 // DefaultOptions returns the options a well-behaved client would use:
@@ -141,6 +165,12 @@ type Conn struct {
 	contPromise  uint32
 	contFlags    frame.Flags
 
+	// tracer and traceConn identify this connection on the shared trace
+	// bus; both are fixed at Dial time (tracer may be nil — all its
+	// methods no-op then).
+	tracer    *trace.Tracer
+	traceConn uint64
+
 	readDone chan struct{}
 }
 
@@ -158,6 +188,16 @@ func Dial(nc net.Conn, opts Options) (*Conn, error) {
 		readDone:     make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if opts.Tracer != nil {
+		c.tracer = opts.Tracer
+		c.traceConn = opts.Tracer.ConnID()
+		// The framer hook must be installed before the read loop starts:
+		// there is no lock on it.
+		c.fr.SetTrace(func(sent bool, hdr frame.Header) {
+			c.tracer.Frame(c.traceConn, sent, hdr)
+		})
+		c.tracer.ConnOpen(c.traceConn, nc.RemoteAddr().String())
+	}
 	// The read loop must be running before any writes: over synchronous
 	// in-process pipes, concurrent client and server writes deadlock unless
 	// both sides are also draining.
@@ -207,6 +247,9 @@ func (c *Conn) readLoop() {
 			c.closed = true
 			c.cond.Broadcast()
 			c.mu.Unlock()
+			if c.tracer != nil {
+				c.tracer.ConnClose(c.traceConn, err.Error())
+			}
 			return
 		}
 		c.dispatch(f)
@@ -291,7 +334,7 @@ func (c *Conn) dispatch(f frame.Frame) {
 	ev.Seq = c.nextSeq
 	c.nextSeq++
 	c.events = append(c.events, ev)
-	if limit := c.opts.EventLogLimit; limit > 0 && len(c.events) > limit {
+	if limit := c.opts.eventLogLimit(); limit > 0 && len(c.events) > limit {
 		keep := limit / 2
 		c.events = append(c.events[:0:0], c.events[len(c.events)-keep:]...)
 	}

@@ -3,9 +3,9 @@ package h2conn
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"h2scope/internal/frame"
+	"h2scope/internal/trace"
 )
 
 // FormatEvents renders an event log as a human-readable frame transcript,
@@ -13,6 +13,13 @@ import (
 // the CLI use it for diagnostics; it is the reproduction's equivalent of
 // the wire captures the paper's authors inspected when validating H2Scope
 // against open-source servers (Section V-A).
+//
+// The line format is internal/trace's shared frame-line renderer — this
+// function is a thin adapter that maps each decoded event onto a trace
+// event and contributes only the payload detail the decoded log carries
+// (header fields, settings values, error codes) that raw frame headers do
+// not. The log itself is bounded by Options.EventLogLimit, so a transcript
+// never grows without bound either.
 func FormatEvents(events []Event) string {
 	if len(events) == 0 {
 		return "(no frames)\n"
@@ -20,9 +27,15 @@ func FormatEvents(events []Event) string {
 	var b strings.Builder
 	start := events[0].At
 	for _, e := range events {
-		fmt.Fprintf(&b, "%8.3fms  #%-3d %-13s stream=%-4d len=%-6d %s\n",
-			float64(e.At.Sub(start))/float64(time.Millisecond),
-			e.Seq, e.Type, e.StreamID, e.PayloadLen, eventDetail(e))
+		b.WriteString(trace.FormatFrameLine(start, trace.Event{
+			Seq:       uint64(e.Seq),
+			At:        e.At,
+			Kind:      trace.KindFrameRecv,
+			StreamID:  e.StreamID,
+			FrameType: e.Type,
+			Flags:     e.Flags,
+			Length:    e.PayloadLen,
+		}, eventDetail(e)))
 	}
 	return b.String()
 }

@@ -29,11 +29,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add(fuzzSeed("8286 8441 8cf1 e3c2 e5f2 3a6b a0ab 90f4 ff"))                       // C.4.1
 	f.Add(fuzzSeed("4882 6402 5885 aec3 771a 4b61 96d0 7abe 9410 54d4 44a8 2005 9504" +
 		"0b81 66e0 82a6 2d1b ff6e 919d 29ad 1718 63c7 8f0b 97c8 e9ae 82ae 43d3")) // C.6.1
-	f.Add(fuzzSeed("3fe1 1f"))                           // dynamic table size update
-	f.Add(fuzzSeed("20"))                                // size update to zero
-	f.Add(fuzzSeed("82ff ffff ffff ffff ffff"))          // runaway varint
-	f.Add(fuzzSeed("0a6b 65 79"))                        // truncated literal
-	f.Add(fuzzSeed("418c f1e3 c2e5 f23a 6ba0 ab90 f4"))  // truncated Huffman string
+	f.Add(fuzzSeed("3fe1 1f"))                          // dynamic table size update
+	f.Add(fuzzSeed("20"))                               // size update to zero
+	f.Add(fuzzSeed("82ff ffff ffff ffff ffff"))         // runaway varint
+	f.Add(fuzzSeed("0a6b 65 79"))                       // truncated literal
+	f.Add(fuzzSeed("418c f1e3 c2e5 f23a 6ba0 ab90 f4")) // truncated Huffman string
 	f.Add([]byte{})
 
 	const (

@@ -6,11 +6,15 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"h2scope/internal/core"
 	"h2scope/internal/netsim"
 	"h2scope/internal/scan"
+	"h2scope/internal/trace"
 )
 
 // siteDialer connects H2Scope to one materialized site and answers the
@@ -62,6 +66,9 @@ type SiteResult struct {
 	Kind     scan.ErrorKind
 	Err      string
 	Attempts int
+	// TraceFile is the exported frame-level trace for this site, when the
+	// scan ran with ScanOptions.TraceDir.
+	TraceFile string
 }
 
 // ScanSummary aggregates measured probe results over a scanned sample, in
@@ -153,6 +160,11 @@ type ScanOptions struct {
 	// OnRecord, when set, receives each site's finalized engine record as
 	// it completes (records are flushed in completion order).
 	OnRecord func(scan.Record)
+	// TraceDir, when set, gives every probed site a frame-level tracer and
+	// exports each site's trace as <TraceDir>/<domain>.jsonl when the site
+	// finalizes. The directory is created if needed; per-site tracer
+	// drop counts fold into Stats.TraceDropped.
+	TraceDir string
 }
 
 // batteryProbes is how many connection-scoped probes one battery runs; the
@@ -193,7 +205,7 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 		}
 		return report, err
 	}
-	res, err := scan.Run(opts.Context, targets, probe, scan.Options{
+	scanOpts := scan.Options{
 		Parallelism:      opts.Parallelism,
 		Timeout:          opts.HostBudget,
 		Retries:          opts.Retries,
@@ -201,7 +213,28 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 		Progress:         opts.Progress,
 		ProgressInterval: opts.ProgressInterval,
 		OnRecord:         opts.OnRecord,
-	})
+	}
+	// traceFiles maps domain → exported trace path. OnTrace calls are
+	// serialized by the engine and the map is only read after Run returns.
+	var traceFiles map[string]string
+	if opts.TraceDir != "" {
+		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("population: trace dir: %w", err)
+		}
+		traceFiles = make(map[string]string)
+		scanOpts.NewTracer = func(scan.Target) *trace.Tracer { return trace.New(0) }
+		scanOpts.OnTrace = func(t scan.Target, tr *trace.Tracer) {
+			path := filepath.Join(opts.TraceDir, traceFileName(t.Key))
+			if err := writeTraceFile(path, t.Key, tr); err != nil {
+				if opts.Progress != nil {
+					fmt.Fprintf(opts.Progress, "trace export %s: %v\n", t.Key, err)
+				}
+				return
+			}
+			traceFiles[t.Key] = path
+		}
+	}
+	res, err := scan.Run(opts.Context, targets, probe, scanOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +244,41 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 	for _, rec := range res.Records {
 		summary.add(rec)
 	}
+	if traceFiles != nil {
+		for i := range summary.Results {
+			summary.Results[i].TraceFile = traceFiles[summary.Results[i].Spec.Domain]
+		}
+	}
 	return summary, nil
+}
+
+// traceFileName maps a target key onto a safe file name.
+func traceFileName(key string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	if safe == "" {
+		safe = "trace"
+	}
+	return safe + ".jsonl"
+}
+
+func writeTraceFile(path, target string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, target, tr); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // probeSite materializes one site and runs the battery against it.
@@ -229,6 +296,9 @@ func probeSite(ctx context.Context, spec *SiteSpec, timeout time.Duration) (*cor
 	cfg := core.DefaultConfig(spec.Domain)
 	cfg.Timeout = timeout
 	cfg.QuietWindow = 10 * time.Millisecond
+	// The scan engine parks each target's tracer on the attempt context;
+	// a nil result simply leaves tracing off.
+	cfg.Tracer = trace.FromContext(ctx)
 	prober := core.NewProber(&siteDialer{l: l, spec: spec}, cfg)
 	return prober.RunContext(ctx)
 }

@@ -22,6 +22,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"h2scope/internal/trace"
 )
 
 // Target identifies one unit of scan work.
@@ -115,6 +117,17 @@ type Options struct {
 	Progress io.Writer
 	// ProgressInterval defaults to 5s.
 	ProgressInterval time.Duration
+	// NewTracer, when set, is called once per fed target to create its
+	// frame-level tracer. The tracer rides the attempt context
+	// (trace.FromContext) so the probe stack can emit into it, its
+	// emit/drop counters fold into the run's Stats, and it is handed to
+	// OnTrace when the target finalizes. Targets a canceled run never fed
+	// get no tracer. Nil disables tracing.
+	NewTracer func(Target) *trace.Tracer
+	// OnTrace, when set, receives each traced target's tracer as its
+	// record finalizes — the flush hook for exporting traces. Calls are
+	// serialized with OnRecord (trace delivered after the record).
+	OnTrace func(Target, *trace.Tracer)
 }
 
 // Result is a completed (or canceled) run.
@@ -206,7 +219,7 @@ feed:
 				Outcome: OutcomeCanceled,
 				Kind:    KindCanceled,
 				Err:     cause.Error(),
-			})
+			}, nil)
 		}
 	}
 	return &Result{Records: records, Stats: e.counters.Snapshot()}, nil
@@ -242,8 +255,9 @@ func (e *engine) startProgress(ctx context.Context) chan struct{} {
 	return done
 }
 
-// finalize applies a record to the counters and flush hook exactly once.
-func (e *engine) finalize(rec Record) Record {
+// finalize applies a record (and its tracer's counters, if any) to the
+// counters and flush hooks exactly once.
+func (e *engine) finalize(rec Record, tr *trace.Tracer) Record {
 	c := e.counters
 	c.attempted.Add(1)
 	switch rec.Outcome {
@@ -258,9 +272,18 @@ func (e *engine) finalize(rec Record) Record {
 		c.canceled.Add(1)
 	}
 	c.observeLatency(rec.Elapsed)
-	if e.opts.OnRecord != nil {
+	if tr != nil {
+		c.traceEvents.Add(int64(tr.Emitted()))
+		c.traceDropped.Add(int64(tr.Dropped()))
+	}
+	if e.opts.OnRecord != nil || (e.opts.OnTrace != nil && tr != nil) {
 		e.recordMu.Lock()
-		e.opts.OnRecord(rec)
+		if e.opts.OnRecord != nil {
+			e.opts.OnRecord(rec)
+		}
+		if e.opts.OnTrace != nil && tr != nil {
+			e.opts.OnTrace(rec.Target, tr)
+		}
 		e.recordMu.Unlock()
 	}
 	return rec
@@ -271,6 +294,11 @@ func (e *engine) runTarget(ctx context.Context, t Target) Record {
 	rng := rand.New(rand.NewSource(e.opts.Seed ^ int64(hashKey(t.Key))))
 	clock := e.opts.Clock
 	start := clock.Now()
+	var tr *trace.Tracer
+	if e.opts.NewTracer != nil {
+		tr = e.opts.NewTracer(t)
+		ctx = trace.NewContext(ctx, tr)
+	}
 	rec := Record{Target: t}
 	for retry := 0; ; retry++ {
 		if err := ctx.Err(); err != nil {
@@ -303,7 +331,10 @@ func (e *engine) runTarget(ctx context.Context, t Target) Record {
 		}
 	}
 	rec.Elapsed = clock.Now().Sub(start)
-	return e.finalize(rec)
+	if rec.Err != "" {
+		tr.Error(0, rec.Err)
+	}
+	return e.finalize(rec, tr)
 }
 
 // attempt runs one probe attempt under the per-attempt deadline. The probe

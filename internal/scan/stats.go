@@ -27,6 +27,9 @@ type counters struct {
 
 	failedByKind [numErrorKinds]atomic.Int64
 
+	traceEvents  atomic.Int64
+	traceDropped atomic.Int64
+
 	latCount  atomic.Int64
 	latSumNS  atomic.Int64
 	latMinNS  atomic.Int64
@@ -102,6 +105,11 @@ type Stats struct {
 	InFlight int64 `json:"inFlight"`
 	// FailedByKind histograms Failed by classified error kind.
 	FailedByKind map[string]int64 `json:"failedByKind,omitempty"`
+	// TraceEvents and TraceDropped aggregate the per-target tracers'
+	// emit and ring-overflow counters (zero when tracing is off; drops
+	// are counted here so overflow is never silent).
+	TraceEvents  int64 `json:"traceEvents,omitempty"`
+	TraceDropped int64 `json:"traceDropped,omitempty"`
 	// Latency summarizes per-target wall time.
 	Latency LatencyStats `json:"latency"`
 }
@@ -116,6 +124,9 @@ func (c *counters) Snapshot() Stats {
 		Retries:   c.retries.Load(),
 		Attempts:  c.attempts.Load(),
 		InFlight:  c.inFlight.Load(),
+
+		TraceEvents:  c.traceEvents.Load(),
+		TraceDropped: c.traceDropped.Load(),
 	}
 	for k := 0; k < numErrorKinds; k++ {
 		if n := c.failedByKind[k].Load(); n > 0 {
@@ -224,6 +235,12 @@ func (s Stats) String() string {
 	if s.Latency.Count > 0 {
 		fmt.Fprintf(&b, ", latency p50 %v p99 %v",
 			s.Latency.P50.Round(time.Millisecond), s.Latency.P99.Round(time.Millisecond))
+	}
+	if s.TraceEvents > 0 {
+		fmt.Fprintf(&b, ", trace %d events", s.TraceEvents)
+		if s.TraceDropped > 0 {
+			fmt.Fprintf(&b, " (%d dropped)", s.TraceDropped)
+		}
 	}
 	return b.String()
 }

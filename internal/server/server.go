@@ -13,6 +13,7 @@ import (
 	"h2scope/internal/frame"
 	"h2scope/internal/hpack"
 	"h2scope/internal/priority"
+	"h2scope/internal/trace"
 )
 
 // fixedDate keeps response header bytes deterministic across runs; the
@@ -31,6 +32,12 @@ type Server struct {
 
 	// Logf, when non-nil, receives debug lines.
 	Logf func(format string, args ...any)
+
+	// Trace, when non-nil, receives frame-level trace events for every
+	// connection the server handles (a fresh trace connection ID per
+	// accepted conn). Set it before serving; like Logf it is not guarded
+	// by a lock.
+	Trace *trace.Tracer
 
 	mu     sync.Mutex
 	lis    []net.Listener
@@ -196,6 +203,16 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		firstSent:     make(map[uint32]bool),
 	}
 	c.sched = priority.NewScheduler(c.tree)
+	if s.Trace != nil {
+		id := s.Trace.ConnID()
+		// The hook must be in place before serve() starts reading; the
+		// framer is single-threaded at this point.
+		c.fr.SetTrace(func(sent bool, hdr frame.Header) {
+			s.Trace.Frame(id, sent, hdr)
+		})
+		s.Trace.ConnOpen(id, nc.RemoteAddr().String())
+		defer func() { s.Trace.ConnClose(id, "") }()
+	}
 	if !s.track(c) {
 		return errors.New("server: closed")
 	}

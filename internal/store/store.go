@@ -38,6 +38,9 @@ type Record struct {
 	ErrorKind string `json:"errorKind,omitempty"`
 	Error     string `json:"error,omitempty"`
 	Attempts  int    `json:"attempts,omitempty"`
+	// TraceFile points at the site's exported frame-level trace (JSONL,
+	// rendered by cmd/h2trace) when the scan ran with tracing enabled.
+	TraceFile string `json:"traceFile,omitempty"`
 	// Stats marks a scan-summary trailer record: one per scan run, holding
 	// the engine's final counter snapshot instead of a per-site report.
 	Stats *scan.Stats `json:"stats,omitempty"`

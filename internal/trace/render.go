@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderOptions tunes Render output.
+type RenderOptions struct {
+	// Events additionally dumps the raw event lines after the span views.
+	Events bool
+}
+
+// Render formats a trace as a human-readable report: header summary, then a
+// per-connection section with per-stream timelines annotated with probe
+// phases, then (optionally) the raw event log.
+func Render(d *Data, opts RenderOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace")
+	if d.Target != "" {
+		fmt.Fprintf(&b, " %s", d.Target)
+	}
+	fmt.Fprintf(&b, ": %d events", len(d.Events))
+	if d.Emitted > uint64(len(d.Events)) {
+		fmt.Fprintf(&b, " (%d emitted)", d.Emitted)
+	}
+	if d.Dropped > 0 {
+		fmt.Fprintf(&b, ", %d dropped", d.Dropped)
+	}
+	fmt.Fprintf(&b, "\n")
+
+	for _, c := range BuildSpans(d.Events) {
+		fmt.Fprintf(&b, "\nconn %d", c.Conn)
+		if c.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", c.Detail)
+		}
+		fmt.Fprintf(&b, ": %v, %d frames sent / %d recv, %dB sent / %dB recv",
+			c.Duration().Round(time.Microsecond), c.FramesSent, c.FramesRecv, c.BytesSent, c.BytesRecv)
+		if c.Errors > 0 {
+			fmt.Fprintf(&b, ", %d errors", c.Errors)
+		}
+		fmt.Fprintf(&b, "\n")
+		for _, s := range c.Streams {
+			rel := s.First.Sub(d.Start)
+			fmt.Fprintf(&b, "  stream %-4d %s+%-10v %v  %d/%d frames  %d/%dB",
+				s.StreamID, phaseTag(s.Phase), rel.Round(time.Microsecond),
+				s.Duration().Round(time.Microsecond),
+				s.FramesSent, s.FramesRecv, s.BytesSent, s.BytesRecv)
+			if fb := s.FirstByteLatency(); fb > 0 {
+				fmt.Fprintf(&b, "  first-byte %v", fb.Round(time.Microsecond))
+			}
+			if lb := s.LastByteLatency(); lb > 0 {
+				fmt.Fprintf(&b, "  last-byte %v", lb.Round(time.Microsecond))
+			}
+			switch {
+			case s.Reset:
+				fmt.Fprintf(&b, "  RESET")
+			case s.EndStream:
+				fmt.Fprintf(&b, "  END_STREAM")
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+
+	if opts.Events {
+		fmt.Fprintf(&b, "\nevents:\n")
+		for _, ev := range d.Events {
+			b.WriteString(formatEvent(d.Start, ev))
+		}
+	}
+	return b.String()
+}
+
+func phaseTag(phase string) string {
+	if phase == "" {
+		return fmt.Sprintf("%-22s", "-")
+	}
+	return fmt.Sprintf("%-22s", "["+phase+"]")
+}
+
+// formatEvent renders one raw event line, relative-timestamped from start.
+func formatEvent(start time.Time, ev Event) string {
+	ms := float64(ev.At.Sub(start)) / float64(time.Millisecond)
+	switch {
+	case ev.Kind.IsFrame():
+		dir := "<-"
+		if ev.Kind == KindFrameSent {
+			dir = "->"
+		}
+		return fmt.Sprintf("%10.3fms  #%-4d c%d %s %-13s stream=%-4d len=%-6d flags=0x%02x %s\n",
+			ms, ev.Seq, ev.Conn, dir, ev.FrameType, ev.StreamID, ev.Length, uint8(ev.Flags), phaseSuffix(ev.Phase))
+	case ev.Kind == KindPhaseStart || ev.Kind == KindPhaseEnd:
+		return fmt.Sprintf("%10.3fms  #%-4d    == %s %s ==\n", ms, ev.Seq, ev.Kind, ev.Phase)
+	default:
+		return fmt.Sprintf("%10.3fms  #%-4d c%d    %-13s %s %s\n",
+			ms, ev.Seq, ev.Conn, ev.Kind, ev.Detail, phaseSuffix(ev.Phase))
+	}
+}
+
+// FormatFrameLine renders one frame event as a single transcript line:
+// relative timestamp, sequence number, frame type, stream, length, and
+// free-form detail. It is the line format shared by h2trace raw dumps and
+// the h2conn transcript adapter, so there is one rendering path for both.
+func FormatFrameLine(start time.Time, ev Event, detail string) string {
+	return fmt.Sprintf("%8.3fms  #%-3d %-13s stream=%-4d len=%-6d %s\n",
+		float64(ev.At.Sub(start))/float64(time.Millisecond),
+		ev.Seq, ev.FrameType, ev.StreamID, ev.Length, detail)
+}
+
+func phaseSuffix(phase string) string {
+	if phase == "" {
+		return ""
+	}
+	return "[" + phase + "]"
+}
+
+// MergeRow is one trace's aggregate line in a RenderMerge summary.
+type MergeRow struct {
+	Name       string
+	Target     string
+	Events     int
+	Dropped    uint64
+	Conns      int
+	Streams    int
+	FramesSent int
+	FramesRecv int
+	BytesRecv  int64
+	Phases     []string
+}
+
+// Summarize folds one trace into a MergeRow. name labels the row (typically
+// the source file name); the trace's own target is kept alongside.
+func Summarize(name string, d *Data) MergeRow {
+	row := MergeRow{Name: name, Target: d.Target, Events: len(d.Events), Dropped: d.Dropped}
+	seen := map[string]bool{}
+	for _, ev := range d.Events {
+		if ev.Kind == KindPhaseStart && !seen[ev.Phase] {
+			seen[ev.Phase] = true
+			row.Phases = append(row.Phases, ev.Phase)
+		}
+	}
+	for _, c := range BuildSpans(d.Events) {
+		row.Conns++
+		row.Streams += len(c.Streams)
+		row.FramesSent += c.FramesSent
+		row.FramesRecv += c.FramesRecv
+		row.BytesRecv += c.BytesRecv
+	}
+	return row
+}
+
+// RenderMerge formats many trace summaries as one table, sorted by name —
+// the h2trace -merge view over a scan's trace directory.
+func RenderMerge(rows []MergeRow) string {
+	sorted := make([]MergeRow, len(rows))
+	copy(sorted, rows)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %8s %8s %6s %8s %10s %10s %12s\n",
+		"trace", "events", "dropped", "conns", "streams", "sent", "recv", "bytes-recv")
+	var tot MergeRow
+	for _, r := range sorted {
+		name := r.Name
+		if len(name) > 32 {
+			name = "…" + name[len(name)-31:]
+		}
+		fmt.Fprintf(&b, "%-32s %8d %8d %6d %8d %10d %10d %12d\n",
+			name, r.Events, r.Dropped, r.Conns, r.Streams, r.FramesSent, r.FramesRecv, r.BytesRecv)
+		tot.Events += r.Events
+		tot.Dropped += r.Dropped
+		tot.Conns += r.Conns
+		tot.Streams += r.Streams
+		tot.FramesSent += r.FramesSent
+		tot.FramesRecv += r.FramesRecv
+		tot.BytesRecv += r.BytesRecv
+	}
+	fmt.Fprintf(&b, "%-32s %8d %8d %6d %8d %10d %10d %12d\n",
+		fmt.Sprintf("total (%d traces)", len(sorted)),
+		tot.Events, tot.Dropped, tot.Conns, tot.Streams, tot.FramesSent, tot.FramesRecv, tot.BytesRecv)
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"h2scope/internal/frame"
+)
+
+// StreamSpan is the derived view of one stream's life on one connection:
+// open→close bounds, byte and frame tallies, and the latency landmarks the
+// paper's measurements hinge on (first HEADERS, first/last DATA byte).
+type StreamSpan struct {
+	Conn     uint64
+	StreamID uint32
+	// Phase is the probe phase active when the stream's first event fired.
+	Phase string
+	// First and Last bound every event observed on the stream.
+	First, Last time.Time
+	// FramesSent/FramesRecv count frames in each direction.
+	FramesSent, FramesRecv int
+	// BytesSent/BytesRecv sum DATA payload lengths in each direction.
+	BytesSent, BytesRecv int64
+	// FirstHeaders is when the first HEADERS arrived from the peer
+	// (zero if none did).
+	FirstHeaders time.Time
+	// FirstData and LastData bound received DATA frames (zero if none).
+	FirstData, LastData time.Time
+	// EndStream reports whether a received frame carried END_STREAM.
+	EndStream bool
+	// Reset reports whether a RST_STREAM was seen in either direction.
+	Reset bool
+}
+
+// Duration is the wall time between the stream's first and last events.
+func (s StreamSpan) Duration() time.Duration { return s.Last.Sub(s.First) }
+
+// FirstByteLatency is the delay from the stream's first event (normally the
+// request HEADERS going out) to the first response byte landmark: HEADERS
+// received, falling back to first DATA. Zero if no response was seen.
+func (s StreamSpan) FirstByteLatency() time.Duration {
+	switch {
+	case !s.FirstHeaders.IsZero():
+		return s.FirstHeaders.Sub(s.First)
+	case !s.FirstData.IsZero():
+		return s.FirstData.Sub(s.First)
+	default:
+		return 0
+	}
+}
+
+// LastByteLatency is the delay from the stream's first event to its last
+// received DATA frame. Zero if no DATA was seen.
+func (s StreamSpan) LastByteLatency() time.Duration {
+	if s.LastData.IsZero() {
+		return 0
+	}
+	return s.LastData.Sub(s.First)
+}
+
+// ConnSpan is the derived view of one connection: lifecycle bounds plus
+// aggregate frame/byte tallies across all its streams (stream 0 included).
+type ConnSpan struct {
+	Conn        uint64
+	First, Last time.Time
+	Opened      bool
+	Closed      bool
+	// Detail carries the ConnOpen annotation (e.g. the dialed authority).
+	Detail                 string
+	FramesSent, FramesRecv int
+	BytesSent, BytesRecv   int64
+	Errors                 int
+	Streams                []StreamSpan
+}
+
+// Duration is the wall time between the connection's first and last events.
+func (c ConnSpan) Duration() time.Duration { return c.Last.Sub(c.First) }
+
+// BuildSpans folds an event stream (as returned by Snapshot or read back
+// from an export) into per-connection spans with nested per-stream spans,
+// ordered by connection ID then stream ID.
+func BuildSpans(events []Event) []ConnSpan {
+	conns := map[uint64]*ConnSpan{}
+	streams := map[[2]uint64]*StreamSpan{}
+
+	conn := func(id uint64, at time.Time) *ConnSpan {
+		c := conns[id]
+		if c == nil {
+			c = &ConnSpan{Conn: id, First: at, Last: at}
+			conns[id] = c
+		}
+		if at.Before(c.First) {
+			c.First = at
+		}
+		if at.After(c.Last) {
+			c.Last = at
+		}
+		return c
+	}
+	stream := func(ev Event) *StreamSpan {
+		key := [2]uint64{ev.Conn, uint64(ev.StreamID)}
+		s := streams[key]
+		if s == nil {
+			s = &StreamSpan{Conn: ev.Conn, StreamID: ev.StreamID, Phase: ev.Phase, First: ev.At, Last: ev.At}
+			streams[key] = s
+		}
+		if ev.At.Before(s.First) {
+			s.First = ev.At
+		}
+		if ev.At.After(s.Last) {
+			s.Last = ev.At
+		}
+		return s
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindConnOpen:
+			c := conn(ev.Conn, ev.At)
+			c.Opened = true
+			if c.Detail == "" {
+				c.Detail = ev.Detail
+			}
+		case KindConnClose:
+			conn(ev.Conn, ev.At).Closed = true
+		case KindError:
+			if ev.Conn != 0 {
+				conn(ev.Conn, ev.At).Errors++
+			}
+		case KindFrameSent, KindFrameRecv:
+			c := conn(ev.Conn, ev.At)
+			s := stream(ev)
+			sent := ev.Kind == KindFrameSent
+			if sent {
+				c.FramesSent++
+				s.FramesSent++
+			} else {
+				c.FramesRecv++
+				s.FramesRecv++
+			}
+			switch ev.FrameType {
+			case frame.TypeData:
+				if sent {
+					c.BytesSent += int64(ev.Length)
+					s.BytesSent += int64(ev.Length)
+				} else {
+					c.BytesRecv += int64(ev.Length)
+					s.BytesRecv += int64(ev.Length)
+					if s.FirstData.IsZero() {
+						s.FirstData = ev.At
+					}
+					s.LastData = ev.At
+				}
+			case frame.TypeHeaders:
+				if !sent && s.FirstHeaders.IsZero() {
+					s.FirstHeaders = ev.At
+				}
+			case frame.TypeRSTStream:
+				s.Reset = true
+			}
+			if !sent && ev.StreamEnded() {
+				s.EndStream = true
+			}
+		}
+	}
+
+	for _, s := range streams {
+		conns[s.Conn].Streams = append(conns[s.Conn].Streams, *s)
+	}
+	out := make([]ConnSpan, 0, len(conns))
+	for _, c := range conns {
+		sort.Slice(c.Streams, func(i, j int) bool { return c.Streams[i].StreamID < c.Streams[j].StreamID })
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Conn < out[j].Conn })
+	return out
+}

@@ -1,0 +1,442 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"h2scope/internal/frame"
+)
+
+func TestEmitSnapshotOrdering(t *testing.T) {
+	tr := New(64)
+	conn := tr.ConnID()
+	tr.ConnOpen(conn, "example.test")
+	for i := 0; i < 10; i++ {
+		tr.Frame(conn, i%2 == 0, frame.Header{
+			Type: frame.TypeData, StreamID: 1, Length: uint32(i),
+		})
+	}
+	tr.ConnClose(conn, "done")
+
+	events := tr.Snapshot()
+	if len(events) != 12 {
+		t.Fatalf("snapshot has %d events, want 12", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: seq %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+		if events[i].At.Before(events[i-1].At) {
+			t.Fatalf("timestamps regress at %d", i)
+		}
+	}
+	if events[0].Kind != KindConnOpen || events[0].Detail != "example.test" {
+		t.Fatalf("first event = %+v, want conn-open example.test", events[0])
+	}
+	if last := events[len(events)-1]; last.Kind != KindConnClose {
+		t.Fatalf("last event kind = %v, want conn-close", last.Kind)
+	}
+	if got := tr.Emitted(); got != 12 {
+		t.Fatalf("Emitted = %d, want 12", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+}
+
+func TestRingOverwriteCountsDrops(t *testing.T) {
+	tr := New(8) // power of two already; ring holds exactly 8
+	conn := tr.ConnID()
+	const emits = 20
+	for i := 0; i < emits; i++ {
+		tr.Frame(conn, true, frame.Header{Type: frame.TypePing, Length: 8})
+	}
+	if got := tr.Emitted(); got != emits {
+		t.Fatalf("Emitted = %d, want %d", got, emits)
+	}
+	if got := tr.Dropped(); got != emits-8 {
+		t.Fatalf("Dropped = %d, want %d", got, emits-8)
+	}
+	events := tr.Snapshot()
+	if len(events) != 8 {
+		t.Fatalf("snapshot has %d events, want 8", len(events))
+	}
+	// The survivors must be the newest 8.
+	for i, ev := range events {
+		if want := uint64(emits - 8 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestCapacityRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultCapacity}, {-1, DefaultCapacity}, {1, 1}, {3, 4}, {100, 128}, {8192, 8192},
+	} {
+		if got := New(tc.in).Capacity(); got != tc.want {
+			t.Errorf("New(%d).Capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	conn := tr.ConnID()
+	if conn != 0 {
+		t.Fatalf("nil ConnID = %d, want 0", conn)
+	}
+	tr.ConnOpen(conn, "x")
+	tr.Frame(conn, true, frame.Header{})
+	tr.Error(conn, "boom")
+	done := tr.Phase("p")
+	done()
+	tr.ConnClose(conn, "x")
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", got)
+	}
+	if tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Capacity() != 0 {
+		t.Fatal("nil tracer counters should be zero")
+	}
+	if !tr.Start().IsZero() {
+		t.Fatal("nil Start should be zero time")
+	}
+}
+
+func TestPhaseAnnotatesEvents(t *testing.T) {
+	tr := New(64)
+	conn := tr.ConnID()
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeSettings}) // before any phase
+	end := tr.Phase("multiplexing")
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeHeaders, StreamID: 1})
+	inner := tr.Phase("inner")
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 1})
+	inner()
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 3})
+	end()
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeGoAway}) // after all phases
+
+	var phases []string
+	for _, ev := range tr.Snapshot() {
+		if ev.Kind.IsFrame() {
+			phases = append(phases, ev.Phase)
+		}
+	}
+	want := []string{"", "multiplexing", "inner", "multiplexing", ""}
+	if len(phases) != len(want) {
+		t.Fatalf("got %d frame events, want %d", len(phases), len(want))
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("frame %d phase = %q, want %q", i, phases[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentEmitSnapshot exercises the lock-free ring under the race
+// detector: many producers emitting while a reader snapshots continuously.
+func TestConcurrentEmitSnapshot(t *testing.T) {
+	tr := New(256)
+	const producers = 8
+	const perProducer = 500
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			events := tr.Snapshot()
+			for i := 1; i < len(events); i++ {
+				if events[i].Seq <= events[i-1].Seq {
+					t.Errorf("concurrent snapshot out of order: %d then %d", events[i-1].Seq, events[i].Seq)
+					return
+				}
+			}
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			conn := tr.ConnID()
+			for i := 0; i < perProducer; i++ {
+				tr.Frame(conn, i%2 == 0, frame.Header{
+					Type: frame.TypeData, StreamID: uint32(2*p + 1), Length: uint32(i),
+				})
+			}
+		}(p)
+	}
+	// Phase churn races against producers too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			end := tr.Phase("p")
+			end()
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Producers finish, then stop the reader.
+	for {
+		if tr.Emitted() >= producers*perProducer {
+			break
+		}
+		select {
+		case <-done:
+		default:
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		break
+	}
+	close(stop)
+	<-done
+
+	if got := tr.Emitted(); got < producers*perProducer {
+		t.Fatalf("Emitted = %d, want >= %d", got, producers*perProducer)
+	}
+	if len(tr.Snapshot()) != 256 {
+		t.Fatalf("final snapshot has %d events, want full ring of 256", len(tr.Snapshot()))
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected drops after overfilling the ring")
+	}
+}
+
+func TestBuildSpans(t *testing.T) {
+	tr := New(256)
+	conn := tr.ConnID()
+	tr.ConnOpen(conn, "testbed.example")
+	end := tr.Phase("multiplexing")
+	// Two interleaved request/response streams.
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeHeaders, StreamID: 1, Flags: frame.FlagEndStream | frame.FlagEndHeaders})
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeHeaders, StreamID: 3, Flags: frame.FlagEndStream | frame.FlagEndHeaders})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeHeaders, StreamID: 1, Flags: frame.FlagEndHeaders, Length: 20})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeHeaders, StreamID: 3, Flags: frame.FlagEndHeaders, Length: 20})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 1, Length: 100})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 3, Length: 200})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 1, Length: 50, Flags: frame.FlagEndStream})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 3, Length: 50, Flags: frame.FlagEndStream})
+	end()
+	tr.ConnClose(conn, "")
+
+	spans := BuildSpans(tr.Snapshot())
+	if len(spans) != 1 {
+		t.Fatalf("got %d conn spans, want 1", len(spans))
+	}
+	c := spans[0]
+	if !c.Opened || !c.Closed {
+		t.Fatalf("conn span lifecycle: opened=%v closed=%v", c.Opened, c.Closed)
+	}
+	if c.Detail != "testbed.example" {
+		t.Fatalf("conn detail = %q", c.Detail)
+	}
+	if c.FramesSent != 2 || c.FramesRecv != 6 {
+		t.Fatalf("conn frames = %d sent / %d recv, want 2/6", c.FramesSent, c.FramesRecv)
+	}
+	if c.BytesRecv != 400 {
+		t.Fatalf("conn BytesRecv = %d, want 400", c.BytesRecv)
+	}
+	if len(c.Streams) != 2 {
+		t.Fatalf("got %d stream spans, want 2", len(c.Streams))
+	}
+	for i, wantID := range []uint32{1, 3} {
+		s := c.Streams[i]
+		if s.StreamID != wantID {
+			t.Fatalf("stream %d has ID %d, want %d", i, s.StreamID, wantID)
+		}
+		if s.Phase != "multiplexing" {
+			t.Fatalf("stream %d phase = %q, want multiplexing", s.StreamID, s.Phase)
+		}
+		if !s.EndStream {
+			t.Fatalf("stream %d missing END_STREAM", s.StreamID)
+		}
+		if s.FirstHeaders.IsZero() || s.FirstData.IsZero() || s.LastData.IsZero() {
+			t.Fatalf("stream %d missing latency landmarks: %+v", s.StreamID, s)
+		}
+		if s.FirstByteLatency() <= 0 || s.LastByteLatency() < s.FirstByteLatency() {
+			t.Fatalf("stream %d latency ordering: first=%v last=%v",
+				s.StreamID, s.FirstByteLatency(), s.LastByteLatency())
+		}
+	}
+	if c.Streams[0].BytesRecv != 150 || c.Streams[1].BytesRecv != 250 {
+		t.Fatalf("stream bytes = %d/%d, want 150/250", c.Streams[0].BytesRecv, c.Streams[1].BytesRecv)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	tr := New(64)
+	conn := tr.ConnID()
+	tr.ConnOpen(conn, "round.trip")
+	end := tr.Phase("settings")
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeSettings, Length: 12})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeSettings, Flags: frame.FlagAck})
+	end()
+	tr.Error(conn, "sample error")
+	tr.ConnClose(conn, "eof")
+
+	var buf bytes.Buffer
+	if err := Write(&buf, "round.trip", tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	d, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if d.Target != "round.trip" {
+		t.Fatalf("Target = %q", d.Target)
+	}
+	orig := tr.Snapshot()
+	if len(d.Events) != len(orig) {
+		t.Fatalf("round trip has %d events, want %d", len(d.Events), len(orig))
+	}
+	for i := range orig {
+		got, want := d.Events[i], orig[i]
+		if got.Seq != want.Seq || got.Kind != want.Kind || got.Conn != want.Conn ||
+			got.Phase != want.Phase || got.StreamID != want.StreamID ||
+			got.FrameType != want.FrameType || got.Flags != want.Flags ||
+			got.Length != want.Length || got.Detail != want.Detail {
+			t.Fatalf("event %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+		// Times survive as relative offsets (wall-clock precision only).
+		if dt := got.At.Sub(want.At); dt > time.Millisecond || dt < -time.Millisecond {
+			t.Fatalf("event %d time skew %v", i, dt)
+		}
+	}
+	if d.Emitted != tr.Emitted() || d.Dropped != tr.Dropped() {
+		t.Fatalf("header counters %d/%d, want %d/%d", d.Emitted, d.Dropped, tr.Emitted(), tr.Dropped())
+	}
+}
+
+func TestReadRejectsNonTrace(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"domain":"a.example"}` + "\n")); err == nil {
+		t.Fatal("Read accepted a non-trace stream")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("Read accepted empty input")
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+}
+
+func TestRenderShowsPhasesAndStreams(t *testing.T) {
+	tr := New(64)
+	conn := tr.ConnID()
+	tr.ConnOpen(conn, "render.example")
+	end := tr.Phase("multiplexing")
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeHeaders, StreamID: 1, Flags: frame.FlagEndStream})
+	tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 1, Length: 64, Flags: frame.FlagEndStream})
+	end()
+	tr.ConnClose(conn, "")
+
+	var buf bytes.Buffer
+	if err := Write(&buf, "render.example", tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	d, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	out := Render(d, RenderOptions{Events: true})
+	for _, want := range []string{
+		"trace render.example",
+		"conn 1 (render.example)",
+		"stream 1",
+		"[multiplexing]",
+		"phase-start multiplexing",
+		"DATA",
+		"END_STREAM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+
+	merge := RenderMerge([]MergeRow{Summarize("render.example.jsonl", d)})
+	for _, want := range []string{"render.example.jsonl", "total (1 traces)"} {
+		if !strings.Contains(merge, want) {
+			t.Errorf("RenderMerge output missing %q:\n%s", want, merge)
+		}
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %v, want nil", got)
+	}
+	tr := New(8)
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %v, want the stored tracer", got)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := KindFrameSent; k <= KindError; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if Kind(0).String() != "unknown" {
+		t.Error("zero Kind should render unknown")
+	}
+	if KindFromString("nope") != 0 {
+		t.Error("unknown name should parse to 0")
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	tr := New(8192)
+	hdr := frame.Header{Type: frame.TypeData, StreamID: 1, Length: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Frame(1, true, hdr)
+	}
+}
+
+func BenchmarkEmitParallel(b *testing.B) {
+	tr := New(8192)
+	hdr := frame.Header{Type: frame.TypeData, StreamID: 1, Length: 1024}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Frame(1, false, hdr)
+		}
+	})
+}
+
+func BenchmarkEmitNil(b *testing.B) {
+	var tr *Tracer
+	hdr := frame.Header{Type: frame.TypeData, StreamID: 1, Length: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Frame(1, true, hdr)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	tr := New(8192)
+	for i := 0; i < 8192; i++ {
+		tr.Frame(1, true, frame.Header{Type: frame.TypeData, StreamID: 1, Length: uint32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.Snapshot()) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
