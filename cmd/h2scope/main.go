@@ -169,13 +169,13 @@ func run() error {
 	prober := h2scope.NewProber(dialer, cfg)
 	var extResult *core.ExtensionsResult
 	if *exts {
-		if extResult, err = prober.ProbeExtensions(); err != nil {
+		if extResult, err = prober.ProbeExtensions(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "h2scope: extensions:", err)
 		}
 	}
 	var h2cResult *core.H2CResult
 	if *h2c && !*useTLS {
-		if h2cResult, err = prober.ProbeH2CUpgrade(); err != nil {
+		if h2cResult, err = prober.ProbeH2CUpgrade(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "h2scope: h2c:", err)
 		}
 	}

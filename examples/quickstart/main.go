@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -67,7 +68,7 @@ func run() error {
 	prober := h2scope.NewProber(
 		h2scope.DialerFunc(func() (net.Conn, error) { return l.Dial() }),
 		h2scope.DefaultProbeConfig("quickstart.example"))
-	hp, err := prober.ProbeHPACK()
+	hp, err := prober.ProbeHPACK(context.Background())
 	if err != nil {
 		return err
 	}

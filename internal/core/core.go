@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -147,14 +148,25 @@ func (p *Prober) phase(name string) func() {
 
 // connect dials and establishes an HTTP/2 connection with the given client
 // options. The battery's tracer, when set, is attached to every connection
-// here — the single point all probes dial through.
-func (p *Prober) connect(opts h2conn.Options) (*h2conn.Conn, error) {
+// here — the single point all probes dial through. A deadline carried by
+// ctx is applied to the transport before the HTTP/2 handshake, so a probe
+// against a tarpit target fails instead of wedging its worker.
+func (p *Prober) connect(ctx context.Context, opts h2conn.Options) (*h2conn.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if opts.Tracer == nil {
 		opts.Tracer = p.cfg.Tracer
 	}
 	nc, err := p.dialer.Dial()
 	if err != nil {
 		return nil, fmt.Errorf("core: dial: %w", err)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if err := nc.SetDeadline(d); err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("core: set deadline: %w", err)
+		}
 	}
 	c, err := h2conn.Dial(nc, opts)
 	if err != nil {

@@ -1,7 +1,9 @@
 package core_test
 
 import (
+	"context"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,7 +157,7 @@ func TestTableIIIMatrix(t *testing.T) {
 func TestSettingsProbeReadsAdvertisement(t *testing.T) {
 	p := server.H2OProfile()
 	prober := newProber(t, p)
-	res, err := prober.ProbeSettings()
+	res, err := prober.ProbeSettings(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeSettings: %v", err)
 	}
@@ -172,7 +174,7 @@ func TestSettingsProbeReadsAdvertisement(t *testing.T) {
 
 func TestPriorityProbeDetailsOnPriorityServer(t *testing.T) {
 	prober := newProber(t, server.NghttpdProfile())
-	res, err := prober.ProbePriority()
+	res, err := prober.ProbePriority(context.Background())
 	if err != nil {
 		t.Fatalf("ProbePriority: %v", err)
 	}
@@ -192,7 +194,7 @@ func TestPriorityProbeDetailsOnPriorityServer(t *testing.T) {
 
 func TestPriorityProbeLiteSpeedWithholdsHeaders(t *testing.T) {
 	prober := newProber(t, server.LiteSpeedProfile())
-	res, err := prober.ProbePriority()
+	res, err := prober.ProbePriority(context.Background())
 	if err != nil {
 		t.Fatalf("ProbePriority: %v", err)
 	}
@@ -208,7 +210,7 @@ func TestZeroWindowUpdateDebugData(t *testing.T) {
 	p := server.ApacheProfile()
 	p.ZeroWindowDebugData = true
 	prober := newProber(t, p)
-	res, err := prober.ProbeZeroWindowUpdate()
+	res, err := prober.ProbeZeroWindowUpdate(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeZeroWindowUpdate: %v", err)
 	}
@@ -239,7 +241,7 @@ func TestTinyWindowClasses(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			t.Parallel()
 			prober := newProber(t, tt.profile)
-			res, err := prober.ProbeFlowControlData(1)
+			res, err := prober.ProbeFlowControlData(context.Background(), 1)
 			if err != nil {
 				t.Fatalf("ProbeFlowControlData: %v", err)
 			}
@@ -252,7 +254,7 @@ func TestTinyWindowClasses(t *testing.T) {
 
 func TestHPACKProbeRatios(t *testing.T) {
 	nginx := newProber(t, server.NginxProfile())
-	rn, err := nginx.ProbeHPACK()
+	rn, err := nginx.ProbeHPACK(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeHPACK(nginx): %v", err)
 	}
@@ -260,7 +262,7 @@ func TestHPACKProbeRatios(t *testing.T) {
 		t.Errorf("nginx ratio = %.3f, want ~1", rn.Ratio)
 	}
 	gse := newProber(t, server.H2OProfile())
-	rg, err := gse.ProbeHPACK()
+	rg, err := gse.ProbeHPACK(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeHPACK(h2o): %v", err)
 	}
@@ -274,7 +276,7 @@ func TestHPACKProbeRatios(t *testing.T) {
 
 func TestPingProbeCollectsRTTs(t *testing.T) {
 	prober := newProber(t, server.NginxProfile())
-	res, err := prober.ProbePing()
+	res, err := prober.ProbePing(context.Background())
 	if err != nil {
 		t.Fatalf("ProbePing: %v", err)
 	}
@@ -292,7 +294,7 @@ func TestSchedulingModePartialCompliance(t *testing.T) {
 	lastOnly := server.H2OProfile()
 	lastOnly.Scheduling = server.SchedPriorityLastOnly
 	prober := newProber(t, lastOnly)
-	res, err := prober.ProbePriority()
+	res, err := prober.ProbePriority(context.Background())
 	if err != nil {
 		t.Fatalf("ProbePriority: %v", err)
 	}
@@ -309,7 +311,7 @@ func TestSchedulingModePartialCompliance(t *testing.T) {
 
 func TestProbeExtensionsCompliantServer(t *testing.T) {
 	prober := newProber(t, server.ApacheProfile())
-	res, err := prober.ProbeExtensions()
+	res, err := prober.ProbeExtensions(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeExtensions: %v", err)
 	}
@@ -331,7 +333,7 @@ func TestProbeExtensionsPingDisabled(t *testing.T) {
 	p := server.NginxProfile()
 	p.AnswerPing = false
 	prober := newProber(t, p)
-	res, err := prober.ProbeExtensions()
+	res, err := prober.ProbeExtensions(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeExtensions: %v", err)
 	}
@@ -363,7 +365,7 @@ func TestProbeH2CUpgrade(t *testing.T) {
 
 	l := start(withH2C)
 	p := core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l.Dial() }), cfg)
-	res, err := p.ProbeH2CUpgrade()
+	res, err := p.ProbeH2CUpgrade(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeH2CUpgrade: %v", err)
 	}
@@ -373,7 +375,7 @@ func TestProbeH2CUpgrade(t *testing.T) {
 
 	l2 := start(withoutH2C)
 	p2 := core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l2.Dial() }), cfg)
-	res2, err := p2.ProbeH2CUpgrade()
+	res2, err := p2.ProbeH2CUpgrade(context.Background())
 	if err != nil {
 		t.Fatalf("ProbeH2CUpgrade: %v", err)
 	}
@@ -388,7 +390,7 @@ func TestMultiplexingProbeDetectsSequentialServer(t *testing.T) {
 	p := server.NginxProfile()
 	p.Scheduling = server.SchedSequential
 	prober := newProber(t, p)
-	res, err := prober.ProbeMultiplexing(4)
+	res, err := prober.ProbeMultiplexing(context.Background(), 4)
 	if err != nil {
 		t.Fatalf("ProbeMultiplexing: %v", err)
 	}
@@ -469,7 +471,7 @@ func TestProbeMultiplexingNeedsTwoObjects(t *testing.T) {
 	prober := core.NewProber(core.DialerFunc(func() (net.Conn, error) {
 		return nil, net.ErrClosed
 	}), cfg)
-	if _, err := prober.ProbeMultiplexing(4); err == nil {
+	if _, err := prober.ProbeMultiplexing(context.Background(), 4); err == nil {
 		t.Fatal("multiplexing probe with one object succeeded")
 	}
 }
@@ -480,7 +482,7 @@ func TestMultiplexingProbeHonorsAdvertisedStreamLimit(t *testing.T) {
 	p := server.ApacheProfile()
 	p.MaxConcurrentStreams = 2
 	prober := newProber(t, p)
-	res, err := prober.ProbeMultiplexing(4)
+	res, err := prober.ProbeMultiplexing(context.Background(), 4)
 	if err != nil {
 		t.Fatalf("ProbeMultiplexing: %v", err)
 	}
@@ -492,5 +494,79 @@ func TestMultiplexingProbeHonorsAdvertisedStreamLimit(t *testing.T) {
 	}
 	if res.Completed != 2 {
 		t.Errorf("Completed = %d, want 2 (no refused streams)", res.Completed)
+	}
+}
+
+// deadlineRecorder wraps a net.Conn and records every SetDeadline call, so
+// tests can verify a context deadline reaches the transport.
+type deadlineRecorder struct {
+	net.Conn
+	mu        sync.Mutex
+	deadlines []time.Time
+}
+
+func (d *deadlineRecorder) SetDeadline(t time.Time) error {
+	d.mu.Lock()
+	d.deadlines = append(d.deadlines, t)
+	d.mu.Unlock()
+	return d.Conn.SetDeadline(t)
+}
+
+func (d *deadlineRecorder) recorded() []time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]time.Time(nil), d.deadlines...)
+}
+
+func TestProbeAppliesContextDeadlineToTransport(t *testing.T) {
+	srv := server.New(server.NginxProfile(), server.DefaultSite("testbed.example"))
+	l := netsim.NewListener("deadline")
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(srv.Close)
+
+	rec := &deadlineRecorder{}
+	cfg := core.DefaultConfig("testbed.example")
+	cfg.Timeout = 2 * time.Second
+	cfg.QuietWindow = 10 * time.Millisecond
+	prober := core.NewProber(core.DialerFunc(func() (net.Conn, error) {
+		nc, err := l.Dial()
+		if err != nil {
+			return nil, err
+		}
+		rec.Conn = nc
+		return rec, nil
+	}), cfg)
+
+	want := time.Now().Add(time.Minute)
+	ctx, cancel := context.WithDeadline(context.Background(), want)
+	defer cancel()
+	if _, err := prober.ProbeSettings(ctx); err != nil {
+		t.Fatalf("ProbeSettings: %v", err)
+	}
+	for _, d := range rec.recorded() {
+		if d.Equal(want) {
+			return
+		}
+	}
+	t.Fatalf("context deadline %v never applied to the transport (saw %v)", want, rec.recorded())
+}
+
+func TestProbeCanceledContextFailsWithoutDialing(t *testing.T) {
+	dials := 0
+	cfg := core.DefaultConfig("testbed.example")
+	prober := core.NewProber(core.DialerFunc(func() (net.Conn, error) {
+		dials++
+		return nil, net.ErrClosed
+	}), cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prober.ProbeSettings(ctx); err == nil {
+		t.Fatal("ProbeSettings with canceled context succeeded")
+	}
+	if _, err := prober.ProbeH2CUpgrade(ctx); err == nil {
+		t.Fatal("ProbeH2CUpgrade with canceled context succeeded")
+	}
+	if dials != 0 {
+		t.Fatalf("canceled context still dialed %d time(s)", dials)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"h2scope/internal/frame"
 	"h2scope/internal/h2conn"
 )
@@ -25,26 +26,26 @@ type ExtensionsResult struct {
 }
 
 // ProbeExtensions runs the beyond-paper conformance checks.
-func (p *Prober) ProbeExtensions() (*ExtensionsResult, error) {
+func (p *Prober) ProbeExtensions(ctx context.Context) (*ExtensionsResult, error) {
 	defer p.phase("extensions")()
 	res := &ExtensionsResult{}
-	if err := p.probeSettingsAckAndUnknowns(res); err != nil {
+	if err := p.probeSettingsAckAndUnknowns(ctx, res); err != nil {
 		return nil, err
 	}
-	if err := p.probePingPriority(res); err != nil {
+	if err := p.probePingPriority(ctx, res); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-func (p *Prober) probeSettingsAckAndUnknowns(res *ExtensionsResult) error {
+func (p *Prober) probeSettingsAckAndUnknowns(ctx context.Context, res *ExtensionsResult) error {
 	opts := h2conn.Options{
 		// An unknown SETTINGS identifier rides along with the handshake.
 		Settings:        []frame.Setting{{ID: frame.SettingID(0xF0F0), Val: 1}},
 		AutoSettingsAck: true,
 		AutoPingAck:     true,
 	}
-	c, err := p.connect(opts)
+	c, err := p.connect(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -83,14 +84,14 @@ func (p *Prober) probeSettingsAckAndUnknowns(res *ExtensionsResult) error {
 	return nil
 }
 
-func (p *Prober) probePingPriority(res *ExtensionsResult) error {
+func (p *Prober) probePingPriority(ctx context.Context, res *ExtensionsResult) error {
 	// Open a bulk transfer that stalls on the 65,535-octet connection
 	// window, ping while the response is incomplete, and require the ACK to
 	// arrive before the transfer's final DATA frame (which we only unblock
 	// afterwards with WINDOW_UPDATE). A server that queues the PING behind
 	// the pending response bytes fails.
 	opts := h2conn.Options{AutoSettingsAck: true, AutoPingAck: true}
-	c, err := p.connect(opts)
+	c, err := p.connect(ctx, opts)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 
@@ -21,11 +22,20 @@ type H2CResult struct {
 
 // ProbeH2CUpgrade performs the cleartext upgrade handshake against the
 // target and, if accepted, verifies HTTP/2 works on the connection.
-func (p *Prober) ProbeH2CUpgrade() (*H2CResult, error) {
+func (p *Prober) ProbeH2CUpgrade(ctx context.Context) (*H2CResult, error) {
 	defer p.phase("h2c-upgrade")()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	nc, err := p.dialer.Dial()
 	if err != nil {
 		return nil, fmt.Errorf("core: dial: %w", err)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if err := nc.SetDeadline(d); err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("core: set deadline: %w", err)
+		}
 	}
 	res := &H2CResult{}
 	if err := http1.UpgradeH2C(nc, p.cfg.Authority); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"h2scope/internal/frame"
@@ -43,7 +44,7 @@ var streamLabels = [...]string{"A", "B", "C", "D", "E", "F"}
 //     reprioritize with a PRIORITY frame while no DATA can flow (lines 22-28),
 //  4. reopen the connection window with WINDOW_UPDATE and infer priority
 //     support from the order of DATA frames (line 30).
-func (p *Prober) ProbePriority() (*PriorityResult, error) {
+func (p *Prober) ProbePriority(ctx context.Context) (*PriorityResult, error) {
 	defer p.phase("priority")()
 	opts := h2conn.Options{
 		Settings: []frame.Setting{
@@ -52,7 +53,7 @@ func (p *Prober) ProbePriority() (*PriorityResult, error) {
 		AutoSettingsAck: true,
 		AutoPingAck:     true,
 	}
-	c, err := p.connect(opts)
+	c, err := p.connect(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -38,9 +39,9 @@ func (r *SettingsResult) Value(id frame.SettingID) (uint32, bool) {
 
 // ProbeSettings records the server's SETTINGS frame and fetches one small
 // page to learn the server header.
-func (p *Prober) ProbeSettings() (*SettingsResult, error) {
+func (p *Prober) ProbeSettings(ctx context.Context) (*SettingsResult, error) {
 	defer p.phase("settings")()
-	c, err := p.connect(h2conn.DefaultOptions())
+	c, err := p.connect(ctx, h2conn.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +73,7 @@ type MultiplexResult struct {
 
 // ProbeMultiplexing issues N concurrent large downloads and checks whether
 // the response DATA frames interleave.
-func (p *Prober) ProbeMultiplexing(n int) (*MultiplexResult, error) {
+func (p *Prober) ProbeMultiplexing(ctx context.Context, n int) (*MultiplexResult, error) {
 	defer p.phase("multiplexing")()
 	if n > len(p.cfg.LargePaths) {
 		n = len(p.cfg.LargePaths)
@@ -80,7 +81,7 @@ func (p *Prober) ProbeMultiplexing(n int) (*MultiplexResult, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("core: multiplexing probe needs >= 2 large objects, have %d", n)
 	}
-	c, err := p.connect(h2conn.DefaultOptions())
+	c, err := p.connect(ctx, h2conn.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -197,14 +198,14 @@ type FlowDataResult struct {
 
 // ProbeFlowControlData sets SETTINGS_INITIAL_WINDOW_SIZE to windowSize
 // (the paper uses 1) and classifies the response (Section III-B.1).
-func (p *Prober) ProbeFlowControlData(windowSize uint32) (*FlowDataResult, error) {
+func (p *Prober) ProbeFlowControlData(ctx context.Context, windowSize uint32) (*FlowDataResult, error) {
 	defer p.phase("flow-data")()
 	opts := h2conn.Options{
 		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: windowSize}},
 		AutoSettingsAck: true,
 		AutoPingAck:     true,
 	}
-	c, err := p.connect(opts)
+	c, err := p.connect(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -251,14 +252,14 @@ type ZeroWindowHeadersResult struct {
 
 // ProbeZeroWindowHeaders sets SETTINGS_INITIAL_WINDOW_SIZE to 0 and checks
 // whether HEADERS still arrive.
-func (p *Prober) ProbeZeroWindowHeaders() (*ZeroWindowHeadersResult, error) {
+func (p *Prober) ProbeZeroWindowHeaders(ctx context.Context) (*ZeroWindowHeadersResult, error) {
 	defer p.phase("zero-window-headers")()
 	opts := h2conn.Options{
 		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: 0}},
 		AutoSettingsAck: true,
 		AutoPingAck:     true,
 	}
-	c, err := p.connect(opts)
+	c, err := p.connect(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -309,18 +310,18 @@ type WindowUpdateResult struct {
 // ProbeZeroWindowUpdate sends WINDOW_UPDATE frames with increment 0 at the
 // stream and connection levels (fresh connection each) and classifies the
 // reactions.
-func (p *Prober) ProbeZeroWindowUpdate() (*WindowUpdateResult, error) {
+func (p *Prober) ProbeZeroWindowUpdate(ctx context.Context) (*WindowUpdateResult, error) {
 	defer p.phase("zero-window-update")()
-	return p.probeWindowUpdate(func(c *h2conn.Conn, streamID uint32) error {
+	return p.probeWindowUpdate(ctx, func(c *h2conn.Conn, streamID uint32) error {
 		return c.WriteWindowUpdate(streamID, 0)
 	})
 }
 
 // ProbeLargeWindowUpdate sends WINDOW_UPDATE frames whose sum exceeds
 // 2^31-1 at both levels and classifies the reactions.
-func (p *Prober) ProbeLargeWindowUpdate() (*WindowUpdateResult, error) {
+func (p *Prober) ProbeLargeWindowUpdate(ctx context.Context) (*WindowUpdateResult, error) {
 	defer p.phase("large-window-update")()
-	return p.probeWindowUpdate(func(c *h2conn.Conn, streamID uint32) error {
+	return p.probeWindowUpdate(ctx, func(c *h2conn.Conn, streamID uint32) error {
 		if err := c.WriteWindowUpdate(streamID, frame.MaxWindowSize); err != nil {
 			return err
 		}
@@ -328,13 +329,13 @@ func (p *Prober) ProbeLargeWindowUpdate() (*WindowUpdateResult, error) {
 	})
 }
 
-func (p *Prober) probeWindowUpdate(provoke func(*h2conn.Conn, uint32) error) (*WindowUpdateResult, error) {
+func (p *Prober) probeWindowUpdate(ctx context.Context, provoke func(*h2conn.Conn, uint32) error) (*WindowUpdateResult, error) {
 	res := &WindowUpdateResult{}
 
 	// Stream level: the stream must be open and flow-blocked, so request a
 	// large object without automatic window refills.
 	opts := h2conn.Options{AutoSettingsAck: true, AutoPingAck: true}
-	c, err := p.connect(opts)
+	c, err := p.connect(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +365,7 @@ func (p *Prober) probeWindowUpdate(provoke func(*h2conn.Conn, uint32) error) (*W
 	closeConn(c)
 
 	// Connection level, on a fresh connection.
-	c, err = p.connect(opts)
+	c, err = p.connect(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -393,11 +394,11 @@ type PushResult struct {
 
 // ProbeServerPush enables push, browses the configured pages, and records
 // PUSH_PROMISE frames.
-func (p *Prober) ProbeServerPush() (*PushResult, error) {
+func (p *Prober) ProbeServerPush(ctx context.Context) (*PushResult, error) {
 	defer p.phase("server-push")()
 	opts := h2conn.DefaultOptions()
 	opts.Settings = []frame.Setting{{ID: frame.SettingEnablePush, Val: 1}}
-	c, err := p.connect(opts)
+	c, err := p.connect(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -438,13 +439,13 @@ type HPACKResult struct {
 
 // ProbeHPACK sends H identical requests and computes the compression ratio
 // over the response header block sizes.
-func (p *Prober) ProbeHPACK() (*HPACKResult, error) {
+func (p *Prober) ProbeHPACK(ctx context.Context) (*HPACKResult, error) {
 	defer p.phase("hpack")()
 	h := p.cfg.HPACKRequests
 	if h < 2 {
 		h = 8
 	}
-	c, err := p.connect(h2conn.DefaultOptions())
+	c, err := p.connect(ctx, h2conn.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -498,13 +499,13 @@ func (r *PingResult) Min() time.Duration {
 }
 
 // ProbePing sends PING frames and measures RTTs.
-func (p *Prober) ProbePing() (*PingResult, error) {
+func (p *Prober) ProbePing(ctx context.Context) (*PingResult, error) {
 	defer p.phase("ping")()
 	n := p.cfg.PingSamples
 	if n < 1 {
 		n = 3
 	}
-	c, err := p.connect(h2conn.DefaultOptions())
+	c, err := p.connect(ctx, h2conn.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -536,9 +537,9 @@ type SelfDependencyResult struct {
 }
 
 // ProbeSelfDependency sends PRIORITY making a stream depend on itself.
-func (p *Prober) ProbeSelfDependency() (*SelfDependencyResult, error) {
+func (p *Prober) ProbeSelfDependency(ctx context.Context) (*SelfDependencyResult, error) {
 	defer p.phase("self-dependency")()
-	c, err := p.connect(h2conn.DefaultOptions())
+	c, err := p.connect(ctx, h2conn.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -51,7 +51,7 @@ func (p *Prober) RunContext(ctx context.Context) (*Report, error) {
 		p.probeNegotiation(neg, r)
 	}
 	var err error
-	if r.Settings, err = p.ProbeSettings(); err != nil {
+	if r.Settings, err = p.ProbeSettings(ctx); err != nil {
 		r.fail("settings", err)
 		return r, fmt.Errorf("core: target not probeable: %w", err)
 	}
@@ -59,16 +59,16 @@ func (p *Prober) RunContext(ctx context.Context) (*Report, error) {
 		name string
 		run  func() error
 	}{
-		{"multiplexing", func() (err error) { r.Multiplex, err = p.ProbeMultiplexing(4); return }},
-		{"flow-data", func() (err error) { r.FlowData, err = p.ProbeFlowControlData(1); return }},
-		{"zero-window-headers", func() (err error) { r.ZeroWindowHeaders, err = p.ProbeZeroWindowHeaders(); return }},
-		{"zero-window-update", func() (err error) { r.ZeroWU, err = p.ProbeZeroWindowUpdate(); return }},
-		{"large-window-update", func() (err error) { r.LargeWU, err = p.ProbeLargeWindowUpdate(); return }},
-		{"priority", func() (err error) { r.Priority, err = p.ProbePriority(); return }},
-		{"self-dependency", func() (err error) { r.SelfDep, err = p.ProbeSelfDependency(); return }},
-		{"server-push", func() (err error) { r.Push, err = p.ProbeServerPush(); return }},
-		{"hpack", func() (err error) { r.HPACK, err = p.ProbeHPACK(); return }},
-		{"ping", func() (err error) { r.Ping, err = p.ProbePing(); return }},
+		{"multiplexing", func() (err error) { r.Multiplex, err = p.ProbeMultiplexing(ctx, 4); return }},
+		{"flow-data", func() (err error) { r.FlowData, err = p.ProbeFlowControlData(ctx, 1); return }},
+		{"zero-window-headers", func() (err error) { r.ZeroWindowHeaders, err = p.ProbeZeroWindowHeaders(ctx); return }},
+		{"zero-window-update", func() (err error) { r.ZeroWU, err = p.ProbeZeroWindowUpdate(ctx); return }},
+		{"large-window-update", func() (err error) { r.LargeWU, err = p.ProbeLargeWindowUpdate(ctx); return }},
+		{"priority", func() (err error) { r.Priority, err = p.ProbePriority(ctx); return }},
+		{"self-dependency", func() (err error) { r.SelfDep, err = p.ProbeSelfDependency(ctx); return }},
+		{"server-push", func() (err error) { r.Push, err = p.ProbeServerPush(ctx); return }},
+		{"hpack", func() (err error) { r.HPACK, err = p.ProbeHPACK(ctx); return }},
+		{"ping", func() (err error) { r.Ping, err = p.ProbePing(ctx); return }},
 	}
 	for _, step := range steps {
 		if cerr := ctx.Err(); cerr != nil {

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestMultiplexingProbeTrace(t *testing.T) {
 	cfg.Tracer = tr
 	prober := core.NewProber(core.DialerFunc(func() (net.Conn, error) { return l.Dial() }), cfg)
 
-	res, err := prober.ProbeMultiplexing(4)
+	res, err := prober.ProbeMultiplexing(context.Background(), 4)
 	if err != nil {
 		t.Fatalf("ProbeMultiplexing: %v", err)
 	}

@@ -61,3 +61,52 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzHpackEncode is the encode→decode round-trip identity check: whatever
+// header list the encoder emits, under any indexing policy and across
+// multiple blocks sharing one dynamic table, the decoder must reproduce it
+// field-for-field. Divergence here is exactly the paper's nightmare case —
+// both ends "work" but the measured header bytes mean something else.
+func FuzzHpackEncode(f *testing.F) {
+	f.Add(":method", "GET", "accept", "text/html", uint8(0), uint8(2))
+	f.Add(":status", "200", "server", "nginx/1.10", uint8(1), uint8(1))
+	f.Add("x-custom", strings.Repeat("v", 5000), "x-empty", "", uint8(2), uint8(3))
+	f.Add("", "", "", "\x00\xff\x80", uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, name1, value1, name2, value2 string, policyByte, repeats uint8) {
+		var enc *Encoder
+		switch policyByte % 3 {
+		case 0:
+			enc = NewEncoder(PolicyIndexAll)
+		case 1:
+			enc = NewEncoder(PolicyNoDynamicInsert)
+		default:
+			enc = NewPartialEncoder(float64(policyByte)/255, uint32(policyByte))
+		}
+		dec := NewDecoder(DefaultDynamicTableSize)
+		fields := []HeaderField{
+			{Name: name1, Value: value1},
+			{Name: name2, Value: value2},
+			{Name: name1, Value: value2}, // repeated name exercises name-only index hits
+		}
+		n := int(repeats%4) + 1
+		for block := 0; block < n; block++ {
+			encoded := enc.EncodeBlock(fields)
+			decoded, err := dec.DecodeFull(encoded)
+			if err != nil {
+				t.Fatalf("block %d: decode of our own encoding failed: %v\n% x", block, err, encoded)
+			}
+			if len(decoded) != len(fields) {
+				t.Fatalf("block %d: %d fields in, %d out", block, len(fields), len(decoded))
+			}
+			for i := range fields {
+				if decoded[i] != fields[i] {
+					t.Fatalf("block %d field %d: sent %q=%q, decoded %q=%q",
+						block, i, fields[i].Name, fields[i].Value, decoded[i].Name, decoded[i].Value)
+				}
+			}
+		}
+		if el, dl := enc.DynamicTableLen(), dec.DynamicTableLen(); el != dl {
+			t.Fatalf("dynamic tables diverged: encoder %d entries, decoder %d", el, dl)
+		}
+	})
+}

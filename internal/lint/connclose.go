@@ -1,0 +1,621 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConnCloseAnalyzer flags leaked connections: a function that obtains a
+// net.Conn (or h2conn.Conn) must, on every path out of the function, either
+// close it, return it, or hand it off (pass it to a call, store it, send
+// it, capture it in a closure — anything that plausibly transfers
+// ownership). At scan scale a leaked connection per probed target exhausts
+// file descriptors long before the target list does, and the failure
+// surfaces as unrelated dial errors on later targets.
+//
+// The analysis is intraprocedural but path-sensitive and defer-aware: it
+// walks each function body cloning the tracking state at branches, so
+// "closed on the error path but leaked on success" (and vice versa) is
+// caught, while a `defer c.Close()` — directly or inside a deferred closure
+// — covers every return after it. Tracking is deliberately conservative:
+// any use of the connection other than calling methods on it counts as an
+// ownership transfer and ends tracking, so helper patterns like
+// `defer closeConn(c)` or `go serve(nc)` never false-positive.
+var ConnCloseAnalyzer = &Analyzer{
+	Name: "connclose",
+	Doc:  "requires every obtained net.Conn / h2conn.Conn to be closed, returned, or handed off on all paths",
+	Run:  runConnClose,
+}
+
+func runConnClose(pass *Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			w := &closeWalker{
+				pass:         pass,
+				info:         pass.TypesInfo(),
+				acquired:     make(map[*types.Var]*acquisition),
+				errCompanion: make(map[*types.Var][]*types.Var),
+			}
+			st := newPathState()
+			if !w.walkBlock(body, st) {
+				// Falling off the end of the function is a return.
+				w.checkReturn(st)
+			}
+			return true
+		})
+	}
+}
+
+// connState is the per-path tracking state of one connection variable.
+type connState uint8
+
+const (
+	// stOpen: obtained, not yet closed or handed off on this path.
+	stOpen connState = iota
+	// stClosed: Close was called on this path.
+	stClosed
+	// stEscaped: ownership plausibly transferred on this path.
+	stEscaped
+)
+
+// acquisition records where a tracked connection variable was obtained.
+type acquisition struct {
+	obj      *types.Var
+	pos      token.Pos
+	callee   string
+	reported bool
+}
+
+// pathState is the cloneable abstract state of one control-flow path.
+type pathState struct {
+	state map[*types.Var]connState
+	// deferred marks connections covered by a registered defer-close.
+	deferred map[*types.Var]bool
+}
+
+func newPathState() *pathState {
+	return &pathState{state: make(map[*types.Var]connState), deferred: make(map[*types.Var]bool)}
+}
+
+func (s *pathState) clone() *pathState {
+	c := newPathState()
+	for k, v := range s.state {
+		c.state[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// merge folds two reachable path states: a connection open on either path
+// is open, a defer-close must hold on both to survive.
+func (s *pathState) merge(a, b *pathState) {
+	s.state = make(map[*types.Var]connState)
+	for _, src := range []*pathState{a, b} {
+		for v, st := range src.state {
+			cur, ok := s.state[v]
+			if !ok {
+				s.state[v] = st
+				continue
+			}
+			switch {
+			case cur == stOpen || st == stOpen:
+				s.state[v] = stOpen
+			case cur == stEscaped || st == stEscaped:
+				s.state[v] = stEscaped
+			}
+		}
+	}
+	s.deferred = make(map[*types.Var]bool)
+	for v := range a.deferred {
+		if b.deferred[v] {
+			s.deferred[v] = true
+		}
+	}
+}
+
+type closeWalker struct {
+	pass     *Pass
+	info     *types.Info
+	acquired map[*types.Var]*acquisition
+	// errCompanion maps an error variable to the connections defined in the
+	// same `c, err := dial()` statement. When `err != nil` is known true the
+	// companions are nil, so the error branch has nothing to close.
+	errCompanion map[*types.Var][]*types.Var
+}
+
+// checkReturn reports every connection still open and not defer-covered
+// when a path leaves the function.
+func (w *closeWalker) checkReturn(st *pathState) {
+	for v, state := range st.state {
+		if state != stOpen || st.deferred[v] {
+			continue
+		}
+		acq := w.acquired[v]
+		if acq == nil || acq.reported {
+			continue
+		}
+		acq.reported = true
+		w.pass.Reportf(acq.pos, "connection %q obtained from %s is not closed on every path (close it, return it, or hand it off)", v.Name(), acq.callee)
+	}
+}
+
+// walkBlock walks stmts, returning true when every path through them leaves
+// the function. Connections first acquired inside the block that are still
+// open when it ends have gone out of scope — that is a leak too.
+func (w *closeWalker) walkBlock(block *ast.BlockStmt, st *pathState) bool {
+	before := make(map[*types.Var]bool, len(st.state))
+	for v := range st.state {
+		before[v] = true
+	}
+	terminated := w.walkStmts(block.List, st)
+	if !terminated {
+		for v, state := range st.state {
+			if before[v] || state != stOpen || st.deferred[v] {
+				continue
+			}
+			if acq := w.acquired[v]; acq != nil && !acq.reported {
+				acq.reported = true
+				w.pass.Reportf(acq.pos, "connection %q obtained from %s goes out of scope while still open", v.Name(), acq.callee)
+			}
+			delete(st.state, v)
+		}
+	}
+	return terminated
+}
+
+func (w *closeWalker) walkStmts(stmts []ast.Stmt, st *pathState) bool {
+	for _, stmt := range stmts {
+		if w.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt interprets one statement, returning true when it unconditionally
+// leaves the enclosing flow.
+func (w *closeWalker) walkStmt(stmt ast.Stmt, st *pathState) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.scanExpr(rhs, st)
+		}
+		// Reassigning a tracked variable ends tracking of the old value, and
+		// reassigning an error variable ends its companion pairing (the old
+		// error no longer says anything about the connection's nil-ness).
+		for _, lhs := range s.Lhs {
+			if v := w.trackedIdent(lhs, st); v != nil && s.Tok != token.DEFINE {
+				st.state[v] = stEscaped
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v := w.lhsVar(id); v != nil {
+					delete(w.errCompanion, v)
+				}
+			}
+		}
+		w.trackAcquisitions(s, st)
+		return false
+
+	case *ast.ExprStmt:
+		if terminatesFlow(w.info, s) {
+			return true
+		}
+		w.scanExpr(s.X, st)
+		return false
+
+	case *ast.DeferStmt:
+		w.walkDefer(s.Call, st)
+		return false
+
+	case *ast.GoStmt:
+		w.scanExpr(s.Call, st)
+		return false
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.scanExpr(res, st)
+		}
+		w.checkReturn(st)
+		return true
+
+	case *ast.BranchStmt:
+		// break / continue / goto leave the enclosing block; stop tracking
+		// this path rather than guess where it lands.
+		return true
+
+	case *ast.BlockStmt:
+		return w.walkBlock(s, st)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		thenSt := st.clone()
+		elseSt := st.clone()
+		// On the branch where a companion error is known non-nil the
+		// connections defined alongside it are nil — nothing to close there.
+		if errV, nonNilBranch := w.errNilCheck(s.Cond); errV != nil {
+			errPath := thenSt
+			if !nonNilBranch {
+				errPath = elseSt
+			}
+			for _, c := range w.errCompanion[errV] {
+				if errPath.state[c] == stOpen {
+					errPath.state[c] = stClosed
+				}
+			}
+		}
+		thenTerm := w.walkBlock(s.Body, thenSt)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			st.merge(thenSt, elseSt)
+		}
+		return false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		w.walkBlock(s.Body, bodySt)
+		if s.Post != nil {
+			w.walkStmt(s.Post, bodySt)
+		}
+		st.merge(st.clone(), bodySt)
+		return false
+
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		bodySt := st.clone()
+		w.walkBlock(s.Body, bodySt)
+		st.merge(st.clone(), bodySt)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, st)
+		}
+		return w.walkCases(s.Body, st, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkStmt(s.Assign, st)
+		return w.walkCases(s.Body, st, true)
+
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, st, false)
+
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, st)
+		w.scanExpr(s.Value, st)
+		return false
+
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanExpr(e, st)
+				return false
+			}
+			return true
+		})
+		return false
+	}
+	return false
+}
+
+// walkCases interprets switch/select bodies: each clause runs on a clone of
+// the entry state and the reachable exits merge. needDefault reports
+// whether a missing default keeps the entry state reachable (switch yes,
+// select no — a default-less select blocks until a case fires).
+func (w *closeWalker) walkCases(body *ast.BlockStmt, st *pathState, needDefault bool) bool {
+	var exits []*pathState
+	hasDefault := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, st)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		caseSt := st.clone()
+		// A comm op (e.g. `case ch <- conn:`) takes effect only on its own
+		// path, so it is interpreted on the clone.
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			w.walkStmt(c.Comm, caseSt)
+		}
+		if !w.walkStmts(stmts, caseSt) {
+			exits = append(exits, caseSt)
+		}
+	}
+	if needDefault && !hasDefault {
+		exits = append(exits, st.clone())
+	}
+	if len(exits) == 0 {
+		return len(body.List) > 0
+	}
+	merged := exits[0]
+	for _, e := range exits[1:] {
+		next := newPathState()
+		next.merge(merged, e)
+		merged = next
+	}
+	*st = *merged
+	return false
+}
+
+// walkDefer interprets a defer statement. `defer c.Close()` and
+// `defer func() { ...c.Close()... }()` cover all later returns; any other
+// deferred use of a tracked connection transfers ownership.
+func (w *closeWalker) walkDefer(call *ast.CallExpr, st *pathState) {
+	if v := w.closeReceiver(call, st); v != nil {
+		st.deferred[v] = true
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		closed := make(map[*types.Var]bool)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if v := w.closeReceiver(c, st); v != nil {
+					closed[v] = true
+				}
+			}
+			return true
+		})
+		for v := range closed {
+			st.deferred[v] = true
+		}
+		// Other tracked variables captured by the closure escape.
+		w.scanExprExcept(lit, st, closed)
+		for _, arg := range call.Args {
+			w.scanExpr(arg, st)
+		}
+		return
+	}
+	w.scanExpr(call, st)
+}
+
+// closeReceiver returns the tracked variable v when call is v.Close().
+func (w *closeWalker) closeReceiver(call *ast.CallExpr, st *pathState) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	return w.trackedIdent(sel.X, st)
+}
+
+// trackedIdent resolves expr to a tracked connection variable, or nil.
+func (w *closeWalker) trackedIdent(expr ast.Expr, st *pathState) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := w.info.Uses[id].(*types.Var)
+	if !ok {
+		if v, ok = w.info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if _, tracked := st.state[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// trackAcquisitions registers `v, err := dial()`-style definitions whose
+// call results include a connection type. A call that itself receives a
+// connection argument is a wrapper (tls.Client(nc, ...), h2conn.Dial(nc)):
+// the wrapped connection's owner remains responsible for the socket, so the
+// result is not tracked as a fresh acquisition.
+func (w *closeWalker) trackAcquisitions(s *ast.AssignStmt, st *pathState) {
+	if s.Tok != token.DEFINE || len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	f := calleeFunc(w.info, call)
+	if f == nil {
+		return
+	}
+	results := callResults(w.info, call)
+	if results == nil || results.Len() != len(s.Lhs) {
+		return
+	}
+	for _, arg := range call.Args {
+		if t := w.info.TypeOf(arg); t != nil && isNetConnLike(t) {
+			return
+		}
+	}
+	var conns []*types.Var
+	var errV *types.Var
+	for i := 0; i < results.Len(); i++ {
+		id, ok := s.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if isErrorType(results.At(i).Type()) {
+			errV = w.lhsVar(id)
+			continue
+		}
+		if !isNetConnLike(results.At(i).Type()) {
+			continue
+		}
+		v, ok := w.info.Defs[id].(*types.Var)
+		if !ok {
+			continue
+		}
+		st.state[v] = stOpen
+		w.acquired[v] = &acquisition{obj: v, pos: id.Pos(), callee: f.Name()}
+		conns = append(conns, v)
+	}
+	if errV != nil && len(conns) > 0 {
+		w.errCompanion[errV] = conns
+	}
+}
+
+// lhsVar resolves an assignment target identifier to its variable, whether
+// the statement defines it or reuses it.
+func (w *closeWalker) lhsVar(id *ast.Ident) *types.Var {
+	if v, ok := w.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := w.info.Uses[id].(*types.Var)
+	return v
+}
+
+// errNilCheck matches `err != nil` / `err == nil` conditions over a tracked
+// companion error. It returns the error variable and whether the *then*
+// branch is the one where err is non-nil.
+func (w *closeWalker) errNilCheck(cond ast.Expr) (*types.Var, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, false
+	}
+	operand := func(e ast.Expr) (v *types.Var, isNil bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		if id.Name == "nil" {
+			return nil, true
+		}
+		v, _ = w.info.Uses[id].(*types.Var)
+		return v, false
+	}
+	xv, xNil := operand(bin.X)
+	yv, yNil := operand(bin.Y)
+	var errV *types.Var
+	switch {
+	case xNil && yv != nil:
+		errV = yv
+	case yNil && xv != nil:
+		errV = xv
+	default:
+		return nil, false
+	}
+	if _, ok := w.errCompanion[errV]; !ok {
+		return nil, false
+	}
+	return errV, bin.Op == token.NEQ
+}
+
+// scanExpr walks an expression marking closes and escapes of tracked
+// connections: v.Close() closes v, v as the receiver of any other method
+// call is a plain use, and v anywhere else transfers ownership.
+func (w *closeWalker) scanExpr(expr ast.Expr, st *pathState) {
+	w.scanExprExcept(expr, st, nil)
+}
+
+func (w *closeWalker) scanExprExcept(expr ast.Expr, st *pathState, skip map[*types.Var]bool) {
+	if expr == nil {
+		return
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if v := w.closeReceiver(e, st); v != nil {
+			if st.state[v] == stOpen {
+				st.state[v] = stClosed
+			}
+			for _, arg := range e.Args {
+				w.scanExprExcept(arg, st, skip)
+			}
+			return
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if v := w.trackedIdent(sel.X, st); v != nil {
+				if _, isMethod := w.info.Selections[sel]; isMethod {
+					// Receiver of a non-Close method call: use, not escape.
+					for _, arg := range e.Args {
+						w.scanExprExcept(arg, st, skip)
+					}
+					return
+				}
+			}
+			w.scanExprExcept(sel.X, st, skip)
+			for _, arg := range e.Args {
+				w.scanExprExcept(arg, st, skip)
+			}
+			return
+		}
+		w.scanExprExcept(e.Fun, st, skip)
+		for _, arg := range e.Args {
+			w.scanExprExcept(arg, st, skip)
+		}
+	case *ast.FuncLit:
+		// A closure capturing a tracked connection takes ownership.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v := w.trackedIdent(id, st); v != nil && !skip[v] {
+					st.state[v] = stEscaped
+				}
+			}
+			return true
+		})
+	case *ast.Ident:
+		if v := w.trackedIdent(e, st); v != nil && !skip[v] {
+			st.state[v] = stEscaped
+		}
+	default:
+		ast.Inspect(expr, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				w.scanExprExcept(n, st, skip)
+				return false
+			case *ast.FuncLit:
+				w.scanExprExcept(n, st, skip)
+				return false
+			case *ast.Ident:
+				if v := w.trackedIdent(n, st); v != nil && !skip[v] {
+					st.state[v] = stEscaped
+				}
+			}
+			return true
+		})
+	}
+}

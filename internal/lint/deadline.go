@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeadlineAnalyzer enforces bounded probes: an exported entry point in
+// internal/core or internal/scan that performs network I/O must either
+// accept a context.Context (so callers bound it — the entry point threads
+// the deadline onto the connection) or apply an explicit deadline itself
+// before its first network write. An unbounded probe wedges a scan worker
+// on the first tarpit target, and at census scale one wedged worker per
+// thousand targets stalls the whole fleet.
+var DeadlineAnalyzer = &Analyzer{
+	Name: "deadline",
+	Doc:  "requires exported probe entry points in internal/core and internal/scan to take a context.Context or set a deadline before network I/O",
+	Run:  runDeadline,
+}
+
+// deadlinePackage reports whether pkg is one the analyzer governs.
+func deadlinePackage(path string) bool {
+	for _, suffix := range []string{"internal/core", "internal/scan"} {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeadline(pass *Pass) {
+	if !deadlinePackage(pass.Pkg.Path) {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if hasContextParam(info, fn) {
+				continue
+			}
+			// A function that yields a connection to its caller (a dialer
+			// adapter or constructor) transfers deadline responsibility
+			// along with the connection; it is not a probe entry point.
+			if yieldsConn(info, fn) {
+				continue
+			}
+			netOp, deadlineSet := firstNetOp(info, fn.Body)
+			if netOp == nil {
+				continue
+			}
+			if deadlineSet {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(), "exported entry point %s performs network I/O without a context.Context parameter or a deadline set before the first network operation", fn.Name.Name)
+		}
+	}
+}
+
+// hasContextParam reports whether fn declares a context.Context parameter.
+func hasContextParam(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// yieldsConn reports whether fn's result types include a connection.
+func yieldsConn(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		if t := info.TypeOf(field.Type); t != nil && isNetConnLike(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstNetOp scans body in source order for the first network operation and
+// reports whether a deadline setter ran before it. Closures are scanned
+// too: a probe that does its I/O inside a literal is still a probe.
+func firstNetOp(info *types.Info, body *ast.BlockStmt) (op *ast.CallExpr, deadlineBefore bool) {
+	seenDeadline := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(info, call); f != nil && isDeadlineSetter(f) {
+			seenDeadline = true
+			return true
+		}
+		if isNetOp(info, call) {
+			op = call
+			deadlineBefore = seenDeadline
+			return false
+		}
+		return true
+	})
+	return op, deadlineBefore
+}
+
+// isNetOp reports whether call performs (or initiates) network I/O: a
+// read/write/open method on a connection-like receiver, or any call that
+// yields a connection (dialing).
+func isNetOp(info *types.Info, call *ast.CallExpr) bool {
+	if recv := recvTypeOf(info, call); recv != nil && isNetConnLike(recv) {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		name := sel.Sel.Name
+		for _, prefix := range []string{"Write", "Open", "Read", "Fetch", "Ping", "Dial"} {
+			if strings.HasPrefix(name, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	results := callResults(info, call)
+	if results == nil {
+		return false
+	}
+	for i := 0; i < results.Len(); i++ {
+		if isNetConnLike(results.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

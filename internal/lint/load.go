@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset is the loader-wide file set (shared across packages).
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// disableCgo makes the stdlib source importer usable: with cgo enabled,
+// go/build selects cgo variants of net/os files that the pure-Go
+// type-checking path cannot process. The pure-Go variants type-check
+// identically for analysis purposes.
+var disableCgo = sync.OnceFunc(func() { build.Default.CgoEnabled = false })
+
+// Loader parses and type-checks packages of one module. It resolves
+// module-internal imports by loading them recursively and standard-library
+// imports through go/importer's source importer, so it needs nothing but
+// GOROOT sources — no export data, no external tooling, no third-party
+// module may be imported (the repo is stdlib-only by design, and the loader
+// enforces it as a side effect).
+//
+// A Loader is not safe for concurrent use; it memoizes every package it has
+// type-checked, so reusing one across many LoadDir calls amortizes the cost
+// of type-checking the standard library.
+type Loader struct {
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // by import path
+	// loading marks packages currently on the recursion stack, for import
+	// cycle detection.
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module that contains dir.
+func NewLoader(dir string) (*Loader, error) {
+	disableCgo()
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load expands the given patterns and returns the matched packages,
+// type-checked, in deterministic (import path) order. Supported patterns:
+// "./..." (every package under the module root), a directory path relative
+// to the module root or absolute, or an import path within the module.
+// Directories named "testdata", hidden directories, and directories without
+// non-test Go files are skipped during "./..." expansion.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasPrefix(pat, l.ModulePath+"/") || pat == l.ModulePath:
+			rel := strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+			add(filepath.Join(l.ModuleRoot, rel))
+		case filepath.IsAbs(pat):
+			add(filepath.Clean(pat))
+		default:
+			add(filepath.Join(l.ModuleRoot, filepath.Clean(pat)))
+		}
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// walkModule returns every directory under the module root that holds at
+// least one non-test Go file, skipping testdata, hidden, and underscore
+// directories (the same convention the go tool applies to "./...").
+func (l *Loader) walkModule() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot &&
+			(name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// goFilesIn lists the non-test Go files of dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// importPathFor maps an absolute directory under the module root to its
+// import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDir parses and type-checks the package in dir (which must be inside
+// the loader's module), loading module-internal imports recursively.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path, abs)
+}
+
+// Import implements types.Importer: module-internal packages load
+// recursively, everything else goes to the standard-library source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.loadPath(path, filepath.Join(l.ModuleRoot, rel))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := goFilesIn(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	asts := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		file, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		asts = append(asts, file)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

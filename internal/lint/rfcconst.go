@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/constant"
+	"go/types"
+)
+
+// RFCConstAnalyzer cross-checks the frame package's protocol constants
+// against an embedded RFC 7540 table. The frame-type, flag, settings-ID and
+// error-code vocabularies are the scanner's ground truth: a typo'd constant
+// would make every probe misclassify server reactions while every test that
+// shares the constant still passes. This analyzer makes such a typo a build
+// failure instead.
+//
+// It applies to any package named "frame" that declares the protocol enum
+// types (Type, Flags, SettingID, ErrCode) — the real internal/frame plus
+// golden-test replicas — and enforces three things: every declared constant
+// of an enum type must be a name the RFC defines, its value must match the
+// RFC, and no RFC name may be missing from the package.
+var RFCConstAnalyzer = &Analyzer{
+	Name: "rfcconst",
+	Doc:  "verifies frame-type, flag, settings-ID, and error-code constants against RFC 7540",
+	Run:  runRFCConst,
+}
+
+// rfc7540 holds the wire values RFC 7540 assigns, keyed by the enum type
+// name and the constant name the frame package uses for each of them.
+var rfc7540 = map[string]map[string]uint64{
+	// Frame types, RFC 7540 section 6.
+	"Type": {
+		"TypeData":         0x0,
+		"TypeHeaders":      0x1,
+		"TypePriority":     0x2,
+		"TypeRSTStream":    0x3,
+		"TypeSettings":     0x4,
+		"TypePushPromise":  0x5,
+		"TypePing":         0x6,
+		"TypeGoAway":       0x7,
+		"TypeWindowUpdate": 0x8,
+		"TypeContinuation": 0x9,
+	},
+	// Frame flags, RFC 7540 section 6 (per-type but value-disjoint).
+	"Flags": {
+		"FlagEndStream":  0x1,
+		"FlagAck":        0x1,
+		"FlagEndHeaders": 0x4,
+		"FlagPadded":     0x8,
+		"FlagPriority":   0x20,
+	},
+	// SETTINGS parameters, RFC 7540 section 6.5.2.
+	"SettingID": {
+		"SettingHeaderTableSize":      0x1,
+		"SettingEnablePush":           0x2,
+		"SettingMaxConcurrentStreams": 0x3,
+		"SettingInitialWindowSize":    0x4,
+		"SettingMaxFrameSize":         0x5,
+		"SettingMaxHeaderListSize":    0x6,
+	},
+	// Error codes, RFC 7540 section 7.
+	"ErrCode": {
+		"ErrCodeNo":                 0x0,
+		"ErrCodeProtocol":           0x1,
+		"ErrCodeInternal":           0x2,
+		"ErrCodeFlowControl":        0x3,
+		"ErrCodeSettingsTimeout":    0x4,
+		"ErrCodeStreamClosed":       0x5,
+		"ErrCodeFrameSize":          0x6,
+		"ErrCodeRefusedStream":      0x7,
+		"ErrCodeCancel":             0x8,
+		"ErrCodeCompression":        0x9,
+		"ErrCodeConnect":            0xa,
+		"ErrCodeEnhanceYourCalm":    0xb,
+		"ErrCodeInadequateSecurity": 0xc,
+		"ErrCodeHTTP11Required":     0xd,
+	},
+}
+
+// rfc7540Untyped holds protocol numbers the frame package declares as
+// untyped constants; they are checked by name when present.
+var rfc7540Untyped = map[string]uint64{
+	"HeaderLen":                9,         // section 4.1
+	"DefaultMaxFrameSize":      1 << 14,   // section 6.5.2
+	"MaxAllowedFrameSize":      1<<24 - 1, // section 4.2
+	"DefaultInitialWindowSize": 1<<16 - 1, // section 6.5.2
+	"MaxWindowSize":            1<<31 - 1, // section 6.9.1
+	"DefaultHeaderTableSize":   4096,      // RFC 7541 section 6.5.2
+	"MaxStreamID":              1<<31 - 1, // section 5.1.1
+}
+
+// clientPreface is the section 3.5 connection preface.
+const clientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+
+func runRFCConst(pass *Pass) {
+	if pass.TypesPkg().Name() != "frame" {
+		return
+	}
+	scope := pass.TypesPkg().Scope()
+
+	// The analyzer only fires on packages declaring the enum types, so a
+	// stray package that happens to be called "frame" is left alone.
+	enums := make(map[string]*types.TypeName)
+	for typeName := range rfc7540 {
+		if tn, ok := scope.Lookup(typeName).(*types.TypeName); ok {
+			enums[typeName] = tn
+		}
+	}
+	if len(enums) == 0 {
+		return
+	}
+
+	found := make(map[string]map[string]bool, len(rfc7540))
+	for name := range rfc7540 {
+		found[name] = make(map[string]bool)
+	}
+
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if name == "ClientPreface" {
+			if constant.StringVal(c.Val()) != clientPreface {
+				pass.Reportf(c.Pos(), "ClientPreface does not match the RFC 7540 section 3.5 preface")
+			}
+			continue
+		}
+		if want, ok := rfc7540Untyped[name]; ok {
+			if got, exact := constant.Uint64Val(c.Val()); !exact || got != want {
+				pass.Reportf(c.Pos(), "%s = %v, but RFC 7540 defines %d", name, c.Val(), want)
+			}
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		tn := named.Obj()
+		table, isEnum := rfc7540[tn.Name()]
+		if !isEnum || enums[tn.Name()] != tn {
+			continue
+		}
+		want, known := table[name]
+		if !known {
+			pass.Reportf(c.Pos(), "%s is not an RFC 7540 %s constant name", name, tn.Name())
+			continue
+		}
+		found[tn.Name()][name] = true
+		if got, exact := constant.Uint64Val(c.Val()); !exact || got != want {
+			pass.Reportf(c.Pos(), "%s = %v, but RFC 7540 defines 0x%x", name, c.Val(), want)
+		}
+	}
+
+	for typeName, tn := range enums {
+		for constName := range rfc7540[typeName] {
+			if !found[typeName][constName] {
+				pass.Reportf(tn.Pos(), "RFC 7540 %s constant %s is not declared", typeName, constName)
+			}
+		}
+	}
+}

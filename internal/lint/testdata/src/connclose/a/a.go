@@ -1,0 +1,136 @@
+// Package a exercises the connclose analyzer: leaked connections are
+// flagged, while closes, returns, hand-offs, defer-closes, error-idiom nil
+// paths, and wrapped connections all pass.
+package a
+
+import (
+	"net"
+	"time"
+)
+
+// fakeConn satisfies the analyzer's structural connection contract.
+type fakeConn struct{}
+
+func (c *fakeConn) Close() error                      { return nil }
+func (c *fakeConn) SetDeadline(time.Time) error       { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error { return nil }
+func (c *fakeConn) RemoteAddr() net.Addr              { return nil }
+func (c *fakeConn) Write(p []byte) (int, error)       { return len(p), nil }
+
+func dial() (*fakeConn, error) { return &fakeConn{}, nil }
+
+func newPair() (*fakeConn, *fakeConn) { return &fakeConn{}, &fakeConn{} }
+
+// wrapConn takes a connection, so its result is a wrapper, not a fresh
+// acquisition.
+func wrapConn(c *fakeConn) (*fakeConn, error) { return c, nil }
+
+func serve(c *fakeConn) {}
+
+func leakOnSuccess() error {
+	c, err := dial() // want `connection "c" obtained from dial is not closed on every path`
+	if err != nil {
+		return err
+	}
+	_, _ = c.Write([]byte("x"))
+	return nil
+}
+
+func leakOnOnePath(cond bool) error {
+	c, err := dial() // want `connection "c" obtained from dial is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return c.Close()
+	}
+	return nil
+}
+
+func leakOutOfScope() {
+	{
+		c, _ := dial() // want `connection "c" obtained from dial goes out of scope while still open`
+		_, _ = c.Write([]byte("x"))
+	}
+}
+
+func leakInSelect(ch chan *fakeConn, done chan struct{}) *fakeConn {
+	client, server := newPair() // want `connection "server" obtained from newPair is not closed on every path`
+	select {
+	case ch <- server:
+		return client
+	case <-done:
+		_ = client.Close()
+		return nil
+	}
+}
+
+func closedOnAllPaths() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	_, _ = c.Write([]byte("x"))
+	return c.Close()
+}
+
+func deferClosed() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, werr := c.Write([]byte("x"))
+	return werr
+}
+
+func deferClosure() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	return nil
+}
+
+func returned() (*fakeConn, error) {
+	c, err := dial()
+	return c, err
+}
+
+func handedOff() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	go serve(c)
+	return nil
+}
+
+// errIdiom is the shape that dominates the real codebase: on the error
+// path the connection is nil, so returning without a close is fine.
+func errIdiom() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	err = c.SetDeadline(time.Time{})
+	if err != nil {
+		_ = c.Close()
+		return err
+	}
+	return c.Close()
+}
+
+// wrapped is not tracked: wrapConn received the connection, so ownership
+// stays with the caller's nc.
+func wrapped(nc *fakeConn) error {
+	tc, err := wrapConn(nc)
+	if err != nil {
+		return err
+	}
+	_, _ = tc.Write([]byte("x"))
+	return nil
+}

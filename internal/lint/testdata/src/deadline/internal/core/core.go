@@ -1,0 +1,71 @@
+// Package core is a golden-test double for h2scope/internal/core: the
+// deadline analyzer matches it by package-path suffix.
+package core
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// conn satisfies the analyzer's structural connection contract.
+type conn struct{}
+
+func (c *conn) Close() error                      { return nil }
+func (c *conn) SetDeadline(time.Time) error       { return nil }
+func (c *conn) SetReadDeadline(t time.Time) error { return nil }
+func (c *conn) RemoteAddr() net.Addr              { return nil }
+func (c *conn) Write(p []byte) (int, error)       { return len(p), nil }
+
+func dial() (*conn, error) { return &conn{}, nil }
+
+// ProbeBare dials with neither a context nor a deadline.
+func ProbeBare() error { // want `exported entry point ProbeBare performs network I/O without a context\.Context parameter`
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// ProbeWriteBare writes on a supplied connection without bounding it.
+func ProbeWriteBare(c *conn) error { // want `exported entry point ProbeWriteBare performs network I/O without a context\.Context parameter`
+	_, err := c.Write([]byte("x"))
+	return err
+}
+
+// ProbeCtx accepts a context, so the caller bounds it.
+func ProbeCtx(ctx context.Context) error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// ProbeSelfBounded sets its own deadline before the first write.
+func ProbeSelfBounded(c *conn) error {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Write([]byte("x"))
+	return err
+}
+
+// Dial yields the connection, transferring deadline responsibility to the
+// caller along with it.
+func Dial() (*conn, error) {
+	return dial()
+}
+
+// Summarize performs no network I/O at all.
+func Summarize(n int) int { return n * 2 }
+
+// probeHelper is unexported; the analyzer governs entry points only.
+func probeHelper() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}

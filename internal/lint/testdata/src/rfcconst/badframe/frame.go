@@ -1,0 +1,73 @@
+// Package frame is the rfcconst golden positive: it seeds a wrong value, a
+// non-RFC name, a missing constant, a wrong wire number, and a corrupted
+// preface, and expects one diagnostic for each.
+package frame
+
+// Type is the frame-type enum.
+type Type uint8
+
+// TypeData is deliberately swapped with TypeHeaders.
+const (
+	TypeData         Type = 0x1 // want `TypeData = 1, but RFC 7540 defines 0x0`
+	TypeHeaders      Type = 0x0 // want `TypeHeaders = 0, but RFC 7540 defines 0x1`
+	TypePriority     Type = 0x2
+	TypeRSTStream    Type = 0x3
+	TypeSettings     Type = 0x4
+	TypePushPromise  Type = 0x5
+	TypePing         Type = 0x6
+	TypeGoAway       Type = 0x7
+	TypeWindowUpdate Type = 0x8
+	TypeContinuation Type = 0x9
+)
+
+// Flags is the frame-flag enum.
+type Flags uint8
+
+// FlagTurbo is not a name RFC 7540 defines.
+const (
+	FlagEndStream  Flags = 0x1
+	FlagAck        Flags = 0x1
+	FlagEndHeaders Flags = 0x4
+	FlagPadded     Flags = 0x8
+	FlagPriority   Flags = 0x20
+	FlagTurbo      Flags = 0x40 // want `FlagTurbo is not an RFC 7540 Flags constant name`
+)
+
+// SettingID is missing SettingMaxHeaderListSize.
+type SettingID uint16 // want `RFC 7540 SettingID constant SettingMaxHeaderListSize is not declared`
+
+// SETTINGS parameters, one short.
+const (
+	SettingHeaderTableSize      SettingID = 0x1
+	SettingEnablePush           SettingID = 0x2
+	SettingMaxConcurrentStreams SettingID = 0x3
+	SettingInitialWindowSize    SettingID = 0x4
+	SettingMaxFrameSize         SettingID = 0x5
+)
+
+// ErrCode is the error-code enum (complete and correct).
+type ErrCode uint32
+
+// Error codes, RFC 7540 section 7.
+const (
+	ErrCodeNo                 ErrCode = 0x0
+	ErrCodeProtocol           ErrCode = 0x1
+	ErrCodeInternal           ErrCode = 0x2
+	ErrCodeFlowControl        ErrCode = 0x3
+	ErrCodeSettingsTimeout    ErrCode = 0x4
+	ErrCodeStreamClosed       ErrCode = 0x5
+	ErrCodeFrameSize          ErrCode = 0x6
+	ErrCodeRefusedStream      ErrCode = 0x7
+	ErrCodeCancel             ErrCode = 0x8
+	ErrCodeCompression        ErrCode = 0x9
+	ErrCodeConnect            ErrCode = 0xa
+	ErrCodeEnhanceYourCalm    ErrCode = 0xb
+	ErrCodeInadequateSecurity ErrCode = 0xc
+	ErrCodeHTTP11Required     ErrCode = 0xd
+)
+
+// HeaderLen is off by one.
+const HeaderLen = 8 // want `HeaderLen = 8, but RFC 7540 defines 9`
+
+// ClientPreface is corrupted.
+const ClientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n" // want `ClientPreface does not match the RFC 7540 section 3\.5 preface`

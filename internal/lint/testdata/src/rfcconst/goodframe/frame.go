@@ -1,0 +1,80 @@
+// Package frame is the rfcconst golden negative: every protocol constant
+// matches RFC 7540, so the analyzer must stay silent.
+package frame
+
+// Type is the frame-type enum.
+type Type uint8
+
+// Frame types, RFC 7540 section 6.
+const (
+	TypeData         Type = 0x0
+	TypeHeaders      Type = 0x1
+	TypePriority     Type = 0x2
+	TypeRSTStream    Type = 0x3
+	TypeSettings     Type = 0x4
+	TypePushPromise  Type = 0x5
+	TypePing         Type = 0x6
+	TypeGoAway       Type = 0x7
+	TypeWindowUpdate Type = 0x8
+	TypeContinuation Type = 0x9
+)
+
+// Flags is the frame-flag enum.
+type Flags uint8
+
+// Frame flags, RFC 7540 section 6.
+const (
+	FlagEndStream  Flags = 0x1
+	FlagAck        Flags = 0x1
+	FlagEndHeaders Flags = 0x4
+	FlagPadded     Flags = 0x8
+	FlagPriority   Flags = 0x20
+)
+
+// SettingID is the SETTINGS-parameter enum.
+type SettingID uint16
+
+// SETTINGS parameters, RFC 7540 section 6.5.2.
+const (
+	SettingHeaderTableSize      SettingID = 0x1
+	SettingEnablePush           SettingID = 0x2
+	SettingMaxConcurrentStreams SettingID = 0x3
+	SettingInitialWindowSize    SettingID = 0x4
+	SettingMaxFrameSize         SettingID = 0x5
+	SettingMaxHeaderListSize    SettingID = 0x6
+)
+
+// ErrCode is the error-code enum.
+type ErrCode uint32
+
+// Error codes, RFC 7540 section 7.
+const (
+	ErrCodeNo                 ErrCode = 0x0
+	ErrCodeProtocol           ErrCode = 0x1
+	ErrCodeInternal           ErrCode = 0x2
+	ErrCodeFlowControl        ErrCode = 0x3
+	ErrCodeSettingsTimeout    ErrCode = 0x4
+	ErrCodeStreamClosed       ErrCode = 0x5
+	ErrCodeFrameSize          ErrCode = 0x6
+	ErrCodeRefusedStream      ErrCode = 0x7
+	ErrCodeCancel             ErrCode = 0x8
+	ErrCodeCompression        ErrCode = 0x9
+	ErrCodeConnect            ErrCode = 0xa
+	ErrCodeEnhanceYourCalm    ErrCode = 0xb
+	ErrCodeInadequateSecurity ErrCode = 0xc
+	ErrCodeHTTP11Required     ErrCode = 0xd
+)
+
+// Wire numbers checked by name when present.
+const (
+	HeaderLen                = 9
+	DefaultMaxFrameSize      = 1 << 14
+	MaxAllowedFrameSize      = 1<<24 - 1
+	DefaultInitialWindowSize = 1<<16 - 1
+	MaxWindowSize            = 1<<31 - 1
+	DefaultHeaderTableSize   = 4096
+	MaxStreamID              = 1<<31 - 1
+)
+
+// ClientPreface is the section 3.5 connection preface.
+const ClientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"

@@ -1,0 +1,43 @@
+// Package a exercises the tracephase analyzer: phase closers must be
+// invoked (the `defer tr.Phase("x")()` contract), and a begin whose end
+// provably never runs is flagged.
+package a
+
+// tracer mimics trace.Tracer's phase API.
+type tracer struct{}
+
+// Phase begins a phase and returns its end closer.
+func (tracer) Phase(name string) func() { return func() {} }
+
+func runLater(f func()) { f() }
+
+func goodDefer(tr tracer) {
+	defer tr.Phase("settings")()
+}
+
+func goodExplicit(tr tracer) {
+	end := tr.Phase("settings")
+	end()
+}
+
+func goodDeferredVar(tr tracer) {
+	end := tr.Phase("settings")
+	defer end()
+}
+
+func goodHandedOff(tr tracer) {
+	end := tr.Phase("settings")
+	runLater(end)
+}
+
+func badDiscard(tr tracer) {
+	tr.Phase("settings") // want `phase closer is discarded — the phase never ends`
+}
+
+func badDeferStart(tr tracer) {
+	defer tr.Phase("settings") // want `defer runs the phase \*start\* at function exit`
+}
+
+func badBlank(tr tracer) {
+	_ = tr.Phase("settings") // want `phase closer is assigned to _ — the phase never ends`
+}

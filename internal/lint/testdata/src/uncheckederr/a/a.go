@@ -1,0 +1,38 @@
+// Package a exercises the uncheckederr analyzer: implicit discards of
+// critical error returns are flagged, explicit `_ =` discards and handled
+// errors pass.
+package a
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"h2scope/internal/lint/testdata/src/uncheckederr/internal/frame"
+	"h2scope/internal/lint/testdata/src/uncheckederr/internal/h2conn"
+)
+
+func bad(nc net.Conn, fr *frame.Framer, hc *h2conn.Conn) {
+	nc.SetDeadline(time.Time{})     // want `\(net\.Conn\)\.SetDeadline: error return is silently discarded`
+	nc.SetReadDeadline(time.Time{}) // want `\(net\.Conn\)\.SetReadDeadline: error return is silently discarded`
+	fr.WriteSettings()              // want `\(\*frame\.Framer\)\.WriteSettings: error return is silently discarded`
+	fr.ReadFrame()                  // want `\(\*frame\.Framer\)\.ReadFrame: error return is silently discarded`
+	hc.WriteGoAway()                // want `\(\*h2conn\.Conn\)\.WriteGoAway: error return is silently discarded`
+	go fr.WritePing(false)          // want `go \(\*frame\.Framer\)\.WritePing: error return is silently discarded`
+	defer hc.WriteGoAway()          // want `defer \(\*h2conn\.Conn\)\.WriteGoAway: error return is silently discarded`
+	hc.Ping([8]byte{})              // want `\(\*h2conn\.Conn\)\.Ping: error return is silently discarded`
+}
+
+func good(nc net.Conn, fr *frame.Framer, hc *h2conn.Conn) error {
+	_ = nc.SetDeadline(time.Time{}) // explicit discard is acknowledged
+	if err := fr.WriteSettings(); err != nil {
+		return err
+	}
+	id, err := hc.OpenStream() // results consumed
+	if err != nil {
+		return err
+	}
+	fr.Reset()             // no error to drop
+	fmt.Println("id:", id) // error-returning but not on the critical surface
+	return hc.WriteGoAway()
+}

@@ -1,0 +1,19 @@
+// Package h2conn is a golden-test double for h2scope/internal/h2conn.
+package h2conn
+
+import "time"
+
+// Conn mimics the real HTTP/2 client connection's sender surface.
+type Conn struct{}
+
+// WriteGoAway mimics a frame sender.
+func (c *Conn) WriteGoAway() error { return nil }
+
+// OpenStream mimics the request opener.
+func (c *Conn) OpenStream() (uint32, error) { return 1, nil }
+
+// Ping mimics the ping sender.
+func (c *Conn) Ping(payload [8]byte) (time.Duration, error) { return 0, nil }
+
+// Close is uninteresting to uncheckederr.
+func (c *Conn) Close() error { return nil }

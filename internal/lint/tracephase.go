@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TracePhaseAnalyzer keeps probe-phase annotations balanced. trace.Tracer's
+// Phase (and Prober's phase wrapper) returns a closer; the contract is
+// `defer p.phase("name")()` — begin now, end at function exit. Discarding
+// the closer, or deferring the Phase call itself instead of the closer,
+// leaves a phase-start with no phase-end, and every later frame in the
+// trace is attributed to a probe step that already finished: the timeline
+// dangles and h2trace renders nonsense.
+//
+// The analyzer flags a phase call whose closer is provably never invoked:
+// in statement position, assigned to blank, or assigned to a variable that
+// is never called — plus the `defer p.phase("x")` typo that registers the
+// *start* to run at exit. Passing or returning the closer is accepted.
+var TracePhaseAnalyzer = &Analyzer{
+	Name: "tracephase",
+	Doc:  "requires every probe-phase begin to have its end closer called (defer p.phase(...)() pattern)",
+	Run:  runTracePhase,
+}
+
+func runTracePhase(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		// pending maps closer variables to the phase call assigned to them,
+		// until a call through the variable is seen.
+		pending := make(map[*types.Var]*ast.CallExpr)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && isPhaseCall(info, call) {
+					pass.Reportf(call.Pos(), "phase closer is discarded — the phase never ends (use defer %s())", exprText(call.Fun))
+				}
+			case *ast.DeferStmt:
+				if isPhaseCall(info, s.Call) {
+					pass.Reportf(s.Call.Pos(), "defer runs the phase *start* at function exit — call the closer instead: defer %s(...)()", exprText(s.Call.Fun))
+				}
+				if v := closerVar(info, s.Call); v != nil {
+					delete(pending, v)
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok || !isPhaseCall(info, call) || len(s.Lhs) != 1 {
+					return true
+				}
+				id, ok := s.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "phase closer is assigned to _ — the phase never ends")
+					return true
+				}
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					pending[v] = call
+				}
+			case *ast.Ident:
+				// Any later mention of the closer — calling it, deferring
+				// it, passing it along — counts as handling; only closers
+				// provably never touched again are flagged.
+				if v, ok := info.Uses[s].(*types.Var); ok {
+					delete(pending, v)
+				}
+			}
+			return true
+		})
+		for _, call := range pending {
+			pass.Reportf(call.Pos(), "phase closer is never called — the phase never ends")
+		}
+	}
+}
+
+// isPhaseCall reports whether call invokes a Phase/phase method returning
+// exactly one func() closer.
+func isPhaseCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || (f.Name() != "Phase" && f.Name() != "phase") {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	res, ok := sig.Results().At(0).Type().Underlying().(*types.Signature)
+	return ok && res.Params().Len() == 0 && res.Results().Len() == 0
+}
+
+// closerVar returns the variable a `v()` call invokes, or nil.
+func closerVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// exprText renders a short expression (selector chains) for messages.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	default:
+		return "phase"
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErrAnalyzer flags silently discarded error returns from the I/O
+// surfaces a probe's verdict depends on: frame.Framer read/write methods,
+// h2conn.Conn frame senders, and net.Conn deadline setters. A dropped
+// Framer error turns "the server rejected our provocation" into "the server
+// ignored it" — a corrupted measurement, not a crash.
+//
+// Only implicit discards are flagged (a call in statement position, or
+// under go/defer where the result is unrecoverable). An explicit `_ =`
+// assignment is an acknowledged discard and passes: the codebase uses it
+// where an error is genuinely uninteresting (best-effort ACKs, teardown).
+var UncheckedErrAnalyzer = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flags ignored error returns from Framer read/write, h2conn.Conn senders, and net.Conn deadline setters",
+	Run:  runUncheckedErr,
+}
+
+func runUncheckedErr(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			verb := ""
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call, verb = s.Call, "go "
+			case *ast.DeferStmt:
+				call, verb = s.Call, "defer "
+			}
+			if call == nil {
+				return true
+			}
+			f := calleeFunc(info, call)
+			if f == nil || !returnsError(info, call) {
+				return true
+			}
+			if why := errCriticalCall(info, call, f); why != "" {
+				pass.Reportf(call.Pos(), "%s%s: error return is silently discarded (handle it or assign to _ explicitly)", verb, why)
+			}
+			return true
+		})
+	}
+}
+
+// errCriticalCall classifies a call whose error must not be dropped,
+// returning a human-readable description of the callee ("" if the call is
+// not on the critical surface).
+func errCriticalCall(info *types.Info, call *ast.CallExpr, f *types.Func) string {
+	if isDeadlineSetter(f) {
+		recv := recvTypeOf(info, call)
+		if recv != nil && isNetConnLike(recv) {
+			return "(net.Conn)." + f.Name()
+		}
+		return ""
+	}
+	recv := recvTypeOf(info, call)
+	if recv == nil {
+		return ""
+	}
+	switch {
+	case namedTypeIs(recv, "internal/frame", "Framer"):
+		if strings.HasPrefix(f.Name(), "Write") || f.Name() == "ReadFrame" {
+			return "(*frame.Framer)." + f.Name()
+		}
+	case isH2Conn(recv):
+		if strings.HasPrefix(f.Name(), "Write") ||
+			strings.HasPrefix(f.Name(), "OpenStream") || f.Name() == "Ping" {
+			return "(*h2conn.Conn)." + f.Name()
+		}
+	}
+	return ""
+}

@@ -227,9 +227,11 @@ func (l *Listener) DialLatency(owdUp, owdDown time.Duration) (net.Conn, error) {
 		return client, nil
 	case <-l.done:
 		_ = client.Close()
+		_ = server.Close()
 		return nil, net.ErrClosed
 	case <-time.After(5 * time.Second):
 		_ = client.Close()
+		_ = server.Close()
 		return nil, errors.New("netsim: dial timeout: listener not accepting")
 	}
 }
