@@ -1,0 +1,33 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// trajectories (ns/op and allocs/op per benchmark, per commit) as artifacts
+// and diff them across runs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench 'FrameIO|Counter|Histogram' -benchmem ./... | benchjson > BENCH_metrics.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	doc, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurement line.
+type Result struct {
+	// Name is the full benchmark name including the GOMAXPROCS suffix,
+	// e.g. "BenchmarkCounterInc-8".
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in, taken from the
+	// nearest preceding "pkg:" line ("" if the stream carried none).
+	Package string `json:"package,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -benchmem's per-operation allocation
+	// figures; nil when the run did not report them.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the artifact schema: one entry per benchmark, sorted by
+// package then name so diffs between CI runs stay line-stable.
+type Document struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and extracts every measurement line.
+// Non-benchmark lines (pass/fail summaries, ok lines, build noise) are
+// skipped; a malformed Benchmark line is an error, not a silent drop.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		res.Package = pkg
+		doc.Benchmarks = append(doc.Benchmarks, *res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
+		a, b := doc.Benchmarks[i], doc.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	return doc, nil
+}
+
+// parseLine decodes one measurement line:
+//
+//	BenchmarkCounterInc-8   29577406   41.20 ns/op   0 B/op   0 allocs/op
+func parseLine(line string) (*Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("benchmark line %q: iterations: %w", line, err)
+	}
+	res := &Result{Name: fields[0], Iterations: iters}
+	sawNs := false
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark line %q: value %q: %w", line, fields[i], err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp, sawNs = v, true
+		case "B/op":
+			res.BytesPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		}
+	}
+	if !sawNs {
+		return nil, fmt.Errorf("benchmark line %q: no ns/op measurement", line)
+	}
+	return res, nil
+}

@@ -39,17 +39,25 @@ func main() {
 
 // options carries the parsed, validated command line.
 type options struct {
-	epoch    int
-	scale    float64
-	seed     int64
-	sample   int
-	parallel int
-	retries  int
-	timeout  time.Duration
-	progress time.Duration
-	outPath  string
-	traceDir string
-	analyze  string
+	epoch     int
+	scale     float64
+	seed      int64
+	sample    int
+	parallel  int
+	retries   int
+	timeout   time.Duration
+	progress  time.Duration
+	outPath   string
+	traceDir  string
+	analyze   string
+	debugAddr string
+
+	// debugStarted and onScanRecord are test seams: debugStarted receives
+	// the debug server's bound address once it is listening, onScanRecord
+	// fires (serialized) as each scanned site finalizes — while the scan is
+	// still in flight.
+	debugStarted func(addr string)
+	onScanRecord func()
 }
 
 // machineStdout reports whether stdout is reserved for the JSONL record
@@ -74,6 +82,7 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.StringVar(&o.outPath, "out", "", "append per-site scan records (JSON lines) to this file; \"-\" streams records to stdout and moves tables to stderr")
 	fs.StringVar(&o.traceDir, "trace", "", "directory to write per-site frame-level traces (JSONL, view with h2trace); needs -sample > 0")
 	fs.StringVar(&o.analyze, "analyze", "", "skip generation: analyze a previously written records file and exit")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) while the census runs")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -134,6 +143,26 @@ func run(o *options, stdout, stderr io.Writer) error {
 	if o.machineStdout() {
 		human = stderr
 	}
+	// One registry for the whole invocation: scans mirror their engine
+	// counters and every probe connection into it, and -debug-addr serves
+	// it live while the census runs.
+	var reg *h2scope.MetricsRegistry
+	if o.sample > 0 || o.debugAddr != "" {
+		reg = h2scope.NewMetricsRegistry()
+	}
+	if o.debugAddr != "" {
+		ds, err := h2scope.StartDebugServer(o.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_ = ds.Close()
+		}()
+		fmt.Fprintf(human, "debug endpoint: http://%s/metrics\n", ds.Addr())
+		if o.debugStarted != nil {
+			o.debugStarted(ds.Addr())
+		}
+	}
 	if o.analyze != "" {
 		f, err := os.Open(o.analyze)
 		if err != nil {
@@ -189,7 +218,7 @@ func run(o *options, stdout, stderr io.Writer) error {
 		fmt.Fprintln(human, census.Figures4And5Rendered())
 
 		if o.sample > 0 {
-			if err := runScan(o, stdout, human, stderr, epoch, census); err != nil {
+			if err := runScan(o, stdout, human, stderr, epoch, census, reg); err != nil {
 				return err
 			}
 		}
@@ -201,7 +230,7 @@ func run(o *options, stdout, stderr io.Writer) error {
 // and reports its stats, optionally persisting records plus a stats trailer.
 // Human-readable tables and notices go to human; with -out - the record
 // stream goes to stdout (and human is stderr, keeping stdout machine-clean).
-func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, census *h2scope.Census) (err error) {
+func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, census *h2scope.Census, reg *h2scope.MetricsRegistry) (err error) {
 	fmt.Fprintf(human, "-- Measured scan (%d sites, %d workers, %d retries, timeout %v) --\n",
 		o.sample, o.parallel, o.retries, o.timeout)
 	scanOpts := h2scope.ScanOptions{
@@ -211,10 +240,14 @@ func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, c
 		Timeout:     o.timeout,
 		Retries:     o.retries,
 		TraceDir:    o.traceDir,
+		Metrics:     reg,
 	}
 	if o.progress > 0 {
 		scanOpts.Progress = stderr
 		scanOpts.ProgressInterval = o.progress
+	}
+	if o.onScanRecord != nil {
+		scanOpts.OnRecord = func(h2scope.ScanEngineRecord) { o.onScanRecord() }
 	}
 	sum, err := h2scope.ScanPopulation(census.Pop, scanOpts)
 	if err != nil {
@@ -222,6 +255,12 @@ func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, c
 	}
 	fmt.Fprintln(human, h2scope.RenderScan(sum))
 	fmt.Fprintln(human, sum.Stats.String())
+	var snaps []h2scope.MetricSnapshot
+	if reg != nil {
+		snaps = reg.Snapshot()
+		fmt.Fprintln(human, "-- Metrics snapshot --")
+		fmt.Fprintln(human, h2scope.RenderMetricsTable(snaps))
+	}
 	if o.outPath == "" {
 		return nil
 	}
@@ -243,7 +282,7 @@ func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, c
 	now := time.Now()
 	err = h2scope.WriteScanRecords(w, epoch, now, sum)
 	if err == nil {
-		err = h2scope.AppendScanStats(w, epoch, now, sum.Stats)
+		err = h2scope.AppendScanStats(w, epoch, now, sum.Stats, snaps)
 	}
 	if err != nil {
 		return err

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -77,7 +81,7 @@ func TestRunAnalyzeRoundTrip(t *testing.T) {
 	if err := h2scope.WriteScanRecords(f, h2scope.EpochJul2016, when, sum); err != nil {
 		t.Fatal(err)
 	}
-	if err := h2scope.AppendScanStats(f, h2scope.EpochJul2016, when, sum.Stats); err != nil {
+	if err := h2scope.AppendScanStats(f, h2scope.EpochJul2016, when, sum.Stats, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -150,6 +154,127 @@ func TestMachineCleanStdout(t *testing.T) {
 	for _, want := range []string{"====", "Table IV", "Measured scan", "wrote 4 records"} {
 		if !strings.Contains(errText, want) {
 			t.Errorf("stderr missing human output %q", want)
+		}
+	}
+}
+
+// TestDebugEndpointsLiveDuringScan covers the -debug-addr contract end to
+// end: while a netsim census scan is in flight, one HTTP GET against each of
+// the four endpoint kinds (Prometheus text, JSON snapshot, expvar, pprof)
+// must succeed and show the scan's own instruments.
+func TestDebugEndpointsLiveDuringScan(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-epoch", "1", "-scale", "0.002", "-sample", "4", "-debug-addr", "127.0.0.1:0",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addr string
+	opts.debugStarted = func(a string) { addr = a }
+
+	fetched := make(map[string]string)
+	var once sync.Once
+	var fetchErr error
+	opts.onScanRecord = func() {
+		// onScanRecord fires serialized from the engine while other targets
+		// are still being probed: the endpoint answers mid-scan.
+		once.Do(func() {
+			client := &http.Client{Timeout: 5 * time.Second}
+			for _, p := range []string{"/metrics", "/metrics.json", "/debug/vars", "/debug/pprof/cmdline"} {
+				resp, err := client.Get("http://" + addr + p)
+				if err != nil {
+					fetchErr = fmt.Errorf("GET %s: %w", p, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				if err != nil {
+					fetchErr = fmt.Errorf("GET %s: reading body: %w", p, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					fetchErr = fmt.Errorf("GET %s: status %d", p, resp.StatusCode)
+					return
+				}
+				fetched[p] = string(body)
+			}
+		})
+	}
+
+	var stdout, stderr strings.Builder
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fetchErr != nil {
+		t.Fatal(fetchErr)
+	}
+	if len(fetched) != 4 {
+		t.Fatalf("fetched %d endpoints, want 4 (no scan record fired?)", len(fetched))
+	}
+	if !strings.Contains(fetched["/metrics"], "h2_scan_targets_total") {
+		t.Errorf("/metrics missing h2_scan_targets_total:\n%.400s", fetched["/metrics"])
+	}
+	if !strings.Contains(fetched["/metrics"], "# TYPE h2_scan_target_latency_ns histogram") {
+		t.Errorf("/metrics missing histogram TYPE line:\n%.400s", fetched["/metrics"])
+	}
+	var snapDoc struct {
+		Metrics []h2scope.MetricSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(fetched["/metrics.json"]), &snapDoc); err != nil {
+		t.Fatalf("/metrics.json is not a snapshot document: %v", err)
+	}
+	if len(snapDoc.Metrics) == 0 {
+		t.Error("/metrics.json snapshot is empty")
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(fetched["/debug/vars"]), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if fetched["/debug/pprof/cmdline"] == "" {
+		t.Error("/debug/pprof/cmdline returned an empty body")
+	}
+
+	// The run's own reporting: the metrics table on human output, the
+	// runtime sampler's gauges registered by the debug server.
+	if !strings.Contains(stdout.String(), "-- Metrics snapshot --") {
+		t.Error("stdout missing the final metrics table")
+	}
+	if !strings.Contains(stdout.String(), "go_goroutines") {
+		t.Error("metrics table missing runtime sampler gauges")
+	}
+}
+
+// TestStatsTrailerEmbedsMetrics checks the -out stream's trailer record
+// carries the registry snapshot alongside the engine stats.
+func TestStatsTrailerEmbedsMetrics(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-epoch", "1", "-scale", "0.002", "-sample", "3", "-out", "-",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	records, err := h2scope.ReadScanRecords(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatalf("reading stdout records: %v", err)
+	}
+	trailer := records[len(records)-1]
+	if !trailer.IsStatsTrailer() {
+		t.Fatal("last record is not the stats trailer")
+	}
+	if len(trailer.Metrics) == 0 {
+		t.Fatal("stats trailer carries no metrics snapshot")
+	}
+	names := make(map[string]bool)
+	for _, m := range trailer.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"h2_scan_targets_total", "h2_conn_opened_total"} {
+		if !names[want] {
+			t.Errorf("trailer snapshot missing %s", want)
 		}
 	}
 }

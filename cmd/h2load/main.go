@@ -18,6 +18,7 @@ import (
 
 	"h2scope"
 	"h2scope/internal/h2load"
+	"h2scope/internal/metrics"
 	"h2scope/internal/netsim"
 	"h2scope/internal/tlsutil"
 )
@@ -40,8 +41,22 @@ func run() error {
 		conns       = flag.Int("c", 2, "number of connections")
 		streams     = flag.Int("m", 8, "concurrent streams per connection")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		debugAddr   = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) while the run is in flight")
 	)
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *debugAddr != "" {
+		reg = metrics.NewRegistry()
+		ds, err := metrics.StartDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_ = ds.Close()
+		}()
+		fmt.Fprintf(os.Stderr, "h2load: debug endpoint: http://%s/metrics\n", ds.Addr())
+	}
 
 	var dial func() (net.Conn, error)
 	switch {
@@ -97,6 +112,7 @@ func run() error {
 		Authority:      *authority,
 		Path:           *path,
 		Timeout:        *timeout,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err

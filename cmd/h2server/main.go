@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"h2scope"
+	"h2scope/internal/metrics"
 	"h2scope/internal/server"
 	"h2scope/internal/tlsutil"
 )
@@ -45,6 +46,7 @@ func run() error {
 		addr        = flag.String("addr", "127.0.0.1:8443", "listen address")
 		domain      = flag.String("domain", "testbed.example", "site domain (:authority)")
 		useTLS      = flag.Bool("tls", false, "serve HTTP/2 over TLS with a self-signed certificate and ALPN")
+		debugAddr   = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) alongside the server")
 	)
 	flag.Parse()
 
@@ -70,6 +72,18 @@ func run() error {
 		return nil
 	}
 	srv := h2scope.NewServer(profile, h2scope.DefaultSite(*domain))
+	if *debugAddr != "" {
+		reg := metrics.NewRegistry()
+		srv.Metrics = server.NewMetrics(reg)
+		ds, err := metrics.StartDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_ = ds.Close()
+		}()
+		fmt.Printf("debug endpoint: http://%s/metrics\n", ds.Addr())
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 
 	"h2scope/internal/core"
 	"h2scope/internal/h2conn"
+	"h2scope/internal/metrics"
 	"h2scope/internal/population"
 	"h2scope/internal/scan"
 	"h2scope/internal/server"
@@ -231,19 +232,58 @@ func WriteScanRecords(w io.Writer, epoch Epoch, scannedAt time.Time, sum *ScanSu
 }
 
 // AppendScanStats appends a scan-summary trailer record (the engine's final
-// ScanStats snapshot) to a JSON-lines record stream. Offline analysis
-// reports trailers separately from per-site records.
-func AppendScanStats(w io.Writer, epoch Epoch, scannedAt time.Time, stats ScanStats) error {
+// ScanStats snapshot, plus an optional metrics-registry snapshot) to a
+// JSON-lines record stream. Offline analysis reports trailers separately
+// from per-site records.
+func AppendScanStats(w io.Writer, epoch Epoch, scannedAt time.Time, stats ScanStats, snaps []MetricSnapshot) error {
 	sw := store.NewWriter(w)
 	if err := sw.Append(&store.Record{
 		Epoch:     epoch.String(),
 		ScannedAt: scannedAt,
 		Stats:     &stats,
+		Metrics:   snaps,
 	}); err != nil {
 		return err
 	}
 	return sw.Flush()
 }
+
+// Metrics & profiling surface. A MetricsRegistry plugs into
+// ScanOptions.Metrics, ProbeConfig.Metrics (via NewConnMetrics), and the
+// debug endpoint.
+type (
+	// MetricsRegistry is a named set of live instruments.
+	MetricsRegistry = metrics.Registry
+	// MetricSnapshot is one instrument's point-in-time reading, as served
+	// by the /metrics.json endpoint and embedded in scan stats trailers.
+	MetricSnapshot = metrics.MetricSnapshot
+	// DebugServer is a live observability endpoint: Prometheus-text and
+	// JSON metrics, expvar, and net/http/pprof.
+	DebugServer = metrics.DebugServer
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// StartDebugServer serves /metrics, /metrics.json, /debug/vars, and
+// /debug/pprof/* for the given registries on addr (":0" picks a port; see
+// DebugServer.Addr). A runtime sampler feeding Go heap/GC/goroutine gauges
+// into the first registry runs until Close.
+func StartDebugServer(addr string, regs ...*MetricsRegistry) (*DebugServer, error) {
+	return metrics.StartDebug(addr, regs...)
+}
+
+// RenderMetricsTable formats a registry snapshot as an aligned
+// human-readable table.
+func RenderMetricsTable(snaps []MetricSnapshot) string { return metrics.RenderTable(snaps) }
+
+// ConnMetrics is the pre-built client-connection instrument set; attach it
+// through ProbeConfig.Metrics or ClientOptions.Metrics.
+type ConnMetrics = h2conn.Metrics
+
+// NewConnMetrics registers the client-connection instrument set
+// (h2_conn_*, h2_frames_*) in r.
+func NewConnMetrics(r *MetricsRegistry) *ConnMetrics { return h2conn.NewMetrics(r) }
 
 // ReadScanRecords loads persisted scan records.
 func ReadScanRecords(r io.Reader) ([]ScanRecord, error) {

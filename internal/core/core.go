@@ -102,6 +102,10 @@ type Config struct {
 	// probe-phase annotations, so a trace shows which probe step each
 	// frame belongs to. Nil disables tracing with no overhead.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, is attached to every connection the battery
+	// dials (frames, bytes, streams, resets — see h2conn.NewMetrics). Nil
+	// disables metrics with no overhead.
+	Metrics *h2conn.Metrics
 }
 
 // DefaultConfig returns a config matched to server.DefaultSite's document
@@ -157,6 +161,9 @@ func (p *Prober) connect(ctx context.Context, opts h2conn.Options) (*h2conn.Conn
 	}
 	if opts.Tracer == nil {
 		opts.Tracer = p.cfg.Tracer
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = p.cfg.Metrics
 	}
 	nc, err := p.dialer.Dial()
 	if err != nil {

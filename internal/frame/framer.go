@@ -42,6 +42,10 @@ type Framer struct {
 	// either direction. It is the single instrumentation point shared by the
 	// probing client and the testbed server.
 	trace func(sent bool, hdr Header)
+
+	// metrics, when set, counts frames, wire bytes, and read errors. Same
+	// discipline as trace: install via SetMetrics before the framer is used.
+	metrics *Metrics
 }
 
 // NewFramer returns a Framer reading from r and writing to w.
@@ -88,10 +92,18 @@ func (fr *Framer) maxRead() uint32 {
 // payload slices are valid until the next ReadFrame call.
 func (fr *Framer) ReadFrame() (Frame, error) {
 	if _, err := io.ReadFull(fr.r, fr.readHdr[:]); err != nil {
+		// A clean EOF between frames is the normal end of a connection, not a
+		// framing failure; everything else (including a torn header) counts.
+		if fr.metrics != nil && err != io.EOF {
+			fr.metrics.readErrors.Inc()
+		}
 		return nil, err
 	}
 	hdr := parseHeader(fr.readHdr[:])
 	if hdr.Length > fr.maxRead() {
+		if fr.metrics != nil {
+			fr.metrics.readErrors.Inc()
+		}
 		return nil, ErrFrameTooLarge
 	}
 	if int(hdr.Length) > cap(fr.readBuf) {
@@ -99,14 +111,23 @@ func (fr *Framer) ReadFrame() (Frame, error) {
 	}
 	payload := fr.readBuf[:hdr.Length]
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if fr.metrics != nil {
+			fr.metrics.readErrors.Inc()
+		}
 		return nil, fmt.Errorf("frame: short payload for %v: %w", hdr, err)
 	}
 	if fr.trace != nil {
 		fr.trace(false, hdr)
 	}
+	if fr.metrics != nil {
+		fr.metrics.observe(false, hdr)
+	}
 	f, err := fr.parsePayload(hdr, payload)
 	if err != nil && !fr.Strict {
 		return &UnknownFrame{hdr: hdr, Payload: payload}, nil
+	}
+	if err != nil && fr.metrics != nil {
+		fr.metrics.readErrors.Inc()
 	}
 	return f, err
 }
@@ -328,6 +349,9 @@ func (fr *Framer) endWrite() error {
 	}
 	if fr.trace != nil {
 		fr.trace(true, parseHeader(fr.wbuf[:HeaderLen]))
+	}
+	if fr.metrics != nil {
+		fr.metrics.observe(true, parseHeader(fr.wbuf[:HeaderLen]))
 	}
 	return nil
 }

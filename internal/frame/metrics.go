@@ -1,0 +1,82 @@
+package frame
+
+import (
+	"h2scope/internal/metrics"
+)
+
+// metricTypeSlots is one slot per RFC 7540 frame type (0x0–0x9) plus a
+// trailing catch-all for extension/unknown types.
+const metricTypeSlots = int(TypeContinuation) + 2
+
+// Metrics instruments a Framer: per-frame-type frame and byte counters in
+// both directions, plus a read-error counter. All instruments are created
+// eagerly at construction, so the per-frame path is a table index and two
+// atomic adds — no lookups, no allocation.
+type Metrics struct {
+	readFrames    [metricTypeSlots]*metrics.Counter
+	readBytes     [metricTypeSlots]*metrics.Counter
+	writtenFrames [metricTypeSlots]*metrics.Counter
+	writtenBytes  [metricTypeSlots]*metrics.Counter
+	readErrors    *metrics.Counter
+}
+
+// NewMetrics registers the framer instrument set in r:
+//
+//	h2_frames_read_total{type=...}        frames received, per type
+//	h2_frame_bytes_read_total{type=...}   wire bytes received (header included)
+//	h2_frames_written_total{type=...}     frames sent, per type
+//	h2_frame_bytes_written_total{type=...} wire bytes sent (header included)
+//	h2_framer_read_errors_total           ReadFrame failures (EOF excluded)
+//
+// Registries get-or-create by name, so every Framer in a process sharing one
+// registry accumulates into the same counters.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	m := &Metrics{
+		readErrors: r.Counter("h2_framer_read_errors_total",
+			"frame read failures: truncated frames, oversized payloads, strict-mode violations (clean EOF excluded)"),
+	}
+	for i := 0; i < metricTypeSlots; i++ {
+		name := Type(i).String()
+		if i == metricTypeSlots-1 {
+			name = "UNKNOWN"
+		}
+		m.readFrames[i] = r.Counter(metrics.Label("h2_frames_read_total", "type", name),
+			"frames received, by frame type")
+		m.readBytes[i] = r.Counter(metrics.Label("h2_frame_bytes_read_total", "type", name),
+			"wire bytes received (9-byte header included), by frame type")
+		m.writtenFrames[i] = r.Counter(metrics.Label("h2_frames_written_total", "type", name),
+			"frames sent, by frame type")
+		m.writtenBytes[i] = r.Counter(metrics.Label("h2_frame_bytes_written_total", "type", name),
+			"wire bytes sent (9-byte header included), by frame type")
+	}
+	return m
+}
+
+// slot maps a frame type to its counter index; extension types share the
+// trailing UNKNOWN slot.
+func slot(t Type) int {
+	if int(t) >= metricTypeSlots-1 {
+		return metricTypeSlots - 1
+	}
+	return int(t)
+}
+
+// observe records one frame crossing the wire in the given direction.
+func (m *Metrics) observe(sent bool, hdr Header) {
+	i := slot(hdr.Type)
+	wire := int64(hdr.Length) + HeaderLen
+	if sent {
+		m.writtenFrames[i].Inc()
+		m.writtenBytes[i].Add(wire)
+	} else {
+		m.readFrames[i].Inc()
+		m.readBytes[i].Add(wire)
+	}
+}
+
+// SetMetrics installs m to count every frame the framer reads or writes and
+// every read error. Like SetTrace, it must be called before the framer is in
+// use — there is no lock on the hook. A nil m detaches.
+func (fr *Framer) SetMetrics(m *Metrics) {
+	fr.metrics = m
+}

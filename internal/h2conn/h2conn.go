@@ -105,6 +105,11 @@ type Options struct {
 	// decoded Event log above is unaffected; the tracer is the cross-layer
 	// observability bus (see internal/trace).
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, counts this connection's lifecycle, streams,
+	// resets, GOAWAYs, and (via the shared framer set) every frame and wire
+	// byte. Build one per registry with NewMetrics and share it across
+	// connections.
+	Metrics *Metrics
 }
 
 // DefaultEventLogLimit is the event-log cap applied when
@@ -171,7 +176,18 @@ type Conn struct {
 	tracer    *trace.Tracer
 	traceConn uint64
 
+	// closeMetricOnce makes the closed-connection count exact whether the
+	// read loop or Close observes the termination first.
+	closeMetricOnce sync.Once
+
 	readDone chan struct{}
+}
+
+// countClosed records connection termination exactly once.
+func (c *Conn) countClosed() {
+	if c.opts.Metrics != nil {
+		c.closeMetricOnce.Do(c.opts.Metrics.connsClosed.Inc)
+	}
 }
 
 // Dial establishes an HTTP/2 connection over nc: it starts the read loop,
@@ -188,6 +204,12 @@ func Dial(nc net.Conn, opts Options) (*Conn, error) {
 		readDone:     make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if opts.Metrics != nil {
+		// Like the trace hook: installed before the read loop starts, since
+		// the framer hook fields are unlocked.
+		c.fr.SetMetrics(opts.Metrics.framer)
+		opts.Metrics.connsOpened.Inc()
+	}
 	if opts.Tracer != nil {
 		c.tracer = opts.Tracer
 		c.traceConn = opts.Tracer.ConnID()
@@ -223,6 +245,7 @@ func (c *Conn) Close() error {
 	c.closed = true
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	c.countClosed()
 	err := c.nc.Close()
 	<-c.readDone
 	return err
@@ -247,6 +270,7 @@ func (c *Conn) readLoop() {
 			c.closed = true
 			c.cond.Broadcast()
 			c.mu.Unlock()
+			c.countClosed()
 			if c.tracer != nil {
 				c.tracer.ConnClose(c.traceConn, err.Error())
 			}
@@ -302,10 +326,16 @@ func (c *Conn) dispatch(f frame.Frame) {
 		}
 	case *frame.RSTStreamFrame:
 		ev.ErrCode = f.Code
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.resetsReceived.Inc()
+		}
 	case *frame.GoAwayFrame:
 		ev.ErrCode = f.Code
 		ev.LastStreamID = f.LastStreamID
 		ev.DebugData = append([]byte(nil), f.DebugData...)
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.goawaysReceived.Inc()
+		}
 	case *frame.WindowUpdateFrame:
 		ev.Increment = f.Increment
 	case *frame.PingFrame:
@@ -345,10 +375,14 @@ func (c *Conn) dispatch(f frame.Frame) {
 		// Replenish exactly what the frame consumed, so the peer's send
 		// windows hold steady at their initial sizes indefinitely.
 		if c.opts.AutoStreamWindow > 0 {
-			_ = c.fr.WriteWindowUpdate(ev.StreamID, uint32(len(ev.Data)))
+			if c.fr.WriteWindowUpdate(ev.StreamID, uint32(len(ev.Data))) == nil && c.opts.Metrics != nil {
+				c.opts.Metrics.autoWindowStream.Inc()
+			}
 		}
 		if c.opts.AutoConnWindow > 0 {
-			_ = c.fr.WriteWindowUpdate(0, uint32(len(ev.Data)))
+			if c.fr.WriteWindowUpdate(0, uint32(len(ev.Data))) == nil && c.opts.Metrics != nil {
+				c.opts.Metrics.autoWindowConn.Inc()
+			}
 		}
 	}
 }
@@ -513,6 +547,9 @@ func (c *Conn) OpenStreamID(id uint32, req Request) error {
 	if err != nil {
 		return fmt.Errorf("h2conn: open stream %d: %w", id, err)
 	}
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.streamsOpened.Inc()
+	}
 	return nil
 }
 
@@ -533,7 +570,11 @@ func (c *Conn) WritePriority(streamID uint32, p frame.PriorityParam) error {
 
 // WriteRSTStream resets a stream.
 func (c *Conn) WriteRSTStream(streamID uint32, code frame.ErrCode) error {
-	return c.fr.WriteRSTStream(streamID, code)
+	err := c.fr.WriteRSTStream(streamID, code)
+	if err == nil && c.opts.Metrics != nil {
+		c.opts.Metrics.resetsSent.Inc()
+	}
+	return err
 }
 
 // WriteRawFrame sends an arbitrary frame verbatim — the escape hatch for

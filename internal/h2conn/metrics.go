@@ -1,0 +1,55 @@
+package h2conn
+
+import (
+	"h2scope/internal/frame"
+	"h2scope/internal/metrics"
+)
+
+// Metrics is the client connection's pre-built instrument set. Building it
+// once (per registry) and sharing it across every dialed connection keeps
+// Dial free of registry lookups; all counters are process-cumulative.
+type Metrics struct {
+	framer *frame.Metrics
+
+	connsOpened *metrics.Counter
+	connsClosed *metrics.Counter
+
+	streamsOpened   *metrics.Counter
+	resetsSent      *metrics.Counter
+	resetsReceived  *metrics.Counter
+	goawaysReceived *metrics.Counter
+
+	autoWindowConn   *metrics.Counter
+	autoWindowStream *metrics.Counter
+}
+
+// NewMetrics registers the client-connection instrument set in r:
+//
+//	h2_conn_opened_total                      connections dialed
+//	h2_conn_closed_total                      connections terminated
+//	h2_conn_streams_opened_total              request streams opened
+//	h2_conn_streams_reset_total{by=...}       RST_STREAM sent (client) / received (server)
+//	h2_conn_goaway_received_total             GOAWAY frames received
+//	h2_conn_auto_window_updates_total{scope=...} automatic replenishment WINDOW_UPDATEs
+//
+// plus the shared framer set (h2_frames_*, h2_frame_bytes_*) counting every
+// frame the dialed connections move.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		framer:      frame.NewMetrics(r),
+		connsOpened: r.Counter("h2_conn_opened_total", "client HTTP/2 connections dialed"),
+		connsClosed: r.Counter("h2_conn_closed_total", "client HTTP/2 connections terminated (either side)"),
+		streamsOpened: r.Counter("h2_conn_streams_opened_total",
+			"request streams opened by the client"),
+		resetsSent: r.Counter(metrics.Label("h2_conn_streams_reset_total", "by", "client"),
+			"streams reset, by which side sent RST_STREAM"),
+		resetsReceived: r.Counter(metrics.Label("h2_conn_streams_reset_total", "by", "server"),
+			"streams reset, by which side sent RST_STREAM"),
+		goawaysReceived: r.Counter("h2_conn_goaway_received_total",
+			"GOAWAY frames received from servers"),
+		autoWindowConn: r.Counter(metrics.Label("h2_conn_auto_window_updates_total", "scope", "conn"),
+			"automatic flow-control replenishment WINDOW_UPDATEs sent"),
+		autoWindowStream: r.Counter(metrics.Label("h2_conn_auto_window_updates_total", "scope", "stream"),
+			"automatic flow-control replenishment WINDOW_UPDATEs sent"),
+	}
+}

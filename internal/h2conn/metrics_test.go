@@ -1,0 +1,70 @@
+package h2conn_test
+
+import (
+	"testing"
+	"time"
+
+	"h2scope/internal/h2conn"
+	"h2scope/internal/metrics"
+	"h2scope/internal/netsim"
+	"h2scope/internal/server"
+)
+
+func snapshotValue(t *testing.T, r *metrics.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q not registered", name)
+	return 0
+}
+
+// TestDialInstrumented runs two requests over an instrumented connection and
+// checks the h2_conn_* counters, including the exactly-once close accounting
+// (Close after a dead read loop must not double count).
+func TestDialInstrumented(t *testing.T) {
+	srv := server.New(server.H2OProfile(), server.DefaultSite("m.example"))
+	l := netsim.NewListener("h2conn-metrics")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+
+	r := metrics.NewRegistry()
+	m := h2conn.NewMetrics(r)
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := h2conn.DefaultOptions()
+	opts.Metrics = m
+	conn, err := h2conn.Dial(nc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := conn.FetchBody(h2conn.Request{Authority: "m.example", Path: "/about.html"}, 5*time.Second); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close twice: the sync.Once must keep the closed count at one.
+	_ = conn.Close()
+
+	if got := snapshotValue(t, r, "h2_conn_opened_total"); got != 1 {
+		t.Errorf("h2_conn_opened_total = %d, want 1", got)
+	}
+	if got := snapshotValue(t, r, "h2_conn_closed_total"); got != 1 {
+		t.Errorf("h2_conn_closed_total = %d, want 1", got)
+	}
+	if got := snapshotValue(t, r, "h2_conn_streams_opened_total"); got != 2 {
+		t.Errorf("h2_conn_streams_opened_total = %d, want 2", got)
+	}
+	if got := snapshotValue(t, r, metrics.Label("h2_frames_read_total", "type", "HEADERS")); got < 2 {
+		t.Errorf("HEADERS frames read = %d, want >= 2", got)
+	}
+}

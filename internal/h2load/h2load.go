@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"h2scope/internal/h2conn"
+	"h2scope/internal/metrics"
 )
 
 // Options configures a load run.
@@ -30,6 +31,11 @@ type Options struct {
 	Path      string
 	// Timeout bounds each individual request.
 	Timeout time.Duration
+	// Metrics, when set, instruments the run live: requests, errors, body
+	// bytes, and a request-latency histogram land in h2_load_* instruments,
+	// and every connection feeds the shared h2_conn_*/h2_frames_* set. The
+	// returned Result stays exact and per-run regardless.
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills zero fields.
@@ -108,9 +114,33 @@ func byteCount(n int64) string {
 	}
 }
 
+// loadMetrics is the h2_load_* instrument set, built once per Run.
+type loadMetrics struct {
+	conn     *h2conn.Metrics
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	bytes    *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+func newLoadMetrics(r *metrics.Registry) *loadMetrics {
+	return &loadMetrics{
+		conn:     h2conn.NewMetrics(r),
+		requests: r.Counter("h2_load_requests_total", "successful load-generator requests"),
+		errors:   r.Counter("h2_load_errors_total", "failed load-generator requests (transport errors, resets, non-200s)"),
+		bytes:    r.Counter("h2_load_body_bytes_total", "response body octets read by the load generator"),
+		latency: r.Histogram("h2_load_request_latency_ns",
+			"load-generator request latency", int64(time.Microsecond), metrics.DefaultBuckets),
+	}
+}
+
 // Run drives the load and blocks until the quota is spent.
 func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	var lm *loadMetrics
+	if opts.Metrics != nil {
+		lm = newLoadMetrics(opts.Metrics)
+	}
 
 	// The quota is distributed over a shared ticket channel so fast
 	// workers take more.
@@ -137,6 +167,9 @@ func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 		// Long-lived connections issue thousands of requests; bound the
 		// event log so memory and per-request cost stay flat.
 		connOpts.EventLogLimit = 4096
+		if lm != nil {
+			connOpts.Metrics = lm.conn
+		}
 		conn, err := h2conn.Dial(nc, connOpts)
 		if err != nil {
 			_ = nc.Close()
@@ -151,8 +184,18 @@ func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 					t0 := time.Now()
 					resp, err := conn.FetchBody(req, opts.Timeout)
 					lat := time.Since(t0)
+					ok := err == nil && resp.Status() == "200"
+					if lm != nil {
+						lm.latency.Observe(int64(lat))
+						if ok {
+							lm.requests.Inc()
+							lm.bytes.Add(int64(len(resp.Body)))
+						} else {
+							lm.errors.Inc()
+						}
+					}
 					mu.Lock()
-					if err != nil || resp.Status() != "200" {
+					if !ok {
 						res.Errors++
 						if err != nil && len(errs) < 4 {
 							errs = append(errs, err)

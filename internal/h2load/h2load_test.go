@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"h2scope/internal/h2load"
+	"h2scope/internal/metrics"
 	"h2scope/internal/netsim"
 	"h2scope/internal/server"
 )
@@ -82,5 +83,45 @@ func TestRunDefaults(t *testing.T) {
 	}
 	if res.Requests != 100 { // default quota
 		t.Fatalf("requests = %d, want default 100", res.Requests)
+	}
+}
+
+// TestRunInstrumented checks the h2_load_* mirror agrees with the exact
+// per-run Result and that the shared connection set saw the dialed conns.
+func TestRunInstrumented(t *testing.T) {
+	dial := startTarget(t, server.H2OProfile())
+	r := metrics.NewRegistry()
+	res, err := h2load.Run(dial, h2load.Options{
+		Connections:    2,
+		StreamsPerConn: 2,
+		Requests:       40,
+		Authority:      "load.example",
+		Path:           "/about.html",
+		Metrics:        r,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := map[string]int64{
+		"h2_load_requests_total":   int64(res.Requests),
+		"h2_load_errors_total":     int64(res.Errors),
+		"h2_load_body_bytes_total": res.BytesRead,
+		"h2_conn_opened_total":     2,
+	}
+	got := make(map[string]int64)
+	var latencyCount int64
+	for _, m := range r.Snapshot() {
+		got[m.Name] = m.Value
+		if m.Name == "h2_load_request_latency_ns" && m.Histogram != nil {
+			latencyCount = m.Histogram.Count
+		}
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+	if latencyCount != int64(res.Requests+res.Errors) {
+		t.Errorf("latency histogram count = %d, want %d", latencyCount, res.Requests+res.Errors)
 	}
 }

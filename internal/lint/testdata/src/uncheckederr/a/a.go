@@ -6,6 +6,7 @@ package a
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"time"
 
 	"h2scope/internal/lint/testdata/src/uncheckederr/internal/frame"
@@ -35,4 +36,18 @@ func good(nc net.Conn, fr *frame.Framer, hc *h2conn.Conn) error {
 	fr.Reset()             // no error to drop
 	fmt.Println("id:", id) // error-returning but not on the critical surface
 	return hc.WriteGoAway()
+}
+
+func badHTTP(w http.ResponseWriter, body []byte) {
+	w.Write(body)       // want `\(http\.ResponseWriter\)\.Write: error return is silently discarded`
+	defer w.Write(body) // want `defer \(http\.ResponseWriter\)\.Write: error return is silently discarded`
+}
+
+func goodHTTP(w http.ResponseWriter, body []byte) error {
+	w.WriteHeader(http.StatusOK) // no error to drop
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	_, _ = w.Write(body) // explicit discard is acknowledged
+	return nil
 }

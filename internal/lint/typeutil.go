@@ -62,6 +62,19 @@ func isNetConnLike(t types.Type) bool {
 		hasMethod(t, "RemoteAddr")
 }
 
+// isResponseWriterLike reports whether t satisfies net/http.ResponseWriter's
+// shape (Header/Write/WriteHeader) — the surface the metrics exposition
+// endpoint writes scrape bodies through. The check is structural so wrapped
+// and fixture ResponseWriters match without importing net/http here.
+func isResponseWriterLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "Header") &&
+		hasMethod(t, "Write") &&
+		hasMethod(t, "WriteHeader")
+}
+
 // isH2Conn reports whether t is (a pointer to) internal/h2conn's Conn.
 func isH2Conn(t types.Type) bool {
 	return namedTypeIs(t, "internal/h2conn", "Conn")

@@ -8,9 +8,12 @@ import (
 
 // UncheckedErrAnalyzer flags silently discarded error returns from the I/O
 // surfaces a probe's verdict depends on: frame.Framer read/write methods,
-// h2conn.Conn frame senders, and net.Conn deadline setters. A dropped
+// h2conn.Conn frame senders, net.Conn deadline setters, and
+// http.ResponseWriter bodies (the metrics exposition endpoint). A dropped
 // Framer error turns "the server rejected our provocation" into "the server
-// ignored it" — a corrupted measurement, not a crash.
+// ignored it" — a corrupted measurement, not a crash — and a dropped
+// ResponseWriter.Write error serves a truncated /metrics scrape as if it
+// were complete.
 //
 // Only implicit discards are flagged (a call in statement position, or
 // under go/defer where the result is unrecoverable). An explicit `_ =`
@@ -18,7 +21,7 @@ import (
 // where an error is genuinely uninteresting (best-effort ACKs, teardown).
 var UncheckedErrAnalyzer = &Analyzer{
 	Name: "uncheckederr",
-	Doc:  "flags ignored error returns from Framer read/write, h2conn.Conn senders, and net.Conn deadline setters",
+	Doc:  "flags ignored error returns from Framer read/write, h2conn.Conn senders, net.Conn deadline setters, and http.ResponseWriter writes",
 	Run:  runUncheckedErr,
 }
 
@@ -75,6 +78,10 @@ func errCriticalCall(info *types.Info, call *ast.CallExpr, f *types.Func) string
 		if strings.HasPrefix(f.Name(), "Write") ||
 			strings.HasPrefix(f.Name(), "OpenStream") || f.Name() == "Ping" {
 			return "(*h2conn.Conn)." + f.Name()
+		}
+	case isResponseWriterLike(recv):
+		if f.Name() == "Write" {
+			return "(http.ResponseWriter)." + f.Name()
 		}
 	}
 	return ""

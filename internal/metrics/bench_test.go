@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(int64(time.Millisecond), DefaultBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 1001)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewGauge()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		r.Counter(Label("bench_total", "i", string(rune('a'+i))), "").Inc()
+	}
+	r.Histogram("bench_hist", "", 1, DefaultBuckets).Observe(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}
+
+// TestHotPathAllocs is the acceptance gate for satellite 3: the counter and
+// histogram hot paths must not allocate.
+func TestHotPathAllocs(t *testing.T) {
+	c := NewCounter()
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v per op, want 0", n)
+	}
+	g := NewGauge()
+	if n := testing.AllocsPerRun(1000, func() { g.Set(9); g.Add(-1) }); n != 0 {
+		t.Errorf("Gauge hot path allocates %v per op, want 0", n)
+	}
+	h := NewHistogram(int64(time.Millisecond), DefaultBuckets)
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() { v += 997; h.Observe(v) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}

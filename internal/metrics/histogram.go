@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"h2scope/internal/stats"
+)
+
+// DefaultBuckets is the histogram resolution used when NewHistogram is
+// given a non-positive bucket count. It matches the scan engine's original
+// latency histogram (32 power-of-two buckets), whose quantile behavior this
+// package inherited verbatim.
+const DefaultBuckets = 32
+
+// Histogram is a log-linear (power-of-two) histogram over non-negative
+// int64 values: bucket i counts values in [2^(i-1), 2^i) units, with bucket
+// 0 for sub-unit values and the last bucket absorbing everything larger.
+// The unit is a divisor applied before bucketing — int64(time.Millisecond)
+// for nanosecond latencies bucketed per millisecond, 1 for byte sizes
+// bucketed per byte.
+//
+// Observe is lock-free and allocation-free: one bits.Len64 plus five atomic
+// operations. Min/max/sum/count are tracked exactly; quantiles are
+// approximate, each falling at the geometric midpoint of its bucket —
+// exactly the accounting internal/scan's latency histogram used before it
+// became a view over this type.
+type Histogram struct {
+	unit    int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets []atomic.Int64
+}
+
+// NewHistogram returns a histogram with the given unit (values are divided
+// by it before bucketing; non-positive means 1) and bucket count
+// (non-positive means DefaultBuckets).
+func NewHistogram(unit int64, buckets int) *Histogram {
+	if unit <= 0 {
+		unit = 1
+	}
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	h := &Histogram{unit: unit, buckets: make([]atomic.Int64, buckets)}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Unit returns the bucketing divisor.
+func (h *Histogram) Unit() int64 { return h.unit }
+
+// BucketOf returns the bucket index value v falls into for the given unit
+// and bucket count; it is the shared bucketing rule every consumer (scan's
+// latencyBucket view included) delegates to.
+func BucketOf(v, unit int64, buckets int) int {
+	if v < 0 {
+		v = 0
+	}
+	if unit <= 0 {
+		unit = 1
+	}
+	b := bits.Len64(uint64(v / unit))
+	if b >= buckets {
+		b = buckets - 1
+	}
+	return b
+}
+
+// Observe records one value. Negative values clamp to zero (elapsed-time
+// callers can see tiny negative durations from clock adjustments).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[BucketOf(v, h.unit, len(h.buckets))].Add(1)
+}
+
+// Snapshot returns the histogram's current state. Concurrent observes may
+// or may not be included.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Unit:    h.unit,
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]int64, len(h.buckets)),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, mergeable and
+// serializable (the census trailer embeds these).
+type HistogramSnapshot struct {
+	// Unit is the bucketing divisor (bucket i spans [2^(i-1), 2^i) units).
+	Unit int64 `json:"unit"`
+	// Count and Sum are exact totals over all observations.
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Min and Max are exact observed extremes (zero when Count is 0).
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// Buckets holds per-bucket observation counts.
+	Buckets []int64 `json:"buckets"`
+}
+
+// Mean returns the exact mean observation (0 when empty).
+func (s *HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile locates quantile q (0..1) in the power-of-two histogram by
+// nearest-rank walk, returning the geometric midpoint of the bucket the
+// rank falls in, in raw value units. This reproduces internal/scan's
+// original bucketQuantile exactly: bucket 0 answers half a unit, bucket i
+// answers sqrt(2^(i-1) * 2^i) units. Callers wanting quantiles that never
+// contradict Min/Max clamp the result into that range, as scan does.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	unit := s.Unit
+	if unit <= 0 {
+		unit = 1
+	}
+	var seen int64
+	var last int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if i == 0 {
+			last = unit / 2
+		} else {
+			// Geometric midpoint of [2^(i-1), 2^i) units.
+			mid := math.Sqrt(math.Pow(2, float64(i-1)) * math.Pow(2, float64(i)))
+			last = int64(mid * float64(unit))
+		}
+		seen += n
+		if seen >= rank {
+			return last
+		}
+	}
+	return last
+}
+
+// Merge folds o into s (bucket layouts must agree; extra trailing buckets
+// in o are folded into s's last bucket). Mergeable snapshots are what let
+// per-run scan stats and process-cumulative exposition coexist.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = o.Min, o.Max
+	} else {
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i, n := range o.Buckets {
+		if i < len(s.Buckets) {
+			s.Buckets[i] += n
+		} else if len(s.Buckets) > 0 {
+			s.Buckets[len(s.Buckets)-1] += n
+		}
+	}
+}
+
+// CDF renders the histogram as an empirical CDF over bucket midpoints,
+// weighted by bucket counts (capped at maxSamples points, proportionally
+// thinned), for the internal/stats plotting and table machinery. It is a
+// rendering aid — quantile math goes through Quantile, which preserves the
+// original scan semantics exactly.
+func (s *HistogramSnapshot) CDF(maxSamples int) *stats.CDF {
+	if maxSamples <= 0 {
+		maxSamples = 1024
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return stats.NewCDF(nil)
+	}
+	unit := float64(s.Unit)
+	if unit <= 0 {
+		unit = 1
+	}
+	samples := make([]float64, 0, maxSamples)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		mid := unit / 2
+		if i > 0 {
+			mid = math.Sqrt(math.Pow(2, float64(i-1))*math.Pow(2, float64(i))) * unit
+		}
+		// Proportional thinning keeps relative bucket weights intact.
+		k := int((int64(maxSamples)*n + total - 1) / total)
+		if k < 1 {
+			k = 1
+		}
+		for j := 0; j < k; j++ {
+			samples = append(samples, mid)
+		}
+	}
+	return stats.NewCDF(samples)
+}

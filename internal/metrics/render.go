@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"h2scope/internal/stats"
+)
+
+// RenderTable formats a snapshot as an aligned human-readable table, the
+// end-of-run counterpart of the live /metrics endpoint. Histograms render
+// their count plus mean/p50/p99; instruments whose base name ends in _ns
+// carry nanoseconds and render as durations.
+func RenderTable(snaps []MetricSnapshot) string {
+	rows := make([][]string, 0, len(snaps))
+	for _, m := range snaps {
+		switch {
+		case m.Type == "histogram" && m.Histogram != nil:
+			h := m.Histogram
+			rows = append(rows, []string{
+				m.Name, m.Type,
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("mean %s  p50 %s  p99 %s",
+					renderValue(m.Name, h.Mean()),
+					renderValue(m.Name, h.Quantile(0.50)),
+					renderValue(m.Name, h.Quantile(0.99))),
+			})
+		default:
+			rows = append(rows, []string{m.Name, m.Type, fmt.Sprintf("%d", m.Value), ""})
+		}
+	}
+	return stats.FormatTable([]string{"metric", "type", "value", "detail"}, rows)
+}
+
+// renderValue renders one histogram statistic, as a duration when the
+// instrument's base name declares nanoseconds.
+func renderValue(name string, v int64) string {
+	base, _, _ := strings.Cut(name, "{")
+	if strings.HasSuffix(base, "_ns") {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultSampleInterval is the runtime sampler's default period.
+const DefaultSampleInterval = time.Second
+
+// Sampler periodically records Go runtime health — goroutine count, heap
+// state, GC activity — into a registry, so a long census or load run can be
+// inspected mid-flight through the debug endpoint. Slow-HTTP/2 DoS work
+// (Tripathi 2022) treats exactly this kind of event-rate telemetry as a
+// research instrument; here it doubles as the harness's own vital signs.
+type Sampler struct {
+	interval time.Duration
+
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	gcCycles    *Gauge
+	gcPauseNS   *Histogram
+
+	mu        sync.Mutex
+	lastNumGC uint32
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewRuntimeSampler registers the runtime instruments in r and returns a
+// stopped sampler; call Start to begin sampling every interval
+// (DefaultSampleInterval when interval <= 0).
+func NewRuntimeSampler(r *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &Sampler{
+		interval:    interval,
+		goroutines:  r.Gauge("go_goroutines", "current goroutine count"),
+		heapAlloc:   r.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects"),
+		heapSys:     r.Gauge("go_heap_sys_bytes", "bytes of heap obtained from the OS"),
+		heapObjects: r.Gauge("go_heap_objects", "number of allocated heap objects"),
+		gcCycles:    r.Gauge("go_gc_cycles_total", "completed GC cycles"),
+		gcPauseNS:   r.Histogram("go_gc_pause_ns", "stop-the-world GC pause durations (ns, bucketed per µs)", int64(time.Microsecond), 0),
+	}
+	s.Sample() // seed the gauges so a scrape before Start still sees values
+	return s
+}
+
+// Sample records one observation of the runtime immediately. It is called
+// automatically by the Start loop; tests and one-shot tools call it
+// directly.
+func (s *Sampler) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(clampFloat(float64(ms.HeapAlloc)))
+	s.heapSys.Set(clampFloat(float64(ms.HeapSys)))
+	s.heapObjects.Set(clampFloat(float64(ms.HeapObjects)))
+	s.gcCycles.Set(int64(ms.NumGC))
+
+	// Feed pauses that completed since the previous sample into the pause
+	// histogram. PauseNs is a circular buffer of the last 256 pauses keyed
+	// by NumGC; the (mu-guarded) cursor walk never double-counts.
+	s.mu.Lock()
+	last := s.lastNumGC
+	if ms.NumGC > last {
+		newPauses := ms.NumGC - last
+		if newPauses > uint32(len(ms.PauseNs)) {
+			newPauses = uint32(len(ms.PauseNs))
+		}
+		for i := uint32(0); i < newPauses; i++ {
+			idx := (ms.NumGC - i + uint32(len(ms.PauseNs)) - 1) % uint32(len(ms.PauseNs))
+			s.gcPauseNS.Observe(int64(ms.PauseNs[idx]))
+		}
+		s.lastNumGC = ms.NumGC
+	}
+	s.mu.Unlock()
+}
+
+// Start launches the periodic sampling loop; it is a no-op if the sampler
+// is already running.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sample()
+			case <-stop:
+				return
+			}
+		}
+	}(s.stop, s.done)
+}
+
+// Stop halts the sampling loop and waits for it to exit; safe to call on a
+// never-started or already-stopped sampler.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"h2scope/internal/core"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/metrics"
 	"h2scope/internal/netsim"
 	"h2scope/internal/scan"
 	"h2scope/internal/trace"
@@ -165,6 +167,11 @@ type ScanOptions struct {
 	// finalizes. The directory is created if needed; per-site tracer
 	// drop counts fold into Stats.TraceDropped.
 	TraceDir string
+	// Metrics, when set, instruments the scan live: the engine mirrors its
+	// counters into h2_scan_* and every probe connection feeds the shared
+	// h2_conn_*/h2_frames_* instruments, so a -debug-addr endpoint watches
+	// the run in flight. The summary's Stats stay exact regardless.
+	Metrics *metrics.Registry
 }
 
 // batteryProbes is how many connection-scoped probes one battery runs; the
@@ -196,8 +203,15 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 		spec := &pop.Sites[siteIdx]
 		targets[i] = scan.Target{Key: spec.Domain, Meta: spec}
 	}
+	// One shared connection-instrument set for every probe the scan dials:
+	// building it once keeps the per-site probe path free of registry
+	// lookups.
+	var connMetrics *h2conn.Metrics
+	if opts.Metrics != nil {
+		connMetrics = h2conn.NewMetrics(opts.Metrics)
+	}
 	probe := func(ctx context.Context, t scan.Target) (any, error) {
-		report, err := probeSite(ctx, t.Meta.(*SiteSpec), opts.Timeout)
+		report, err := probeSite(ctx, t.Meta.(*SiteSpec), opts.Timeout, connMetrics)
 		if report == nil {
 			// A typed nil inside a non-nil any would defeat the engine's
 			// partial-value bookkeeping.
@@ -213,6 +227,7 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 		Progress:         opts.Progress,
 		ProgressInterval: opts.ProgressInterval,
 		OnRecord:         opts.OnRecord,
+		Metrics:          opts.Metrics,
 	}
 	// traceFiles maps domain → exported trace path. OnTrace calls are
 	// serialized by the engine and the map is only read after Run returns.
@@ -282,7 +297,7 @@ func writeTraceFile(path, target string, tr *trace.Tracer) error {
 }
 
 // probeSite materializes one site and runs the battery against it.
-func probeSite(ctx context.Context, spec *SiteSpec, timeout time.Duration) (*core.Report, error) {
+func probeSite(ctx context.Context, spec *SiteSpec, timeout time.Duration, m *h2conn.Metrics) (*core.Report, error) {
 	srv := spec.NewServer()
 	l := netsim.NewListener(spec.Domain)
 	go func() {
@@ -299,6 +314,7 @@ func probeSite(ctx context.Context, spec *SiteSpec, timeout time.Duration) (*cor
 	// The scan engine parks each target's tracer on the attempt context;
 	// a nil result simply leaves tracing off.
 	cfg.Tracer = trace.FromContext(ctx)
+	cfg.Metrics = m
 	prober := core.NewProber(&siteDialer{l: l, spec: spec}, cfg)
 	return prober.RunContext(ctx)
 }

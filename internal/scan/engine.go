@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"h2scope/internal/metrics"
 	"h2scope/internal/trace"
 )
 
@@ -128,6 +129,12 @@ type Options struct {
 	// record finalizes — the flush hook for exporting traces. Calls are
 	// serialized with OnRecord (trace delivered after the record).
 	OnTrace func(Target, *trace.Tracer)
+	// Metrics, when set, mirrors every counter bump into registered
+	// instruments (h2_scan_*) in this registry, so a live -debug-addr
+	// endpoint sees the run's progress. The run's own Stats stay private
+	// and exact regardless; the registry view is process-cumulative across
+	// runs sharing it.
+	Metrics *metrics.Registry
 }
 
 // Result is a completed (or canceled) run.
@@ -175,6 +182,9 @@ func Run(ctx context.Context, targets []Target, probe ProbeFunc, opts Options) (
 	}
 
 	e := &engine{probe: probe, opts: opts, counters: newCounters()}
+	if opts.Metrics != nil {
+		e.counters.mirror = registryCounters(opts.Metrics)
+	}
 	records := make([]Record, len(targets))
 
 	progressDone := e.startProgress(ctx)
@@ -259,22 +269,10 @@ func (e *engine) startProgress(ctx context.Context) chan struct{} {
 // counters and flush hooks exactly once.
 func (e *engine) finalize(rec Record, tr *trace.Tracer) Record {
 	c := e.counters
-	c.attempted.Add(1)
-	switch rec.Outcome {
-	case OutcomeSuccess:
-		c.succeeded.Add(1)
-	case OutcomeFailed:
-		c.failed.Add(1)
-		if int(rec.Kind) < numErrorKinds {
-			c.failedByKind[rec.Kind].Add(1)
-		}
-	case OutcomeCanceled:
-		c.canceled.Add(1)
-	}
+	c.recordOutcome(rec)
 	c.observeLatency(rec.Elapsed)
 	if tr != nil {
-		c.traceEvents.Add(int64(tr.Emitted()))
-		c.traceDropped.Add(int64(tr.Dropped()))
+		c.addTrace(tr)
 	}
 	if e.opts.OnRecord != nil || (e.opts.OnTrace != nil && tr != nil) {
 		e.recordMu.Lock()
@@ -324,7 +322,7 @@ func (e *engine) runTarget(ctx context.Context, t Target) Record {
 			rec.Outcome = OutcomeFailed
 			break
 		}
-		e.counters.retries.Add(1)
+		e.counters.addRetry()
 		if serr := clock.Sleep(ctx, e.opts.Backoff.Delay(retry, rng)); serr != nil {
 			rec.Outcome, rec.Kind, rec.Err = OutcomeCanceled, KindCanceled, serr.Error()
 			break
@@ -344,9 +342,8 @@ func (e *engine) runTarget(ctx context.Context, t Target) Record {
 func (e *engine) attempt(ctx context.Context, t Target) (any, error) {
 	actx, cancel := context.WithTimeout(ctx, e.opts.Timeout)
 	defer cancel()
-	e.counters.attempts.Add(1)
-	e.counters.inFlight.Add(1)
-	defer e.counters.inFlight.Add(-1)
+	e.counters.beginAttempt()
+	defer e.counters.endAttempt()
 
 	type outcome struct {
 		v   any

@@ -1,0 +1,88 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"h2scope/internal/metrics"
+)
+
+func registryValue(t *testing.T, r *metrics.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q not registered", name)
+	return 0
+}
+
+// TestRunMirrorsIntoRegistry proves the dual-write design: each run's Stats
+// are exact and private, while a shared registry accumulates across runs for
+// the live debug endpoint.
+func TestRunMirrorsIntoRegistry(t *testing.T) {
+	r := metrics.NewRegistry()
+	targets := []Target{{Key: "a"}, {Key: "b"}, {Key: "c"}}
+	probe := func(ctx context.Context, tg Target) (any, error) {
+		if tg.Key == "c" {
+			return nil, errors.New("tls: handshake failure")
+		}
+		return tg.Key, nil
+	}
+	opts := Options{Parallelism: 2, Timeout: time.Second, Metrics: r}
+
+	res1, err := Run(context.Background(), targets, probe, opts)
+	if err != nil {
+		t.Fatalf("Run 1: %v", err)
+	}
+	if res1.Stats.Attempted != 3 || res1.Stats.Succeeded != 2 || res1.Stats.Failed != 1 {
+		t.Fatalf("run 1 stats = %+v", res1.Stats)
+	}
+	if got := registryValue(t, r, "h2_scan_targets_total"); got != 3 {
+		t.Fatalf("h2_scan_targets_total = %d after run 1, want 3", got)
+	}
+	if got := registryValue(t, r, metrics.Label("h2_scan_outcomes_total", "outcome", "ok")); got != 2 {
+		t.Fatalf("ok outcomes = %d, want 2", got)
+	}
+
+	res2, err := Run(context.Background(), targets, probe, opts)
+	if err != nil {
+		t.Fatalf("Run 2: %v", err)
+	}
+	// Per-run stats reset; the registry accumulates.
+	if res2.Stats.Attempted != 3 {
+		t.Fatalf("run 2 Attempted = %d, want 3 (per-run stats must not accumulate)", res2.Stats.Attempted)
+	}
+	if got := registryValue(t, r, "h2_scan_targets_total"); got != 6 {
+		t.Fatalf("h2_scan_targets_total = %d after run 2, want 6", got)
+	}
+	if got := registryValue(t, r, "h2_scan_attempts_total"); got != 6 {
+		t.Fatalf("h2_scan_attempts_total = %d, want 6", got)
+	}
+	if got := registryValue(t, r, "h2_scan_in_flight"); got != 0 {
+		t.Fatalf("h2_scan_in_flight = %d after drain, want 0", got)
+	}
+	if got := registryValue(t, r, metrics.Label("h2_scan_failures_total", "kind", Classify(errors.New("tls: x")).String())); got == 0 {
+		t.Fatal("per-kind failure counter not mirrored")
+	}
+	if got := registryValue(t, r, "h2_scan_target_latency_ns"); got != 6 {
+		t.Fatalf("latency histogram count = %d, want 6", got)
+	}
+}
+
+// TestRunWithoutRegistry keeps the no-metrics path allocation of a mirror-free
+// counter set working (nil Options.Metrics is the default).
+func TestRunWithoutRegistry(t *testing.T) {
+	res, err := Run(context.Background(), []Target{{Key: "x"}},
+		func(ctx context.Context, tg Target) (any, error) { return nil, nil },
+		Options{Timeout: time.Second})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Stats.Consistent() || res.Stats.Succeeded != 1 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}

@@ -2,77 +2,148 @@ package scan
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 	"strings"
-	"sync/atomic"
 	"time"
+
+	"h2scope/internal/metrics"
+	"h2scope/internal/trace"
 )
 
 // latencyBuckets is the histogram resolution: bucket i covers target
 // latencies in [2^(i-1), 2^i) milliseconds, with bucket 0 for sub-1ms.
-const latencyBuckets = 32
+const latencyBuckets = metrics.DefaultBuckets
 
-// counters is the engine's live, lock-free instrumentation. Workers bump it
-// from many goroutines; Snapshot renders a consistent-enough view at any
-// moment and an exactly consistent one once the run has drained.
+// counters is the engine's live, lock-free instrumentation — a thin view
+// over internal/metrics instruments. Each run owns a private, unregistered
+// set (the authoritative source for its Stats snapshot, so sequential runs
+// never bleed into each other), plus an optional mirror of registered
+// instruments when Options.Metrics is set, feeding the process-cumulative
+// debug endpoint. Bumps go through the methods below, which write both sets.
 type counters struct {
-	attempted atomic.Int64
-	succeeded atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	retries   atomic.Int64
-	attempts  atomic.Int64
-	inFlight  atomic.Int64
+	attempted *metrics.Counter
+	succeeded *metrics.Counter
+	failed    *metrics.Counter
+	canceled  *metrics.Counter
+	retries   *metrics.Counter
+	attempts  *metrics.Counter
+	inFlight  *metrics.Gauge
 
-	failedByKind [numErrorKinds]atomic.Int64
+	failedByKind [numErrorKinds]*metrics.Counter
 
-	traceEvents  atomic.Int64
-	traceDropped atomic.Int64
+	traceEvents  *metrics.Counter
+	traceDropped *metrics.Counter
 
-	latCount  atomic.Int64
-	latSumNS  atomic.Int64
-	latMinNS  atomic.Int64
-	latMaxNS  atomic.Int64
-	latBucket [latencyBuckets]atomic.Int64
+	latency *metrics.Histogram
+
+	// mirror, when non-nil, is a registry-backed twin receiving every bump.
+	mirror *counters
 }
 
 func newCounters() *counters {
-	c := &counters{}
-	c.latMinNS.Store(math.MaxInt64)
+	c := &counters{
+		attempted:    metrics.NewCounter(),
+		succeeded:    metrics.NewCounter(),
+		failed:       metrics.NewCounter(),
+		canceled:     metrics.NewCounter(),
+		retries:      metrics.NewCounter(),
+		attempts:     metrics.NewCounter(),
+		inFlight:     metrics.NewGauge(),
+		traceEvents:  metrics.NewCounter(),
+		traceDropped: metrics.NewCounter(),
+		latency:      metrics.NewHistogram(int64(time.Millisecond), latencyBuckets),
+	}
+	for k := range c.failedByKind {
+		c.failedByKind[k] = metrics.NewCounter()
+	}
 	return c
 }
 
-func latencyBucket(d time.Duration) int {
-	ms := uint64(d / time.Millisecond)
-	b := bits.Len64(ms)
-	if b >= latencyBuckets {
-		b = latencyBuckets - 1
+// registryCounters builds the registered twin in r. Names are stable API
+// (the README's metric catalog documents them); registries get-or-create, so
+// successive runs mirroring into one registry accumulate.
+func registryCounters(r *metrics.Registry) *counters {
+	c := &counters{
+		attempted: r.Counter("h2_scan_targets_total", "targets finalized (all outcomes)"),
+		succeeded: r.Counter(metrics.Label("h2_scan_outcomes_total", "outcome", "ok"), "targets by final outcome"),
+		failed:    r.Counter(metrics.Label("h2_scan_outcomes_total", "outcome", "failed"), "targets by final outcome"),
+		canceled:  r.Counter(metrics.Label("h2_scan_outcomes_total", "outcome", "canceled"), "targets by final outcome"),
+		retries:   r.Counter("h2_scan_retries_total", "retry attempts beyond each target's first"),
+		attempts:  r.Counter("h2_scan_attempts_total", "probe attempts, first tries included"),
+		inFlight:  r.Gauge("h2_scan_in_flight", "probe attempts executing right now"),
+		traceEvents: r.Counter("h2_scan_trace_events_total",
+			"trace events emitted by per-target tracers (ring overwrites included)"),
+		traceDropped: r.Counter("h2_scan_trace_dropped_total",
+			"trace events lost to per-target ring overflow"),
+		latency: r.Histogram("h2_scan_target_latency_ns",
+			"per-target wall time (ns, bucketed per millisecond)",
+			int64(time.Millisecond), latencyBuckets),
 	}
-	return b
+	for k := range c.failedByKind {
+		c.failedByKind[k] = r.Counter(
+			metrics.Label("h2_scan_failures_total", "kind", ErrorKind(k).String()),
+			"failed targets by classified error kind")
+	}
+	return c
+}
+
+// latencyBucket maps a duration to its histogram bucket; it delegates to the
+// shared bucketing rule in internal/metrics.
+func latencyBucket(d time.Duration) int {
+	return metrics.BucketOf(int64(d), int64(time.Millisecond), latencyBuckets)
 }
 
 // observeLatency records one completed target's elapsed time.
 func (c *counters) observeLatency(d time.Duration) {
-	if d < 0 {
-		d = 0
+	for s := c; s != nil; s = s.mirror {
+		s.latency.Observe(int64(d))
 	}
-	ns := int64(d)
-	c.latCount.Add(1)
-	c.latSumNS.Add(ns)
-	for {
-		cur := c.latMinNS.Load()
-		if ns >= cur || c.latMinNS.CompareAndSwap(cur, ns) {
-			break
+}
+
+// recordOutcome applies one finalized record to the outcome counters.
+func (c *counters) recordOutcome(rec Record) {
+	for s := c; s != nil; s = s.mirror {
+		s.attempted.Inc()
+		switch rec.Outcome {
+		case OutcomeSuccess:
+			s.succeeded.Inc()
+		case OutcomeFailed:
+			s.failed.Inc()
+			if int(rec.Kind) < numErrorKinds {
+				s.failedByKind[rec.Kind].Inc()
+			}
+		case OutcomeCanceled:
+			s.canceled.Inc()
 		}
 	}
-	for {
-		cur := c.latMaxNS.Load()
-		if ns <= cur || c.latMaxNS.CompareAndSwap(cur, ns) {
-			break
-		}
+}
+
+// addTrace folds a finished target tracer's ring counters in.
+func (c *counters) addTrace(tr *trace.Tracer) {
+	for s := c; s != nil; s = s.mirror {
+		s.traceEvents.Add(int64(tr.Emitted()))
+		s.traceDropped.Add(int64(tr.Dropped()))
 	}
-	c.latBucket[latencyBucket(d)].Add(1)
+}
+
+// addRetry counts one retry beyond a target's first attempt.
+func (c *counters) addRetry() {
+	for s := c; s != nil; s = s.mirror {
+		s.retries.Inc()
+	}
+}
+
+// beginAttempt/endAttempt bracket one probe attempt.
+func (c *counters) beginAttempt() {
+	for s := c; s != nil; s = s.mirror {
+		s.attempts.Inc()
+		s.inFlight.Add(1)
+	}
+}
+
+func (c *counters) endAttempt() {
+	for s := c; s != nil; s = s.mirror {
+		s.inFlight.Add(-1)
+	}
 }
 
 // LatencyStats summarizes the per-target latency histogram. Quantiles are
@@ -117,53 +188,47 @@ type Stats struct {
 // Snapshot renders the counters as a Stats value.
 func (c *counters) Snapshot() Stats {
 	s := Stats{
-		Attempted: c.attempted.Load(),
-		Succeeded: c.succeeded.Load(),
-		Failed:    c.failed.Load(),
-		Canceled:  c.canceled.Load(),
-		Retries:   c.retries.Load(),
-		Attempts:  c.attempts.Load(),
-		InFlight:  c.inFlight.Load(),
+		Attempted: c.attempted.Value(),
+		Succeeded: c.succeeded.Value(),
+		Failed:    c.failed.Value(),
+		Canceled:  c.canceled.Value(),
+		Retries:   c.retries.Value(),
+		Attempts:  c.attempts.Value(),
+		InFlight:  c.inFlight.Value(),
 
-		TraceEvents:  c.traceEvents.Load(),
-		TraceDropped: c.traceDropped.Load(),
+		TraceEvents:  c.traceEvents.Value(),
+		TraceDropped: c.traceDropped.Value(),
 	}
 	for k := 0; k < numErrorKinds; k++ {
-		if n := c.failedByKind[k].Load(); n > 0 {
+		if n := c.failedByKind[k].Value(); n > 0 {
 			if s.FailedByKind == nil {
 				s.FailedByKind = make(map[string]int64)
 			}
 			s.FailedByKind[ErrorKind(k).String()] = n
 		}
 	}
-	s.Latency = c.latencySnapshot()
+	s.Latency = latencyStatsOf(c.latency.Snapshot())
 	return s
 }
 
-func (c *counters) latencySnapshot() LatencyStats {
-	n := c.latCount.Load()
-	if n == 0 {
+// latencyStatsOf condenses a histogram snapshot into the persisted summary.
+// Bucket midpoints can land outside the observed range; every quantile is
+// clamped into [Min, Max] so the summary never contradicts itself.
+func latencyStatsOf(h metrics.HistogramSnapshot) LatencyStats {
+	if h.Count == 0 {
 		return LatencyStats{}
 	}
 	ls := LatencyStats{
-		Count: n,
-		Min:   time.Duration(c.latMinNS.Load()),
-		Mean:  time.Duration(c.latSumNS.Load() / n),
-		Max:   time.Duration(c.latMaxNS.Load()),
+		Count: h.Count,
+		Min:   time.Duration(h.Min),
+		Mean:  time.Duration(h.Mean()),
+		Max:   time.Duration(h.Max),
 	}
-	var counts [latencyBuckets]int64
-	var total int64
-	for i := range counts {
-		counts[i] = c.latBucket[i].Load()
-		total += counts[i]
-	}
-	// Bucket midpoints can land outside the observed range; clamp every
-	// quantile into [Min, Max] so the summary never contradicts itself.
 	for _, q := range []struct {
 		dst *time.Duration
 		q   float64
 	}{{&ls.P50, 0.50}, {&ls.P90, 0.90}, {&ls.P99, 0.99}} {
-		v := bucketQuantile(counts[:], total, q.q)
+		v := time.Duration(h.Quantile(q.q))
 		if v < ls.Min {
 			v = ls.Min
 		}
@@ -173,36 +238,6 @@ func (c *counters) latencySnapshot() LatencyStats {
 		*q.dst = v
 	}
 	return ls
-}
-
-// bucketQuantile locates quantile q in the power-of-two histogram.
-func bucketQuantile(counts []int64, total int64, q float64) time.Duration {
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	last := time.Duration(0)
-	for i, n := range counts {
-		if n == 0 {
-			continue
-		}
-		if i == 0 {
-			last = 500 * time.Microsecond
-		} else {
-			// Geometric midpoint of [2^(i-1), 2^i) milliseconds.
-			mid := math.Sqrt(math.Pow(2, float64(i-1)) * math.Pow(2, float64(i)))
-			last = time.Duration(mid * float64(time.Millisecond))
-		}
-		seen += n
-		if seen >= rank {
-			return last
-		}
-	}
-	return last
 }
 
 // Consistent reports whether the outcome partition adds up; it holds

@@ -10,6 +10,7 @@ import (
 	"h2scope/internal/frame"
 	"h2scope/internal/h2conn"
 	"h2scope/internal/hpack"
+	"h2scope/internal/metrics"
 	"h2scope/internal/netsim"
 	"h2scope/internal/server"
 	"h2scope/internal/tlsutil"
@@ -499,4 +500,265 @@ func TestShutdownRacingAccept(t *testing.T) {
 		}
 		_ = nc.Close()
 	}
+}
+
+// --- window-stall accounting (h2_window_stalls_total) ---
+
+// startInstrumented is startRaw with a metrics registry attached.
+func startInstrumented(t *testing.T, p server.Profile) (*netsim.Listener, *metrics.Registry) {
+	t.Helper()
+	r := metrics.NewRegistry()
+	srv := server.New(p, server.DefaultSite("raw.example"))
+	srv.Metrics = server.NewMetrics(r)
+	l := netsim.NewListener("raw-metrics")
+	go func() {
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(srv.Close)
+	return l, r
+}
+
+func metricValue(t *testing.T, r *metrics.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q not registered", name)
+	return 0
+}
+
+// waitMetricValue polls until the named counter reaches want: the server
+// notes a stall on its own goroutine just after writing the last permitted
+// DATA frame, so the client can observe the bytes a moment before the bump.
+func waitMetricValue(t *testing.T, r *metrics.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := metricValue(t, r, name); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", name, metricValue(t, r, name), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// frameReader pumps frames off fr on its own goroutine so tests can apply
+// timeouts (netsim conns have no read deadlines).
+func frameReader(fr *frame.Framer) <-chan frame.Frame {
+	ch := make(chan frame.Frame, 64)
+	go func() {
+		defer close(ch)
+		for {
+			f, err := fr.ReadFrame()
+			if err != nil {
+				return
+			}
+			ch <- f
+		}
+	}()
+	return ch
+}
+
+// nextData returns the next DATA frame from ch, or nil if none arrives
+// within timeout.
+func nextData(t *testing.T, ch <-chan frame.Frame, timeout time.Duration) *frame.DataFrame {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				t.Fatal("connection closed while waiting for DATA")
+			}
+			if df, ok := f.(*frame.DataFrame); ok {
+				return df
+			}
+		case <-deadline:
+			return nil
+		}
+	}
+}
+
+func writeGet(t *testing.T, fr *frame.Framer, streamID uint32, path string) {
+	t.Helper()
+	enc := hpack.NewEncoder(hpack.PolicyIndexAll)
+	block := enc.EncodeBlock([]hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "raw.example"},
+		{Name: ":path", Value: path},
+	})
+	if err := fr.WriteHeaders(frame.HeadersParams{
+		StreamID: streamID, Fragment: block, EndStream: true, EndHeaders: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnWindowStallExactAccounting pins the connection-level send window to
+// the RFC value: with the default 65,535-octet connection window and a stream
+// window too large to bind, the server must transmit exactly 65,535 octets of
+// a 65,536-octet resource before stalling — an off-by-one in either direction
+// fails the byte count — then count the stall once and resume on a connection
+// WINDOW_UPDATE.
+func TestConnWindowStallExactAccounting(t *testing.T) {
+	l, r := startInstrumented(t, server.ApacheProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nc.Close()
+	})
+	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(nc, nc)
+	// A huge stream window keeps the connection window the binding constraint.
+	if err := fr.WriteSettings(frame.Setting{ID: frame.SettingInitialWindowSize, Val: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	writeGet(t, fr, 1, "/drain/64k")
+
+	ch := frameReader(fr)
+	stallConn := metrics.Label("h2_window_stalls_total", "scope", "conn")
+	stallStream := metrics.Label("h2_window_stalls_total", "scope", "stream")
+	var got int64
+	for got < 65535 {
+		df := nextData(t, ch, 2*time.Second)
+		if df == nil {
+			t.Fatalf("server stalled after %d octets, want exactly 65535 before WINDOW_UPDATE", got)
+		}
+		got += int64(df.FlowControlLen())
+		if df.StreamEnded() {
+			t.Fatalf("END_STREAM after %d octets with the connection window still charged", got)
+		}
+	}
+	if got != 65535 {
+		t.Fatalf("server sent %d octets on a 65535-octet connection window", got)
+	}
+	if df := nextData(t, ch, 150*time.Millisecond); df != nil {
+		t.Fatalf("server sent %d octets past an exhausted connection window", df.FlowControlLen())
+	}
+	waitMetricValue(t, r, stallConn, 1)
+	if got := metricValue(t, r, stallStream); got != 0 {
+		t.Fatalf("stream stalls = %d, want 0 (the stream window never binds)", got)
+	}
+
+	if err := fr.WriteWindowUpdate(0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	df := nextData(t, ch, 2*time.Second)
+	if df == nil {
+		t.Fatal("no DATA after the connection WINDOW_UPDATE reopened the window")
+	}
+	if df.FlowControlLen() != 1 || !df.StreamEnded() {
+		t.Fatalf("final frame carries %d octets (END_STREAM=%v), want the 1 remaining octet with END_STREAM",
+			df.FlowControlLen(), df.StreamEnded())
+	}
+	if got := metricValue(t, r, stallConn); got != 1 {
+		t.Fatalf("conn stalls = %d after resume, want 1 (a blocked period counts once, not per flush pass)", got)
+	}
+}
+
+// TestStreamWindowStallTransitionCounting drives a stream window to zero
+// twice and checks each blocked period counts exactly one stream stall while
+// the connection window (never exhausted) counts none.
+func TestStreamWindowStallTransitionCounting(t *testing.T) {
+	l, r := startInstrumented(t, server.ApacheProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = nc.Close()
+	})
+	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(nc, nc)
+	if err := fr.WriteSettings(frame.Setting{ID: frame.SettingInitialWindowSize, Val: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	writeGet(t, fr, 1, "/drain/16k")
+
+	ch := frameReader(fr)
+	stallConn := metrics.Label("h2_window_stalls_total", "scope", "conn")
+	stallStream := metrics.Label("h2_window_stalls_total", "scope", "stream")
+	readExactly := func(want int64) {
+		t.Helper()
+		var got int64
+		for got < want {
+			df := nextData(t, ch, 2*time.Second)
+			if df == nil {
+				t.Fatalf("server stalled after %d octets, want %d", got, want)
+			}
+			got += int64(df.FlowControlLen())
+		}
+		if got != want {
+			t.Fatalf("server sent %d octets on a %d-octet stream window", got, want)
+		}
+	}
+
+	readExactly(1000)
+	waitMetricValue(t, r, stallStream, 1)
+	if err := fr.WriteWindowUpdate(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	readExactly(500)
+	waitMetricValue(t, r, stallStream, 2)
+	if got := metricValue(t, r, stallConn); got != 0 {
+		t.Fatalf("conn stalls = %d, want 0 (the connection window never binds)", got)
+	}
+}
+
+// TestTeardownSettlesActiveStreamGauges pins the teardown accounting: a
+// client that opens streams and then drops the connection mid-response must
+// not leak h2_server_active_streams or h2_server_active_conns — streams that
+// never reach closeStream are settled when the connection dies.
+func TestTeardownSettlesActiveStreamGauges(t *testing.T) {
+	l, r := startInstrumented(t, server.ApacheProfile())
+	nc, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(nc, nc)
+	// A tiny stream window keeps both responses open (stalled) when the
+	// connection is abandoned.
+	if err := fr.WriteSettings(frame.Setting{ID: frame.SettingInitialWindowSize, Val: 1}); err != nil {
+		t.Fatal(err)
+	}
+	writeGet(t, fr, 1, "/drain/16k")
+	writeGet(t, fr, 3, "/drain/16k")
+
+	ch := frameReader(fr)
+	if nextData(t, ch, 2*time.Second) == nil {
+		t.Fatal("no DATA before teardown: streams never opened")
+	}
+	waitMetricValue(t, r, "h2_server_active_streams", 2)
+	if err := nc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitMetricValue(t, r, "h2_server_active_conns", 0)
+	waitMetricValue(t, r, "h2_server_active_streams", 0)
+	if opened := metricValue(t, r, "h2_server_streams_opened_total"); opened != 2 {
+		t.Errorf("h2_server_streams_opened_total = %d, want 2", opened)
+	}
+	// Both abandoned streams must still contribute duration observations.
+	for _, m := range r.Snapshot() {
+		if m.Name == "h2_server_stream_duration_ns" && m.Histogram != nil {
+			if m.Histogram.Count != 2 {
+				t.Errorf("stream duration observations = %d, want 2", m.Histogram.Count)
+			}
+			return
+		}
+	}
+	t.Error("h2_server_stream_duration_ns histogram not registered")
 }

@@ -39,6 +39,11 @@ type Server struct {
 	// by a lock.
 	Trace *trace.Tracer
 
+	// Metrics, when non-nil, receives instrument bumps from every
+	// connection the server handles (see NewMetrics for the catalog). Set
+	// it before serving; like Trace it is not guarded by a lock.
+	Metrics *Metrics
+
 	mu     sync.Mutex
 	lis    []net.Listener
 	conns  map[*conn]struct{}
@@ -203,6 +208,14 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		firstSent:     make(map[uint32]bool),
 	}
 	c.sched = priority.NewScheduler(c.tree)
+	if s.Metrics != nil {
+		// Install the framer hook before serve() starts reading; the framer
+		// is single-threaded at this point.
+		c.fr.SetMetrics(s.Metrics.framer)
+		s.Metrics.connsAccepted.Inc()
+		s.Metrics.activeConns.Add(1)
+		defer c.settleOnClose()
+	}
 	if s.Trace != nil {
 		id := s.Trace.ConnID()
 		// The hook must be in place before serve() starts reading; the
@@ -244,6 +257,11 @@ type stream struct {
 	// zeroDataSent throttles the TinyWindowZeroData behavior to one empty
 	// frame per window state.
 	zeroDataSent bool
+	// stalled marks a counted stream-window stall; re-armed when the window
+	// grows, so each blocked period counts once.
+	stalled bool
+	// openedAt feeds the stream-duration histogram; zero without Metrics.
+	openedAt time.Time
 	// headerFragment accumulates CONTINUATION payloads for this stream.
 	headerFragment []byte
 	headerDone     bool
@@ -278,6 +296,9 @@ type conn struct {
 	pushOpen   int
 	clientOpen int
 	goingAway  bool
+	// connStalled marks a counted connection-window stall; re-armed by the
+	// WINDOW_UPDATE that unblocks it.
+	connStalled bool
 	// eagerPending and firstSent support the partially-compliant
 	// scheduling modes.
 	eagerPending map[uint32]bool
@@ -429,6 +450,9 @@ func (c *conn) handleSettings(f *frame.SettingsFrame) error {
 					return frame.ConnError{Code: frame.ErrCodeFlowControl, Reason: err.Error()}
 				}
 				st.zeroDataSent = false
+				if delta > 0 {
+					st.stalled = false
+				}
 			}
 		case frame.SettingMaxFrameSize:
 			c.maxSendFrame = s.Val
@@ -542,6 +566,11 @@ func (c *conn) openStream(id uint32, pushed bool) *stream {
 	}
 	// New streams start at the client's advertised initial window size.
 	_ = st.window.Adjust(c.clientInitWin)
+	if m := c.srv.Metrics; m != nil {
+		m.streamsOpened.Inc()
+		m.activeStreams.Add(1)
+		st.openedAt = time.Now()
+	}
 	c.streams[id] = st
 	if !c.tree.Contains(id) {
 		_ = c.tree.Add(id, priority.Param{Weight: priority.DefaultWeight})
@@ -560,6 +589,10 @@ func (c *conn) closeStream(id uint32) {
 		return
 	}
 	delete(c.streams, id)
+	if m := c.srv.Metrics; m != nil {
+		m.activeStreams.Add(-1)
+		m.streamDuration.Observe(int64(time.Since(st.openedAt)))
+	}
 	c.tree.Remove(id)
 	c.sched.Forget(id)
 	delete(c.eagerPending, id)
@@ -725,6 +758,7 @@ func (c *conn) handleWindowUpdate(f *frame.WindowUpdateFrame) error {
 			return err
 		}
 		c.resetZeroDataFlags()
+		c.connStalled = false
 		return nil
 	}
 	st, ok := c.streams[id]
@@ -745,6 +779,7 @@ func (c *conn) handleWindowUpdate(f *frame.WindowUpdateFrame) error {
 		return err
 	}
 	st.zeroDataSent = false
+	st.stalled = false
 	return nil
 }
 
@@ -868,10 +903,12 @@ func (c *conn) flushData() error {
 	p := c.srv.profile
 	for guard := 0; guard < 1<<20; guard++ {
 		if c.sendWindow.Available() <= 0 {
+			c.noteConnStall()
 			return c.maybeZeroData()
 		}
 		st := c.pickStream(p.Scheduling)
 		if st == nil {
+			c.noteStreamStalls()
 			return c.maybeZeroData()
 		}
 		if err := c.sendQuantum(st); err != nil {

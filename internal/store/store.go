@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"h2scope/internal/core"
+	"h2scope/internal/metrics"
 	"h2scope/internal/scan"
 )
 
@@ -44,6 +45,10 @@ type Record struct {
 	// Stats marks a scan-summary trailer record: one per scan run, holding
 	// the engine's final counter snapshot instead of a per-site report.
 	Stats *scan.Stats `json:"stats,omitempty"`
+	// Metrics, set only on stats trailers, embeds the run's final metrics
+	// registry snapshot (the same shape the live /metrics.json endpoint
+	// serves), so offline analysis sees the process-level instruments too.
+	Metrics []metrics.MetricSnapshot `json:"metrics,omitempty"`
 }
 
 // IsStatsTrailer reports whether the record is a scan-summary trailer

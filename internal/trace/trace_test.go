@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"h2scope/internal/frame"
+	"h2scope/internal/metrics"
 )
 
 func TestEmitSnapshotOrdering(t *testing.T) {
@@ -438,5 +439,63 @@ func BenchmarkSnapshot(b *testing.B) {
 		if len(tr.Snapshot()) == 0 {
 			b.Fatal("empty snapshot")
 		}
+	}
+}
+
+func TestExportMetricsGauges(t *testing.T) {
+	tr := New(8)
+	r := metrics.NewRegistry()
+	tr.ExportMetrics(r)
+
+	value := func(name string) int64 {
+		t.Helper()
+		for _, m := range r.Snapshot() {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		t.Fatalf("gauge %q not registered", name)
+		return 0
+	}
+
+	if got := value("h2_trace_ring_capacity"); got != 8 {
+		t.Fatalf("h2_trace_ring_capacity = %d, want 8", got)
+	}
+	if got := value("h2_trace_events_total"); got != 0 {
+		t.Fatalf("h2_trace_events_total = %d before emits, want 0", got)
+	}
+
+	conn := tr.ConnID()
+	const emits = 20
+	for i := 0; i < emits; i++ {
+		tr.Frame(conn, true, frame.Header{Type: frame.TypePing, Length: 8})
+	}
+	// GaugeFuncs read live state: the emit/drop counts show up without
+	// re-exporting.
+	if got := value("h2_trace_events_total"); got != emits {
+		t.Fatalf("h2_trace_events_total = %d, want %d", got, emits)
+	}
+	if got := value("h2_trace_dropped_total"); got != emits-8 {
+		t.Fatalf("h2_trace_dropped_total = %d, want %d", got, emits-8)
+	}
+	if got, want := value("h2_trace_dropped_total"), int64(tr.Dropped()); got != want {
+		t.Fatalf("gauge %d disagrees with Dropped() %d", got, want)
+	}
+
+	// Swapping tracers re-points the gauges at the new one.
+	tr2 := New(16)
+	tr2.ExportMetrics(r)
+	if got := value("h2_trace_events_total"); got != 0 {
+		t.Fatalf("after re-export, h2_trace_events_total = %d, want 0", got)
+	}
+	if got := value("h2_trace_ring_capacity"); got != 16 {
+		t.Fatalf("after re-export, h2_trace_ring_capacity = %d, want 16", got)
+	}
+
+	// A nil tracer exports zero-valued gauges rather than panicking.
+	var nilTr *Tracer
+	nilTr.ExportMetrics(r)
+	if got := value("h2_trace_events_total"); got != 0 {
+		t.Fatalf("nil tracer gauge = %d, want 0", got)
 	}
 }
