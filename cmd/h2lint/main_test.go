@@ -15,10 +15,10 @@ func TestListPrintsCatalog(t *testing.T) {
 		t.Fatalf("run(-list) = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 5 {
-		t.Fatalf("catalog has %d analyzers, want 5:\n%s", len(lines), out.String())
+	if len(lines) != 6 {
+		t.Fatalf("catalog has %d analyzers, want 6:\n%s", len(lines), out.String())
 	}
-	for _, want := range []string{"uncheckederr", "rfcconst", "connclose", "deadline", "tracephase"} {
+	for _, want := range []string{"uncheckederr", "rfcconst", "connclose", "deadline", "tracephase", "bufflush"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("catalog is missing %s", want)
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
 )
 
@@ -12,25 +13,70 @@ import (
 // the framer's configured maximum read size.
 var ErrFrameTooLarge = errors.New("frame: frame payload exceeds maximum read size")
 
+// maxRetainedReadBuf caps the payload buffer a Framer keeps between
+// ReadFrame calls. Frames up to this size are read into a recycled buffer
+// (zero allocations in steady state); larger frames — legal up to 16 MiB —
+// get a one-shot buffer that is garbage once the caller drops the frame, so
+// a single census target sending jumbo frames cannot pin megabytes on every
+// live connection.
+const maxRetainedReadBuf = 64 << 10
+
+// DefaultWriteBufferSize is the coalescing threshold installed by
+// SetWriteBuffering(0): once at least this many pending octets accumulate,
+// endWrite flushes even without an explicit Flush call.
+const DefaultWriteBufferSize = 16 << 10
+
 // Framer reads and writes HTTP/2 frames on an underlying byte stream.
 //
 // A Framer is safe for one concurrent reader plus one concurrent writer:
 // reads and writes use separate buffers and the write path is serialized
 // internally with a mutex. That matches how both the client connection and
 // the server use it (a read loop plus multiple writers).
+//
+// # Read buffer ownership
+//
+// ReadFrame recycles both the payload buffer and the typed frame structs it
+// returns: the Frame and every payload slice reachable from it (DataFrame.Data,
+// HeadersFrame.Fragment, SettingsFrame.Settings, GoAwayFrame.DebugData, …)
+// are valid only until the next ReadFrame call on the same Framer. Callers
+// that retain a frame past that point — queues, logs, test channels — must
+// detach it first with CopyPayload.
+//
+// # Write coalescing
+//
+// By default every frame write issues one Write on the underlying writer,
+// exactly as a naive framer would. SetWriteBuffering switches the framer to
+// coalesced mode: frame writes accumulate in an internal buffer and reach
+// the wire only on Flush (or when the pending bytes exceed the configured
+// threshold). In coalesced mode the caller owns the flush schedule and MUST
+// call Flush before blocking on a read, or the peer never sees the frames
+// it is expected to answer.
 type Framer struct {
 	r io.Reader
 
 	// readHdr and readBuf are owned by the reading goroutine.
 	readHdr [HeaderLen]byte
 	readBuf []byte
+	// scratch holds the recycled typed frames ReadFrame hands out; owned by
+	// the reading goroutine, overwritten on every ReadFrame.
+	scratch frameScratch
 	// maxReadSize limits accepted payload sizes; guarded by wmu because the
 	// read loop and the settings writer may race on it.
 	maxReadSize uint32
 
-	wmu  sync.Mutex
-	w    io.Writer
+	wmu sync.Mutex
+	w   io.Writer
+	// wbuf accumulates encoded frames. In unbuffered mode it holds at most
+	// the frame under construction; in coalesced mode it is the pending
+	// batch, flushed by Flush or by crossing flushThreshold.
 	wbuf []byte
+	// frameStart is the offset in wbuf of the frame under construction (its
+	// length field is patched there by endWrite).
+	frameStart int
+	// buffered enables write coalescing; flushThreshold bounds the pending
+	// batch size.
+	buffered       bool
+	flushThreshold int
 
 	// Strict, when set, makes ReadFrame reject frames that violate RFC 7540
 	// framing rules (wrong stream IDs, bad lengths) with ConnError instead
@@ -48,6 +94,24 @@ type Framer struct {
 	metrics *Metrics
 }
 
+// frameScratch holds one instance of every typed frame plus the slices they
+// reuse, so steady-state ReadFrame performs zero heap allocations.
+type frameScratch struct {
+	data         DataFrame
+	headers      HeadersFrame
+	priority     PriorityFrame
+	rst          RSTStreamFrame
+	settings     SettingsFrame
+	push         PushPromiseFrame
+	ping         PingFrame
+	goAway       GoAwayFrame
+	windowUpdate WindowUpdateFrame
+	continuation ContinuationFrame
+	unknown      UnknownFrame
+	// settingsBuf backs SettingsFrame.Settings across reads.
+	settingsBuf []Setting
+}
+
 // NewFramer returns a Framer reading from r and writing to w.
 func NewFramer(w io.Writer, r io.Reader) *Framer {
 	return &Framer{
@@ -62,11 +126,68 @@ func NewFramer(w io.Writer, r io.Reader) *Framer {
 // (sent == false) or writes (sent == true). Received frames are reported
 // after the full payload arrives but before validation, so deliberately
 // malformed frames still show up in traces; written frames are reported
-// after a successful write. fn must be safe for concurrent calls from the
-// reader and writer goroutines, and SetTrace must be called before the
-// framer is in use (there is no lock on the hook itself).
+// once the frame is committed to the write path (in coalesced mode that is
+// when it enters the pending buffer, not when it reaches the wire). fn must
+// be safe for concurrent calls from the reader and writer goroutines, and
+// SetTrace must be called before the framer is in use (there is no lock on
+// the hook itself).
 func (fr *Framer) SetTrace(fn func(sent bool, hdr Header)) {
 	fr.trace = fn
+}
+
+// SetWriteBuffering switches the framer to coalesced writes: frames
+// accumulate in an internal buffer and reach the underlying writer in a
+// single Write per Flush. threshold bounds the pending batch — once at
+// least that many octets are pending, endWrite flushes on its own;
+// threshold <= 0 applies DefaultWriteBufferSize. Callers own the flush
+// schedule: always Flush before blocking on a read. Call it before the
+// framer is in use, alongside SetTrace/SetMetrics.
+func (fr *Framer) SetWriteBuffering(threshold int) {
+	if threshold <= 0 {
+		threshold = DefaultWriteBufferSize
+	}
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.buffered = true
+	fr.flushThreshold = threshold
+}
+
+// Flush writes all pending coalesced frames to the underlying writer in one
+// Write call. It is a no-op when nothing is pending (in particular for
+// unbuffered framers), so it is always safe to call.
+func (fr *Framer) Flush() error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	return fr.flushLocked()
+}
+
+func (fr *Framer) flushLocked() error {
+	if len(fr.wbuf) == 0 {
+		return nil
+	}
+	_, err := fr.w.Write(fr.wbuf)
+	fr.wbuf = fr.wbuf[:0]
+	fr.frameStart = 0
+	if err != nil {
+		return fmt.Errorf("frame: write: %w", err)
+	}
+	return nil
+}
+
+// WriteRawBytes appends b verbatim to the write path — in coalesced mode it
+// joins the pending batch, otherwise it is written immediately. h2conn uses
+// it to put the client connection preface in the same Write as the initial
+// SETTINGS frame. The bytes bypass frame accounting (no trace, no metrics):
+// they are not a frame.
+func (fr *Framer) WriteRawBytes(b []byte) error {
+	fr.wmu.Lock()
+	defer fr.wmu.Unlock()
+	fr.wbuf = append(fr.wbuf, b...)
+	fr.frameStart = len(fr.wbuf)
+	if !fr.buffered || len(fr.wbuf) >= fr.flushThreshold {
+		return fr.flushLocked()
+	}
+	return nil
 }
 
 // SetMaxReadFrameSize caps the payload size ReadFrame will accept.
@@ -88,8 +209,26 @@ func (fr *Framer) maxRead() uint32 {
 	return fr.maxReadSize
 }
 
-// ReadFrame reads one frame from the underlying reader. The returned frame's
-// payload slices are valid until the next ReadFrame call.
+// readPayloadBuf returns a length-n buffer for the next payload. Frames up
+// to maxRetainedReadBuf share the recycled buffer (grown in powers of two
+// so steady state settles after a handful of allocations); anything larger
+// is a one-shot allocation the framer does not keep.
+func (fr *Framer) readPayloadBuf(n int) []byte {
+	if n <= cap(fr.readBuf) {
+		return fr.readBuf[:n]
+	}
+	if n > maxRetainedReadBuf {
+		return make([]byte, n)
+	}
+	fr.readBuf = make([]byte, 1<<bits.Len(uint(n-1)))
+	return fr.readBuf[:n]
+}
+
+// ReadFrame reads one frame from the underlying reader.
+//
+// The returned Frame and all payload slices reachable from it live in
+// buffers the framer recycles: they are valid only until the next ReadFrame
+// call. Use CopyPayload to retain a frame longer.
 func (fr *Framer) ReadFrame() (Frame, error) {
 	if _, err := io.ReadFull(fr.r, fr.readHdr[:]); err != nil {
 		// A clean EOF between frames is the normal end of a connection, not a
@@ -106,10 +245,7 @@ func (fr *Framer) ReadFrame() (Frame, error) {
 		}
 		return nil, ErrFrameTooLarge
 	}
-	if int(hdr.Length) > cap(fr.readBuf) {
-		fr.readBuf = make([]byte, hdr.Length)
-	}
-	payload := fr.readBuf[:hdr.Length]
+	payload := fr.readPayloadBuf(int(hdr.Length))
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
 		if fr.metrics != nil {
 			fr.metrics.readErrors.Inc()
@@ -124,7 +260,8 @@ func (fr *Framer) ReadFrame() (Frame, error) {
 	}
 	f, err := fr.parsePayload(hdr, payload)
 	if err != nil && !fr.Strict {
-		return &UnknownFrame{hdr: hdr, Payload: payload}, nil
+		fr.scratch.unknown = UnknownFrame{hdr: hdr, Payload: payload}
+		return &fr.scratch.unknown, nil
 	}
 	if err != nil && fr.metrics != nil {
 		fr.metrics.readErrors.Inc()
@@ -135,35 +272,37 @@ func (fr *Framer) ReadFrame() (Frame, error) {
 func (fr *Framer) parsePayload(hdr Header, p []byte) (Frame, error) {
 	switch hdr.Type {
 	case TypeData:
-		return parseDataFrame(hdr, p)
+		return fr.parseDataFrame(hdr, p)
 	case TypeHeaders:
-		return parseHeadersFrame(hdr, p)
+		return fr.parseHeadersFrame(hdr, p)
 	case TypePriority:
-		return parsePriorityFrame(hdr, p)
+		return fr.parsePriorityFrame(hdr, p)
 	case TypeRSTStream:
-		return parseRSTStreamFrame(hdr, p)
+		return fr.parseRSTStreamFrame(hdr, p)
 	case TypeSettings:
-		return parseSettingsFrame(hdr, p)
+		return fr.parseSettingsFrame(hdr, p)
 	case TypePushPromise:
-		return parsePushPromiseFrame(hdr, p)
+		return fr.parsePushPromiseFrame(hdr, p)
 	case TypePing:
-		return parsePingFrame(hdr, p)
+		return fr.parsePingFrame(hdr, p)
 	case TypeGoAway:
-		return parseGoAwayFrame(hdr, p)
+		return fr.parseGoAwayFrame(hdr, p)
 	case TypeWindowUpdate:
-		return parseWindowUpdateFrame(hdr, p)
+		return fr.parseWindowUpdateFrame(hdr, p)
 	case TypeContinuation:
-		return parseContinuationFrame(hdr, p)
+		return fr.parseContinuationFrame(hdr, p)
 	default:
-		return &UnknownFrame{hdr: hdr, Payload: p}, nil
+		fr.scratch.unknown = UnknownFrame{hdr: hdr, Payload: p}
+		return &fr.scratch.unknown, nil
 	}
 }
 
-func parseDataFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parseDataFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, ConnError{ErrCodeProtocol, "DATA frame with stream ID 0"}
 	}
-	f := &DataFrame{hdr: hdr}
+	f := &fr.scratch.data
+	*f = DataFrame{hdr: hdr}
 	if hdr.Flags.Has(FlagPadded) {
 		if len(p) == 0 {
 			return nil, ConnError{ErrCodeFrameSize, "padded DATA frame with empty payload"}
@@ -179,11 +318,12 @@ func parseDataFrame(hdr Header, p []byte) (Frame, error) {
 	return f, nil
 }
 
-func parseHeadersFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parseHeadersFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, ConnError{ErrCodeProtocol, "HEADERS frame with stream ID 0"}
 	}
-	f := &HeadersFrame{hdr: hdr}
+	f := &fr.scratch.headers
+	*f = HeadersFrame{hdr: hdr}
 	if hdr.Flags.Has(FlagPadded) {
 		if len(p) == 0 {
 			return nil, ConnError{ErrCodeFrameSize, "padded HEADERS frame with empty payload"}
@@ -210,7 +350,7 @@ func parseHeadersFrame(hdr Header, p []byte) (Frame, error) {
 	return f, nil
 }
 
-func parsePriorityFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parsePriorityFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, ConnError{ErrCodeProtocol, "PRIORITY frame with stream ID 0"}
 	}
@@ -218,27 +358,31 @@ func parsePriorityFrame(hdr Header, p []byte) (Frame, error) {
 		return nil, StreamError{hdr.StreamID, ErrCodeFrameSize, "PRIORITY payload must be 5 bytes"}
 	}
 	dep := binary.BigEndian.Uint32(p[0:4])
-	return &PriorityFrame{
+	f := &fr.scratch.priority
+	*f = PriorityFrame{
 		hdr: hdr,
 		Priority: PriorityParam{
 			StreamDep: dep & MaxStreamID,
 			Exclusive: dep&(1<<31) != 0,
 			Weight:    p[4],
 		},
-	}, nil
+	}
+	return f, nil
 }
 
-func parseRSTStreamFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parseRSTStreamFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, ConnError{ErrCodeProtocol, "RST_STREAM frame with stream ID 0"}
 	}
 	if len(p) != 4 {
 		return nil, ConnError{ErrCodeFrameSize, "RST_STREAM payload must be 4 bytes"}
 	}
-	return &RSTStreamFrame{hdr: hdr, Code: ErrCode(binary.BigEndian.Uint32(p))}, nil
+	f := &fr.scratch.rst
+	*f = RSTStreamFrame{hdr: hdr, Code: ErrCode(binary.BigEndian.Uint32(p))}
+	return f, nil
 }
 
-func parseSettingsFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parseSettingsFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID != 0 {
 		return nil, ConnError{ErrCodeProtocol, "SETTINGS frame with nonzero stream ID"}
 	}
@@ -248,21 +392,25 @@ func parseSettingsFrame(hdr Header, p []byte) (Frame, error) {
 	if len(p)%6 != 0 {
 		return nil, ConnError{ErrCodeFrameSize, "SETTINGS payload not a multiple of 6"}
 	}
-	f := &SettingsFrame{hdr: hdr, Settings: make([]Setting, 0, len(p)/6)}
+	settings := fr.scratch.settingsBuf[:0]
 	for i := 0; i+6 <= len(p); i += 6 {
-		f.Settings = append(f.Settings, Setting{
+		settings = append(settings, Setting{
 			ID:  SettingID(binary.BigEndian.Uint16(p[i : i+2])),
 			Val: binary.BigEndian.Uint32(p[i+2 : i+6]),
 		})
 	}
+	fr.scratch.settingsBuf = settings
+	f := &fr.scratch.settings
+	*f = SettingsFrame{hdr: hdr, Settings: settings}
 	return f, nil
 }
 
-func parsePushPromiseFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parsePushPromiseFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, ConnError{ErrCodeProtocol, "PUSH_PROMISE frame with stream ID 0"}
 	}
-	f := &PushPromiseFrame{hdr: hdr}
+	f := &fr.scratch.push
+	*f = PushPromiseFrame{hdr: hdr}
 	if hdr.Flags.Has(FlagPadded) {
 		if len(p) == 0 {
 			return nil, ConnError{ErrCodeFrameSize, "padded PUSH_PROMISE with empty payload"}
@@ -282,53 +430,113 @@ func parsePushPromiseFrame(hdr Header, p []byte) (Frame, error) {
 	return f, nil
 }
 
-func parsePingFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parsePingFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID != 0 {
 		return nil, ConnError{ErrCodeProtocol, "PING frame with nonzero stream ID"}
 	}
 	if len(p) != 8 {
 		return nil, ConnError{ErrCodeFrameSize, "PING payload must be 8 bytes"}
 	}
-	f := &PingFrame{hdr: hdr}
+	f := &fr.scratch.ping
+	*f = PingFrame{hdr: hdr}
 	copy(f.Data[:], p)
 	return f, nil
 }
 
-func parseGoAwayFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parseGoAwayFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID != 0 {
 		return nil, ConnError{ErrCodeProtocol, "GOAWAY frame with nonzero stream ID"}
 	}
 	if len(p) < 8 {
 		return nil, ConnError{ErrCodeFrameSize, "GOAWAY payload shorter than 8 bytes"}
 	}
-	return &GoAwayFrame{
+	f := &fr.scratch.goAway
+	*f = GoAwayFrame{
 		hdr:          hdr,
 		LastStreamID: binary.BigEndian.Uint32(p[0:4]) & MaxStreamID,
 		Code:         ErrCode(binary.BigEndian.Uint32(p[4:8])),
 		DebugData:    p[8:],
-	}, nil
+	}
+	return f, nil
 }
 
-func parseWindowUpdateFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parseWindowUpdateFrame(hdr Header, p []byte) (Frame, error) {
 	if len(p) != 4 {
 		return nil, ConnError{ErrCodeFrameSize, "WINDOW_UPDATE payload must be 4 bytes"}
 	}
-	return &WindowUpdateFrame{
+	f := &fr.scratch.windowUpdate
+	*f = WindowUpdateFrame{
 		hdr:       hdr,
 		Increment: binary.BigEndian.Uint32(p) & MaxStreamID,
-	}, nil
+	}
+	return f, nil
 }
 
-func parseContinuationFrame(hdr Header, p []byte) (Frame, error) {
+func (fr *Framer) parseContinuationFrame(hdr Header, p []byte) (Frame, error) {
 	if hdr.StreamID == 0 {
 		return nil, ConnError{ErrCodeProtocol, "CONTINUATION frame with stream ID 0"}
 	}
-	return &ContinuationFrame{hdr: hdr, Fragment: p}, nil
+	f := &fr.scratch.continuation
+	*f = ContinuationFrame{hdr: hdr, Fragment: p}
+	return f, nil
 }
 
-// startWrite begins a frame under wmu and returns the payload buffer slot.
+// CopyPayload returns a deep copy of f detached from the framer's recycled
+// read buffers: the returned Frame and every payload slice it carries stay
+// valid indefinitely. Use it at the few call sites that retain a frame past
+// the next ReadFrame (queues, channels, transcripts); everything else can
+// read the recycled frame for free.
+func CopyPayload(f Frame) Frame {
+	switch f := f.(type) {
+	case *DataFrame:
+		c := *f
+		c.Data = append([]byte(nil), f.Data...)
+		return &c
+	case *HeadersFrame:
+		c := *f
+		c.Fragment = append([]byte(nil), f.Fragment...)
+		return &c
+	case *PriorityFrame:
+		c := *f
+		return &c
+	case *RSTStreamFrame:
+		c := *f
+		return &c
+	case *SettingsFrame:
+		c := *f
+		c.Settings = append([]Setting(nil), f.Settings...)
+		return &c
+	case *PushPromiseFrame:
+		c := *f
+		c.Fragment = append([]byte(nil), f.Fragment...)
+		return &c
+	case *PingFrame:
+		c := *f
+		return &c
+	case *GoAwayFrame:
+		c := *f
+		c.DebugData = append([]byte(nil), f.DebugData...)
+		return &c
+	case *WindowUpdateFrame:
+		c := *f
+		return &c
+	case *ContinuationFrame:
+		c := *f
+		c.Fragment = append([]byte(nil), f.Fragment...)
+		return &c
+	case *UnknownFrame:
+		c := *f
+		c.Payload = append([]byte(nil), f.Payload...)
+		return &c
+	default:
+		return f
+	}
+}
+
+// startWrite begins a frame under wmu at the current end of wbuf.
 func (fr *Framer) startWrite(t Type, flags Flags, streamID uint32) {
-	fr.wbuf = append(fr.wbuf[:0],
+	fr.frameStart = len(fr.wbuf)
+	fr.wbuf = append(fr.wbuf,
 		0, 0, 0, // length, patched in endWrite
 		byte(t),
 		byte(flags),
@@ -336,22 +544,28 @@ func (fr *Framer) startWrite(t Type, flags Flags, streamID uint32) {
 }
 
 func (fr *Framer) endWrite() error {
-	length := len(fr.wbuf) - HeaderLen
+	length := len(fr.wbuf) - fr.frameStart - HeaderLen
 	if length >= 1<<24 {
+		// Drop the malformed frame from the buffer so coalesced peers never
+		// see it.
+		fr.wbuf = fr.wbuf[:fr.frameStart]
 		return fmt.Errorf("frame: payload of %d bytes exceeds 24-bit length field", length)
 	}
-	fr.wbuf[0] = byte(length >> 16)
-	fr.wbuf[1] = byte(length >> 8)
-	fr.wbuf[2] = byte(length)
-	_, err := fr.w.Write(fr.wbuf)
-	if err != nil {
-		return fmt.Errorf("frame: write: %w", err)
+	frameHdr := fr.wbuf[fr.frameStart:]
+	frameHdr[0] = byte(length >> 16)
+	frameHdr[1] = byte(length >> 8)
+	frameHdr[2] = byte(length)
+	hdr := parseHeader(frameHdr[:HeaderLen])
+	if !fr.buffered || len(fr.wbuf) >= fr.flushThreshold {
+		if err := fr.flushLocked(); err != nil {
+			return err
+		}
 	}
 	if fr.trace != nil {
-		fr.trace(true, parseHeader(fr.wbuf[:HeaderLen]))
+		fr.trace(true, hdr)
 	}
 	if fr.metrics != nil {
-		fr.metrics.observe(true, parseHeader(fr.wbuf[:HeaderLen]))
+		fr.metrics.observe(true, hdr)
 	}
 	return nil
 }

@@ -1,0 +1,148 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadFrameRecyclesBuffers pins the ownership contract: the payload a
+// ReadFrame returns lives in the framer's recycled buffer, so the next
+// ReadFrame overwrites it in place. The contract is what makes the zero-
+// alloc read path possible, and violating callers are exactly what
+// CopyPayload exists for.
+func TestReadFrameRecyclesBuffers(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFramer(&buf, nil)
+	if err := w.WriteData(1, false, []byte("first payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteData(3, true, []byte("SECOND")); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewFramer(nil, &buf)
+	f1, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := f1.(*DataFrame)
+	aliased := d1.Data // intentionally retained past the next ReadFrame
+	if string(aliased) != "first payload" {
+		t.Fatalf("first payload = %q", aliased)
+	}
+
+	f2, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := f2.(*DataFrame)
+	if d1 != d2 {
+		t.Fatalf("typed frame structs not recycled: got distinct *DataFrame per read")
+	}
+	if string(d2.Data) != "SECOND" {
+		t.Fatalf("second payload = %q", d2.Data)
+	}
+	// The retained alias must now observe the recycled buffer's new
+	// contents — if this ever starts failing because the framer began
+	// copying, the zero-alloc contract (and CopyPayload's reason to exist)
+	// changed and the docs must change with it.
+	if string(aliased[:6]) == "first " {
+		t.Fatalf("retained payload alias still reads old bytes %q; read buffer no longer recycled", aliased)
+	}
+}
+
+// TestCopyPayloadDetaches proves CopyPayload survives both buffer recycling
+// and explicit mutation of the recycled buffer.
+func TestCopyPayloadDetaches(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFramer(&buf, nil)
+	if err := w.WriteData(1, false, []byte("keep me intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSettings(Setting{ID: SettingMaxFrameSize, Val: 1 << 14}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteGoAway(7, ErrCodeNo, []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewFramer(nil, &buf)
+	f, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := CopyPayload(f).(*DataFrame)
+	recycled := f.(*DataFrame)
+
+	// Mutate the recycled buffer directly, then advance two frames so every
+	// recycled slice is overwritten too.
+	for i := range recycled.Data {
+		recycled.Data[i] = 'X'
+	}
+	sf, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptSettings := CopyPayload(sf).(*SettingsFrame)
+	ga, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptGoAway := CopyPayload(ga).(*GoAwayFrame)
+
+	if string(kept.Data) != "keep me intact" {
+		t.Errorf("CopyPayload DATA = %q, want %q", kept.Data, "keep me intact")
+	}
+	if kept.Header().StreamID != 1 {
+		t.Errorf("CopyPayload header stream = %d, want 1", kept.Header().StreamID)
+	}
+	if len(keptSettings.Settings) != 1 || keptSettings.Settings[0].ID != SettingMaxFrameSize {
+		t.Errorf("CopyPayload SETTINGS = %+v", keptSettings.Settings)
+	}
+	if string(keptGoAway.DebugData) != "bye" || keptGoAway.LastStreamID != 7 {
+		t.Errorf("CopyPayload GOAWAY = last %d debug %q", keptGoAway.LastStreamID, keptGoAway.DebugData)
+	}
+}
+
+// TestReadFrameResetsStaleFields proves a recycled frame struct carries no
+// state from the previous frame of the same type: a padded DATA frame
+// followed by an unpadded one must not leak PadLength, and a HEADERS frame
+// with priority followed by one without must not leak the priority fields.
+func TestReadFrameResetsStaleFields(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-encode a padded DATA frame (flags 0x8, pad length 3).
+	payload := append([]byte{3}, []byte("datadata")...)
+	payload = append(payload, 0, 0, 0)
+	hdr := Header{Type: TypeData, Flags: FlagPadded, StreamID: 1, Length: uint32(len(payload))}
+	writeRawHeader(&buf, hdr)
+	buf.Write(payload)
+	// Then an unpadded DATA frame.
+	hdr2 := Header{Type: TypeData, StreamID: 1, Length: 4}
+	writeRawHeader(&buf, hdr2)
+	buf.WriteString("tail")
+
+	r := NewFramer(nil, &buf)
+	f1, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f1.(*DataFrame); d.PadLength != 3 || string(d.Data) != "datadata" {
+		t.Fatalf("padded frame: PadLength %d, data %q", d.PadLength, d.Data)
+	}
+	f2, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f2.(*DataFrame); d.PadLength != 0 || string(d.Data) != "tail" {
+		t.Fatalf("stale state leaked into recycled frame: PadLength %d, data %q", d.PadLength, d.Data)
+	}
+}
+
+// writeRawHeader encodes a 9-octet frame header directly.
+func writeRawHeader(buf *bytes.Buffer, h Header) {
+	buf.Write([]byte{
+		byte(h.Length >> 16), byte(h.Length >> 8), byte(h.Length),
+		byte(h.Type), byte(h.Flags),
+		byte(h.StreamID >> 24), byte(h.StreamID >> 16), byte(h.StreamID >> 8), byte(h.StreamID),
+	})
+}

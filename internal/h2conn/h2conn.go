@@ -13,7 +13,6 @@ package h2conn
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -149,9 +148,12 @@ type Conn struct {
 	opts Options
 
 	// enc encodes request headers; guarded by encMu since probes may open
-	// streams from multiple goroutines.
-	encMu sync.Mutex
-	enc   *hpack.Encoder
+	// streams from multiple goroutines. encBuf is the encode scratch buffer,
+	// reused under the same lock (the framer copies the fragment into its
+	// own write buffer before returning).
+	encMu  sync.Mutex
+	enc    *hpack.Encoder
+	encBuf []byte
 
 	mu           sync.Mutex
 	cond         *sync.Cond
@@ -220,11 +222,16 @@ func Dial(nc net.Conn, opts Options) (*Conn, error) {
 		})
 		c.tracer.ConnOpen(c.traceConn, nc.RemoteAddr().String())
 	}
+	// Coalesced writes: every sender below flushes explicitly after its
+	// burst, so multi-frame sequences (preface+SETTINGS here, batched
+	// HEADERS in OpenStreams, WINDOW_UPDATE pairs in dispatch) reach the
+	// wire in single writes.
+	c.fr.SetWriteBuffering(0)
 	// The read loop must be running before any writes: over synchronous
 	// in-process pipes, concurrent client and server writes deadlock unless
 	// both sides are also draining.
 	go c.readLoop()
-	if _, err := io.WriteString(nc, frame.ClientPreface); err != nil {
+	if err := c.fr.WriteRawBytes(prefaceBytes); err != nil {
 		_ = c.Close()
 		return nil, fmt.Errorf("h2conn: writing preface: %w", err)
 	}
@@ -232,8 +239,15 @@ func Dial(nc net.Conn, opts Options) (*Conn, error) {
 		_ = c.Close()
 		return nil, fmt.Errorf("h2conn: writing settings: %w", err)
 	}
+	if err := c.fr.Flush(); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("h2conn: writing connection preamble: %w", err)
+	}
 	return c, nil
 }
+
+// prefaceBytes avoids a per-Dial string-to-bytes conversion of the preface.
+var prefaceBytes = []byte(frame.ClientPreface)
 
 // Close tears down the connection. It is safe to call multiple times.
 func (c *Conn) Close() error {
@@ -323,6 +337,7 @@ func (c *Conn) dispatch(f frame.Frame) {
 		ev.Settings = append([]frame.Setting(nil), f.Settings...)
 		if !f.IsAck() && c.opts.AutoSettingsAck {
 			_ = c.fr.WriteSettingsAck()
+			_ = c.fr.Flush()
 		}
 	case *frame.RSTStreamFrame:
 		ev.ErrCode = f.Code
@@ -342,6 +357,7 @@ func (c *Conn) dispatch(f frame.Frame) {
 		ev.PingData = f.Data
 		if !f.IsAck() && c.opts.AutoPingAck {
 			_ = c.fr.WritePing(true, f.Data)
+			_ = c.fr.Flush()
 		}
 	case *frame.PushPromiseFrame:
 		if !f.HeadersEnded() {
@@ -373,16 +389,28 @@ func (c *Conn) dispatch(f frame.Frame) {
 
 	if ev.Type == frame.TypeData && len(ev.Data) > 0 {
 		// Replenish exactly what the frame consumed, so the peer's send
-		// windows hold steady at their initial sizes indefinitely.
+		// windows hold steady at their initial sizes indefinitely. The
+		// stream and connection updates coalesce into one write at the
+		// trailing Flush.
+		wrote := false
 		if c.opts.AutoStreamWindow > 0 {
-			if c.fr.WriteWindowUpdate(ev.StreamID, uint32(len(ev.Data))) == nil && c.opts.Metrics != nil {
-				c.opts.Metrics.autoWindowStream.Inc()
+			if c.fr.WriteWindowUpdate(ev.StreamID, uint32(len(ev.Data))) == nil {
+				wrote = true
+				if c.opts.Metrics != nil {
+					c.opts.Metrics.autoWindowStream.Inc()
+				}
 			}
 		}
 		if c.opts.AutoConnWindow > 0 {
-			if c.fr.WriteWindowUpdate(0, uint32(len(ev.Data))) == nil && c.opts.Metrics != nil {
-				c.opts.Metrics.autoWindowConn.Inc()
+			if c.fr.WriteWindowUpdate(0, uint32(len(ev.Data))) == nil {
+				wrote = true
+				if c.opts.Metrics != nil {
+					c.opts.Metrics.autoWindowConn.Inc()
+				}
 			}
+		}
+		if wrote {
+			_ = c.fr.Flush()
 		}
 	}
 }
@@ -535,15 +563,28 @@ func (c *Conn) OpenStream(req Request) (uint32, error) {
 // need explicit IDs to build dependency trees).
 func (c *Conn) OpenStreamID(id uint32, req Request) error {
 	c.encMu.Lock()
-	block := c.enc.EncodeBlock(req.fields())
+	err := c.writeRequestLocked(id, req)
+	c.encMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := c.fr.Flush(); err != nil {
+		return fmt.Errorf("h2conn: open stream %d: %w", id, err)
+	}
+	return nil
+}
+
+// writeRequestLocked encodes and writes one request HEADERS frame; the
+// caller holds encMu and flushes afterwards.
+func (c *Conn) writeRequestLocked(id uint32, req Request) error {
+	c.encBuf = c.enc.AppendBlock(c.encBuf[:0], req.fields())
 	err := c.fr.WriteHeaders(frame.HeadersParams{
 		StreamID:   id,
-		Fragment:   block,
+		Fragment:   c.encBuf,
 		EndStream:  true,
 		EndHeaders: true,
 		Priority:   req.Priority,
 	})
-	c.encMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("h2conn: open stream %d: %w", id, err)
 	}
@@ -553,24 +594,57 @@ func (c *Conn) OpenStreamID(id uint32, req Request) error {
 	return nil
 }
 
+// OpenStreams opens one stream per request, writing all HEADERS frames
+// back-to-back and flushing them to the wire in a single write — the
+// request-storm pattern h2load uses to mimic nghttp2's batched submission.
+// It returns the stream ID assigned to each request; on a write error the
+// IDs opened so far are returned with the error.
+func (c *Conn) OpenStreams(reqs []Request) ([]uint32, error) {
+	ids := make([]uint32, 0, len(reqs))
+	c.encMu.Lock()
+	for _, req := range reqs {
+		id := c.NextStreamID()
+		if err := c.writeRequestLocked(id, req); err != nil {
+			c.encMu.Unlock()
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	c.encMu.Unlock()
+	if err := c.fr.Flush(); err != nil {
+		return ids, fmt.Errorf("h2conn: open streams: %w", err)
+	}
+	return ids, nil
+}
+
+// flushAfter completes a single-frame send on the coalescing framer: the
+// frame is already in the pending buffer, so push it to the wire unless the
+// write itself failed.
+func (c *Conn) flushAfter(err error) error {
+	if err != nil {
+		return err
+	}
+	return c.fr.Flush()
+}
+
 // WriteSettings sends a SETTINGS frame mid-connection.
 func (c *Conn) WriteSettings(settings ...frame.Setting) error {
-	return c.fr.WriteSettings(settings...)
+	return c.flushAfter(c.fr.WriteSettings(settings...))
 }
 
 // WriteWindowUpdate sends a WINDOW_UPDATE; increment 0 is sent verbatim.
 func (c *Conn) WriteWindowUpdate(streamID, increment uint32) error {
-	return c.fr.WriteWindowUpdate(streamID, increment)
+	return c.flushAfter(c.fr.WriteWindowUpdate(streamID, increment))
 }
 
 // WritePriority sends a PRIORITY frame; self-dependencies are sent verbatim.
 func (c *Conn) WritePriority(streamID uint32, p frame.PriorityParam) error {
-	return c.fr.WritePriority(streamID, p)
+	return c.flushAfter(c.fr.WritePriority(streamID, p))
 }
 
 // WriteRSTStream resets a stream.
 func (c *Conn) WriteRSTStream(streamID uint32, code frame.ErrCode) error {
-	err := c.fr.WriteRSTStream(streamID, code)
+	err := c.flushAfter(c.fr.WriteRSTStream(streamID, code))
 	if err == nil && c.opts.Metrics != nil {
 		c.opts.Metrics.resetsSent.Inc()
 	}
@@ -580,36 +654,36 @@ func (c *Conn) WriteRSTStream(streamID uint32, code frame.ErrCode) error {
 // WriteRawFrame sends an arbitrary frame verbatim — the escape hatch for
 // conformance checks that need deliberately malformed frames.
 func (c *Conn) WriteRawFrame(t frame.Type, flags frame.Flags, streamID uint32, payload []byte) error {
-	return c.fr.WriteRawFrame(t, flags, streamID, payload)
+	return c.flushAfter(c.fr.WriteRawFrame(t, flags, streamID, payload))
 }
 
 // WriteHeadersRaw sends a HEADERS frame with a caller-supplied (possibly
 // invalid) header block fragment, bypassing the HPACK encoder.
 func (c *Conn) WriteHeadersRaw(streamID uint32, fragment []byte, endStream, endHeaders bool) error {
-	return c.fr.WriteHeaders(frame.HeadersParams{
+	return c.flushAfter(c.fr.WriteHeaders(frame.HeadersParams{
 		StreamID:   streamID,
 		Fragment:   fragment,
 		EndStream:  endStream,
 		EndHeaders: endHeaders,
-	})
+	}))
 }
 
 // WritePing sends a PING without waiting for the acknowledgment.
 func (c *Conn) WritePing(data [8]byte) error {
-	return c.fr.WritePing(false, data)
+	return c.flushAfter(c.fr.WritePing(false, data))
 }
 
 // WriteUnknownFrame sends a frame of an arbitrary (possibly unknown) type
 // on stream 0; RFC 7540 section 4.1 requires peers to ignore types they do
 // not understand.
 func (c *Conn) WriteUnknownFrame(t frame.Type, flags frame.Flags, payload []byte) error {
-	return c.fr.WriteRawFrame(t, flags, 0, payload)
+	return c.flushAfter(c.fr.WriteRawFrame(t, flags, 0, payload))
 }
 
 // Ping sends a PING and waits for the matching ACK, returning the RTT.
 func (c *Conn) Ping(data [8]byte, timeout time.Duration) (time.Duration, error) {
 	start := time.Now()
-	if err := c.fr.WritePing(false, data); err != nil {
+	if err := c.flushAfter(c.fr.WritePing(false, data)); err != nil {
 		return 0, fmt.Errorf("h2conn: ping: %w", err)
 	}
 	events, err := c.WaitFor(timeout, func(evs []Event) bool {

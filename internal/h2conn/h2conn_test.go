@@ -56,7 +56,8 @@ func dialFake(t *testing.T, opts h2conn.Options) (*h2conn.Conn, *fakeServer) {
 	return c, fs
 }
 
-// expectFrame reads frames until one of the wanted type arrives.
+// expectFrame reads frames until one of the wanted type arrives. The frame
+// is detached with CopyPayload so callers may keep it across further reads.
 func (fs *fakeServer) expectFrame(want frame.Type) frame.Frame {
 	fs.t.Helper()
 	for i := 0; i < 32; i++ {
@@ -65,7 +66,7 @@ func (fs *fakeServer) expectFrame(want frame.Type) frame.Frame {
 			fs.t.Fatalf("ReadFrame: %v", err)
 		}
 		if f.Header().Type == want {
-			return f
+			return frame.CopyPayload(f)
 		}
 	}
 	fs.t.Fatalf("no %v frame in 32 reads", want)

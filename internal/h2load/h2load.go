@@ -8,15 +8,63 @@
 package h2load
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
+	"h2scope/internal/frame"
 	"h2scope/internal/h2conn"
 	"h2scope/internal/metrics"
 )
+
+// streamsEnded counts how many of ids have reached END_STREAM or RST_STREAM
+// in the event log.
+func streamsEnded(evs []h2conn.Event, ids []uint32) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	// Batch stream IDs are consecutive odd numbers, so membership is an
+	// index computation, not a map: the predicate runs under the conn lock
+	// on every event arrival and must stay allocation-free.
+	base := ids[0]
+	ended := 0
+	var stack [64]bool
+	done := stack[:]
+	if len(ids) > len(done) {
+		done = make([]bool, len(ids))
+	}
+	for _, e := range evs {
+		if e.StreamID < base || (e.StreamID-base)%2 != 0 {
+			continue
+		}
+		idx := int(e.StreamID-base) / 2
+		if idx >= len(ids) || done[idx] {
+			continue
+		}
+		if e.StreamEnded() || e.Type == frame.TypeRSTStream {
+			done[idx] = true
+			ended++
+		}
+	}
+	return ended
+}
+
+// streamLatency returns the time from batch submission to the event that
+// ended the stream, falling back to zero when the stream never finished.
+func streamLatency(evs []h2conn.Event, id uint32, t0 time.Time) time.Duration {
+	for _, e := range evs {
+		if e.StreamID != id {
+			continue
+		}
+		if e.StreamEnded() || e.Type == frame.TypeRSTStream {
+			return e.At.Sub(t0)
+		}
+	}
+	return 0
+}
 
 // Options configures a load run.
 type Options struct {
@@ -143,7 +191,7 @@ func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 	}
 
 	// The quota is distributed over a shared ticket channel so fast
-	// workers take more.
+	// connections take more.
 	tickets := make(chan struct{}, opts.Requests)
 	for i := 0; i < opts.Requests; i++ {
 		tickets <- struct{}{}
@@ -157,6 +205,17 @@ func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 		dialMu sync.Mutex
 		errs   []error
 	)
+	recordErr := func(err error) {
+		mu.Lock()
+		res.Errors++
+		if err != nil && len(errs) < 4 {
+			errs = append(errs, err)
+		}
+		mu.Unlock()
+		if lm != nil {
+			lm.errors.Inc()
+		}
+	}
 	start := time.Now()
 	for c := 0; c < opts.Connections; c++ {
 		nc, err := dial()
@@ -165,8 +224,12 @@ func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 		}
 		connOpts := h2conn.DefaultOptions()
 		// Long-lived connections issue thousands of requests; bound the
-		// event log so memory and per-request cost stay flat.
+		// event log so memory and per-request cost stay flat. Keep enough
+		// headroom that one batch's events can never straddle a trim.
 		connOpts.EventLogLimit = 4096
+		if limit := 16 * opts.StreamsPerConn; limit > connOpts.EventLogLimit {
+			connOpts.EventLogLimit = limit
+		}
 		if lm != nil {
 			connOpts.Metrics = lm.conn
 		}
@@ -175,42 +238,70 @@ func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 			_ = nc.Close()
 			return nil, fmt.Errorf("h2load: handshake %d: %w", c, err)
 		}
-		for s := 0; s < opts.StreamsPerConn; s++ {
-			wg.Add(1)
-			go func(conn *h2conn.Conn) {
-				defer wg.Done()
-				req := h2conn.Request{Authority: opts.Authority, Path: opts.Path}
-				for range tickets {
-					t0 := time.Now()
-					resp, err := conn.FetchBody(req, opts.Timeout)
-					lat := time.Since(t0)
-					ok := err == nil && resp.Status() == "200"
+		// One driver per connection submits requests in batches of up to
+		// StreamsPerConn — nghttp2-style: the whole batch of HEADERS frames
+		// coalesces into a single write, then the driver waits for all its
+		// streams to complete before drawing the next batch of tickets.
+		wg.Add(1)
+		go func(conn *h2conn.Conn) {
+			defer wg.Done()
+			req := h2conn.Request{Authority: opts.Authority, Path: opts.Path}
+			reqs := make([]h2conn.Request, 0, opts.StreamsPerConn)
+			for {
+				reqs = reqs[:0]
+				for len(reqs) < opts.StreamsPerConn {
+					if _, ok := <-tickets; !ok {
+						break
+					}
+					reqs = append(reqs, req)
+				}
+				if len(reqs) == 0 {
+					return
+				}
+				t0 := time.Now()
+				ids, err := conn.OpenStreams(reqs)
+				for i := len(ids); i < len(reqs); i++ {
+					recordErr(err)
+				}
+				if len(ids) == 0 {
+					return
+				}
+				events, werr := conn.WaitFor(opts.Timeout, func(evs []h2conn.Event) bool {
+					return streamsEnded(evs, ids) == len(ids)
+				})
+				for _, id := range ids {
+					resp := h2conn.AssembleResponse(events, id)
+					finished := resp.EndStream || resp.Reset != nil
+					ok := finished && resp.Reset == nil && resp.Status() == "200"
+					lat := streamLatency(events, id, t0)
 					if lm != nil {
 						lm.latency.Observe(int64(lat))
-						if ok {
-							lm.requests.Inc()
-							lm.bytes.Add(int64(len(resp.Body)))
+					}
+					if !ok {
+						if finished {
+							recordErr(nil)
 						} else {
-							lm.errors.Inc()
+							recordErr(werr)
 						}
+						continue
+					}
+					if lm != nil {
+						lm.requests.Inc()
+						lm.bytes.Add(int64(len(resp.Body)))
 					}
 					mu.Lock()
-					if !ok {
-						res.Errors++
-						if err != nil && len(errs) < 4 {
-							errs = append(errs, err)
-						}
-					} else {
-						res.Requests++
-						res.BytesRead += int64(len(resp.Body))
-						res.latencies = append(res.latencies, lat)
-					}
+					res.Requests++
+					res.BytesRead += int64(len(resp.Body))
+					res.latencies = append(res.latencies, lat)
 					mu.Unlock()
 				}
-			}(conn)
-		}
-		// Close connections once all workers drain; the last worker out
-		// of each conn cannot know, so closing is deferred to run end.
+				if werr != nil && errors.Is(werr, h2conn.ErrConnClosed) {
+					return
+				}
+			}
+		}(conn)
+		// Close connections once all drivers drain; closing is deferred to
+		// run end so late GOAWAY exchanges stay observable.
 		defer func(conn *h2conn.Conn) {
 			dialMu.Lock()
 			defer dialMu.Unlock()

@@ -17,15 +17,59 @@ type Decoder struct {
 	// maxStringLen bounds individual decoded string literals; 0 means no
 	// bound beyond sanity.
 	maxStringLen int
+
+	// huf is the scratch buffer for Huffman-decoded string literals, reused
+	// across calls so steady-state decoding performs no per-string
+	// allocations.
+	huf []byte
+	// interns dedupes decoded strings: static-table names/values are seeded
+	// at construction and strings seen on this connection are added up to a
+	// budget, so repeated header fields (the paper's H-identical-requests
+	// compression probe) resolve to the same string without allocating.
+	// Lookup via interns[string(b)] does not allocate (the compiler elides
+	// the conversion for map access).
+	interns     map[string]string
+	internBytes int
 }
+
+// internMaxStringLen caps the length of a single interned string; longer
+// literals (cookies, long URLs) are unlikely to repeat verbatim and would
+// burn the budget.
+const internMaxStringLen = 256
+
+// internBudget caps the total bytes of connection-local interned strings, so
+// a hostile peer streaming unique headers cannot grow the map unboundedly.
+const internBudget = 64 << 10
 
 // NewDecoder returns a decoder whose dynamic table is capped at
 // maxDynamicTableSize (use DefaultDynamicTableSize for the RFC default).
 func NewDecoder(maxDynamicTableSize uint32) *Decoder {
+	interns := make(map[string]string, 2*len(staticTable))
+	for _, hf := range staticTable {
+		interns[hf.Name] = hf.Name
+		if hf.Value != "" {
+			interns[hf.Value] = hf.Value
+		}
+	}
 	return &Decoder{
 		dt:             newDynamicTable(maxDynamicTableSize),
 		allowedMaxSize: maxDynamicTableSize,
+		interns:        interns,
 	}
+}
+
+// intern returns b as a string, reusing a previously allocated copy when the
+// same bytes were seen before on this decoder.
+func (d *Decoder) intern(b []byte) string {
+	if s, ok := d.interns[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(s) <= internMaxStringLen && d.internBytes+len(s) <= internBudget {
+		d.interns[s] = s
+		d.internBytes += len(s)
+	}
+	return s
 }
 
 // SetMaxStringLength bounds the length of any single decoded string.
@@ -44,10 +88,18 @@ func (d *Decoder) SetAllowedMaxDynamicTableSize(n uint32) {
 // dynamic table.
 func (d *Decoder) DynamicTableLen() int { return d.dt.length() }
 
-// DecodeFull decodes one complete header block.
+// DecodeFull decodes one complete header block into a fresh slice.
 func (d *Decoder) DecodeFull(block []byte) ([]HeaderField, error) {
+	return d.DecodeAppend(nil, block)
+}
+
+// DecodeAppend decodes one complete header block, appending the decoded
+// fields to fields and returning the extended slice. Passing a slice with
+// retained capacity (fields[:0]) makes steady-state decoding of repeated
+// blocks allocation-free: field strings come from the static table, the
+// dynamic table, or the decoder's intern cache.
+func (d *Decoder) DecodeAppend(fields []HeaderField, block []byte) ([]HeaderField, error) {
 	var (
-		fields     []HeaderField
 		seenField  bool
 		err        error
 		hf         HeaderField
@@ -146,16 +198,16 @@ func (d *Decoder) readString(buf []byte) (string, []byte, error) {
 	raw := rest[:n]
 	rest = rest[n:]
 	if !huffman {
-		return string(raw), rest, nil
+		return d.intern(raw), rest, nil
 	}
-	decoded, err := decodeHuffman(nil, raw)
+	d.huf, err = decodeHuffman(d.huf[:0], raw)
 	if err != nil {
 		return "", nil, DecodingError{err}
 	}
-	if d.maxStringLen > 0 && len(decoded) > d.maxStringLen {
+	if d.maxStringLen > 0 && len(d.huf) > d.maxStringLen {
 		return "", nil, DecodingError{ErrStringLength}
 	}
-	return string(decoded), rest, nil
+	return d.intern(d.huf), rest, nil
 }
 
 func (d *Decoder) readSizeUpdate(buf []byte) ([]byte, error) {

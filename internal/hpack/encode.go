@@ -111,7 +111,14 @@ func (e *Encoder) DynamicTableLen() int { return e.dt.length() }
 
 // EncodeBlock encodes fields as one header block and returns a fresh slice.
 func (e *Encoder) EncodeBlock(fields []HeaderField) []byte {
-	var dst []byte
+	return e.AppendBlock(nil, fields)
+}
+
+// AppendBlock encodes fields as one header block, appending the octets to
+// dst and returning the extended slice. Passing a scratch slice with
+// retained capacity (buf[:0]) makes steady-state encoding allocation-free
+// once the dynamic table has converged.
+func (e *Encoder) AppendBlock(dst []byte, fields []HeaderField) []byte {
 	if e.pendingUpdate {
 		dst = appendVarInt(dst, 5, 0x20, uint64(e.tableSizeUpdate))
 		e.pendingUpdate = false

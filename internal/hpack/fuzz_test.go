@@ -1,6 +1,7 @@
 package hpack
 
 import (
+	"bytes"
 	"encoding/hex"
 	"strings"
 	"testing"
@@ -107,6 +108,42 @@ func FuzzHpackEncode(f *testing.F) {
 		}
 		if el, dl := enc.DynamicTableLen(), dec.DynamicTableLen(); el != dl {
 			t.Fatalf("dynamic tables diverged: encoder %d entries, decoder %d", el, dl)
+		}
+	})
+}
+
+// FuzzHuffmanRoundTrip pits the table-driven Huffman decoder against the
+// reference tree decoder. On arbitrary octets the two must agree exactly —
+// same output bytes, same error-or-not — so any divergence in code-tree
+// walking or EOS-padding validation (RFC 7541 §5.2) surfaces immediately.
+// The same input reinterpreted as a plain string must also survive an
+// encode→decode round trip.
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	f.Add([]byte("www.example.com"))
+	f.Add([]byte("no-cache"))
+	f.Add(fuzzSeed("f1e3 c2e5 f23a 6ba0 ab90 f4ff")) // C.4.1 Huffman literal
+	f.Add([]byte{0x07})                              // valid 3-bit padding
+	f.Add([]byte{0x07, 0xff})                        // 11 bits of padding
+	f.Add([]byte{0xfe})                              // non-EOS padding
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})            // explicit EOS
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		table, tableErr := decodeHuffman(nil, data)
+		tree, treeErr := decodeHuffmanTree(nil, data)
+		if (tableErr != nil) != (treeErr != nil) {
+			t.Fatalf("decoder disagreement on % x: table err = %v, tree err = %v",
+				data, tableErr, treeErr)
+		}
+		if !bytes.Equal(table, tree) {
+			t.Fatalf("decoder disagreement on % x: table = % x, tree = % x", data, table, tree)
+		}
+		enc := appendHuffman(nil, string(data))
+		dec, err := decodeHuffman(nil, enc)
+		if err != nil {
+			t.Fatalf("decode of our own encoding failed: %v\ninput % x\nencoded % x", err, data, enc)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("round trip mismatch: in % x, out % x", data, dec)
 		}
 	})
 }

@@ -127,8 +127,117 @@ func appendHuffman(dst []byte, s string) []byte {
 	return dst
 }
 
+// The 4-bit table-driven decoder below replaces the pointer-chasing tree
+// walk on the hot path. States are the internal nodes of the canonical
+// decode tree; each state has 16 transition entries, one per input nibble.
+// Because the shortest Huffman code is 5 bits, a nibble completes at most
+// one symbol, so an entry needs only one (sym, emit) pair, packed into a
+// uint32:
+//
+//	bits  0-7: completed symbol, if any
+//	bit     8: emit flag
+//	bits 16-31: next state
+//
+// Walking off the code tree (only possible deep inside the EOS code, which
+// has no tree presence) transitions to a dead state that absorbs all input
+// without emitting and is never accepting, so the hot loop needs no
+// invalid-input branch: the error surfaces at the final accept check with
+// the same output bytes and error-or-not result as an immediate return.
+const huffEmitFlag = 1 << 8
+
+var (
+	// huffTable is indexed by state*16 + nibble.
+	huffTable []uint32
+	// huffAccept marks states legal at end of input: the root (no pending
+	// bits) and the all-ones path down to depth 7 — i.e. at most 7 bits of
+	// padding, every one of them matching the EOS prefix (RFC 7541 §5.2).
+	huffAccept []bool
+)
+
+func init() { buildHuffmanTable() }
+
+func buildHuffmanTable() {
+	type nodeInfo struct {
+		n       *huffmanNode
+		depth   int
+		allOnes bool
+	}
+	id := map[*huffmanNode]uint32{huffmanRoot: 0}
+	nodes := []nodeInfo{{huffmanRoot, 0, true}}
+	for qi := 0; qi < len(nodes); qi++ {
+		ni := nodes[qi]
+		for b := 0; b < 2; b++ {
+			c := ni.n.children[b]
+			if c == nil || c.leaf {
+				continue
+			}
+			if _, seen := id[c]; seen {
+				continue
+			}
+			id[c] = uint32(len(nodes))
+			nodes = append(nodes, nodeInfo{c, ni.depth + 1, ni.allOnes && b == 1})
+		}
+	}
+	dead := uint32(len(nodes))
+	huffTable = make([]uint32, (len(nodes)+1)*16)
+	huffAccept = make([]bool, len(nodes)+1)
+	for si, ni := range nodes {
+		huffAccept[si] = ni.depth == 0 || (ni.allOnes && ni.depth <= 7)
+		for nib := 0; nib < 16; nib++ {
+			var e uint32
+			n := ni.n
+			for bit := 3; bit >= 0; bit-- {
+				c := n.children[(nib>>uint(bit))&1]
+				if c == nil {
+					n = nil
+					break
+				}
+				if c.leaf {
+					e = uint32(c.sym) | huffEmitFlag
+					c = huffmanRoot
+				}
+				n = c
+			}
+			if n == nil {
+				e = dead << 16 // emit-free: nil children precede any leaf
+			} else {
+				e |= id[n] << 16
+			}
+			huffTable[si*16+nib] = e
+		}
+	}
+	for nib := 0; nib < 16; nib++ {
+		huffTable[int(dead)*16+nib] = dead << 16
+	}
+}
+
 // decodeHuffman decodes a Huffman-coded string, appending the octets to dst.
+// It is the table-driven hot path; decodeHuffmanTree is the reference tree
+// walker the fuzz target cross-checks against.
 func decodeHuffman(dst, src []byte) ([]byte, error) {
+	tbl := huffTable
+	var s uint32
+	for _, octet := range src {
+		e := tbl[s*16+uint32(octet>>4)]
+		if e&huffEmitFlag != 0 {
+			dst = append(dst, byte(e))
+		}
+		e = tbl[(e>>16)*16+uint32(octet&0x0f)]
+		if e&huffEmitFlag != 0 {
+			dst = append(dst, byte(e))
+		}
+		s = e >> 16
+	}
+	if !huffAccept[s] {
+		return dst, errInvalidHuffman
+	}
+	return dst, nil
+}
+
+// decodeHuffmanTree decodes by walking the node tree bit by bit. Kept as the
+// independent reference implementation for FuzzHuffmanRoundTrip and the
+// decode-throughput benchmark baseline.
+func decodeHuffmanTree(dst, src []byte) ([]byte, error) {
 	n := huffmanRoot
 	onesRun := 0 // consecutive 1-bits since the last emitted symbol
 	for _, octet := range src {

@@ -1,0 +1,92 @@
+package hpack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestHuffmanEOSPadding pins the RFC 7541 §5.2 padding rules in the table
+// decoder: padding must be strictly shorter than 8 bits and consist only of
+// the most-significant bits of the EOS code (all ones). Every case is also
+// cross-checked against the reference tree decoder.
+func TestHuffmanEOSPadding(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []byte
+		want    string
+		wantErr bool
+	}{
+		{name: "empty input", in: nil, want: ""},
+		// '0' is 00000 (5 bits); 3 one-bits of padding complete the octet.
+		{name: "three ones padding", in: []byte{0x07}, want: "0"},
+		// "00" is 10 bits of zeros; 6 one-bits of padding.
+		{name: "six ones padding", in: []byte{0x00, 0x3f}, want: "00"},
+		// '9' is 011111 (6 bits); 2 one-bits of padding.
+		{name: "two ones padding", in: []byte{0x7f}, want: "9"},
+		// '0' followed by padding 110: a zero bit inside the padding.
+		{name: "zero bit in padding", in: []byte{0x06}, wantErr: true},
+		// '0' padded with 3 ones, then a full octet of ones: 11 bits of
+		// padding, more than the 7 the RFC allows.
+		{name: "eight-plus bits of padding", in: []byte{0x07, 0xff}, wantErr: true},
+		// 11111110 is no code and not an EOS prefix (it contains a zero).
+		{name: "non-EOS seven-ones-then-zero", in: []byte{0xfe}, wantErr: true},
+		// 32 one-bits contain the whole 30-bit EOS code; EOS in the stream
+		// is a decoding error, not padding.
+		{name: "explicit EOS", in: []byte{0xff, 0xff, 0xff, 0xff}, wantErr: true},
+		// 16 one-bits: valid EOS prefix but twice the permitted length.
+		{name: "two bytes of ones", in: []byte{0xff, 0xff}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := decodeHuffman(nil, tc.in)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("decodeHuffman(%x) err = %v, wantErr = %v", tc.in, err, tc.wantErr)
+			}
+			if err == nil && string(got) != tc.want {
+				t.Fatalf("decodeHuffman(%x) = %q, want %q", tc.in, got, tc.want)
+			}
+			treeGot, treeErr := decodeHuffmanTree(nil, tc.in)
+			if (treeErr != nil) != (err != nil) {
+				t.Fatalf("decoder disagreement on %x: table err = %v, tree err = %v", tc.in, err, treeErr)
+			}
+			if !bytes.Equal(got, treeGot) {
+				t.Fatalf("decoder disagreement on %x: table = %x, tree = %x", tc.in, got, treeGot)
+			}
+		})
+	}
+}
+
+// TestHuffmanTableMatchesTree exhaustively compares the table decoder with
+// the reference tree decoder over every 2-octet input — 65,536 cases cover
+// every state transition the 4-bit machine can make from a cold start,
+// including every padding-acceptance decision up to 16 bits.
+func TestHuffmanTableMatchesTree(t *testing.T) {
+	var src [2]byte
+	for i := 0; i < 1<<16; i++ {
+		src[0], src[1] = byte(i>>8), byte(i)
+		table, tableErr := decodeHuffman(nil, src[:])
+		tree, treeErr := decodeHuffmanTree(nil, src[:])
+		if (tableErr != nil) != (treeErr != nil) {
+			t.Fatalf("input %x: table err = %v, tree err = %v", src, tableErr, treeErr)
+		}
+		if !bytes.Equal(table, tree) {
+			t.Fatalf("input %x: table = %x, tree = %x", src, table, tree)
+		}
+	}
+}
+
+// TestHuffmanTableRoundTripAllSymbols encodes each octet value alone and in
+// a run, proving the table decoder inverts the encoder for all 256 symbols.
+func TestHuffmanTableRoundTripAllSymbols(t *testing.T) {
+	for sym := 0; sym < 256; sym++ {
+		s := string([]byte{byte(sym), byte(sym), byte(sym)})
+		enc := appendHuffman(nil, s)
+		dec, err := decodeHuffman(nil, enc)
+		if err != nil {
+			t.Fatalf("symbol %#x: decode error %v", sym, err)
+		}
+		if string(dec) != s {
+			t.Fatalf("symbol %#x: round trip = %x, want %x", sym, dec, s)
+		}
+	}
+}

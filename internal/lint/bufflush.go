@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufflushAnalyzer guards the write-coalescing contract: a frame.Framer may
+// buffer writes (SetWriteBuffering), so a Write* call followed by a blocking
+// read in the same function — the framer's own ReadFrame, or an h2conn.Conn
+// waiter — deadlocks unless a Flush sits between them: the peer never sees
+// the frames the function is waiting for it to answer. Flush on an
+// unbuffered framer is a no-op, so the rule is safe to follow universally.
+//
+// The analysis is intraprocedural and source-ordered, with loop bodies
+// replayed once to model the back edge (a write at the bottom of a serve
+// loop must be flushed before the ReadFrame at the top of the next
+// iteration). It is deliberately forgiving at function boundaries: calling
+// any function whose name contains "flush", or handing the framer itself to
+// a helper, counts as a flush. Deferred and go-routine'd calls are outside
+// the function's sequential flow and are ignored.
+var BufflushAnalyzer = &Analyzer{
+	Name: "bufflush",
+	Doc:  "flags framer writes that can reach a blocking read in the same function with no Flush in between",
+	Run:  runBufflush,
+}
+
+func runBufflush(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			reportUnflushed(pass, bufEvents(info, body))
+			return true
+		})
+	}
+}
+
+// bfKind classifies the three event types the scan cares about.
+type bfKind uint8
+
+const (
+	bfWrite bfKind = iota
+	bfFlush
+	bfBlock
+)
+
+// bfEvent is one framer-relevant call in execution order.
+type bfEvent struct {
+	kind bfKind
+	pos  token.Pos
+	name string
+}
+
+// reportUnflushed runs the linear scan: each write must meet a flush before
+// the next blocking call, else it is stuck in the buffer while the function
+// waits on the peer.
+func reportUnflushed(pass *Pass, evs []bfEvent) {
+	reported := make(map[token.Pos]bool)
+	for i, ev := range evs {
+		if ev.kind != bfWrite || reported[ev.pos] {
+			continue
+		}
+	scan:
+		for _, later := range evs[i+1:] {
+			switch later.kind {
+			case bfFlush:
+				break scan
+			case bfBlock:
+				reported[ev.pos] = true
+				pass.Reportf(ev.pos,
+					"%s may sit in the write buffer while %s blocks on the peer (line %d) — call Flush between them",
+					ev.name, later.name, pass.Fset.Position(later.pos).Line)
+				break scan
+			}
+		}
+	}
+}
+
+// bufEvents collects framer events under n in execution order. Loop bodies
+// are appended twice so a write late in the body is checked against a
+// blocking call early in the next iteration. Function literals are skipped
+// (each is analyzed as its own function), as are defer and go statements,
+// which leave the sequential flow.
+func bufEvents(info *types.Info, n ast.Node) []bfEvent {
+	var evs []bfEvent
+	if n == nil {
+		return evs
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			evs = append(evs, bufEvents(info, s.Init)...)
+			evs = append(evs, bufEvents(info, s.Cond)...)
+			body := bufEvents(info, s.Body)
+			body = append(body, bufEvents(info, s.Post)...)
+			evs = append(evs, body...)
+			evs = append(evs, body...)
+			return false
+		case *ast.RangeStmt:
+			evs = append(evs, bufEvents(info, s.X)...)
+			body := bufEvents(info, s.Body)
+			evs = append(evs, body...)
+			evs = append(evs, body...)
+			return false
+		case *ast.CallExpr:
+			// Arguments evaluate before the call itself:
+			// flushAfter(fr.WritePing(...)) is write-then-flush.
+			evs = append(evs, bufEvents(info, s.Fun)...)
+			for _, arg := range s.Args {
+				evs = append(evs, bufEvents(info, arg)...)
+			}
+			if ev, ok := classifyBufCall(info, s); ok {
+				evs = append(evs, ev)
+			}
+			return false
+		}
+		return true
+	})
+	return evs
+}
+
+// classifyBufCall maps one call to an event, or reports none.
+func classifyBufCall(info *types.Info, call *ast.CallExpr) (bfEvent, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return bfEvent{}, false
+	}
+	recv := recvTypeOf(info, call)
+	if recv != nil && namedTypeIs(recv, "internal/frame", "Framer") {
+		switch {
+		case f.Name() == "Flush":
+			return bfEvent{kind: bfFlush, pos: call.Pos()}, true
+		case f.Name() == "ReadFrame":
+			return bfEvent{kind: bfBlock, pos: call.Pos(), name: "(*frame.Framer).ReadFrame"}, true
+		case strings.HasPrefix(f.Name(), "Write"):
+			return bfEvent{kind: bfWrite, pos: call.Pos(), name: "(*frame.Framer)." + f.Name()}, true
+		}
+	}
+	if recv != nil && isH2Conn(recv) {
+		switch f.Name() {
+		case "WaitFor", "WaitSettings", "WaitQuiet", "Ping", "FetchBody":
+			return bfEvent{kind: bfBlock, pos: call.Pos(), name: "(*h2conn.Conn)." + f.Name()}, true
+		}
+	}
+	// A helper with "flush" in its name, or one handed the framer itself,
+	// is trusted to flush.
+	if strings.Contains(strings.ToLower(f.Name()), "flush") {
+		return bfEvent{kind: bfFlush, pos: call.Pos()}, true
+	}
+	for _, arg := range call.Args {
+		if t := info.TypeOf(arg); t != nil && namedTypeIs(t, "internal/frame", "Framer") {
+			return bfEvent{kind: bfFlush, pos: call.Pos()}, true
+		}
+	}
+	return bfEvent{}, false
+}

@@ -114,6 +114,10 @@ func TestTracePhaseGolden(t *testing.T) {
 	runGolden(t, TracePhaseAnalyzer, "tracephase/a")
 }
 
+func TestBufflushGolden(t *testing.T) {
+	runGolden(t, BufflushAnalyzer, "bufflush/a")
+}
+
 // TestRepoClean is the self-clean gate: every analyzer over every package
 // of the real module must produce zero diagnostics.
 func TestRepoClean(t *testing.T) {
@@ -137,12 +141,12 @@ func TestRepoClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the catalog: five analyzers, addressable by
+// TestAnalyzerRegistry pins the catalog: six analyzers, addressable by
 // name, each documented.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() returned %d analyzers, want 6", len(all))
 	}
 	for _, a := range all {
 		if a.Doc == "" {

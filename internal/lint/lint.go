@@ -119,6 +119,7 @@ func All() []*Analyzer {
 		ConnCloseAnalyzer,
 		DeadlineAnalyzer,
 		TracePhaseAnalyzer,
+		BufflushAnalyzer,
 	}
 }
 

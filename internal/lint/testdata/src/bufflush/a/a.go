@@ -1,0 +1,109 @@
+// Package a exercises the bufflush analyzer: framer writes that can reach a
+// blocking read with no intervening Flush are flagged; flushed, handed-off,
+// and read-free paths pass.
+package a
+
+import (
+	"time"
+
+	"h2scope/internal/lint/testdata/src/bufflush/internal/frame"
+	"h2scope/internal/lint/testdata/src/bufflush/internal/h2conn"
+)
+
+func badWriteThenRead(fr *frame.Framer) error {
+	if err := fr.WriteSettings(); err != nil { // want `\(\*frame\.Framer\)\.WriteSettings may sit in the write buffer while \(\*frame\.Framer\)\.ReadFrame blocks`
+		return err
+	}
+	_, err := fr.ReadFrame()
+	return err
+}
+
+func goodWriteFlushRead(fr *frame.Framer) error {
+	if err := fr.WriteSettings(); err != nil {
+		return err
+	}
+	if err := fr.Flush(); err != nil {
+		return err
+	}
+	_, err := fr.ReadFrame()
+	return err
+}
+
+func badWriteThenWait(fr *frame.Framer, c *h2conn.Conn) error {
+	if err := fr.WritePing(false); err != nil { // want `\(\*frame\.Framer\)\.WritePing may sit in the write buffer while \(\*h2conn\.Conn\)\.WaitFor blocks`
+		return err
+	}
+	_, err := c.WaitFor(time.Second, func([]h2conn.Event) bool { return true })
+	return err
+}
+
+// flushAfter stands in for helpers that flush internally; the analyzer
+// trusts the name.
+func flushAfter(err error) error { return err }
+
+func goodFlushHelperArg(fr *frame.Framer, c *h2conn.Conn) error {
+	// The write is an argument, so it happens before the helper flushes.
+	if err := flushAfter(fr.WritePing(false)); err != nil {
+		return err
+	}
+	_, err := c.WaitSettings(time.Second)
+	return err
+}
+
+// sendPreamble stands in for helpers handed the framer itself; ownership of
+// the buffer goes with it.
+func sendPreamble(fr *frame.Framer) error { return fr.Flush() }
+
+func goodHandoff(fr *frame.Framer) error {
+	if err := fr.WriteSettings(); err != nil {
+		return err
+	}
+	if err := sendPreamble(fr); err != nil {
+		return err
+	}
+	_, err := fr.ReadFrame()
+	return err
+}
+
+func goodWriteOnly(fr *frame.Framer, data []byte) error {
+	if err := fr.WriteData(1, true, data); err != nil {
+		return err
+	}
+	return fr.Flush()
+}
+
+// badLoopBackEdge writes at the bottom of a serve loop with no flush: the
+// next iteration blocks in ReadFrame while the response sits in the buffer.
+func badLoopBackEdge(fr *frame.Framer) error {
+	for {
+		if _, err := fr.ReadFrame(); err != nil {
+			return err
+		}
+		if err := fr.WritePing(true); err != nil { // want `\(\*frame\.Framer\)\.WritePing may sit in the write buffer while \(\*frame\.Framer\)\.ReadFrame blocks`
+			return err
+		}
+	}
+}
+
+// goodLoopFlushedTail is the serve-loop shape the server uses: every
+// iteration ends with a flush before looping back to the blocking read.
+func goodLoopFlushedTail(fr *frame.Framer) error {
+	for {
+		if _, err := fr.ReadFrame(); err != nil {
+			return err
+		}
+		if err := fr.WritePing(true); err != nil {
+			return err
+		}
+		if err := fr.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// goodDeferredRead ignores defers: they run at exit, outside the function's
+// sequential write-then-wait flow.
+func goodDeferredRead(fr *frame.Framer) error {
+	defer fr.ReadFrame()
+	return fr.WriteSettings()
+}

@@ -1,0 +1,21 @@
+// Package frame is a golden-test double for h2scope/internal/frame: the
+// bufflush analyzer matches it by package-path suffix.
+package frame
+
+// Framer mimics the real Framer's buffered write surface.
+type Framer struct{}
+
+// WriteSettings mimics a buffered frame write.
+func (f *Framer) WriteSettings() error { return nil }
+
+// WriteData mimics a buffered frame write.
+func (f *Framer) WriteData(streamID uint32, end bool, data []byte) error { return nil }
+
+// WritePing mimics a buffered frame write.
+func (f *Framer) WritePing(ack bool) error { return nil }
+
+// Flush drains the write buffer to the wire.
+func (f *Framer) Flush() error { return nil }
+
+// ReadFrame blocks until the peer sends a frame.
+func (f *Framer) ReadFrame() (any, error) { return nil, nil }

@@ -1,0 +1,22 @@
+// Package h2conn is a golden-test double for h2scope/internal/h2conn's
+// blocking waiter surface.
+package h2conn
+
+import "time"
+
+// Event mimics the real event record.
+type Event struct{}
+
+// Conn mimics the real HTTP/2 client connection.
+type Conn struct{}
+
+// WaitFor blocks until pred holds or timeout.
+func (c *Conn) WaitFor(timeout time.Duration, pred func([]Event) bool) ([]Event, error) {
+	return nil, nil
+}
+
+// WaitSettings blocks for the peer's SETTINGS frame.
+func (c *Conn) WaitSettings(timeout time.Duration) (Event, error) { return Event{}, nil }
+
+// Ping blocks for the peer's PING ack.
+func (c *Conn) Ping(payload [8]byte, timeout time.Duration) (time.Duration, error) { return 0, nil }

@@ -48,7 +48,9 @@ func startRaw(t *testing.T, p server.Profile) *netsim.Listener {
 	return l
 }
 
-// waitFrameType reads until a frame of the wanted type or EOF/error.
+// waitFrameType reads until a frame of the wanted type or EOF/error. The
+// returned frame is detached with CopyPayload: callers keep it across
+// further reads on the same framer.
 func waitFrameType(t *testing.T, fr *frame.Framer, want frame.Type) frame.Frame {
 	t.Helper()
 	for i := 0; i < 64; i++ {
@@ -57,7 +59,7 @@ func waitFrameType(t *testing.T, fr *frame.Framer, want frame.Type) frame.Frame 
 			t.Fatalf("waiting for %v: %v", want, err)
 		}
 		if f.Header().Type == want {
-			return f
+			return frame.CopyPayload(f)
 		}
 	}
 	t.Fatalf("no %v frame", want)
@@ -547,7 +549,9 @@ func waitMetricValue(t *testing.T, r *metrics.Registry, name string, want int64)
 }
 
 // frameReader pumps frames off fr on its own goroutine so tests can apply
-// timeouts (netsim conns have no read deadlines).
+// timeouts (netsim conns have no read deadlines). Frames cross a goroutine
+// boundary and outlive the next ReadFrame, so each is detached from the
+// framer's recycled buffers with CopyPayload before it enters the channel.
 func frameReader(fr *frame.Framer) <-chan frame.Frame {
 	ch := make(chan frame.Frame, 64)
 	go func() {
@@ -557,7 +561,7 @@ func frameReader(fr *frame.Framer) <-chan frame.Frame {
 			if err != nil {
 				return
 			}
-			ch <- f
+			ch <- frame.CopyPayload(f)
 		}
 	}()
 	return ch

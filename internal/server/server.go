@@ -146,8 +146,12 @@ func (s *Server) Shutdown(grace time.Duration) {
 	}
 	for _, c := range conns {
 		// The framer serializes writes, so announcing shutdown from here
-		// is safe alongside the connection's own goroutine.
-		_ = c.fr.WriteGoAway(c.maxClientStream(), frame.ErrCodeNo, []byte("server shutting down"))
+		// is safe alongside the connection's own goroutine. The explicit
+		// Flush pushes the GOAWAY past the coalescing buffer while the
+		// serve loop may be blocked in ReadFrame.
+		if c.fr.WriteGoAway(c.maxClientStream(), frame.ErrCodeNo, []byte("server shutting down")) == nil {
+			_ = c.fr.Flush()
+		}
 	}
 	done := make(chan struct{})
 	go func() {
@@ -192,7 +196,7 @@ func (s *Server) ServeConn(nc net.Conn) error {
 	c := &conn{
 		srv:           s,
 		nc:            nc,
-		fr:            frame.NewFramer(nc, nc),
+		fr:            newServerFramer(nc),
 		enc:           newResponseEncoder(&s.profile),
 		dec:           hpack.NewDecoder(hpack.DefaultDynamicTableSize),
 		streams:       make(map[uint32]*stream),
@@ -274,6 +278,10 @@ type conn struct {
 	fr  *frame.Framer
 	enc *hpack.Encoder
 	dec *hpack.Decoder
+	// encBuf is the HPACK encode scratch buffer, reused across response
+	// header blocks; only the serve goroutine touches it (Shutdown's
+	// cross-goroutine GOAWAY never encodes headers).
+	encBuf []byte
 
 	streams  map[uint32]*stream
 	arrival  int
@@ -309,6 +317,16 @@ type conn struct {
 }
 
 // newResponseEncoder builds the HPACK encoder the profile calls for.
+// newServerFramer builds the per-connection framer with write coalescing
+// enabled: the serve loop flushes once per handled frame, so a burst of
+// response frames (HEADERS+DATA fan-out across streams) reaches the wire in
+// a single write instead of one write per frame.
+func newServerFramer(nc net.Conn) *frame.Framer {
+	fr := frame.NewFramer(nc, nc)
+	fr.SetWriteBuffering(0)
+	return fr
+}
+
 func newResponseEncoder(p *Profile) *hpack.Encoder {
 	if p.HPACKPolicy == hpack.PolicyIndexPartial {
 		return hpack.NewPartialEncoder(p.HPACKPartialFraction, p.HPACKPartialSalt)
@@ -331,6 +349,10 @@ func (c *conn) serve() error {
 		// consistent with what we advertised.
 		_ = c.recvWindow.Increase(boost)
 	}
+	// SETTINGS and the optional window boost coalesce into one write.
+	if err := c.fr.Flush(); err != nil {
+		return err
+	}
 	for {
 		f, err := c.fr.ReadFrame()
 		if err != nil {
@@ -341,7 +363,9 @@ func (c *conn) serve() error {
 			}
 			var se frame.StreamError
 			if errors.As(err, &se) {
-				_ = c.fr.WriteRSTStream(se.StreamID, se.Code)
+				if c.fr.WriteRSTStream(se.StreamID, se.Code) == nil {
+					_ = c.fr.Flush()
+				}
 				continue
 			}
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
@@ -358,9 +382,14 @@ func (c *conn) serve() error {
 			return err
 		}
 		if c.goingAway {
-			return nil
+			return c.fr.Flush()
 		}
 		if err := c.flush(); err != nil {
+			return err
+		}
+		// One wire write per handled frame: everything the handlers and the
+		// response scheduler queued this iteration goes out together.
+		if err := c.fr.Flush(); err != nil {
 			return err
 		}
 	}
@@ -377,14 +406,18 @@ func (c *conn) readPreface() error {
 	return nil
 }
 
-// goAway emits GOAWAY and marks the connection for teardown.
+// goAway emits GOAWAY and marks the connection for teardown. It flushes,
+// since every caller tears the connection down right after.
 func (c *conn) goAway(code frame.ErrCode, debug string) error {
 	c.goingAway = true
 	var debugData []byte
 	if debug != "" {
 		debugData = []byte(debug)
 	}
-	return c.fr.WriteGoAway(c.maxClientStream(), code, debugData)
+	if err := c.fr.WriteGoAway(c.maxClientStream(), code, debugData); err != nil {
+		return err
+	}
+	return c.fr.Flush()
 }
 
 func (c *conn) maxClientStream() uint32 {
@@ -645,8 +678,8 @@ func (c *conn) queuePushes(parent *stream, res *Resource) {
 			{Name: ":authority", Value: c.srv.site.Domain},
 			{Name: ":path", Value: path},
 		}
-		block := c.enc.EncodeBlock(reqFields)
-		if err := c.fr.WritePushPromise(parent.id, promiseID, true, block); err != nil {
+		c.encBuf = c.enc.AppendBlock(c.encBuf[:0], reqFields)
+		if err := c.fr.WritePushPromise(parent.id, promiseID, true, c.encBuf); err != nil {
 			return
 		}
 		ps := c.openStream(promiseID, true)
@@ -829,7 +862,8 @@ func (c *conn) flushHeaders() error {
 		if st.respHeaders == nil || st.headersWritten || !c.canSendHeaders(st) {
 			continue
 		}
-		block := c.enc.EncodeBlock(st.respHeaders)
+		c.encBuf = c.enc.AppendBlock(c.encBuf[:0], st.respHeaders)
+		block := c.encBuf
 		endStream := len(st.body) == 0
 		// Split across CONTINUATION frames if the block exceeds the
 		// client's maximum frame size.
