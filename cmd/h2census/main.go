@@ -10,6 +10,7 @@
 //	h2census -epoch 2 -sample 200    # Jan 2017 epoch plus a 200-site measured scan
 //	h2census -scale 0.1              # a 10%-scale universe
 //	h2census -sample 500 -retries 3 -timeout 2s -progress 5s -out scan.jsonl
+//	h2census -sample 100 -robustness # score each sampled site's attack resilience
 //	h2census -analyze scan.jsonl     # offline re-analysis of a records file
 package main
 
@@ -39,18 +40,19 @@ func main() {
 
 // options carries the parsed, validated command line.
 type options struct {
-	epoch     int
-	scale     float64
-	seed      int64
-	sample    int
-	parallel  int
-	retries   int
-	timeout   time.Duration
-	progress  time.Duration
-	outPath   string
-	traceDir  string
-	analyze   string
-	debugAddr string
+	epoch      int
+	scale      float64
+	seed       int64
+	sample     int
+	parallel   int
+	retries    int
+	timeout    time.Duration
+	progress   time.Duration
+	outPath    string
+	traceDir   string
+	analyze    string
+	debugAddr  string
+	robustness bool
 
 	// debugStarted and onScanRecord are test seams: debugStarted receives
 	// the debug server's bound address once it is listening, onScanRecord
@@ -83,6 +85,7 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.StringVar(&o.traceDir, "trace", "", "directory to write per-site frame-level traces (JSONL, view with h2trace); needs -sample > 0")
 	fs.StringVar(&o.analyze, "analyze", "", "skip generation: analyze a previously written records file and exit")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) while the census runs")
+	fs.BoolVar(&o.robustness, "robustness", false, "also run the short adversarial battery against each sampled site and score its resilience; needs -sample > 0")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -131,6 +134,9 @@ func (o *options) validate() error {
 	}
 	if o.traceDir != "" && o.sample == 0 {
 		return fmt.Errorf("-trace needs a measured scan; set -sample > 0")
+	}
+	if o.robustness && o.sample == 0 {
+		return fmt.Errorf("-robustness needs a measured scan; set -sample > 0")
 	}
 	return nil
 }
@@ -241,6 +247,7 @@ func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, c
 		Retries:     o.retries,
 		TraceDir:    o.traceDir,
 		Metrics:     reg,
+		Robustness:  o.robustness,
 	}
 	if o.progress > 0 {
 		scanOpts.Progress = stderr

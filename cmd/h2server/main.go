@@ -47,6 +47,7 @@ func run() error {
 		domain      = flag.String("domain", "testbed.example", "site domain (:authority)")
 		useTLS      = flag.Bool("tls", false, "serve HTTP/2 over TLS with a self-signed certificate and ALPN")
 		debugAddr   = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) alongside the server")
+		detector    = flag.Bool("detector", false, "arm the real-time attack detector with the profile's thresholds (detections surface on -debug-addr metrics)")
 	)
 	flag.Parse()
 
@@ -72,8 +73,11 @@ func run() error {
 		return nil
 	}
 	srv := h2scope.NewServer(profile, h2scope.DefaultSite(*domain))
+	var reg *metrics.Registry
+	if *debugAddr != "" || *detector {
+		reg = metrics.NewRegistry()
+	}
 	if *debugAddr != "" {
-		reg := metrics.NewRegistry()
 		srv.Metrics = server.NewMetrics(reg)
 		ds, err := metrics.StartDebug(*debugAddr, reg)
 		if err != nil {
@@ -83,6 +87,10 @@ func run() error {
 			_ = ds.Close()
 		}()
 		fmt.Printf("debug endpoint: http://%s/metrics\n", ds.Addr())
+	}
+	if *detector {
+		srv.StartDetector(server.DetectorConfig{}, reg)
+		fmt.Printf("attack detector armed (profile %s thresholds)\n", profile.Family)
 	}
 
 	l, err := net.Listen("tcp", *addr)

@@ -447,5 +447,20 @@ func RenderScan(sum *ScanSummary) string {
 	fmt.Fprintf(&b, "self-dependency: RST %d / GOAWAY %d / ignore %d\n",
 		sum.SelfDep[ObserveRSTStream], sum.SelfDep[ObserveGoAway], sum.SelfDep[ObserveIgnore])
 	fmt.Fprintf(&b, "push sites: %d\n", sum.PushSites)
+	if n := len(sum.RobustnessScores); n > 0 {
+		total := 0.0
+		for _, v := range sum.RobustnessScores {
+			total += v
+		}
+		fmt.Fprintf(&b, "robustness: %d sites scored, mean %.2f\n", n, total/float64(n))
+		keys := make([]string, 0, len(sum.RobustnessVerdicts))
+		for k := range sum.RobustnessVerdicts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s: %d\n", k, sum.RobustnessVerdicts[k])
+		}
+	}
 	return b.String()
 }

@@ -220,6 +220,7 @@ func WriteScanRecords(w io.Writer, epoch Epoch, scannedAt time.Time, sum *ScanSu
 			Error:      res.Err,
 			Attempts:   res.Attempts,
 			TraceFile:  res.TraceFile,
+			Robustness: res.Robustness,
 		}
 		if res.Outcome == scan.OutcomeSuccess {
 			rec.ErrorKind = ""

@@ -1,0 +1,93 @@
+package attack_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"h2scope/internal/attack"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/metrics"
+	"h2scope/internal/server"
+)
+
+// TestDetectorHammer runs mixed attack scenarios concurrently against one
+// detector-armed server while benign traffic flows alongside. Under -race
+// this exercises every cross-goroutine seam at once: trace fan-out to the
+// subscription, detector sweeps, and mitigation writes (rate-limit atomics,
+// stream-cap atomics, cross-goroutine GOAWAY+close) racing the serve loops.
+// Afterward the server must still answer a clean request.
+func TestDetectorHammer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tg := startTarget(t, server.NginxProfile(), sensitiveConfig(nil), reg)
+
+	mixed := []attack.Kind{
+		attack.KindRapidReset,
+		attack.KindSettingsFlood,
+		attack.KindSlowDrip,
+		attack.KindContinuationFlood,
+	}
+	var wg sync.WaitGroup
+	dur := smokeDuration(t) + 400*time.Millisecond
+	for i, kind := range mixed {
+		wg.Add(1)
+		go func(worker int, k attack.Kind) {
+			defer wg.Done()
+			// Each attacker drives its own Runner so probes and attacks
+			// interleave across goroutines too.
+			ar := tg.runner()
+			_, _ = ar.Run(k, attack.Params{
+				Path:        "/large/1",
+				Duration:    dur,
+				Concurrency: 2,
+				Jitter:      0.5,
+				Seed:        int64(worker + 1),
+			})
+		}(i, kind)
+	}
+	// Benign reader hammering alongside the attackers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		deadline := time.Now().Add(dur)
+		for time.Now().Before(deadline) {
+			nc, err := tg.lis.Dial()
+			if err != nil {
+				continue
+			}
+			c, err := h2conn.Dial(nc, h2conn.DefaultOptions())
+			if err != nil {
+				_ = nc.Close()
+				continue
+			}
+			_, _ = c.FetchBody(h2conn.Request{Authority: "attack.example", Path: "/about.html"}, time.Second)
+			_ = c.Close()
+		}
+	}()
+	wg.Wait()
+
+	// The server must have detected something under this barrage...
+	if dets := tg.det.Detections(); len(dets) == 0 {
+		t.Error("hammer produced no detections")
+	}
+	// ...and still serve a clean request afterward.
+	nc, err := tg.lis.Dial()
+	if err != nil {
+		t.Fatalf("post-hammer dial: %v", err)
+	}
+	c, err := h2conn.Dial(nc, h2conn.DefaultOptions())
+	if err != nil {
+		_ = nc.Close()
+		t.Fatalf("post-hammer setup: %v", err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+	resp, err := c.FetchBody(h2conn.Request{Authority: "attack.example", Path: "/about.html"}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("post-hammer fetch: %v", err)
+	}
+	if got := resp.Status(); got != "200" {
+		t.Fatalf("post-hammer status = %s, want 200", got)
+	}
+}

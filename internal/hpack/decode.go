@@ -17,6 +17,13 @@ type Decoder struct {
 	// maxStringLen bounds individual decoded string literals; 0 means no
 	// bound beyond sanity.
 	maxStringLen int
+	// maxHeaderListSize bounds the cumulative RFC 7541 section 4.1 size
+	// (name + value + 32 per field) of one decoded block; 0 means
+	// unbounded. This is the HPACK-bomb defense: a few-KiB block of
+	// indexed references to a large dynamic-table entry can expand
+	// thousandsfold, so the bound is enforced against decoded size as
+	// decoding proceeds, not against the wire block.
+	maxHeaderListSize uint32
 
 	// huf is the scratch buffer for Huffman-decoded string literals, reused
 	// across calls so steady-state decoding performs no per-string
@@ -75,6 +82,14 @@ func (d *Decoder) intern(b []byte) string {
 // SetMaxStringLength bounds the length of any single decoded string.
 func (d *Decoder) SetMaxStringLength(n int) { d.maxStringLen = n }
 
+// SetMaxHeaderListSize bounds the decoded (not encoded) size of one header
+// block, measured as RFC 7541 section 4.1 defines (name + value + 32 octets
+// per field). Decoding a block that expands past the bound fails with
+// ErrHeaderListSize; receivers treat that like any other decoding error
+// (COMPRESSION_ERROR), which is what neutralizes HPACK bombs. Zero disables
+// the bound.
+func (d *Decoder) SetMaxHeaderListSize(n uint32) { d.maxHeaderListSize = n }
+
 // SetAllowedMaxDynamicTableSize updates the ceiling the peer may raise the
 // dynamic table to, mirroring a SETTINGS_HEADER_TABLE_SIZE change.
 func (d *Decoder) SetAllowedMaxDynamicTableSize(n uint32) {
@@ -105,6 +120,7 @@ func (d *Decoder) DecodeAppend(fields []HeaderField, block []byte) ([]HeaderFiel
 		hf         HeaderField
 		emitted    bool
 		sizeUpdate bool
+		listSize   uint64
 	)
 	for len(block) > 0 {
 		b := block[0]
@@ -136,6 +152,12 @@ func (d *Decoder) DecodeAppend(fields []HeaderField, block []byte) ([]HeaderFiel
 			return fields, DecodingError{errors.New("dynamic table size update after header fields")}
 		}
 		if emitted {
+			if d.maxHeaderListSize > 0 {
+				listSize += uint64(hf.Size())
+				if listSize > uint64(d.maxHeaderListSize) {
+					return fields, DecodingError{fmt.Errorf("%w: %d > %d octets", ErrHeaderListSize, listSize, d.maxHeaderListSize)}
+				}
+			}
 			fields = append(fields, hf)
 			seenField = true
 		}

@@ -58,6 +58,10 @@ func (e DecodingError) Unwrap() error { return e.Err }
 // configured limit.
 var ErrStringLength = errors.New("hpack: string literal too long")
 
+// ErrHeaderListSize is returned when a decoded header block expands past
+// the decoder's SetMaxHeaderListSize bound (the HPACK-bomb guard).
+var ErrHeaderListSize = errors.New("hpack: decoded header list too large")
+
 // ErrInvalidIndex is returned when an indexed representation references a
 // table slot that does not exist.
 var ErrInvalidIndex = errors.New("hpack: invalid table index")

@@ -3,6 +3,7 @@ package hpack
 import (
 	"bytes"
 	"encoding/hex"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -612,5 +613,60 @@ func TestHuffmanChosenOnlyWhenShorter(t *testing.T) {
 	}
 	if hl := huffmanEncodedLen(rare); hl <= len(rare) {
 		t.Fatalf("test premise broken: huffman %d <= raw %d", hl, len(rare))
+	}
+}
+
+// bombTestBlock builds the classic HPACK-bomb shape by hand: one literal
+// with incremental indexing inserting a valueLen-byte entry, then refs
+// indexed references to it (index 62, the newest dynamic slot). The wire
+// size is ~valueLen+refs bytes; the decoded list is ~refs*valueLen.
+func bombTestBlock(valueLen, refs int) []byte {
+	block := []byte{0x40}
+	name := "bomb"
+	block = appendVarInt(block, 7, 0, uint64(len(name)))
+	block = append(block, name...)
+	block = appendVarInt(block, 7, 0, uint64(valueLen))
+	block = append(block, bytes.Repeat([]byte{'x'}, valueLen)...)
+	for i := 0; i < refs; i++ {
+		block = appendVarInt(block, 7, 0x80, 62)
+	}
+	return block
+}
+
+// TestDecoderMaxHeaderListSize pins the HPACK-bomb guard: a small wire
+// block that decodes past the configured list bound draws
+// ErrHeaderListSize, and the same shape under the bound decodes fully.
+func TestDecoderMaxHeaderListSize(t *testing.T) {
+	dec := NewDecoder(DefaultDynamicTableSize)
+	dec.SetMaxHeaderListSize(64 << 10)
+	block := bombTestBlock(3000, 1000) // ~4KB wire, ~3MB decoded
+	_, err := dec.DecodeFull(block)
+	if !errors.Is(err, ErrHeaderListSize) {
+		t.Fatalf("bomb decode error = %v, want ErrHeaderListSize", err)
+	}
+	var de DecodingError
+	if !errors.As(err, &de) {
+		t.Fatalf("bomb error %T not a DecodingError (COMPRESSION_ERROR mapping)", err)
+	}
+
+	// 10 references of the same entry stay under 64KiB and must decode.
+	dec2 := NewDecoder(DefaultDynamicTableSize)
+	dec2.SetMaxHeaderListSize(64 << 10)
+	fields, err := dec2.DecodeFull(bombTestBlock(3000, 10))
+	if err != nil {
+		t.Fatalf("under-limit decode: %v", err)
+	}
+	if len(fields) != 11 {
+		t.Fatalf("decoded %d fields, want 11", len(fields))
+	}
+
+	// The zero value means unlimited: the full bomb decodes when unguarded.
+	dec3 := NewDecoder(DefaultDynamicTableSize)
+	fields, err = dec3.DecodeFull(block)
+	if err != nil {
+		t.Fatalf("unguarded decode: %v", err)
+	}
+	if len(fields) != 1001 {
+		t.Fatalf("unguarded decoded %d fields, want 1001", len(fields))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"h2scope/internal/attack"
 	"h2scope/internal/core"
 	"h2scope/internal/population"
 	"h2scope/internal/server"
@@ -512,5 +513,75 @@ func TestAgreementPerfectOnCleanScan(t *testing.T) {
 	}
 	if out := agr.String(); out == "" {
 		t.Error("empty rendering")
+	}
+}
+
+// TestScanRobustnessScoresSample exercises the census robustness column:
+// with ScanOptions.Robustness, every successfully probed site also runs the
+// short adversarial battery and carries a score, and the summary aggregates
+// fold every scenario verdict.
+func TestScanRobustnessScoresSample(t *testing.T) {
+	pop := population.Generate(population.EpochJan2017, 0.002, 17)
+	sum, err := population.Scan(pop, population.ScanOptions{
+		SampleSize:         4,
+		Parallelism:        4,
+		Seed:               9,
+		Robustness:         true,
+		RobustnessDuration: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if sum.Scanned != 4 {
+		t.Fatalf("Scanned = %d, want 4", sum.Scanned)
+	}
+	for _, res := range sum.Results {
+		if res.Report == nil {
+			t.Errorf("%s: no report", res.Spec.Domain)
+			continue
+		}
+		score := res.Robustness
+		if score == nil {
+			t.Errorf("%s: no robustness score despite Robustness option", res.Spec.Domain)
+			continue
+		}
+		if score.Total != len(attack.Kinds()) {
+			t.Errorf("%s: battery size %d, want %d", res.Spec.Domain, score.Total, len(attack.Kinds()))
+		}
+		if score.Value < 0 || score.Value > 1 {
+			t.Errorf("%s: score %v outside [0,1]", res.Spec.Domain, score.Value)
+		}
+		if len(score.Verdicts) != score.Total {
+			t.Errorf("%s: %d verdicts for %d scenarios", res.Spec.Domain, len(score.Verdicts), score.Total)
+		}
+	}
+	if got := len(sum.RobustnessScores); got != sum.Scanned {
+		t.Errorf("RobustnessScores has %d entries, want %d", got, sum.Scanned)
+	}
+	verdictTotal := 0
+	for _, n := range sum.RobustnessVerdicts {
+		verdictTotal += n
+	}
+	if want := sum.Scanned * len(attack.Kinds()); verdictTotal != want {
+		t.Errorf("RobustnessVerdicts total %d, want %d", verdictTotal, want)
+	}
+}
+
+// TestScanWithoutRobustnessLeavesScoresNil pins the default: no battery, no
+// scores, empty aggregates.
+func TestScanWithoutRobustnessLeavesScoresNil(t *testing.T) {
+	pop := population.Generate(population.EpochJul2016, 0.002, 17)
+	sum, err := population.Scan(pop, population.ScanOptions{SampleSize: 2, Parallelism: 2, Seed: 3})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for _, res := range sum.Results {
+		if res.Robustness != nil {
+			t.Errorf("%s: unexpected robustness score without the option", res.Spec.Domain)
+		}
+	}
+	if len(sum.RobustnessScores) != 0 || len(sum.RobustnessVerdicts) != 0 {
+		t.Errorf("robustness aggregates populated without the option: %v %v",
+			sum.RobustnessScores, sum.RobustnessVerdicts)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"h2scope/internal/attack"
 	"h2scope/internal/core"
 	"h2scope/internal/h2conn"
 	"h2scope/internal/metrics"
@@ -71,6 +72,9 @@ type SiteResult struct {
 	// TraceFile is the exported frame-level trace for this site, when the
 	// scan ran with ScanOptions.TraceDir.
 	TraceFile string
+	// Robustness is the site's adversarial-battery score, when the scan ran
+	// with ScanOptions.Robustness; nil otherwise (and for failed probes).
+	Robustness *attack.Score
 }
 
 // ScanSummary aggregates measured probe results over a scanned sample, in
@@ -110,6 +114,11 @@ type ScanSummary struct {
 	InitialWindow map[string]int
 	// MaxFrame and MaxHeaderList histogram the other settings tables.
 	MaxFrame, MaxHeaderList map[string]int
+	// RobustnessScores collects per-site robustness scores in [0,1] and
+	// RobustnessVerdicts histograms scenario outcomes across sites (keyed
+	// "<kind>/<verdict>"), when the scan ran the adversarial battery.
+	RobustnessScores   []float64
+	RobustnessVerdicts map[string]int
 	// Failed and Canceled count sites whose probe did not complete; they are
 	// included in Scanned so aggregate tables report coverage honestly.
 	Failed, Canceled int
@@ -134,6 +143,8 @@ func newScanSummary() *ScanSummary {
 		MaxFrame:      make(map[string]int),
 		MaxHeaderList: make(map[string]int),
 		FailureKinds:  make(map[string]int),
+
+		RobustnessVerdicts: make(map[string]int),
 	}
 }
 
@@ -172,6 +183,13 @@ type ScanOptions struct {
 	// h2_conn_*/h2_frames_* instruments, so a -debug-addr endpoint watches
 	// the run in flight. The summary's Stats stay exact regardless.
 	Metrics *metrics.Registry
+	// Robustness additionally runs the internal/attack scenario battery
+	// against each materialized site after its probe battery, folding each
+	// site's robustness score into the summary (and the records). Every
+	// scenario runs for RobustnessDuration (default 150ms) — short bursts
+	// sized for census-scale sweeps, not load tests.
+	Robustness         bool
+	RobustnessDuration time.Duration
 }
 
 // batteryProbes is how many connection-scoped probes one battery runs; the
@@ -190,8 +208,16 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 	if opts.Timeout == 0 {
 		opts.Timeout = 5 * time.Second
 	}
+	if opts.RobustnessDuration <= 0 {
+		opts.RobustnessDuration = 150 * time.Millisecond
+	}
 	if opts.HostBudget <= 0 {
 		opts.HostBudget = batteryProbes * opts.Timeout
+		if opts.Robustness {
+			// The adversarial battery runs after the probe battery: six
+			// scenarios plus health probes, each bounded by Timeout.
+			opts.HostBudget += 6*opts.RobustnessDuration + 2*opts.Timeout
+		}
 	}
 	idx := rand.New(rand.NewSource(opts.Seed)).Perm(len(pop.Sites))
 	if opts.SampleSize > 0 && opts.SampleSize < len(idx) {
@@ -211,13 +237,13 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 		connMetrics = h2conn.NewMetrics(opts.Metrics)
 	}
 	probe := func(ctx context.Context, t scan.Target) (any, error) {
-		report, err := probeSite(ctx, t.Meta.(*SiteSpec), opts.Timeout, connMetrics)
-		if report == nil {
+		report, robust, err := probeSite(ctx, t.Meta.(*SiteSpec), &opts, connMetrics)
+		if report == nil && robust == nil {
 			// A typed nil inside a non-nil any would defeat the engine's
 			// partial-value bookkeeping.
 			return nil, err
 		}
-		return report, err
+		return &siteValue{report: report, robust: robust}, err
 	}
 	scanOpts := scan.Options{
 		Parallelism:      opts.Parallelism,
@@ -296,8 +322,16 @@ func writeTraceFile(path, target string, tr *trace.Tracer) error {
 	return f.Close()
 }
 
-// probeSite materializes one site and runs the battery against it.
-func probeSite(ctx context.Context, spec *SiteSpec, timeout time.Duration, m *h2conn.Metrics) (*core.Report, error) {
+// siteValue is what one site's probe hands the scan engine: the battery
+// report plus, under ScanOptions.Robustness, the adversarial-battery score.
+type siteValue struct {
+	report *core.Report
+	robust *attack.Score
+}
+
+// probeSite materializes one site, runs the probe battery against it, and —
+// when the scan asks for it — follows with the adversarial battery.
+func probeSite(ctx context.Context, spec *SiteSpec, opts *ScanOptions, m *h2conn.Metrics) (*core.Report, *attack.Score, error) {
 	srv := spec.NewServer()
 	l := netsim.NewListener(spec.Domain)
 	go func() {
@@ -309,31 +343,52 @@ func probeSite(ctx context.Context, spec *SiteSpec, timeout time.Duration, m *h2
 	}()
 
 	cfg := core.DefaultConfig(spec.Domain)
-	cfg.Timeout = timeout
+	cfg.Timeout = opts.Timeout
 	cfg.QuietWindow = 10 * time.Millisecond
 	// The scan engine parks each target's tracer on the attempt context;
 	// a nil result simply leaves tracing off.
 	cfg.Tracer = trace.FromContext(ctx)
 	cfg.Metrics = m
 	prober := core.NewProber(&siteDialer{l: l, spec: spec}, cfg)
-	return prober.RunContext(ctx)
+	report, err := prober.RunContext(ctx)
+	if !opts.Robustness || ctx.Err() != nil {
+		return report, nil, err
+	}
+	runner := &attack.Runner{
+		Dial:         func() (net.Conn, error) { return l.Dial() },
+		Authority:    spec.Domain,
+		ProbePath:    "/",
+		ProbeTimeout: opts.Timeout,
+	}
+	outs := runner.RunAll(attack.Params{Path: "/", Duration: opts.RobustnessDuration})
+	score := attack.ScoreOutcomes(outs)
+	return report, &score, err
 }
 
 func (s *ScanSummary) add(rec scan.Record) {
 	spec := rec.Target.Meta.(*SiteSpec)
 	var r *core.Report
+	var robust *attack.Score
 	if rec.Value != nil {
-		r = rec.Value.(*core.Report)
+		v := rec.Value.(*siteValue)
+		r, robust = v.report, v.robust
 	}
 	s.Scanned++
 	s.Results = append(s.Results, SiteResult{
-		Spec:     spec,
-		Report:   r,
-		Outcome:  rec.Outcome,
-		Kind:     rec.Kind,
-		Err:      rec.Err,
-		Attempts: rec.Attempts,
+		Spec:       spec,
+		Report:     r,
+		Outcome:    rec.Outcome,
+		Kind:       rec.Kind,
+		Err:        rec.Err,
+		Attempts:   rec.Attempts,
+		Robustness: robust,
 	})
+	if robust != nil {
+		s.RobustnessScores = append(s.RobustnessScores, robust.Value)
+		for kind, verdict := range robust.Verdicts {
+			s.RobustnessVerdicts[fmt.Sprintf("%s/%s", kind, verdict)]++
+		}
+	}
 	switch rec.Outcome {
 	case scan.OutcomeFailed:
 		s.Failed++

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"h2scope/internal/flowcontrol"
@@ -23,6 +24,20 @@ const fixedDate = "Tue, 05 Jul 2016 10:00:00 GMT"
 // tinyWindowThreshold is the stream-window size below which the
 // TinyWindowZeroData and TinyWindowSilent behaviors trigger.
 const tinyWindowThreshold = 64
+
+// maxHeaderBlockBytes bounds the accumulated HEADERS+CONTINUATION fragment
+// for one header block. Without it a peer can stream CONTINUATION frames
+// forever, growing the buffer unboundedly while the connection makes no
+// progress (the CONTINUATION-flood attack); past the bound the connection is
+// torn down with ENHANCE_YOUR_CALM.
+const maxHeaderBlockBytes = 256 << 10
+
+// defaultMaxHeaderListBytes caps the *decoded* size of one header block
+// when the profile does not advertise SETTINGS_MAX_HEADER_LIST_SIZE. A
+// few-KiB HPACK bomb expands thousandsfold through dynamic-table
+// references, so the cap is enforced by the decoder during expansion and
+// surfaces as a COMPRESSION_ERROR connection error.
+const defaultMaxHeaderListBytes = 256 << 10
 
 // Server is an HTTP/2 origin server for one Site, with behavior selected by
 // a Profile.
@@ -49,6 +64,9 @@ type Server struct {
 	conns  map[*conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// det is the attack detector, when StartDetector attached one.
+	det *Detector
 }
 
 // New returns a server for site with the given behavior profile.
@@ -125,6 +143,14 @@ func (s *Server) Close() {
 		_ = l.Close()
 	}
 	s.wg.Wait()
+	s.detector().Stop()
+}
+
+// detector returns the attached attack detector, or nil.
+func (s *Server) detector() *Detector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.det
 }
 
 // Shutdown closes gracefully (RFC 7540 section 6.8): listeners stop
@@ -212,6 +238,14 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		firstSent:     make(map[uint32]bool),
 	}
 	c.sched = priority.NewScheduler(c.tree)
+	// Bound decoded header blocks (the HPACK-bomb guard): the advertised
+	// SETTINGS_MAX_HEADER_LIST_SIZE when the profile has one, a defensive
+	// default otherwise.
+	if limit := s.profile.MaxHeaderListSize; limit > 0 {
+		c.dec.SetMaxHeaderListSize(limit)
+	} else {
+		c.dec.SetMaxHeaderListSize(defaultMaxHeaderListBytes)
+	}
 	if s.Metrics != nil {
 		// Install the framer hook before serve() starts reading; the framer
 		// is single-threaded at this point.
@@ -227,8 +261,15 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		c.fr.SetTrace(func(sent bool, hdr frame.Header) {
 			s.Trace.Frame(id, sent, hdr)
 		})
+		c.traceErr = func(detail string) { s.Trace.Error(id, detail) }
 		s.Trace.ConnOpen(id, nc.RemoteAddr().String())
 		defer func() { s.Trace.ConnClose(id, "") }()
+		if d := s.detector(); d != nil {
+			// Register for mitigation under the same trace conn ID the
+			// detector sees in the event stream.
+			d.register(id, c)
+			defer d.unregister(id)
+		}
 	}
 	if !s.track(c) {
 		return errors.New("server: closed")
@@ -314,6 +355,45 @@ type conn struct {
 	// contStream, when nonzero, is the stream whose header block is being
 	// continued.
 	contStream uint32
+
+	// traceErr, when non-nil, records a connection error on the trace bus
+	// (the detector corroborates HPACK-bomb scoring with it).
+	traceErr func(detail string)
+
+	// Detector mitigation state, written by the detector goroutine and read
+	// by the serve goroutine, hence atomic. readDelay (ns) throttles the
+	// read loop between frames; streamCap, when nonzero, overrides the
+	// profile's concurrent-stream limit downward; maxSeenClient mirrors the
+	// highest client stream ID for cross-goroutine GOAWAY (maxClientStream
+	// walks c.streams, which only the serve goroutine may touch); killed
+	// makes the GOAWAY+close mitigation idempotent.
+	readDelay     atomic.Int64
+	streamCap     atomic.Int64
+	maxSeenClient atomic.Uint32
+	killed        atomic.Bool
+}
+
+// mitigateRateLimit throttles the connection's read loop: the serve
+// goroutine sleeps d between frames. Safe from any goroutine.
+func (c *conn) mitigateRateLimit(d time.Duration) { c.readDelay.Store(int64(d)) }
+
+// mitigateStreamCap refuses new streams beyond n (RST_STREAM with
+// REFUSED_STREAM), regardless of the profile's advertised limit. Safe from
+// any goroutine.
+func (c *conn) mitigateStreamCap(n int64) { c.streamCap.Store(n) }
+
+// mitigateGoAway sends GOAWAY(ENHANCE_YOUR_CALM) and closes the socket.
+// The framer serializes writes (see Shutdown), so emitting from the
+// detector goroutine is safe alongside the serve loop; closing the socket
+// then unblocks a serve loop parked in ReadFrame.
+func (c *conn) mitigateGoAway() {
+	if c.killed.Swap(true) {
+		return
+	}
+	if c.fr.WriteGoAway(c.maxSeenClient.Load(), frame.ErrCodeEnhanceYourCalm, []byte("attack mitigated")) == nil {
+		_ = c.fr.Flush()
+	}
+	_ = c.nc.Close()
 }
 
 // newResponseEncoder builds the HPACK encoder the profile calls for.
@@ -354,6 +434,10 @@ func (c *conn) serve() error {
 		return err
 	}
 	for {
+		// Detector rate-limit mitigation: pace the read loop.
+		if d := c.readDelay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
 		f, err := c.fr.ReadFrame()
 		if err != nil {
 			var ce frame.ConnError
@@ -410,6 +494,9 @@ func (c *conn) readPreface() error {
 // since every caller tears the connection down right after.
 func (c *conn) goAway(code frame.ErrCode, debug string) error {
 	c.goingAway = true
+	if c.traceErr != nil && code != frame.ErrCodeNo {
+		c.traceErr(debug)
+	}
 	var debugData []byte
 	if debug != "" {
 		debugData = []byte(debug)
@@ -509,8 +596,16 @@ func (c *conn) handleHeaders(f *frame.HeadersFrame) error {
 	if f.HasPriority() && f.Priority.StreamDep == id {
 		return c.reactSelfDependency(id)
 	}
+	if id > c.maxSeenClient.Load() {
+		c.maxSeenClient.Store(id)
+	}
 	if _, exists := c.streams[id]; !exists {
 		if p.AdvertiseMaxStreams && uint32(c.clientOpen) >= p.MaxConcurrentStreams {
+			return c.fr.WriteRSTStream(id, frame.ErrCodeRefusedStream)
+		}
+		// Detector stream-cap mitigation: a flagged connection gets a much
+		// smaller concurrency budget than the profile advertises.
+		if capN := c.streamCap.Load(); capN > 0 && int64(c.clientOpen) >= capN {
 			return c.fr.WriteRSTStream(id, frame.ErrCodeRefusedStream)
 		}
 	}
@@ -525,6 +620,9 @@ func (c *conn) handleHeaders(f *frame.HeadersFrame) error {
 		}
 	}
 	st.headerFragment = append(st.headerFragment, f.Fragment...)
+	if err := c.checkHeaderBlockBound(st); err != nil {
+		return err
+	}
 	st.headerEnd = f.StreamEnded()
 	if !f.HeadersEnded() {
 		c.contStream = id
@@ -539,11 +637,27 @@ func (c *conn) handleContinuation(f *frame.ContinuationFrame) error {
 		return frame.ConnError{Code: frame.ErrCodeProtocol, Reason: "CONTINUATION for unknown stream"}
 	}
 	st.headerFragment = append(st.headerFragment, f.Fragment...)
+	if err := c.checkHeaderBlockBound(st); err != nil {
+		return err
+	}
 	if !f.HeadersEnded() {
 		return nil
 	}
 	c.contStream = 0
 	return c.finishHeaderBlock(st)
+}
+
+// checkHeaderBlockBound tears the connection down when one header block's
+// accumulated HEADERS+CONTINUATION fragments exceed maxHeaderBlockBytes —
+// the CONTINUATION-flood bound.
+func (c *conn) checkHeaderBlockBound(st *stream) error {
+	if len(st.headerFragment) <= maxHeaderBlockBytes {
+		return nil
+	}
+	return frame.ConnError{
+		Code:   frame.ErrCodeEnhanceYourCalm,
+		Reason: fmt.Sprintf("header block exceeds %d bytes", maxHeaderBlockBytes),
+	}
 }
 
 func (c *conn) finishHeaderBlock(st *stream) error {

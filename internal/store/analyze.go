@@ -36,6 +36,10 @@ type Analysis struct {
 	// HPACKRatios holds measured compression ratios (r <= 1, the paper's
 	// filter).
 	HPACKRatios []float64
+	// RobustnessScores holds per-site adversarial-battery scores in [0,1];
+	// RobustnessVerdicts histograms scenario outcomes ("<kind>/<verdict>").
+	RobustnessScores   []float64
+	RobustnessVerdicts map[string]int
 	// PingRTTsMillis holds minimum h2-PING RTT samples in milliseconds.
 	PingRTTsMillis []float64
 	// Failed and Canceled count stored records whose probe did not
@@ -56,12 +60,20 @@ func Analyze(records []Record) *Analysis {
 		LargeWUConn:  make(map[core.Observation]int),
 		SelfDep:      make(map[core.Observation]int),
 		FailureKinds: make(map[string]int),
+
+		RobustnessVerdicts: make(map[string]int),
 	}
 	for i := range records {
 		rec := &records[i]
 		if rec.IsStatsTrailer() {
 			a.EngineStats = append(a.EngineStats, *rec.Stats)
 			continue
+		}
+		if rec.Robustness != nil {
+			a.RobustnessScores = append(a.RobustnessScores, rec.Robustness.Value)
+			for kind, verdict := range rec.Robustness.Verdicts {
+				a.RobustnessVerdicts[fmt.Sprintf("%s/%s", kind, verdict)]++
+			}
 		}
 		switch rec.Outcome {
 		case scan.OutcomeFailed.String():
@@ -187,6 +199,13 @@ func (a *Analysis) String() string {
 		cdf := a.HPACKRatioCDF()
 		fmt.Fprintf(&b, "  HPACK ratio: p25 %.2f / p50 %.2f / p75 %.2f\n",
 			cdf.Quantile(0.25), cdf.Quantile(0.5), cdf.Quantile(0.75))
+	}
+	if n := len(a.RobustnessScores); n > 0 {
+		sum := 0.0
+		for _, v := range a.RobustnessScores {
+			sum += v
+		}
+		fmt.Fprintf(&b, "  robustness: %d sites scored, mean %.2f\n", n, sum/float64(n))
 	}
 	return b.String()
 }

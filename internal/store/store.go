@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"h2scope/internal/attack"
 	"h2scope/internal/core"
 	"h2scope/internal/metrics"
 	"h2scope/internal/scan"
@@ -42,6 +43,9 @@ type Record struct {
 	// TraceFile points at the site's exported frame-level trace (JSONL,
 	// rendered by cmd/h2trace) when the scan ran with tracing enabled.
 	TraceFile string `json:"traceFile,omitempty"`
+	// Robustness is the site's adversarial-battery score when the scan ran
+	// the attack battery (see internal/attack).
+	Robustness *attack.Score `json:"robustness,omitempty"`
 	// Stats marks a scan-summary trailer record: one per scan run, holding
 	// the engine's final counter snapshot instead of a per-site report.
 	Stats *scan.Stats `json:"stats,omitempty"`

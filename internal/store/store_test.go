@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"h2scope/internal/attack"
 	"h2scope/internal/core"
 	"h2scope/internal/netsim"
 	"h2scope/internal/population"
@@ -196,5 +197,70 @@ func TestAnalyzeStoredScan(t *testing.T) {
 	}
 	if out := a.String(); !strings.Contains(out, "offline analysis of 20") {
 		t.Errorf("rendering:\n%s", out)
+	}
+}
+
+// TestRobustnessRoundTripAndAnalyze pins the robustness column: a stored
+// Score survives the JSON round trip, Analyze folds it into the offline
+// aggregates, and the rendered report mentions it.
+func TestRobustnessRoundTripAndAnalyze(t *testing.T) {
+	score := &attack.Score{
+		Verdicts: map[attack.Kind]attack.Verdict{
+			attack.KindRapidReset: attack.VerdictSurvived,
+			attack.KindHPACKBomb:  attack.VerdictDegraded,
+		},
+		Survived: 1,
+		Total:    2,
+		Value:    0.75,
+	}
+	var buf bytes.Buffer
+	w := store.NewWriter(&buf)
+	recs := []*store.Record{
+		{Domain: "robust.example", ScannedAt: time.Unix(0, 0), Robustness: score},
+		{Domain: "plain.example", ScannedAt: time.Unix(0, 0)},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"robustness"`) {
+		t.Errorf("serialized record missing robustness field:\n%s", buf.String())
+	}
+	if strings.Count(buf.String(), `"robustness"`) != 1 {
+		t.Errorf("robustness field not omitted when nil:\n%s", buf.String())
+	}
+
+	records, err := store.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	got := records[0].Robustness
+	if got == nil {
+		t.Fatal("robustness score lost in round trip")
+	}
+	if got.Value != 0.75 || got.Survived != 1 || got.Total != 2 {
+		t.Errorf("score = %+v, want value 0.75 survived 1 total 2", got)
+	}
+	if got.Verdicts[attack.KindHPACKBomb] != attack.VerdictDegraded {
+		t.Errorf("verdicts = %v", got.Verdicts)
+	}
+	if records[1].Robustness != nil {
+		t.Errorf("plain record gained a robustness score: %+v", records[1].Robustness)
+	}
+
+	a := store.Analyze(records)
+	if len(a.RobustnessScores) != 1 || a.RobustnessScores[0] != 0.75 {
+		t.Errorf("RobustnessScores = %v, want [0.75]", a.RobustnessScores)
+	}
+	if a.RobustnessVerdicts["rapid-reset/survived"] != 1 ||
+		a.RobustnessVerdicts["hpack-bomb/degraded"] != 1 {
+		t.Errorf("RobustnessVerdicts = %v", a.RobustnessVerdicts)
+	}
+	if out := a.String(); !strings.Contains(out, "robustness: 1 sites scored, mean 0.75") {
+		t.Errorf("analysis report missing robustness line:\n%s", out)
 	}
 }

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"h2scope/internal/frame"
+)
+
+func emitN(tr *Tracer, conn uint64, n int) {
+	for i := 0; i < n; i++ {
+		tr.Frame(conn, false, frame.Header{Type: frame.TypeData, StreamID: 1, Length: uint32(i)})
+	}
+}
+
+func TestSubscriptionDeliversInEmitOrder(t *testing.T) {
+	tr := New(64)
+	sub := tr.Subscribe(32)
+	conn := tr.ConnID()
+	emitN(tr, conn, 10)
+
+	evs := sub.Drain(nil)
+	if len(evs) != 10 {
+		t.Fatalf("drained %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Length != i {
+			t.Fatalf("event %d has Length %d, want %d (emit order)", i, ev.Length, i)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("Seq regresses at %d", i)
+		}
+	}
+	if got := sub.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+	if got := sub.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// TestSubscriptionLagDropsOldest is the drop-accounting regression test: a
+// lagging consumer with a buffer of 8 that misses 20 events must see
+// exactly the newest 8, in order, with Dropped() == 12 — overwrite-oldest,
+// never block, never lie about losses.
+func TestSubscriptionLagDropsOldest(t *testing.T) {
+	tr := New(64)
+	sub := tr.Subscribe(8)
+	conn := tr.ConnID()
+	emitN(tr, conn, 20)
+
+	if got := sub.Pending(); got != 8 {
+		t.Fatalf("Pending = %d, want 8", got)
+	}
+	if got := sub.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+	evs := sub.Drain(nil)
+	if len(evs) != 8 {
+		t.Fatalf("drained %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 12 + i; ev.Length != want {
+			t.Fatalf("event %d has Length %d, want %d (newest 8 retained)", i, ev.Length, want)
+		}
+	}
+	// The counter is cumulative: another overflow keeps adding.
+	emitN(tr, conn, 9)
+	if got := sub.Dropped(); got != 13 {
+		t.Fatalf("Dropped after second overflow = %d, want 13", got)
+	}
+}
+
+func TestSubscriptionDrainReusesBuffer(t *testing.T) {
+	tr := New(64)
+	sub := tr.Subscribe(16)
+	conn := tr.ConnID()
+	emitN(tr, conn, 5)
+	scratch := sub.Drain(nil)
+	if len(scratch) != 5 {
+		t.Fatalf("first drain = %d events, want 5", len(scratch))
+	}
+	emitN(tr, conn, 3)
+	scratch = sub.Drain(scratch[:0])
+	if len(scratch) != 3 {
+		t.Fatalf("second drain = %d events, want 3", len(scratch))
+	}
+}
+
+func TestSubscriptionWakeupSignal(t *testing.T) {
+	tr := New(64)
+	sub := tr.Subscribe(16)
+	select {
+	case <-sub.C():
+		t.Fatal("wakeup before any emit")
+	default:
+	}
+	tr.Frame(tr.ConnID(), false, frame.Header{Type: frame.TypePing})
+	select {
+	case <-sub.C():
+	default:
+		t.Fatal("no wakeup after emit")
+	}
+	if got := len(sub.Drain(nil)); got != 1 {
+		t.Fatalf("drained %d, want the 1 ping", got)
+	}
+	// Level-style: many emits, at most one token; a drain-until-empty
+	// consumer still sees everything.
+	emitN(tr, tr.ConnID(), 10)
+	if got := len(sub.Drain(nil)); got != 10 {
+		t.Fatalf("drained %d, want 10", got)
+	}
+}
+
+func TestSubscriptionCloseDetaches(t *testing.T) {
+	tr := New(64)
+	sub := tr.Subscribe(16)
+	conn := tr.ConnID()
+	emitN(tr, conn, 4)
+	sub.Close()
+	if got := sub.Pending(); got != 0 {
+		t.Fatalf("Pending after close = %d, want 0", got)
+	}
+	// Emits after close are not delivered and not counted as drops.
+	emitN(tr, conn, 4)
+	if got := len(sub.Drain(nil)); got != 0 {
+		t.Fatalf("drained %d events after close, want 0", got)
+	}
+	if got := sub.Dropped(); got != 0 {
+		t.Fatalf("Dropped after close = %d, want 0", got)
+	}
+	sub.Close() // idempotent
+}
+
+func TestSubscriptionMultipleIndependent(t *testing.T) {
+	tr := New(64)
+	a := tr.Subscribe(4)
+	b := tr.Subscribe(32)
+	conn := tr.ConnID()
+	emitN(tr, conn, 10)
+	if got := a.Dropped(); got != 6 {
+		t.Fatalf("small subscriber Dropped = %d, want 6", got)
+	}
+	if got := len(b.Drain(nil)); got != 10 {
+		t.Fatalf("large subscriber drained %d, want 10", got)
+	}
+	a.Close()
+	emitN(tr, conn, 5)
+	if got := len(b.Drain(nil)); got != 5 {
+		t.Fatalf("surviving subscriber drained %d after peer close, want 5", got)
+	}
+}
+
+func TestSubscriptionNilSafe(t *testing.T) {
+	var tr *Tracer
+	sub := tr.Subscribe(8)
+	if sub != nil {
+		t.Fatal("nil tracer returned non-nil subscription")
+	}
+	if got := sub.Drain(nil); got != nil {
+		t.Fatalf("nil Drain = %v", got)
+	}
+	if sub.Pending() != 0 || sub.Dropped() != 0 {
+		t.Fatal("nil subscription reports queued state")
+	}
+	if sub.C() != nil {
+		t.Fatal("nil subscription returned non-nil channel")
+	}
+	sub.Close()
+}
+
+// TestSubscriptionConcurrentEmitDrain hammers push/drain/close from
+// separate goroutines; with -race this pins the locking discipline.
+func TestSubscriptionConcurrentEmitDrain(t *testing.T) {
+	tr := New(256)
+	sub := tr.Subscribe(64)
+	conn := tr.ConnID()
+	var wg sync.WaitGroup
+	emitDone := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		emitN(tr, conn, 2000)
+		close(emitDone)
+	}()
+	drained := 0
+	go func() {
+		defer wg.Done()
+		var scratch []Event
+		for {
+			select {
+			case <-sub.C():
+			case <-emitDone:
+				drained += len(sub.Drain(scratch[:0]))
+				return
+			}
+			scratch = sub.Drain(scratch[:0])
+			drained += len(scratch)
+		}
+	}()
+	wg.Wait()
+	// Conservation: every emitted frame event was either drained or dropped.
+	rest := len(sub.Drain(nil))
+	total := uint64(drained) + uint64(rest) + sub.Dropped()
+	if total != 2000 {
+		t.Fatalf("drained %d + rest %d + dropped %d = %d, want 2000", drained, rest, sub.Dropped(), total)
+	}
+	sub.Close()
+}

@@ -196,6 +196,12 @@ type Tracer struct {
 	ring  *ring
 	phase atomic.Pointer[string]
 	conns atomic.Uint64
+
+	// subs is the copy-on-write subscriber list; emit reads it with one
+	// atomic load, so a tracer with no subscribers pays a single pointer
+	// check per event. subMu serializes Subscribe/unsubscribe rewrites.
+	subMu sync.Mutex
+	subs  atomic.Pointer[[]*Subscription]
 }
 
 // New returns a tracer retaining up to capacity events (DefaultCapacity
@@ -251,6 +257,11 @@ func (t *Tracer) emit(ev Event) {
 		}
 	}
 	t.ring.emit(&ev)
+	if subs := t.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			s.push(ev)
+		}
+	}
 }
 
 // ConnID reserves the next connection index for Frame/ConnOpen/ConnClose
