@@ -11,6 +11,7 @@
 //	h2census -scale 0.1              # a 10%-scale universe
 //	h2census -sample 500 -retries 3 -timeout 2s -progress 5s -out scan.jsonl
 //	h2census -sample 100 -robustness # score each sampled site's attack resilience
+//	h2census -sample 100 -fingerprint # re-dial each site as curl/Chrome/Firefox/Go and diff responses
 //	h2census -analyze scan.jsonl     # offline re-analysis of a records file
 package main
 
@@ -40,19 +41,20 @@ func main() {
 
 // options carries the parsed, validated command line.
 type options struct {
-	epoch      int
-	scale      float64
-	seed       int64
-	sample     int
-	parallel   int
-	retries    int
-	timeout    time.Duration
-	progress   time.Duration
-	outPath    string
-	traceDir   string
-	analyze    string
-	debugAddr  string
-	robustness bool
+	epoch       int
+	scale       float64
+	seed        int64
+	sample      int
+	parallel    int
+	retries     int
+	timeout     time.Duration
+	progress    time.Duration
+	outPath     string
+	traceDir    string
+	analyze     string
+	debugAddr   string
+	robustness  bool
+	fingerprint bool
 
 	// debugStarted and onScanRecord are test seams: debugStarted receives
 	// the debug server's bound address once it is listening, onScanRecord
@@ -86,6 +88,7 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.StringVar(&o.analyze, "analyze", "", "skip generation: analyze a previously written records file and exit")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) while the census runs")
 	fs.BoolVar(&o.robustness, "robustness", false, "also run the short adversarial battery against each sampled site and score its resilience; needs -sample > 0")
+	fs.BoolVar(&o.fingerprint, "fingerprint", false, "also re-dial each sampled site impersonating the builtin client profiles and record whether responses differ; needs -sample > 0")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -137,6 +140,9 @@ func (o *options) validate() error {
 	}
 	if o.robustness && o.sample == 0 {
 		return fmt.Errorf("-robustness needs a measured scan; set -sample > 0")
+	}
+	if o.fingerprint && o.sample == 0 {
+		return fmt.Errorf("-fingerprint needs a measured scan; set -sample > 0")
 	}
 	return nil
 }
@@ -248,6 +254,7 @@ func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, c
 		TraceDir:    o.traceDir,
 		Metrics:     reg,
 		Robustness:  o.robustness,
+		Fingerprint: o.fingerprint,
 	}
 	if o.progress > 0 {
 		scanOpts.Progress = stderr

@@ -39,10 +39,11 @@ func run() error {
 		authority   = flag.String("authority", "testbed.example", ":authority for requests")
 		useTLS      = flag.Bool("tls", false, "connect with TLS and negotiate h2 via ALPN")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-check timeout")
+		adaptive    = flag.Bool("adaptive", false, "the target intentionally re-tunes SETTINGS per client fingerprint; exempt it from the stability check")
 	)
 	flag.Parse()
 
-	env := &conformance.Env{Authority: *authority, Timeout: *timeout}
+	env := &conformance.Env{Authority: *authority, Timeout: *timeout, FingerprintAdaptive: *adaptive}
 	switch {
 	case *profileName != "":
 		var profile h2scope.Profile
@@ -60,8 +61,19 @@ func run() error {
 		go func() {
 			_ = srv.Serve(l)
 		}()
+		// A TLS twin of the same server backs the record-layer checks.
+		cert, err := tlsutil.SelfSignedCert(*authority)
+		if err != nil {
+			return fmt.Errorf("generating testbed certificate: %w", err)
+		}
+		tl := netsim.NewListener("conform-tls")
+		go func() {
+			_ = srv.Serve(tlsutil.NewFingerprintListener(tl, tlsutil.ServerConfig(cert, true)))
+		}()
 		defer srv.Close()
 		env.Dialer = core.DialerFunc(func() (net.Conn, error) { return l.Dial() })
+		env.TLSDialer = core.DialerFunc(func() (net.Conn, error) { return tl.Dial() })
+		env.TLSServerName = *authority
 	case *target != "":
 		env.Dialer = core.DialerFunc(func() (net.Conn, error) {
 			nc, err := net.DialTimeout("tcp", *target, *timeout)
@@ -82,6 +94,14 @@ func run() error {
 			}
 			return tc, nil
 		})
+		if *useTLS {
+			// The record-layer checks write their own ClientHello, so
+			// their dialer hands back the raw TCP connection.
+			env.TLSDialer = core.DialerFunc(func() (net.Conn, error) {
+				return net.DialTimeout("tcp", *target, *timeout)
+			})
+			env.TLSServerName = *authority
+		}
 	default:
 		flag.Usage()
 		return fmt.Errorf("need -target or -profile")

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"h2scope/internal/fingerprint"
+	"h2scope/internal/h2conn"
+	"h2scope/internal/server"
+	"h2scope/internal/tlsutil"
+	"h2scope/internal/trace"
+)
+
+// startTLSServer runs a testbed server behind a fingerprinting TLS
+// listener on a real loopback port and returns its address.
+func startTLSServer(t *testing.T) string {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	cert, err := tlsutil.SelfSignedCert("fp.example")
+	if err != nil {
+		t.Fatalf("cert: %v", err)
+	}
+	l := tlsutil.NewFingerprintListener(inner, tlsutil.ServerConfig(cert, true))
+	srv := server.New(server.ApacheProfile(), server.DefaultSite("fp.example"))
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { srv.Close() })
+	return inner.Addr().String()
+}
+
+func TestLiveEchoImpersonation(t *testing.T) {
+	addr := startTLSServer(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-target", addr, "-impersonate", "chrome", "-sni", "fp.example"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"ja3:", "ja4:", "sni:      fp.example", "alpn:     h2", "ja4h:", "h2:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "impersonation: chrome -> match") {
+		t.Errorf("impersonation round trip not confirmed:\n%s", got)
+	}
+}
+
+func TestLiveEchoUnknownProfile(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-target", "127.0.0.1:1", "-impersonate", "netscape"}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown profile") {
+		t.Errorf("stderr:\n%s", errOut.String())
+	}
+}
+
+func TestSketchTrace(t *testing.T) {
+	// Produce a real trace: a firefox-impersonated connection against an
+	// in-process server, exported to a JSONL file.
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := server.New(server.ApacheProfile(), server.DefaultSite("trace.example"))
+	go func() { _ = srv.Serve(inner) }()
+	t.Cleanup(func() { srv.Close() })
+
+	tracer := trace.New(1024)
+	nc, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	opts := h2conn.DefaultOptions()
+	opts.Impersonate = fingerprint.FirefoxProfile()
+	opts.Tracer = tracer
+	c, err := h2conn.Dial(nc, opts)
+	if err != nil {
+		t.Fatalf("h2 dial: %v", err)
+	}
+	if _, err := c.FetchBody(h2conn.Request{Authority: "trace.example", Path: "/"}, 5*time.Second); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	_ = c.Close()
+
+	path := filepath.Join(t.TempDir(), "conn.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, "trace.example", tracer); err != nil {
+		t.Fatalf("trace write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-trace", path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr:\n%s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "priorities=6") || !strings.Contains(got, "guess=firefox") {
+		t.Errorf("sketch did not recognize the firefox preamble:\n%s", got)
+	}
+}
+
+func TestProfilesListing(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-profiles"}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	for _, name := range []string{"curl", "chrome", "firefox", "go"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("listing missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestModeFlagsAreExclusive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-profiles", "-trace", "x.jsonl"}, &out, &errOut); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("bare run = %d, want 2", code)
+	}
+}

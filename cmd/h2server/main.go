@@ -9,7 +9,6 @@
 package main
 
 import (
-	"crypto/tls"
 	"flag"
 	"fmt"
 	"net"
@@ -102,7 +101,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		l = tls.NewListener(l, tlsutil.ServerConfig(cert, profile.SupportsALPN))
+		// The fingerprinting listener peeks each ClientHello before the
+		// handshake, so /fp can echo JA3/JA4 alongside the h2 fingerprint.
+		l = tlsutil.NewFingerprintListener(l, tlsutil.ServerConfig(cert, profile.SupportsALPN))
 		fmt.Printf("serving %s (profile %s) on https://%s (ALPN %v)\n",
 			*domain, profile.Family, *addr, profile.SupportsALPN)
 	} else {

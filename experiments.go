@@ -462,5 +462,9 @@ func RenderScan(sum *ScanSummary) string {
 			fmt.Fprintf(&b, "  %s: %d\n", k, sum.RobustnessVerdicts[k])
 		}
 	}
+	if sum.FingerprintSites > 0 {
+		fmt.Fprintf(&b, "fingerprint sweep: %d sites / %d echoed /fp / %d served by client\n",
+			sum.FingerprintSites, sum.FingerprintEcho, sum.FingerprintDiffers)
+	}
 	return b.String()
 }

@@ -1,3 +1,3 @@
 module h2scope
 
-go 1.22
+go 1.24

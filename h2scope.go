@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"h2scope/internal/core"
+	"h2scope/internal/fingerprint"
 	"h2scope/internal/h2conn"
 	"h2scope/internal/metrics"
 	"h2scope/internal/population"
@@ -90,7 +91,25 @@ type (
 	Request = h2conn.Request
 	// Response aggregates one stream's response events.
 	Response = h2conn.Response
+
+	// ClientProfile describes a real client's wire fingerprint, used for
+	// impersonation (ClientOptions.Impersonate) and as the expected value
+	// a fingerprinting server should read back.
+	ClientProfile = fingerprint.ClientProfile
+	// FingerprintEcho is the /fp endpoint's response document.
+	FingerprintEcho = fingerprint.Echo
+	// FingerprintCensus is the impersonation-sweep verdict for one site.
+	FingerprintCensus = fingerprint.CensusResult
 )
+
+// ClientProfiles returns the builtin impersonation catalog (curl, chrome,
+// firefox, go).
+func ClientProfiles() []*ClientProfile { return fingerprint.BuiltinProfiles() }
+
+// ClientProfileByName resolves an impersonation profile case-insensitively.
+func ClientProfileByName(name string) (*ClientProfile, error) {
+	return fingerprint.ProfileByName(name)
+}
 
 // Re-exported enumerations.
 const (
@@ -210,17 +229,18 @@ func WriteScanRecords(w io.Writer, epoch Epoch, scannedAt time.Time, sum *ScanSu
 			serverName = res.Report.Settings.ServerHeader
 		}
 		rec := &store.Record{
-			Domain:     res.Spec.Domain,
-			Epoch:      epoch.String(),
-			ServerName: serverName,
-			ScannedAt:  scannedAt,
-			Report:     res.Report,
-			Outcome:    res.Outcome.String(),
-			ErrorKind:  res.Kind.String(),
-			Error:      res.Err,
-			Attempts:   res.Attempts,
-			TraceFile:  res.TraceFile,
-			Robustness: res.Robustness,
+			Domain:      res.Spec.Domain,
+			Epoch:       epoch.String(),
+			ServerName:  serverName,
+			ScannedAt:   scannedAt,
+			Report:      res.Report,
+			Outcome:     res.Outcome.String(),
+			ErrorKind:   res.Kind.String(),
+			Error:       res.Err,
+			Attempts:    res.Attempts,
+			TraceFile:   res.TraceFile,
+			Robustness:  res.Robustness,
+			Fingerprint: res.Fingerprint,
 		}
 		if res.Outcome == scan.OutcomeSuccess {
 			rec.ErrorKind = ""

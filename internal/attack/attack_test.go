@@ -14,6 +14,7 @@ import (
 	"h2scope/internal/netsim"
 	"h2scope/internal/pageload"
 	"h2scope/internal/server"
+	"h2scope/internal/tlsutil"
 	"h2scope/internal/trace"
 )
 
@@ -245,6 +246,16 @@ func TestDetectorNoFalsePositives(t *testing.T) {
 	go func() {
 		_ = srv.Serve(l)
 	}()
+	// The record-layer conformance checks (GREASE ClientHello) need a TLS
+	// twin of the same server; their handshakes are benign traffic too.
+	cert, err := tlsutil.SelfSignedCert("attack.example")
+	if err != nil {
+		t.Fatalf("cert: %v", err)
+	}
+	tl := netsim.NewListener("attack-benign-tls")
+	go func() {
+		_ = srv.Serve(tlsutil.NewFingerprintListener(tl, tlsutil.ServerConfig(cert, true)))
+	}()
 	t.Cleanup(srv.Close)
 
 	env := &conformance.Env{
@@ -254,6 +265,8 @@ func TestDetectorNoFalsePositives(t *testing.T) {
 		LargePath:      "/large/1",
 		Timeout:        5 * time.Second,
 		ReactionWindow: 100 * time.Millisecond,
+		TLSDialer:      core.DialerFunc(func() (net.Conn, error) { return tl.Dial() }),
+		TLSServerName:  "attack.example",
 	}
 	// The benign corpus is the RFC-conformance checks; the attack/* checks
 	// are intentionally adversarial, so they are exactly what the detector

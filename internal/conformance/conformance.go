@@ -87,6 +87,16 @@ type Env struct {
 	// Timeout bounds waits; ReactionWindow bounds ignore-detection.
 	Timeout        time.Duration
 	ReactionWindow time.Duration
+	// TLSDialer opens raw transport connections to the target's TLS
+	// port, for checks that speak the record layer themselves; nil when
+	// the target has no TLS endpoint (those checks then Skip).
+	TLSDialer core.Dialer
+	// TLSServerName is the SNI offered on TLSDialer connections.
+	TLSServerName string
+	// FingerprintAdaptive declares that the target intentionally re-tunes
+	// SETTINGS per passive client fingerprint, exempting it from the
+	// fingerprint-stability requirement.
+	FingerprintAdaptive bool
 }
 
 // connect opens an HTTP/2 connection with opts.
@@ -272,6 +282,7 @@ func Suite() []Check {
 		},
 	}
 	checks = append(checks, attackChecks()...)
+	checks = append(checks, fingerprintChecks()...)
 	sort.Slice(checks, func(i, j int) bool { return checks[i].ID < checks[j].ID })
 	return checks
 }

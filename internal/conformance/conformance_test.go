@@ -10,6 +10,7 @@ import (
 	"h2scope/internal/core"
 	"h2scope/internal/netsim"
 	"h2scope/internal/server"
+	"h2scope/internal/tlsutil"
 )
 
 func newEnv(t *testing.T, p server.Profile) *conformance.Env {
@@ -19,12 +20,24 @@ func newEnv(t *testing.T, p server.Profile) *conformance.Env {
 	go func() {
 		_ = srv.Serve(l)
 	}()
+	// A second, TLS-wrapped listener on the same server backs the checks
+	// that speak the record layer themselves (GREASE ClientHello).
+	cert, err := tlsutil.SelfSignedCert("conf.example")
+	if err != nil {
+		t.Fatalf("cert: %v", err)
+	}
+	tl := netsim.NewListener("conformance-tls")
+	go func() {
+		_ = srv.Serve(tlsutil.NewFingerprintListener(tl, tlsutil.ServerConfig(cert, true)))
+	}()
 	t.Cleanup(srv.Close)
 	return &conformance.Env{
 		Dialer:         core.DialerFunc(func() (net.Conn, error) { return l.Dial() }),
 		Authority:      "conf.example",
 		Timeout:        5 * time.Second,
 		ReactionWindow: 100 * time.Millisecond,
+		TLSDialer:      core.DialerFunc(func() (net.Conn, error) { return tl.Dial() }),
+		TLSServerName:  "conf.example",
 	}
 }
 
@@ -166,5 +179,72 @@ func TestAttackResilienceChecks(t *testing.T) {
 				t.Errorf("verdict = %v (%s), want PASS", r.Verdict, r.Detail)
 			}
 		})
+	}
+}
+
+// TestFingerprintChecks pins the fingerprinting pair: both checks are in
+// the suite and pass against a compliant testbed server.
+func TestFingerprintChecks(t *testing.T) {
+	results := conformance.RunSuite(newEnv(t, server.ApacheProfile()))
+	want := map[string]bool{
+		"9.2/grease-clienthello-alpn":        false,
+		"6.5/settings-fingerprint-stability": false,
+	}
+	for _, r := range results {
+		if _, ok := want[r.ID]; !ok {
+			continue
+		}
+		want[r.ID] = true
+		if r.Verdict != conformance.Pass {
+			t.Errorf("%s: %v (%s)", r.ID, r.Verdict, r.Detail)
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("%s missing from suite", id)
+		}
+	}
+}
+
+// TestGREASECheckSkipsWithoutTLS pins the degraded mode: a cleartext-only
+// env skips (not fails) the record-layer check.
+func TestGREASECheckSkipsWithoutTLS(t *testing.T) {
+	env := newEnv(t, server.ApacheProfile())
+	env.TLSDialer = nil
+	for _, r := range conformance.RunSuite(env) {
+		if r.ID != "9.2/grease-clienthello-alpn" {
+			continue
+		}
+		if r.Verdict != conformance.Skip {
+			t.Errorf("verdict = %v (%s), want Skip", r.Verdict, r.Detail)
+		}
+		return
+	}
+	t.Fatal("check missing from suite")
+}
+
+// TestSettingsStabilityFlagsAdaptiveServer pins the enforcement edge: a
+// server re-tuning SETTINGS by client fingerprint fails the stability
+// check — unless the env declares the behavior intentional.
+func TestSettingsStabilityFlagsAdaptiveServer(t *testing.T) {
+	p := server.ApacheProfile()
+	p.FingerprintAdaptive = true
+	env := newEnv(t, p)
+	find := func(results []conformance.Result) conformance.Result {
+		for _, r := range results {
+			if r.ID == "6.5/settings-fingerprint-stability" {
+				return r
+			}
+		}
+		t.Fatal("check missing from suite")
+		return conformance.Result{}
+	}
+	if r := find(conformance.RunSuite(env)); r.Verdict != conformance.Fail {
+		t.Errorf("undeclared adaptive server: verdict = %v (%s), want Fail", r.Verdict, r.Detail)
+	}
+	env2 := newEnv(t, p)
+	env2.FingerprintAdaptive = true
+	if r := find(conformance.RunSuite(env2)); r.Verdict != conformance.Pass {
+		t.Errorf("declared adaptive server: verdict = %v (%s), want Pass", r.Verdict, r.Detail)
 	}
 }

@@ -1,0 +1,137 @@
+package fingerprint
+
+import (
+	"fmt"
+	"strings"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/hpack"
+)
+
+// H2Priority is one PRIORITY frame (or HEADERS priority block) observed
+// before the first request, in the akamai fingerprint's terms.
+type H2Priority struct {
+	StreamID  uint32 `json:"stream"`
+	Exclusive bool   `json:"exclusive"`
+	DepStream uint32 `json:"dep"`
+	Weight    uint8  `json:"weight"`
+}
+
+// H2Fingerprint is the HTTP/2 behavioral fingerprint of one client
+// connection, assembled from the frames between the connection preface
+// and the first complete request.
+type H2Fingerprint struct {
+	// Settings is the client's initial SETTINGS list in wire order.
+	Settings []frame.Setting `json:"settings"`
+	// WindowUpdate is the first connection-level WINDOW_UPDATE increment
+	// sent before the first request; 0 if the client sent none.
+	WindowUpdate uint32 `json:"window_update"`
+	// Priorities lists PRIORITY frames sent before the first request.
+	Priorities []H2Priority `json:"priorities,omitempty"`
+	// PseudoOrder is the order of the pseudo-header fields on the first
+	// request, e.g. [":method", ":authority", ":scheme", ":path"].
+	PseudoOrder []string `json:"pseudo_order"`
+}
+
+// Akamai renders the fingerprint in the widely used akamai format:
+//
+//	S1:V1;S2:V2|WU|P1,P2|pseudo
+//
+// SETTINGS as id:value pairs in order, then the connection WINDOW_UPDATE
+// delta, then each PRIORITY frame as stream:exclusive:dep:weight (or "0"
+// if none), then the pseudo-header initials joined by commas.
+func (f *H2Fingerprint) Akamai() string {
+	var b strings.Builder
+	b.Grow(96)
+	for i, s := range f.Settings {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d:%d", uint16(s.ID), s.Val)
+	}
+	fmt.Fprintf(&b, "|%d|", f.WindowUpdate)
+	if len(f.Priorities) == 0 {
+		b.WriteByte('0')
+	}
+	for i, p := range f.Priorities {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		excl := 0
+		if p.Exclusive {
+			excl = 1
+		}
+		fmt.Fprintf(&b, "%d:%d:%d:%d", p.StreamID, excl, p.DepStream, p.Weight)
+	}
+	b.WriteByte('|')
+	for i, name := range f.PseudoOrder {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if len(name) >= 2 {
+			b.WriteByte(name[1]) // ":method" → 'm', ":path" → 'p', ...
+		}
+	}
+	return b.String()
+}
+
+// maxPriorities bounds how many pre-request PRIORITY frames the assembler
+// retains, so a priority-flooding client cannot grow the fingerprint
+// without bound. Firefox, the chattiest real client, sends six.
+const maxPriorities = 16
+
+// H2Assembler accumulates the behavioral fingerprint of one connection.
+// It is fed from the server's frame handlers and is not safe for
+// concurrent use; the server calls it only from the serve goroutine.
+type H2Assembler struct {
+	fp   H2Fingerprint
+	done bool
+}
+
+// OnSettings records the client's initial SETTINGS list. Only the first
+// (pre-request) SETTINGS frame contributes to the fingerprint.
+func (a *H2Assembler) OnSettings(settings []frame.Setting) {
+	if a.done || a.fp.Settings != nil {
+		return
+	}
+	a.fp.Settings = append([]frame.Setting(nil), settings...)
+}
+
+// OnWindowUpdate records the first pre-request connection-level window
+// increment. Stream-level updates are ignored.
+func (a *H2Assembler) OnWindowUpdate(streamID, delta uint32) {
+	if a.done || streamID != 0 || a.fp.WindowUpdate != 0 {
+		return
+	}
+	a.fp.WindowUpdate = delta
+}
+
+// OnPriority records a pre-request PRIORITY frame.
+func (a *H2Assembler) OnPriority(p H2Priority) {
+	if a.done || len(a.fp.Priorities) >= maxPriorities {
+		return
+	}
+	a.fp.Priorities = append(a.fp.Priorities, p)
+}
+
+// OnRequestHeaders records the pseudo-header order of the first request
+// and completes the fingerprint.
+func (a *H2Assembler) OnRequestHeaders(fields []hpack.HeaderField) {
+	if a.done {
+		return
+	}
+	for _, f := range fields {
+		if strings.HasPrefix(f.Name, ":") {
+			a.fp.PseudoOrder = append(a.fp.PseudoOrder, f.Name)
+		}
+	}
+	a.done = true
+}
+
+// Complete reports whether a first request has sealed the fingerprint.
+func (a *H2Assembler) Complete() bool { return a.done }
+
+// Fingerprint returns the assembled fingerprint so far. The pointer stays
+// owned by the assembler; callers must not retain it across further
+// frame events unless Complete is true.
+func (a *H2Assembler) Fingerprint() *H2Fingerprint { return &a.fp }

@@ -1,0 +1,57 @@
+package fingerprint
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// JA3 renders the canonical JA3 string for the hello:
+//
+//	SSLVersion,Ciphers,Extensions,EllipticCurves,EllipticCurvePointFormats
+//
+// with each field a dash-joined decimal list in client order and GREASE
+// values removed, per the original Salesforce definition.
+func (h *ClientHello) JA3() string {
+	var b strings.Builder
+	b.Grow(256)
+	b.WriteString(strconv.Itoa(int(h.Version)))
+	b.WriteByte(',')
+	writeDecList(&b, h.CipherSuites)
+	b.WriteByte(',')
+	writeDecList(&b, h.Extensions)
+	b.WriteByte(',')
+	writeDecList(&b, h.Groups)
+	b.WriteByte(',')
+	for i, p := range h.PointFormats {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		b.WriteString(strconv.Itoa(int(p)))
+	}
+	return b.String()
+}
+
+// JA3Hash is the hex MD5 of the JA3 string — the form usually exchanged
+// in blocklists and telemetry.
+func (h *ClientHello) JA3Hash() string {
+	sum := md5.Sum([]byte(h.JA3()))
+	return hex.EncodeToString(sum[:])
+}
+
+// writeDecList appends the GREASE-filtered decimal dash-joined rendering
+// of vs to b.
+func writeDecList(b *strings.Builder, vs []uint16) {
+	first := true
+	for _, v := range vs {
+		if IsGREASE(v) {
+			continue
+		}
+		if !first {
+			b.WriteByte('-')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+}

@@ -1,0 +1,176 @@
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// JA4 renders the FoxIO JA4 TLS-client fingerprint:
+//
+//	a_b_c
+//
+// where a = transport + TLS version + SNI marker + cipher count +
+// extension count + first/last ALPN chars, b = truncated SHA-256 of the
+// sorted cipher list, and c = truncated SHA-256 of the sorted extension
+// list (SNI and ALPN excluded) plus the signature algorithms in client
+// order. GREASE values are excluded everywhere.
+func (h *ClientHello) JA4() string {
+	return h.ja4a() + "_" + h.ja4b() + "_" + h.ja4c()
+}
+
+const ja4EmptyHash = "000000000000"
+
+// ja4a builds the human-readable prefix, e.g. "t13d1516h2".
+func (h *ClientHello) ja4a() string {
+	var b strings.Builder
+	b.Grow(10)
+	b.WriteByte('t') // this plane only sees TCP transports
+	b.WriteString(ja4Version(h.helloVersion()))
+	if h.ServerName != "" {
+		b.WriteByte('d') // destination known: SNI present
+	} else {
+		b.WriteByte('i') // IP-style hello: no SNI
+	}
+	fmt.Fprintf(&b, "%02d", min99(countNonGREASE(h.CipherSuites)))
+	fmt.Fprintf(&b, "%02d", min99(countNonGREASE(h.Extensions)))
+	b.WriteString(ja4ALPN(h.ALPN))
+	return b.String()
+}
+
+// ja4b hashes the sorted GREASE-filtered cipher suites.
+func (h *ClientHello) ja4b() string {
+	return truncatedSHA256(hexJoinSorted(h.CipherSuites))
+}
+
+// ja4c hashes the sorted GREASE-filtered extensions — minus SNI and ALPN,
+// which JA4 treats as content rather than shape — with the signature
+// algorithms appended in original order.
+func (h *ClientHello) ja4c() string {
+	exts := make([]uint16, 0, len(h.Extensions))
+	for _, e := range h.Extensions {
+		if IsGREASE(e) || ExtensionID(e) == ExtServerName || ExtensionID(e) == ExtALPN {
+			continue
+		}
+		exts = append(exts, e)
+	}
+	s := hexJoinSorted(exts)
+	if sigs := hexJoin(h.SignatureAlgorithms); sigs != "" {
+		s += "_" + sigs
+	}
+	return truncatedSHA256(s)
+}
+
+// helloVersion is the negotiable TLS version the hello advertises: the
+// highest non-GREASE supported_versions entry when present, the
+// legacy_version otherwise.
+func (h *ClientHello) helloVersion() uint16 {
+	var best uint16
+	for _, v := range h.SupportedVersions {
+		if !IsGREASE(v) && v > best {
+			best = v
+		}
+	}
+	if best != 0 {
+		return best
+	}
+	return h.Version
+}
+
+func ja4Version(v uint16) string {
+	switch v {
+	case 0x0304:
+		return "13"
+	case 0x0303:
+		return "12"
+	case 0x0302:
+		return "11"
+	case 0x0301:
+		return "10"
+	case 0x0300:
+		return "s3"
+	default:
+		return "00"
+	}
+}
+
+// ja4ALPN renders the first and last characters of the first offered ALPN
+// protocol, "00" when none was offered. Non-printable edge characters
+// fall back to their low hex nibbles, matching the JA4 spec's handling of
+// binary ALPN values.
+func ja4ALPN(alpn []string) string {
+	if len(alpn) == 0 || alpn[0] == "" {
+		return "00"
+	}
+	p := alpn[0]
+	first, last := p[0], p[len(p)-1]
+	if !isAlnum(first) || !isAlnum(last) {
+		const hexdig = "0123456789abcdef"
+		return string([]byte{hexdig[first&0x0f], hexdig[last&0x0f]})
+	}
+	return string([]byte{first, last})
+}
+
+func isAlnum(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func countNonGREASE(vs []uint16) int {
+	n := 0
+	for _, v := range vs {
+		if !IsGREASE(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func min99(n int) int {
+	if n > 99 {
+		return 99
+	}
+	return n
+}
+
+// hexJoin renders vs as comma-joined 4-digit lowercase hex, skipping
+// GREASE, preserving order.
+func hexJoin(vs []uint16) string {
+	var b strings.Builder
+	b.Grow(5 * len(vs))
+	first := true
+	for _, v := range vs {
+		if IsGREASE(v) {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%04x", v)
+	}
+	return b.String()
+}
+
+// hexJoinSorted is hexJoin over an ascending copy of vs.
+func hexJoinSorted(vs []uint16) string {
+	sorted := make([]uint16, 0, len(vs))
+	for _, v := range vs {
+		if !IsGREASE(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return hexJoin(sorted)
+}
+
+// truncatedSHA256 is the 12-hex-character truncated SHA-256 JA4 uses for
+// its hashed segments; the empty input maps to twelve zeros by spec.
+func truncatedSHA256(s string) string {
+	if s == "" {
+		return ja4EmptyHash
+	}
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:6])
+}

@@ -1,0 +1,120 @@
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"h2scope/internal/hpack"
+)
+
+// JA4H renders the FoxIO JA4H HTTP-request fingerprint from one decoded
+// request header list (pseudo-headers included, in wire order):
+//
+//	a_b_c_d
+//
+// a = method + HTTP version + cookie/referer markers + header count +
+// primary Accept-Language; b = truncated SHA-256 of the header names in
+// order; c and d = truncated SHA-256 of the sorted cookie names and
+// sorted cookie name=value pairs ("000000000000" without cookies).
+// Pseudo-headers, Cookie, and Referer are excluded from the count and
+// from the hashed name list, per spec.
+func JA4H(fields []hpack.HeaderField) string {
+	var (
+		names      []string
+		cookies    []string
+		cookieKVs  []string
+		hasCookie  bool
+		hasReferer bool
+		method     = "??"
+		acceptLang = "0000"
+	)
+	for _, f := range fields {
+		name := strings.ToLower(f.Name)
+		switch {
+		case strings.HasPrefix(name, ":"):
+			if name == ":method" && f.Value != "" {
+				method = strings.ToLower(f.Value)
+				if len(method) > 2 {
+					method = method[:2]
+				}
+			}
+			continue
+		case name == "cookie":
+			hasCookie = true
+			for _, kv := range splitCookies(f.Value) {
+				cookieKVs = append(cookieKVs, kv)
+				if eq := strings.IndexByte(kv, '='); eq >= 0 {
+					cookies = append(cookies, kv[:eq])
+				} else {
+					cookies = append(cookies, kv)
+				}
+			}
+			continue
+		case name == "referer":
+			hasReferer = true
+			continue
+		}
+		if name == "accept-language" {
+			acceptLang = primaryLanguage(f.Value)
+		}
+		names = append(names, name)
+	}
+
+	var a strings.Builder
+	a.WriteString(method)
+	a.WriteString("20") // this plane only fingerprints HTTP/2 requests
+	a.WriteByte(marker(hasCookie, 'c'))
+	a.WriteByte(marker(hasReferer, 'r'))
+	fmt.Fprintf(&a, "%02d", min99(len(names)))
+	a.WriteString(acceptLang)
+
+	b := truncatedSHA256(strings.Join(names, ","))
+
+	c, d := ja4EmptyHash, ja4EmptyHash
+	if len(cookies) > 0 {
+		sort.Strings(cookies)
+		sort.Strings(cookieKVs)
+		c = truncatedSHA256(strings.Join(cookies, ","))
+		d = truncatedSHA256(strings.Join(cookieKVs, ","))
+	}
+	return a.String() + "_" + b + "_" + c + "_" + d
+}
+
+func marker(present bool, c byte) byte {
+	if present {
+		return c
+	}
+	return 'n'
+}
+
+// splitCookies splits a Cookie header value on "; " boundaries, trimming
+// surrounding whitespace from each pair.
+func splitCookies(v string) []string {
+	var out []string
+	for _, part := range strings.Split(v, ";") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// primaryLanguage renders the first Accept-Language tag as four lowercase
+// characters with the dash removed, zero-padded ("en-US" → "enus",
+// "ru" → "ru00", absent → "0000").
+func primaryLanguage(v string) string {
+	if i := strings.IndexAny(v, ",;"); i >= 0 {
+		v = v[:i]
+	}
+	v = strings.ToLower(strings.ReplaceAll(strings.TrimSpace(v), "-", ""))
+	out := make([]byte, 4)
+	for i := range out {
+		if i < len(v) {
+			out[i] = v[i]
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,94 @@
+package fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"h2scope/internal/hpack"
+)
+
+func requestFields(extra ...hpack.HeaderField) []hpack.HeaderField {
+	base := []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":authority", Value: "example.com"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":path", Value: "/"},
+	}
+	return append(base, extra...)
+}
+
+func TestJA4HShape(t *testing.T) {
+	fp := JA4H(requestFields(
+		hpack.HeaderField{Name: "user-agent", Value: "curl/8.5.0"},
+		hpack.HeaderField{Name: "accept", Value: "*/*"},
+	))
+	parts := strings.Split(fp, "_")
+	if len(parts) != 4 {
+		t.Fatalf("JA4H = %s, want 4 _-separated parts", fp)
+	}
+	// ge + 20 + no cookie + no referer + 2 headers + no accept-language.
+	if parts[0] != "ge20nn020000" {
+		t.Errorf("JA4H a-part = %s, want ge20nn020000", parts[0])
+	}
+	if parts[2] != ja4EmptyHash || parts[3] != ja4EmptyHash {
+		t.Errorf("cookieless JA4H = %s, want zeroed c/d parts", fp)
+	}
+}
+
+func TestJA4HMarkersAndLanguage(t *testing.T) {
+	fp := JA4H(requestFields(
+		hpack.HeaderField{Name: "User-Agent", Value: "x"},
+		hpack.HeaderField{Name: "Accept-Language", Value: "en-US,en;q=0.9"},
+		hpack.HeaderField{Name: "Referer", Value: "https://other.example/"},
+		hpack.HeaderField{Name: "Cookie", Value: "b=2; a=1"},
+	))
+	// POST-less GET, cookie + referer present, 2 counted headers
+	// (user-agent, accept-language; cookie and referer excluded), "enus".
+	if !strings.HasPrefix(fp, "ge20cr02enus_") {
+		t.Errorf("JA4H = %s, want ge20cr02enus_ prefix", fp)
+	}
+	if strings.Contains(fp, ja4EmptyHash) {
+		t.Errorf("JA4H = %s: cookie parts should be hashed, not zeroed", fp)
+	}
+}
+
+// TestJA4HCookieOrderInsensitive: cookie names/pairs are sorted, so the
+// same jar in different order yields the same fingerprint.
+func TestJA4HCookieOrderInsensitive(t *testing.T) {
+	a := JA4H(requestFields(hpack.HeaderField{Name: "cookie", Value: "b=2; a=1"}))
+	b := JA4H(requestFields(hpack.HeaderField{Name: "cookie", Value: "a=1; b=2"}))
+	if a != b {
+		t.Errorf("cookie order changed JA4H: %s vs %s", a, b)
+	}
+}
+
+// TestJA4HHeaderOrderSensitive: header order is identity, so swapping
+// two headers must change the b-part.
+func TestJA4HHeaderOrderSensitive(t *testing.T) {
+	a := JA4H(requestFields(
+		hpack.HeaderField{Name: "user-agent", Value: "x"},
+		hpack.HeaderField{Name: "accept", Value: "*/*"},
+	))
+	b := JA4H(requestFields(
+		hpack.HeaderField{Name: "accept", Value: "*/*"},
+		hpack.HeaderField{Name: "user-agent", Value: "x"},
+	))
+	if a == b {
+		t.Errorf("header order did not change JA4H: %s", a)
+	}
+}
+
+func TestPrimaryLanguage(t *testing.T) {
+	cases := map[string]string{
+		"en-US,en;q=0.9": "enus",
+		"ru":             "ru00",
+		"":               "0000",
+		"zh-Hans-CN":     "zhha",
+		" fr-FR ":        "frfr",
+	}
+	for in, want := range cases {
+		if got := primaryLanguage(in); got != want {
+			t.Errorf("primaryLanguage(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

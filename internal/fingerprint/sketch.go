@@ -1,0 +1,132 @@
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/trace"
+)
+
+// Exported traces carry frame headers but not payloads, so SETTINGS
+// values and pseudo-header order are not recoverable offline. What is
+// recoverable is the frame *sequence* each side produced before the
+// first request — which already separates client families (Firefox's
+// six PRIORITY frames, curl's single WINDOW_UPDATE, a bare Go client).
+// A Sketch is that reduced, payload-free behavioral fingerprint.
+
+// Sketch is the offline behavioral sketch of one traced connection.
+type Sketch struct {
+	// Conn is the connection ID within the trace.
+	Conn uint64
+	// Sent and Received are the pre-request frame-type sequences, as
+	// comma-joined short type names (e.g. "SETTINGS,WINDOW_UPDATE,HEADERS").
+	Sent     string
+	Received string
+	// Priorities counts pre-request PRIORITY frames sent by the client.
+	Priorities int
+	// Guess names the builtin client profile whose frame sequence
+	// matches Sent, "" if none does.
+	Guess string
+}
+
+// String renders the sketch as one line for the h2fp CLI.
+func (s Sketch) String() string {
+	guess := s.Guess
+	if guess == "" {
+		guess = "?"
+	}
+	return fmt.Sprintf("conn %d: sent [%s] recv [%s] priorities=%d guess=%s",
+		s.Conn, s.Sent, s.Received, s.Priorities, guess)
+}
+
+// preRequestLimit bounds how many frames of each direction a sketch
+// consumes: everything up to and including the first HEADERS.
+func sequenceUntilHeaders(types []frame.Type) string {
+	var names []string
+	for _, t := range types {
+		names = append(names, t.String())
+		if t == frame.TypeHeaders {
+			break
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+// Sketches reduces an exported trace to per-connection behavioral
+// sketches, ordered by connection ID.
+func Sketches(data *trace.Data) []Sketch {
+	type dirs struct {
+		sent, recv []frame.Type
+	}
+	conns := map[uint64]*dirs{}
+	order := []uint64{}
+	for _, ev := range data.Events {
+		if ev.Kind != trace.KindFrameSent && ev.Kind != trace.KindFrameRecv {
+			continue
+		}
+		// SETTINGS ACKs are reactions to the peer, not client behavior;
+		// dropping them keeps sequences comparable across ack timing.
+		if ev.FrameType == frame.TypeSettings && ev.Flags.Has(frame.FlagAck) {
+			continue
+		}
+		d := conns[ev.Conn]
+		if d == nil {
+			d = &dirs{}
+			conns[ev.Conn] = d
+			order = append(order, ev.Conn)
+		}
+		if ev.Kind == trace.KindFrameSent {
+			d.sent = append(d.sent, ev.FrameType)
+		} else {
+			d.recv = append(d.recv, ev.FrameType)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]Sketch, 0, len(order))
+	for _, id := range order {
+		d := conns[id]
+		s := Sketch{
+			Conn:     id,
+			Sent:     sequenceUntilHeaders(d.sent),
+			Received: sequenceUntilHeaders(d.recv),
+		}
+		for _, t := range d.sent {
+			if t == frame.TypeHeaders {
+				break
+			}
+			if t == frame.TypePriority {
+				s.Priorities++
+			}
+		}
+		s.Guess = guessProfile(s.Sent)
+		out = append(out, s)
+	}
+	return out
+}
+
+// guessProfile matches a sent-frame sequence against the builtin
+// profiles' expected preambles.
+func guessProfile(sent string) string {
+	for _, p := range BuiltinProfiles() {
+		if sent == profileSequence(p) {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// profileSequence renders the frame-type sequence a faithful
+// impersonation of p emits up to its first request.
+func profileSequence(p *ClientProfile) string {
+	types := []frame.Type{frame.TypeSettings}
+	if p.ConnWindowDelta > 0 {
+		types = append(types, frame.TypeWindowUpdate)
+	}
+	for range p.Priorities {
+		types = append(types, frame.TypePriority)
+	}
+	types = append(types, frame.TypeHeaders)
+	return sequenceUntilHeaders(types)
+}

@@ -99,7 +99,8 @@ func TestUncheckedErrGolden(t *testing.T) {
 }
 
 func TestRFCConstGolden(t *testing.T) {
-	runGolden(t, RFCConstAnalyzer, "rfcconst/goodframe", "rfcconst/badframe")
+	runGolden(t, RFCConstAnalyzer, "rfcconst/goodframe", "rfcconst/badframe",
+		"rfcconst/goodfp", "rfcconst/badfp")
 }
 
 func TestConnCloseGolden(t *testing.T) {

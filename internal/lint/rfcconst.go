@@ -17,9 +17,14 @@ import (
 // golden-test replicas — and enforces three things: every declared constant
 // of an enum type must be a name the RFC defines, its value must match the
 // RFC, and no RFC name may be missing from the package.
+//
+// Packages named "fingerprint" get the same treatment for their
+// ExtensionID constants, against the IANA "TLS ExtensionType Values"
+// registry: a typo'd extension code would silently shift every JA3/JA4
+// fingerprint the plane computes.
 var RFCConstAnalyzer = &Analyzer{
 	Name: "rfcconst",
-	Doc:  "verifies frame-type, flag, settings-ID, and error-code constants against RFC 7540",
+	Doc:  "verifies frame-type, flag, settings-ID, error-code, and TLS extension-ID constants against their RFCs",
 	Run:  runRFCConst,
 }
 
@@ -90,10 +95,71 @@ var rfc7540Untyped = map[string]uint64{
 // clientPreface is the section 3.5 connection preface.
 const clientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
 
+// ianaTLSExt holds the IANA "TLS ExtensionType Values" registry codes,
+// keyed by the constant name the fingerprint package uses for each.
+var ianaTLSExt = map[string]uint64{
+	"ExtServerName":           0,
+	"ExtSupportedGroups":      10,
+	"ExtECPointFormats":       11,
+	"ExtSignatureAlgorithms":  13,
+	"ExtALPN":                 16,
+	"ExtSCT":                  18,
+	"ExtPadding":              21,
+	"ExtExtendedMasterSecret": 23,
+	"ExtSessionTicket":        35,
+	"ExtPreSharedKey":         41,
+	"ExtSupportedVersions":    43,
+	"ExtPSKKeyExchangeModes":  45,
+	"ExtKeyShare":             51,
+	"ExtRenegotiationInfo":    0xff01,
+}
+
 func runRFCConst(pass *Pass) {
-	if pass.TypesPkg().Name() != "frame" {
+	switch pass.TypesPkg().Name() {
+	case "frame":
+		runFrameConst(pass)
+	case "fingerprint":
+		runTLSExtConst(pass)
+	}
+}
+
+// runTLSExtConst checks a fingerprint package's ExtensionID constants
+// against the IANA registry, with the same three rules as the frame
+// tables: known names only, registry values only, no registry name absent.
+func runTLSExtConst(pass *Pass) {
+	scope := pass.TypesPkg().Scope()
+	tn, ok := scope.Lookup("ExtensionID").(*types.TypeName)
+	if !ok {
 		return
 	}
+	found := make(map[string]bool, len(ianaTLSExt))
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj() != tn {
+			continue
+		}
+		want, known := ianaTLSExt[name]
+		if !known {
+			pass.Reportf(c.Pos(), "%s is not an IANA TLS ExtensionType constant name", name)
+			continue
+		}
+		found[name] = true
+		if got, exact := constant.Uint64Val(c.Val()); !exact || got != want {
+			pass.Reportf(c.Pos(), "%s = %v, but IANA assigns %d", name, c.Val(), want)
+		}
+	}
+	for constName := range ianaTLSExt {
+		if !found[constName] {
+			pass.Reportf(tn.Pos(), "IANA TLS extension constant %s is not declared", constName)
+		}
+	}
+}
+
+func runFrameConst(pass *Pass) {
 	scope := pass.TypesPkg().Scope()
 
 	// The analyzer only fires on packages declaring the enum types, so a

@@ -1,0 +1,25 @@
+// Package fingerprint is the rfcconst golden positive for the TLS
+// extension table: it seeds a wrong code, a non-registry name, and a
+// missing constant, and expects one diagnostic for each.
+package fingerprint
+
+// ExtensionID is missing ExtRenegotiationInfo.
+type ExtensionID uint16 // want `IANA TLS extension constant ExtRenegotiationInfo is not declared`
+
+// ExtALPN carries SCT's code; ExtTelepathy is not a registry name.
+const (
+	ExtServerName           ExtensionID = 0
+	ExtSupportedGroups      ExtensionID = 10
+	ExtECPointFormats       ExtensionID = 11
+	ExtSignatureAlgorithms  ExtensionID = 13
+	ExtALPN                 ExtensionID = 18 // want `ExtALPN = 18, but IANA assigns 16`
+	ExtSCT                  ExtensionID = 18
+	ExtPadding              ExtensionID = 21
+	ExtExtendedMasterSecret ExtensionID = 23
+	ExtSessionTicket        ExtensionID = 35
+	ExtPreSharedKey         ExtensionID = 41
+	ExtSupportedVersions    ExtensionID = 43
+	ExtPSKKeyExchangeModes  ExtensionID = 45
+	ExtKeyShare             ExtensionID = 51
+	ExtTelepathy            ExtensionID = 99 // want `ExtTelepathy is not an IANA TLS ExtensionType constant name`
+)

@@ -1,0 +1,25 @@
+// Package fingerprint is the rfcconst golden negative for the TLS
+// extension table: a complete, correct ExtensionID vocabulary must
+// produce no diagnostics.
+package fingerprint
+
+// ExtensionID is a TLS extension type code.
+type ExtensionID uint16
+
+// IANA "TLS ExtensionType Values" registry codes.
+const (
+	ExtServerName           ExtensionID = 0
+	ExtSupportedGroups      ExtensionID = 10
+	ExtECPointFormats       ExtensionID = 11
+	ExtSignatureAlgorithms  ExtensionID = 13
+	ExtALPN                 ExtensionID = 16
+	ExtSCT                  ExtensionID = 18
+	ExtPadding              ExtensionID = 21
+	ExtExtendedMasterSecret ExtensionID = 23
+	ExtSessionTicket        ExtensionID = 35
+	ExtPreSharedKey         ExtensionID = 41
+	ExtSupportedVersions    ExtensionID = 43
+	ExtPSKKeyExchangeModes  ExtensionID = 45
+	ExtKeyShare             ExtensionID = 51
+	ExtRenegotiationInfo    ExtensionID = 0xff01
+)

@@ -1,0 +1,89 @@
+package population
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"h2scope/internal/fingerprint"
+	"h2scope/internal/frame"
+	"h2scope/internal/h2conn"
+)
+
+// fingerprintSweep dials the site once per builtin client profile, each
+// connection wearing that profile's HTTP/2 fingerprint, and records what
+// the server served each client: the body digest for GET /, the server's
+// own SETTINGS, and — when the site answers the /fp echo endpoint — the
+// fingerprint the server read back. Comparing observations across
+// profiles answers the census question "does this server behave
+// differently depending on which client it thinks is asking?".
+func fingerprintSweep(dial func() (net.Conn, error), authority string, timeout time.Duration) *fingerprint.CensusResult {
+	res := &fingerprint.CensusResult{}
+	for _, p := range fingerprint.BuiltinProfiles() {
+		res.Clients = append(res.Clients, observeAs(dial, authority, timeout, p))
+	}
+	res.Observed()
+	return res
+}
+
+// observeAs performs one impersonated observation of the site.
+func observeAs(dial func() (net.Conn, error), authority string, timeout time.Duration, p *fingerprint.ClientProfile) fingerprint.ClientObservation {
+	obs := fingerprint.ClientObservation{Profile: p.Name, ExpectedH2: p.ExpectedAkamai()}
+	nc, err := dial()
+	if err != nil {
+		obs.Error = fmt.Sprintf("dial: %v", err)
+		return obs
+	}
+	opts := h2conn.DefaultOptions()
+	opts.Impersonate = p
+	c, err := h2conn.Dial(nc, opts)
+	if err != nil {
+		_ = nc.Close()
+		obs.Error = fmt.Sprintf("h2 dial: %v", err)
+		return obs
+	}
+	defer func() { _ = c.Close() }()
+
+	body, err := c.FetchBody(h2conn.Request{Authority: authority, Path: "/"}, timeout)
+	if err != nil {
+		obs.Error = fmt.Sprintf("fetch /: %v", err)
+		return obs
+	}
+	sum := sha256.Sum256(body.Body)
+	obs.BodyDigest = fmt.Sprintf("%s:%d:%x", body.Header(":status"), len(body.Body), sum[:6])
+	obs.OK = true
+
+	// The /fp echo is optional site behavior: absence (404 or any
+	// non-echo body) leaves H2 empty without failing the observation.
+	if echoRes, err := c.FetchBody(h2conn.Request{Authority: authority, Path: "/fp"}, timeout); err == nil {
+		var echo fingerprint.Echo
+		if json.Unmarshal(echoRes.Body, &echo) == nil {
+			obs.H2 = echo.H2
+		}
+	}
+	// Every non-ACK SETTINGS frame the server sent, in order — including
+	// any fingerprint-adaptive re-tune after the first request.
+	obs.ServerSettings = renderServerSettings(c.Events())
+	return obs
+}
+
+// renderServerSettings flattens the server's SETTINGS frames from an event
+// log into a canonical string: "id:val;id:val" per frame, frames joined
+// by "+".
+func renderServerSettings(events []h2conn.Event) string {
+	var frames []string
+	for _, e := range events {
+		if e.Type != frame.TypeSettings || e.IsAck() {
+			continue
+		}
+		pairs := make([]string, 0, len(e.Settings))
+		for _, s := range e.Settings {
+			pairs = append(pairs, fmt.Sprintf("%d:%d", uint16(s.ID), s.Val))
+		}
+		frames = append(frames, strings.Join(pairs, ";"))
+	}
+	return strings.Join(frames, "+")
+}

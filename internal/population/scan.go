@@ -13,6 +13,7 @@ import (
 
 	"h2scope/internal/attack"
 	"h2scope/internal/core"
+	"h2scope/internal/fingerprint"
 	"h2scope/internal/h2conn"
 	"h2scope/internal/metrics"
 	"h2scope/internal/netsim"
@@ -75,6 +76,9 @@ type SiteResult struct {
 	// Robustness is the site's adversarial-battery score, when the scan ran
 	// with ScanOptions.Robustness; nil otherwise (and for failed probes).
 	Robustness *attack.Score
+	// Fingerprint is the impersonation sweep verdict, when the scan ran
+	// with ScanOptions.Fingerprint; nil otherwise (and for failed probes).
+	Fingerprint *fingerprint.CensusResult
 }
 
 // ScanSummary aggregates measured probe results over a scanned sample, in
@@ -119,6 +123,11 @@ type ScanSummary struct {
 	// "<kind>/<verdict>"), when the scan ran the adversarial battery.
 	RobustnessScores   []float64
 	RobustnessVerdicts map[string]int
+	// FingerprintSites counts sites the impersonation sweep observed,
+	// FingerprintEcho those whose /fp endpoint echoed a fingerprint back,
+	// and FingerprintDiffers those that served different responses (or
+	// SETTINGS) depending on the impersonated client.
+	FingerprintSites, FingerprintEcho, FingerprintDiffers int
 	// Failed and Canceled count sites whose probe did not complete; they are
 	// included in Scanned so aggregate tables report coverage honestly.
 	Failed, Canceled int
@@ -190,6 +199,11 @@ type ScanOptions struct {
 	// sized for census-scale sweeps, not load tests.
 	Robustness         bool
 	RobustnessDuration time.Duration
+	// Fingerprint additionally re-dials each site once per builtin client
+	// profile (curl, chrome, firefox, go), each connection wearing that
+	// client's HTTP/2 fingerprint, and records whether the site's
+	// responses differ by client — the impersonation census column.
+	Fingerprint bool
 }
 
 // batteryProbes is how many connection-scoped probes one battery runs; the
@@ -218,6 +232,10 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 			// scenarios plus health probes, each bounded by Timeout.
 			opts.HostBudget += 6*opts.RobustnessDuration + 2*opts.Timeout
 		}
+		if opts.Fingerprint {
+			// Four impersonated dials of two fetches each.
+			opts.HostBudget += 2 * opts.Timeout
+		}
 	}
 	idx := rand.New(rand.NewSource(opts.Seed)).Perm(len(pop.Sites))
 	if opts.SampleSize > 0 && opts.SampleSize < len(idx) {
@@ -237,13 +255,13 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 		connMetrics = h2conn.NewMetrics(opts.Metrics)
 	}
 	probe := func(ctx context.Context, t scan.Target) (any, error) {
-		report, robust, err := probeSite(ctx, t.Meta.(*SiteSpec), &opts, connMetrics)
-		if report == nil && robust == nil {
+		v, err := probeSite(ctx, t.Meta.(*SiteSpec), &opts, connMetrics)
+		if v.report == nil && v.robust == nil && v.fp == nil {
 			// A typed nil inside a non-nil any would defeat the engine's
 			// partial-value bookkeeping.
 			return nil, err
 		}
-		return &siteValue{report: report, robust: robust}, err
+		return v, err
 	}
 	scanOpts := scan.Options{
 		Parallelism:      opts.Parallelism,
@@ -323,15 +341,18 @@ func writeTraceFile(path, target string, tr *trace.Tracer) error {
 }
 
 // siteValue is what one site's probe hands the scan engine: the battery
-// report plus, under ScanOptions.Robustness, the adversarial-battery score.
+// report plus, under ScanOptions.Robustness, the adversarial-battery
+// score, plus, under ScanOptions.Fingerprint, the impersonation sweep.
 type siteValue struct {
 	report *core.Report
 	robust *attack.Score
+	fp     *fingerprint.CensusResult
 }
 
 // probeSite materializes one site, runs the probe battery against it, and —
-// when the scan asks for it — follows with the adversarial battery.
-func probeSite(ctx context.Context, spec *SiteSpec, opts *ScanOptions, m *h2conn.Metrics) (*core.Report, *attack.Score, error) {
+// when the scan asks for them — follows with the adversarial battery and
+// the impersonation sweep.
+func probeSite(ctx context.Context, spec *SiteSpec, opts *ScanOptions, m *h2conn.Metrics) (*siteValue, error) {
 	srv := spec.NewServer()
 	l := netsim.NewListener(spec.Domain)
 	go func() {
@@ -351,42 +372,57 @@ func probeSite(ctx context.Context, spec *SiteSpec, opts *ScanOptions, m *h2conn
 	cfg.Metrics = m
 	prober := core.NewProber(&siteDialer{l: l, spec: spec}, cfg)
 	report, err := prober.RunContext(ctx)
-	if !opts.Robustness || ctx.Err() != nil {
-		return report, nil, err
+	v := &siteValue{report: report}
+	if opts.Robustness && ctx.Err() == nil {
+		runner := &attack.Runner{
+			Dial:         func() (net.Conn, error) { return l.Dial() },
+			Authority:    spec.Domain,
+			ProbePath:    "/",
+			ProbeTimeout: opts.Timeout,
+		}
+		outs := runner.RunAll(attack.Params{Path: "/", Duration: opts.RobustnessDuration})
+		score := attack.ScoreOutcomes(outs)
+		v.robust = &score
 	}
-	runner := &attack.Runner{
-		Dial:         func() (net.Conn, error) { return l.Dial() },
-		Authority:    spec.Domain,
-		ProbePath:    "/",
-		ProbeTimeout: opts.Timeout,
+	if opts.Fingerprint && ctx.Err() == nil {
+		v.fp = fingerprintSweep(l.Dial, spec.Domain, opts.Timeout)
 	}
-	outs := runner.RunAll(attack.Params{Path: "/", Duration: opts.RobustnessDuration})
-	score := attack.ScoreOutcomes(outs)
-	return report, &score, err
+	return v, err
 }
 
 func (s *ScanSummary) add(rec scan.Record) {
 	spec := rec.Target.Meta.(*SiteSpec)
 	var r *core.Report
 	var robust *attack.Score
+	var fp *fingerprint.CensusResult
 	if rec.Value != nil {
 		v := rec.Value.(*siteValue)
-		r, robust = v.report, v.robust
+		r, robust, fp = v.report, v.robust, v.fp
 	}
 	s.Scanned++
 	s.Results = append(s.Results, SiteResult{
-		Spec:       spec,
-		Report:     r,
-		Outcome:    rec.Outcome,
-		Kind:       rec.Kind,
-		Err:        rec.Err,
-		Attempts:   rec.Attempts,
-		Robustness: robust,
+		Spec:        spec,
+		Report:      r,
+		Outcome:     rec.Outcome,
+		Kind:        rec.Kind,
+		Err:         rec.Err,
+		Attempts:    rec.Attempts,
+		Robustness:  robust,
+		Fingerprint: fp,
 	})
 	if robust != nil {
 		s.RobustnessScores = append(s.RobustnessScores, robust.Value)
 		for kind, verdict := range robust.Verdicts {
 			s.RobustnessVerdicts[fmt.Sprintf("%s/%s", kind, verdict)]++
+		}
+	}
+	if fp != nil {
+		s.FingerprintSites++
+		if fp.EchoOK {
+			s.FingerprintEcho++
+		}
+		if fp.Differs {
+			s.FingerprintDiffers++
 		}
 	}
 	switch rec.Outcome {

@@ -201,6 +201,10 @@ type Detection struct {
 	// Action is the mitigation applied (ActionNone when the connection
 	// had already ended or mitigation is disabled).
 	Action MitigationAction
+	// Fingerprint is the connection's akamai-format HTTP/2 behavioral
+	// fingerprint, when the client completed a request before being
+	// flagged ("" otherwise — frame floods often never get that far).
+	Fingerprint string
 }
 
 // Detector scores live connections in real time and mitigates the ones that
@@ -450,6 +454,11 @@ func (d *Detector) scoreLocked(id uint64, st *connStats, now time.Time) {
 	d.detected[kind].Inc()
 	d.mitigated[action].Inc()
 	det := Detection{At: now, Conn: id, Kind: kind, Score: score, Action: action}
+	if c != nil {
+		if fp := c.fpAkamai.Load(); fp != nil {
+			det.Fingerprint = *fp
+		}
+	}
 	d.detections = append(d.detections, det)
 	if d.cfg.OnDetect != nil {
 		d.cfg.OnDetect(det)

@@ -206,6 +206,17 @@ type Profile struct {
 	// PingDelay models server-side processing latency added to PING
 	// responses; zero for all real profiles.
 	PingDelay int
+
+	// --- Fingerprinting (beyond the paper: passive client census) ---
+
+	// FingerprintAdaptive makes the server's behavior depend on the
+	// client's HTTP/2 behavioral fingerprint: once the first request
+	// seals the fingerprint and it matches a known client profile, the
+	// server re-tunes SETTINGS_MAX_CONCURRENT_STREAMS by client class
+	// (browsers high, automation tools low). Off for all real-server
+	// profiles; the census and conformance suite use it as the positive
+	// control for fingerprint-conditional serving.
+	FingerprintAdaptive bool
 }
 
 // settings renders the profile's SETTINGS frame payload.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"h2scope/internal/fingerprint"
 	"h2scope/internal/flowcontrol"
 	"h2scope/internal/frame"
 	"h2scope/internal/hpack"
@@ -58,6 +59,15 @@ type Server struct {
 	// connection the server handles (see NewMetrics for the catalog). Set
 	// it before serving; like Trace it is not guarded by a lock.
 	Metrics *Metrics
+
+	// DisableFingerprint turns off the passive client-fingerprinting
+	// plane: no behavioral assembly, no metrics, and an empty /fp echo.
+	DisableFingerprint bool
+
+	// HelloSource, when non-nil, resolves the TLS ClientHello for a served
+	// conn that does not itself implement tlsutil.HelloConn — the
+	// tlsutil.HelloCapture fallback path. Set it before serving.
+	HelloSource func(net.Conn) *fingerprint.ClientHello
 
 	mu     sync.Mutex
 	lis    []net.Listener
@@ -238,6 +248,7 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		firstSent:     make(map[uint32]bool),
 	}
 	c.sched = priority.NewScheduler(c.tree)
+	c.fpInit(nc)
 	// Bound decoded header blocks (the HPACK-bomb guard): the advertised
 	// SETTINGS_MAX_HEADER_LIST_SIZE when the profile has one, a defensive
 	// default otherwise.
@@ -371,6 +382,13 @@ type conn struct {
 	streamCap     atomic.Int64
 	maxSeenClient atomic.Uint32
 	killed        atomic.Bool
+
+	// Fingerprint plane (see fingerprint.go). fpa and helloFn are touched
+	// only by the serve goroutine; fpAkamai publishes the sealed akamai
+	// string for the detector goroutine to label detections with.
+	fpa      *fingerprint.H2Assembler
+	helloFn  func() *fingerprint.ClientHello
+	fpAkamai atomic.Pointer[string]
 }
 
 // mitigateRateLimit throttles the connection's read loop: the serve
@@ -557,6 +575,7 @@ func (c *conn) handleSettings(f *frame.SettingsFrame) error {
 	if f.IsAck() {
 		return nil
 	}
+	c.fpOnSettings(f.Settings)
 	for _, s := range f.Settings {
 		if err := s.Valid(); err != nil {
 			return err
@@ -671,6 +690,9 @@ func (c *conn) finishHeaderBlock(st *stream) error {
 	if st.headerEnd {
 		st.reqDone = true
 	}
+	if err := c.fpOnHeaders(fields); err != nil {
+		return err
+	}
 	if st.reqDone || requestMethod(fields) == "GET" {
 		c.respond(st)
 	}
@@ -758,6 +780,10 @@ func (c *conn) respond(st *stream) {
 	}
 	st.responded = true
 	path := requestPath(st.reqHeaders)
+	if path == fingerprintPath {
+		c.respondFingerprint(st)
+		return
+	}
 	res, ok := c.srv.site.Lookup(path)
 	if !ok {
 		notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
@@ -855,6 +881,7 @@ func (c *conn) reactSelfDependency(id uint32) error {
 }
 
 func (c *conn) handlePriority(f *frame.PriorityFrame) error {
+	c.fpOnPriority(f)
 	id := f.Header().StreamID
 	if f.Priority.StreamDep == id {
 		return c.reactSelfDependency(id)
@@ -868,6 +895,7 @@ func (c *conn) handlePriority(f *frame.PriorityFrame) error {
 
 func (c *conn) handleWindowUpdate(f *frame.WindowUpdateFrame) error {
 	id := f.Header().StreamID
+	c.fpOnWindowUpdate(id, f.Increment)
 	p := c.srv.profile
 	if f.Increment == 0 {
 		if id == 0 {

@@ -40,6 +40,10 @@ type Analysis struct {
 	// RobustnessVerdicts histograms scenario outcomes ("<kind>/<verdict>").
 	RobustnessScores   []float64
 	RobustnessVerdicts map[string]int
+	// FingerprintSites counts records carrying an impersonation sweep,
+	// FingerprintEcho those whose /fp endpoint answered, and
+	// FingerprintDiffers those serving fingerprint-conditional responses.
+	FingerprintSites, FingerprintEcho, FingerprintDiffers int
 	// PingRTTsMillis holds minimum h2-PING RTT samples in milliseconds.
 	PingRTTsMillis []float64
 	// Failed and Canceled count stored records whose probe did not
@@ -73,6 +77,15 @@ func Analyze(records []Record) *Analysis {
 			a.RobustnessScores = append(a.RobustnessScores, rec.Robustness.Value)
 			for kind, verdict := range rec.Robustness.Verdicts {
 				a.RobustnessVerdicts[fmt.Sprintf("%s/%s", kind, verdict)]++
+			}
+		}
+		if rec.Fingerprint != nil {
+			a.FingerprintSites++
+			if rec.Fingerprint.EchoOK {
+				a.FingerprintEcho++
+			}
+			if rec.Fingerprint.Differs {
+				a.FingerprintDiffers++
 			}
 		}
 		switch rec.Outcome {
@@ -206,6 +219,10 @@ func (a *Analysis) String() string {
 			sum += v
 		}
 		fmt.Fprintf(&b, "  robustness: %d sites scored, mean %.2f\n", n, sum/float64(n))
+	}
+	if a.FingerprintSites > 0 {
+		fmt.Fprintf(&b, "  fingerprint: %d sites swept / %d echoed /fp / %d served by client\n",
+			a.FingerprintSites, a.FingerprintEcho, a.FingerprintDiffers)
 	}
 	return b.String()
 }

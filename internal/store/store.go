@@ -15,6 +15,7 @@ import (
 
 	"h2scope/internal/attack"
 	"h2scope/internal/core"
+	"h2scope/internal/fingerprint"
 	"h2scope/internal/metrics"
 	"h2scope/internal/scan"
 )
@@ -46,6 +47,9 @@ type Record struct {
 	// Robustness is the site's adversarial-battery score when the scan ran
 	// the attack battery (see internal/attack).
 	Robustness *attack.Score `json:"robustness,omitempty"`
+	// Fingerprint is the site's impersonation-sweep verdict when the scan
+	// ran the fingerprint census (see internal/fingerprint).
+	Fingerprint *fingerprint.CensusResult `json:"fingerprint,omitempty"`
 	// Stats marks a scan-summary trailer record: one per scan run, holding
 	// the engine's final counter snapshot instead of a per-site report.
 	Stats *scan.Stats `json:"stats,omitempty"`

@@ -10,6 +10,7 @@ import (
 
 	"h2scope/internal/attack"
 	"h2scope/internal/core"
+	"h2scope/internal/fingerprint"
 	"h2scope/internal/netsim"
 	"h2scope/internal/population"
 	"h2scope/internal/server"
@@ -262,5 +263,67 @@ func TestRobustnessRoundTripAndAnalyze(t *testing.T) {
 	}
 	if out := a.String(); !strings.Contains(out, "robustness: 1 sites scored, mean 0.75") {
 		t.Errorf("analysis report missing robustness line:\n%s", out)
+	}
+}
+
+// TestFingerprintRoundTripAndAnalyze pins the fingerprint column: a stored
+// impersonation sweep survives the JSON round trip, Analyze folds it into
+// the offline aggregates, and the rendered report mentions it.
+func TestFingerprintRoundTripAndAnalyze(t *testing.T) {
+	sweep := &fingerprint.CensusResult{
+		Clients: []fingerprint.ClientObservation{
+			{Profile: "curl", OK: true, H2: "3:100|0|0|m,p,s,a", ExpectedH2: "3:100|0|0|m,p,s,a",
+				ServerSettings: "3:100;4:65535", BodyDigest: "200:12:abcdef"},
+			{Profile: "chrome", OK: true, H2: "1:65536|0|0|m,a,s,p", ExpectedH2: "1:65536|0|0|m,a,s,p",
+				ServerSettings: "3:100;4:65535", BodyDigest: "200:99:123456"},
+		},
+	}
+	sweep.Observed()
+	if !sweep.EchoOK || !sweep.Differs {
+		t.Fatalf("fixture sweep = echo %v differs %v, want true/true", sweep.EchoOK, sweep.Differs)
+	}
+	var buf bytes.Buffer
+	w := store.NewWriter(&buf)
+	recs := []*store.Record{
+		{Domain: "fp.example", ScannedAt: time.Unix(0, 0), Fingerprint: sweep},
+		{Domain: "plain.example", ScannedAt: time.Unix(0, 0)},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), `"fingerprint"`) != 1 {
+		t.Errorf("fingerprint field not serialized exactly once:\n%s", buf.String())
+	}
+
+	records, err := store.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	got := records[0].Fingerprint
+	if got == nil {
+		t.Fatal("fingerprint sweep lost in round trip")
+	}
+	if !got.EchoOK || !got.Differs || len(got.Clients) != 2 {
+		t.Errorf("sweep = %+v, want 2 clients, echo, differs", got)
+	}
+	if got.Clients[1].H2 != "1:65536|0|0|m,a,s,p" || got.Clients[1].BodyDigest != "200:99:123456" {
+		t.Errorf("chrome observation mangled: %+v", got.Clients[1])
+	}
+	if records[1].Fingerprint != nil {
+		t.Errorf("plain record gained a sweep: %+v", records[1].Fingerprint)
+	}
+
+	a := store.Analyze(records)
+	if a.FingerprintSites != 1 || a.FingerprintEcho != 1 || a.FingerprintDiffers != 1 {
+		t.Errorf("analysis = %d/%d/%d, want 1/1/1",
+			a.FingerprintSites, a.FingerprintEcho, a.FingerprintDiffers)
+	}
+	if out := a.String(); !strings.Contains(out, "fingerprint: 1 sites swept / 1 echoed /fp / 1 served by client") {
+		t.Errorf("rendering missing fingerprint line:\n%s", out)
 	}
 }
