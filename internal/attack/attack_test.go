@@ -3,6 +3,7 @@ package attack_test
 import (
 	"net"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -98,6 +99,38 @@ func TestAttackBatterySmoke(t *testing.T) {
 		if out.Kind == attack.KindHPACKBomb && out.GoAways == 0 {
 			t.Errorf("hpack-bomb: no GOAWAY evidence: %+v", out)
 		}
+	}
+}
+
+// TestAttackRunLeavesNoGoroutines pins the goroleak sweep's verdict on the
+// attack runner empirically: after a scenario completes, every worker
+// goroutine and every server-side connection goroutine it provoked must be
+// gone, leaving only the target's accept loop from before the baseline.
+func TestAttackRunLeavesNoGoroutines(t *testing.T) {
+	tg := startTarget(t, server.ApacheProfile(), nil, nil)
+	r := tg.runner()
+	base := runtime.NumGoroutine()
+
+	out, err := r.Run(attack.KindRapidReset, attack.Params{
+		Path: "/large/1", Duration: smokeDuration(t), Concurrency: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ops == 0 || out.Conns == 0 {
+		t.Fatalf("attack performed no work: %+v", out)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain after attack: %d live, baseline %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

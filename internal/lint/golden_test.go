@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"path/filepath"
 	"regexp"
 	"sync"
@@ -119,6 +120,43 @@ func TestBufflushGolden(t *testing.T) {
 	runGolden(t, BufflushAnalyzer, "bufflush/a")
 }
 
+func TestRetainGolden(t *testing.T) {
+	runGolden(t, RetainAnalyzer, "retain/a")
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, HotAllocAnalyzer, "hotalloc/internal/frame", "hotalloc/a")
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	runGolden(t, GoroLeakAnalyzer, "goroleak/a")
+}
+
+// TestSuppression pins the //h2lint:ignore contract directly: a directive
+// without a reason does not suppress, one with a reason does, and "all"
+// matches every analyzer.
+func TestSuppression(t *testing.T) {
+	base := Diagnostic{Analyzer: "retain", Pos: token.Position{Filename: "x.go", Line: 10, Column: 3}}
+	cases := []struct {
+		name string
+		dir  ignoreDirective
+		want bool
+	}{
+		{"same line", ignoreDirective{analyzer: "retain", reason: "r", file: "x.go", line: 10}, true},
+		{"line above", ignoreDirective{analyzer: "retain", reason: "r", file: "x.go", line: 9}, true},
+		{"wildcard", ignoreDirective{analyzer: "all", reason: "r", file: "x.go", line: 10}, true},
+		{"no reason", ignoreDirective{analyzer: "retain", file: "x.go", line: 10}, false},
+		{"wrong analyzer", ignoreDirective{analyzer: "hotalloc", reason: "r", file: "x.go", line: 10}, false},
+		{"wrong file", ignoreDirective{analyzer: "retain", reason: "r", file: "y.go", line: 10}, false},
+		{"too far", ignoreDirective{analyzer: "retain", reason: "r", file: "x.go", line: 8}, false},
+	}
+	for _, tc := range cases {
+		if got := suppressed(base, []ignoreDirective{tc.dir}); got != tc.want {
+			t.Errorf("%s: suppressed = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
 // TestRepoClean is the self-clean gate: every analyzer over every package
 // of the real module must produce zero diagnostics.
 func TestRepoClean(t *testing.T) {
@@ -142,12 +180,12 @@ func TestRepoClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the catalog: six analyzers, addressable by
+// TestAnalyzerRegistry pins the catalog: nine analyzers, addressable by
 // name, each documented.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("All() returned %d analyzers, want 6", len(all))
+	if len(all) != 9 {
+		t.Fatalf("All() returned %d analyzers, want 9", len(all))
 	}
 	for _, a := range all {
 		if a.Doc == "" {

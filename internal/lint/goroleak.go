@@ -1,0 +1,464 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeakAnalyzer flags `go` statements whose goroutine can block forever
+// on a channel operation with no reachable cancel, close, or pairing
+// operation — the "stuck flow" failure shape from Tripathi's "Delays have
+// Dangerous Ends": a leaked goroutine pins its connection, its buffers, and
+// a scheduler slot for the life of the process, which a million-site census
+// run cannot afford.
+//
+// The analysis is intra-procedural and deliberately conservative: it only
+// reasons about channels created in the same function as the `go` statement
+// and never aliased away (not passed to unanalyzable calls, stored, or
+// returned), because only for those can it see every send, receive, and
+// close. Three shapes are flagged:
+//
+//   - a goroutine sending on an unbuffered local channel whose only
+//     receivers sit in select statements with competing cases (a timeout
+//     that fires abandons the sender forever — buffer the channel);
+//   - a goroutine receiving from a local channel that nothing in the
+//     function ever sends to or closes;
+//   - a goroutine ranging over a local channel that is never closed.
+//
+// A channel operation inside a select with an alternative case or a default
+// is trusted to have a cancel path and never flagged.
+var GoroLeakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flags go statements that can block forever on local channels with no reachable close, cancel, or pairing operation",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	decls := funcDecls(pass)
+	for _, decl := range decls {
+		if decl != nil && decl.Body != nil {
+			checkGoroLeaks(pass, decl, decls)
+		}
+	}
+}
+
+// chanOpKind classifies one channel operation.
+type chanOpKind int
+
+const (
+	opSend chanOpKind = iota
+	opRecv
+	opRange
+	opClose
+)
+
+// chanOp is one send/receive/range/close on a tracked local channel.
+type chanOp struct {
+	kind chanOpKind
+	ch   *types.Var
+	node ast.Node
+	// goStmt is the nearest enclosing go statement (or, for operations in a
+	// named callee's body, the go statement that invoked it); nil for ops on
+	// the function's own flow.
+	goStmt *ast.GoStmt
+	// guarded marks ops that are the comm of a select with an alternative
+	// case or a default — assumed to have a cancel path.
+	guarded bool
+}
+
+// localChan tracks one channel made in the function under analysis.
+type localChan struct {
+	v        *types.Var
+	buffered bool
+	escapes  bool
+}
+
+func checkGoroLeaks(pass *Pass, decl *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+	info := pass.TypesInfo()
+	chans := collectLocalChans(info, decl.Body)
+	if len(chans) == 0 {
+		return
+	}
+	var ops []chanOp
+	var goStmts []*ast.GoStmt
+	walkChanUses(info, decl.Body, chans, decls, &ops, &goStmts)
+
+	// Fold in operations reached through a `go f(ch)` named callee or a
+	// parameterized func literal, with the caller's channels substituted for
+	// the callee's parameters, so pairing checks see both sides.
+	for _, g := range goStmts {
+		ops = append(ops, mappedCalleeOps(info, g, chans, decls)...)
+	}
+
+	for _, g := range goStmts {
+		for _, op := range ops {
+			if op.goStmt != g || op.guarded {
+				continue
+			}
+			ci := chans[op.ch]
+			if ci == nil || ci.escapes {
+				continue
+			}
+			switch op.kind {
+			case opSend:
+				if ci.buffered {
+					continue
+				}
+				if hasUnguardedRecvOutside(ops, op.ch, g) {
+					continue
+				}
+				pass.Reportf(op.node.Pos(), "goroutine sends on unbuffered channel %s with no unconditional receive; an abandoned select leaks the sender forever — buffer the channel or join the goroutine", op.ch.Name())
+			case opRecv:
+				if hasOp(ops, op.ch, opClose, nil) || hasSendOutside(ops, op.ch, g) {
+					continue
+				}
+				pass.Reportf(op.node.Pos(), "goroutine blocks receiving from channel %s, which this function never sends to or closes — the goroutine can never finish", op.ch.Name())
+			case opRange:
+				if hasOp(ops, op.ch, opClose, nil) {
+					continue
+				}
+				pass.Reportf(op.node.Pos(), "goroutine ranges over channel %s, which this function never closes — the range can never finish", op.ch.Name())
+			}
+		}
+	}
+}
+
+// hasOp reports whether ops contains an operation of the given kind on ch;
+// a non-nil excludeGo restricts the search to ops outside that go statement.
+func hasOp(ops []chanOp, ch *types.Var, kind chanOpKind, excludeGo *ast.GoStmt) bool {
+	for _, op := range ops {
+		if op.ch == ch && op.kind == kind && (excludeGo == nil || op.goStmt != excludeGo) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSendOutside(ops []chanOp, ch *types.Var, g *ast.GoStmt) bool {
+	for _, op := range ops {
+		if op.ch == ch && op.kind == opSend && op.goStmt != g {
+			return true
+		}
+	}
+	return false
+}
+
+// hasUnguardedRecvOutside reports whether ch has a plain (non-select)
+// receive or range outside goroutine g — the pairing that guarantees an
+// unbuffered sender is eventually drained.
+func hasUnguardedRecvOutside(ops []chanOp, ch *types.Var, g *ast.GoStmt) bool {
+	for _, op := range ops {
+		if op.ch == ch && (op.kind == opRecv || op.kind == opRange) && op.goStmt != g && !op.guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// collectLocalChans finds channels created by make in this function and
+// records their buffering. A make with a non-constant capacity is assumed
+// buffered (benefit of the doubt).
+func collectLocalChans(info *types.Info, body ast.Node) map[*types.Var]*localChan {
+	out := make(map[*types.Var]*localChan)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || builtinName(info, call) != "make" {
+			return
+		}
+		t := info.TypeOf(call)
+		if t == nil {
+			return
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		v := localObject(info, lhs)
+		if v == nil {
+			return
+		}
+		buffered := false
+		if len(call.Args) > 1 {
+			buffered = true
+			if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+				buffered = false
+			}
+		}
+		out[v] = &localChan{v: v, buffered: buffered}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i := range s.Lhs {
+				if i < len(s.Rhs) {
+					record(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if i < len(vs.Values) {
+								record(name, vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// walkChanUses records every operation on the tracked channels and marks
+// channels whose identity leaks (aliased, passed to an unanalyzable call,
+// stored, returned, sent as a value) as escaping.
+func walkChanUses(info *types.Info, body ast.Node, chans map[*types.Var]*localChan, decls map[*types.Func]*ast.FuncDecl, ops *[]chanOp, goStmts *[]*ast.GoStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			*goStmts = append(*goStmts, s)
+		case *ast.SendStmt:
+			if v := trackedChan(info, chans, s.Chan); v != nil {
+				*ops = append(*ops, chanOp{kind: opSend, ch: v, node: s, goStmt: nearestGo(stack), guarded: commGuarded(stack, s)})
+			}
+			if v := trackedChan(info, chans, s.Value); v != nil {
+				chans[v].escapes = true
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				if v := trackedChan(info, chans, s.X); v != nil {
+					*ops = append(*ops, chanOp{kind: opRecv, ch: v, node: s, goStmt: nearestGo(stack), guarded: commGuarded(stack, s)})
+				}
+			}
+		case *ast.RangeStmt:
+			if v := trackedChan(info, chans, s.X); v != nil {
+				if t := info.TypeOf(s.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						*ops = append(*ops, chanOp{kind: opRange, ch: v, node: s, goStmt: nearestGo(stack)})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			classifyCallUses(info, chans, decls, s, stack, ops)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if v := trackedChan(info, chans, r); v != nil {
+					chans[v].escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-aliasing a channel (ch2 := ch) loses track of it.
+			for _, r := range s.Rhs {
+				if v := trackedChan(info, chans, r); v != nil {
+					chans[v].escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range s.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if v := trackedChan(info, chans, elt); v != nil {
+					chans[v].escapes = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// classifyCallUses handles channel arguments of one call: close() is an op,
+// len/cap are free, arguments of a go statement's own resolvable call are
+// mapped into the goroutine analysis by mappedCalleeOps, and anything else
+// makes the channel escape.
+func classifyCallUses(info *types.Info, chans map[*types.Var]*localChan, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr, stack []ast.Node, ops *[]chanOp) {
+	switch builtinName(info, call) {
+	case "close":
+		if len(call.Args) == 1 {
+			if v := trackedChan(info, chans, call.Args[0]); v != nil {
+				*ops = append(*ops, chanOp{kind: opClose, ch: v, node: call, goStmt: nearestGo(stack)})
+			}
+		}
+		return
+	case "":
+		// Not a builtin; fall through to the escape check.
+	default:
+		return // len, cap, print, ... do not retain the channel
+	}
+	// `go f(ch)` with a body we can analyze keeps the channel tracked; the
+	// callee's operations come back through mappedCalleeOps.
+	if len(stack) >= 2 {
+		if g, ok := stack[len(stack)-2].(*ast.GoStmt); ok && g.Call == call && goBodyResolvable(info, call, decls) {
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		if v := trackedChan(info, chans, arg); v != nil {
+			chans[v].escapes = true
+		}
+	}
+}
+
+// goBodyResolvable reports whether the body behind a go statement's call is
+// visible to the analysis: a func literal, or a same-package function or
+// method with a declaration.
+func goBodyResolvable(info *types.Info, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) bool {
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return true
+	}
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	decl := decls[f]
+	return decl != nil && decl.Body != nil
+}
+
+// trackedChan resolves expr to a tracked channel variable, or nil.
+func trackedChan(info *types.Info, chans map[*types.Var]*localChan, expr ast.Expr) *types.Var {
+	v := localObject(info, expr)
+	if v == nil {
+		return nil
+	}
+	if _, ok := chans[v]; !ok {
+		return nil
+	}
+	return v
+}
+
+// nearestGo returns the innermost enclosing go statement on the stack, or
+// nil.
+func nearestGo(stack []ast.Node) *ast.GoStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if g, ok := stack[i].(*ast.GoStmt); ok {
+			return g
+		}
+	}
+	return nil
+}
+
+// commGuarded reports whether node is part of the communication of a select
+// case in a select statement that has an alternative: another case or a
+// default.
+func commGuarded(stack []ast.Node, node ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		cc, ok := stack[i].(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// node must be part of the comm statement itself, not the clause
+		// body (a blocking op in the body is ordinary sequential code).
+		if cc.Comm == nil || node.Pos() < cc.Comm.Pos() || node.End() > cc.Comm.End() {
+			return false
+		}
+		for j := i - 1; j >= 0; j-- {
+			if sel, ok := stack[j].(*ast.SelectStmt); ok {
+				return len(sel.Body.List) > 1
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// mappedCalleeOps resolves a `go f(ch)` or `go func(p chan T){...}(ch)`
+// statement: operations the callee body performs on its channel parameters
+// are translated back to the caller's tracked channels and attributed to the
+// goroutine.
+func mappedCalleeOps(info *types.Info, g *ast.GoStmt, chans map[*types.Var]*localChan, decls map[*types.Func]*ast.FuncDecl) []chanOp {
+	var params []*ast.Field
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if fun.Type.Params == nil || len(fun.Type.Params.List) == 0 {
+			return nil // captured channels are seen by the main walk
+		}
+		params, body = fun.Type.Params.List, fun.Body
+	default:
+		f := calleeFunc(info, g.Call)
+		if f == nil {
+			return nil
+		}
+		decl := decls[f]
+		if decl == nil || decl.Body == nil || decl.Type.Params == nil {
+			return nil
+		}
+		params, body = decl.Type.Params.List, decl.Body
+	}
+
+	// Map channel-typed parameters to the caller's tracked channels.
+	paramToChan := make(map[*types.Var]*types.Var)
+	argIdx := 0
+	for _, field := range params {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			if argIdx >= len(g.Call.Args) {
+				break
+			}
+			if k < len(field.Names) {
+				if pv, ok := info.Defs[field.Names[k]].(*types.Var); ok {
+					if av := trackedChan(info, chans, g.Call.Args[argIdx]); av != nil {
+						paramToChan[pv] = av
+					}
+				}
+			}
+			argIdx++
+		}
+	}
+	if len(paramToChan) == 0 {
+		return nil
+	}
+
+	resolve := func(expr ast.Expr) *types.Var {
+		v := localObject(info, expr)
+		if v == nil {
+			return nil
+		}
+		return paramToChan[v]
+	}
+	var out []chanOp
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			if ch := resolve(s.Chan); ch != nil {
+				out = append(out, chanOp{kind: opSend, ch: ch, node: s, goStmt: g, guarded: commGuarded(stack, s)})
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				if ch := resolve(s.X); ch != nil {
+					out = append(out, chanOp{kind: opRecv, ch: ch, node: s, goStmt: g, guarded: commGuarded(stack, s)})
+				}
+			}
+		case *ast.RangeStmt:
+			if ch := resolve(s.X); ch != nil {
+				out = append(out, chanOp{kind: opRange, ch: ch, node: s, goStmt: g})
+			}
+		case *ast.CallExpr:
+			if builtinName(info, s) == "close" && len(s.Args) == 1 {
+				if ch := resolve(s.Args[0]); ch != nil {
+					out = append(out, chanOp{kind: opClose, ch: ch, node: s, goStmt: g})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

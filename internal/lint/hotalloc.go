@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAllocAnalyzer guards the zero-allocation hot paths the repo's perf work
+// depends on: it walks the same-package call graph rooted at the gated entry
+// points — (*frame.Framer).ReadFrame / WriteData and HPACK's
+// (*Encoder).AppendBlock / (*Decoder).DecodeAppend — plus any function
+// carrying a //h2:hotpath doc directive, and flags the constructs the Go
+// compiler turns into heap allocations: string<->[]byte conversions,
+// closures, fmt calls, map/slice composite literals, make/new, fresh-slice
+// appends, string concatenation, boxing into variadic ...any, and goroutine
+// launches.
+//
+// The dynamic complement is TestHotPathAllocs (0 allocs/op under
+// testing.AllocsPerRun); it proves the steady state clean but only on the
+// paths the benchmark drives. The static pass covers every path — with one
+// deliberate blind spot: allocations inside cold early-exit blocks
+// (if-bodies that end in return/panic) are error-path work the steady state
+// never executes, and are skipped, exactly the distinction the alloc gate
+// draws dynamically. Amortized one-time allocations (buffer growth) are the
+// intended use of //h2lint:ignore.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating constructs reachable from the zero-alloc hot-path entry points and //h2:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// hotRootSpec names one built-in hot entry point by package-path suffix,
+// receiver type, and method name.
+type hotRootSpec struct {
+	pkgSuffix string
+	recv      string
+	method    string
+}
+
+// hotRootSpecs is the gated zero-alloc surface from the PR-5 perf work, the
+// same methods TestHotPathAllocs pins at 0 allocs/op.
+var hotRootSpecs = []hotRootSpec{
+	{"internal/frame", "Framer", "ReadFrame"},
+	{"internal/frame", "Framer", "WriteData"},
+	{"internal/hpack", "Encoder", "AppendBlock"},
+	{"internal/hpack", "Decoder", "DecodeAppend"},
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.TypesInfo()
+	decls := funcDecls(pass)
+	pkgPath := pass.TypesPkg().Path()
+
+	var roots []*types.Func
+	rootName := make(map[*types.Func]string)
+	for f, decl := range decls {
+		if hasHotPathDirective(decl) {
+			roots = append(roots, f)
+			rootName[f] = f.Name()
+		}
+	}
+	for _, spec := range hotRootSpecs {
+		if pkgPath != spec.pkgSuffix && !strings.HasSuffix(pkgPath, "/"+spec.pkgSuffix) {
+			continue
+		}
+		for f := range decls {
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || f.Name() != spec.method {
+				continue
+			}
+			if namedTypeIs(sig.Recv().Type(), spec.pkgSuffix, spec.recv) {
+				roots = append(roots, f)
+				rootName[f] = spec.recv + "." + spec.method
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	reached := reachableFrom(info, roots, decls)
+	for fn, root := range reached {
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		name := rootName[root]
+		if name == "" {
+			name = root.Name()
+		}
+		checkHotFunc(pass, decl, name)
+	}
+}
+
+// checkHotFunc flags the allocating constructs of one hot-reachable
+// function, skipping its cold early-exit blocks.
+func checkHotFunc(pass *Pass, decl *ast.FuncDecl, root string) {
+	info := pass.TypesInfo()
+	cold := coldBlocks(info, decl.Body)
+	exempt := mapIndexConversions(info, decl.Body)
+	flag := func(n ast.Node, what string) {
+		pass.Reportf(n.Pos(), "%s in hot path (reachable from %s); hoist it, use a scratch buffer, or move it to a cold error path", what, root)
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inColdBlock(cold, n.Pos()) {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			flag(e, "closure literal allocates")
+			return false // its body is a different frame
+		case *ast.GoStmt:
+			flag(e, "goroutine launch allocates")
+		case *ast.CompositeLit:
+			switch info.TypeOf(e).Underlying().(type) {
+			case *types.Slice:
+				flag(e, "slice literal allocates")
+			case *types.Map:
+				flag(e, "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if t, ok := info.TypeOf(e).Underlying().(*types.Basic); ok && t.Kind() == types.String {
+					if tv, ok := info.Types[e]; !ok || tv.Value == nil {
+						flag(e, "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if !exempt[e] {
+				checkHotCall(pass, info, e, flag)
+			}
+		}
+		return true
+	})
+}
+
+// mapIndexConversions collects string conversions used directly as map-index
+// keys (m[string(b)]): the compiler elides that copy, so the conversion is
+// free and must not be flagged.
+func mapIndexConversions(info *types.Info, body ast.Node) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if xt := info.TypeOf(ix.X); xt == nil {
+			return true
+		} else if _, isMap := xt.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if call, ok := ast.Unparen(ix.Index).(*ast.CallExpr); ok {
+			if _, isConv := isConversion(info, call); isConv {
+				out[call] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotCall classifies one call inside a hot function.
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, flag func(ast.Node, string)) {
+	// Conversions: string<->[]byte/[]rune copy the payload. The compiler
+	// elides the copy for map-index keys (m[string(b)]), which the walker
+	// never reaches because map index expressions are exempted at the parent.
+	if target, ok := isConversion(info, call); ok && len(call.Args) == 1 {
+		tt := target.Underlying()
+		at := info.TypeOf(call.Args[0])
+		if at == nil {
+			return
+		}
+		au := at.Underlying()
+		if isStringType(tt) && isByteOrRuneSlice(au) {
+			flag(call, "[]byte-to-string conversion allocates")
+		} else if isByteOrRuneSlice(tt) && isStringType(au) {
+			flag(call, "string-to-[]byte conversion allocates")
+		}
+		return
+	}
+	switch builtinName(info, call) {
+	case "make":
+		switch info.TypeOf(call).Underlying().(type) {
+		case *types.Map:
+			flag(call, "make(map) allocates")
+		case *types.Chan:
+			flag(call, "make(chan) allocates")
+		case *types.Slice:
+			flag(call, "make([]T) allocates")
+		}
+		return
+	case "new":
+		flag(call, "new(T) allocates")
+		return
+	case "append":
+		if len(call.Args) > 0 {
+			if freshSlice(info, call.Args[0]) {
+				flag(call, "append to a fresh slice allocates")
+			}
+		}
+		return
+	case "":
+	default:
+		return // len, cap, copy, ... are free
+	}
+	f := calleeFunc(info, call)
+	if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		flag(call, "fmt."+f.Name()+" allocates")
+		return
+	}
+	// Boxing a concrete value into a variadic ...any parameter allocates
+	// (the fmt rule above catches the common case; this catches log-style
+	// helpers).
+	if f == nil {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	sl, ok := last.Type().Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	iface, ok := sl.Elem().Underlying().(*types.Interface)
+	if !ok || !iface.Empty() {
+		return
+	}
+	for i := sig.Params().Len() - 1; i < len(call.Args); i++ {
+		at := info.TypeOf(call.Args[i])
+		if at == nil {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); !isIface {
+			if tv, ok := info.Types[call.Args[i]]; !ok || tv.Value == nil {
+				flag(call.Args[i], "boxing into ...any allocates")
+			}
+		}
+	}
+}
+
+// freshSlice reports whether expr denotes a brand-new slice — a nil
+// conversion ([]byte(nil)), a nil literal, or a composite literal — so
+// appending to it always allocates. Appends whose destination is an existing
+// variable amortize and pass.
+func freshSlice(info *types.Info, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		if _, ok := isConversion(info, e); ok && len(e.Args) == 1 {
+			return freshSlice(info, e.Args[0])
+		}
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -81,16 +81,25 @@ func (d Diagnostic) String() string {
 }
 
 // Run applies analyzers to pkgs and returns the findings sorted by position
-// (file, line, column) then analyzer name.
+// (file, line, column) then analyzer name. Findings covered by a
+// //h2lint:ignore <analyzer> <reason> directive on the same line or the line
+// above are dropped; the reason is mandatory and "all" matches every
+// analyzer.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		ignores := parseIgnores(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Fset:     pkg.Fset,
 				Pkg:      pkg,
 				Analyzer: a,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				report: func(d Diagnostic) {
+					if suppressed(d, ignores) {
+						return
+					}
+					diags = append(diags, d)
+				},
 			}
 			a.Run(pass)
 		}
@@ -120,6 +129,9 @@ func All() []*Analyzer {
 		DeadlineAnalyzer,
 		TracePhaseAnalyzer,
 		BufflushAnalyzer,
+		RetainAnalyzer,
+		HotAllocAnalyzer,
+		GoroLeakAnalyzer,
 	}
 }
 

@@ -1,0 +1,134 @@
+// Package a exercises the goroleak analyzer: goroutines that can block
+// forever on local channels are flagged; buffered hand-offs, closed ranges,
+// plain paired receives, and escaped channels pass.
+package a
+
+import "context"
+
+// leakRecv plants the cancel-less blocked goroutine: nothing ever sends on
+// or closes ch, so the receive blocks forever.
+func leakRecv() {
+	ch := make(chan int)
+	go func() {
+		v := <-ch // want `goroutine blocks receiving from channel ch, which this function never sends to or closes`
+		_ = v
+	}()
+}
+
+// leakAbandonedSender plants the select-abandonment leak: when ctx wins the
+// race, the unbuffered sender blocks forever.
+func leakAbandonedSender(ctx context.Context, work func() int) int {
+	ch := make(chan int)
+	go func() { ch <- work() }() // want `goroutine sends on unbuffered channel ch with no unconditional receive`
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// leakRange plants the close-less range: the consumer never terminates.
+func leakRange(items []int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch { // want `goroutine ranges over channel ch, which this function never closes`
+			_ = v
+		}
+	}()
+	for _, it := range items {
+		ch <- it
+	}
+}
+
+// leakNamedCallee routes the leak through a named worker: channel-typed
+// arguments are mapped onto the callee's parameters.
+func leakNamedCallee() {
+	ch := make(chan int)
+	go pump(ch)
+}
+
+func pump(ch chan int) {
+	for v := range ch { // want `goroutine ranges over channel ch, which this function never closes`
+		_ = v
+	}
+}
+
+// okBuffered is the scan-engine attempt pattern: a buffered result channel
+// lets the sender complete even if the receiver gave up.
+func okBuffered(ctx context.Context, work func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- work() }()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// okClosedRange is the worker-pool pattern: the feeder closes the channel,
+// so the ranging worker terminates.
+func okClosedRange(items []int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, it := range items {
+		ch <- it
+	}
+	close(ch)
+}
+
+// okPlainPair is the join pattern: an unconditional receive drains the
+// unbuffered sender.
+func okPlainPair(work func() int) int {
+	ch := make(chan int)
+	go func() { ch <- work() }()
+	return <-ch
+}
+
+// okDoneClose is the detector stop pattern: the goroutine signals completion
+// by closing, and closing never blocks.
+func okDoneClose(work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// okEscaped hands the channel to code the analysis cannot see; the other
+// side may well send, so nothing is flagged.
+func okEscaped(register func(chan int)) {
+	ch := make(chan int)
+	register(ch)
+	go func() {
+		v := <-ch
+		_ = v
+	}()
+}
+
+// okGuardedInGoroutine gives the goroutine its own cancel path: a select
+// with an alternative case is trusted.
+func okGuardedInGoroutine(ctx context.Context) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// suppressedLeak shows the escape hatch: a reviewed, deliberate leak with a
+// reason attached.
+func suppressedLeak() {
+	ch := make(chan int)
+	//h2lint:ignore goroleak fixture demonstrating the suppression directive
+	go func() { v := <-ch; _ = v }()
+}

@@ -1,0 +1,55 @@
+// Package a exercises the //h2:hotpath directive side of the hotalloc
+// analyzer: annotated functions become reachability roots; unannotated ones
+// are free to allocate.
+package a
+
+var table = map[string]int{"settings": 1}
+
+//h2:hotpath
+func lookup(b []byte) int {
+	return table[string(b)] // map-index conversion is elided by the compiler: no copy
+}
+
+//h2:hotpath
+func convert(b []byte) string {
+	return string(b) // want `\[\]byte-to-string conversion allocates in hot path \(reachable from convert\)`
+}
+
+//h2:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates in hot path`
+}
+
+//h2:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want `closure literal allocates in hot path`
+}
+
+//h2:hotpath
+func spawn(f func()) {
+	go f() // want `goroutine launch allocates in hot path`
+}
+
+//h2:hotpath
+func fresh() []int {
+	return []int{1, 2, 3} // want `slice literal allocates in hot path`
+}
+
+//h2:hotpath
+func boxy(n int) {
+	logf("frames", n) // want `boxing into \.\.\.any allocates in hot path`
+}
+
+//h2:hotpath
+func grown(dst []byte, b byte) []byte {
+	//h2lint:ignore hotalloc amortized growth on the caller's buffer
+	dst = append(dst, make([]byte, 4)...)
+	return append(dst, b)
+}
+
+// cold allocates freely: no directive, not reachable from any root.
+func cold(b []byte) string {
+	return string(b) + "!"
+}
+
+func logf(msg string, args ...any) { _, _ = msg, args }

@@ -1,0 +1,43 @@
+// Package frame is a golden-test double for h2scope/internal/frame: the
+// hotalloc analyzer roots its reachability walk at Framer.ReadFrame and
+// Framer.WriteData matched by package-path suffix and receiver name.
+package frame
+
+import "fmt"
+
+// Framer mimics the recycling framer with its retained buffers.
+type Framer struct {
+	buf []byte
+}
+
+// ReadFrame is a hot root: everything it reaches in this package is checked.
+func (fr *Framer) ReadFrame() (any, error) {
+	b := make([]byte, 9) // want `make\(\[\]T\) allocates in hot path \(reachable from Framer\.ReadFrame\)`
+	if len(b) == 0 {
+		// Cold early-exit block: error-path allocations are fine.
+		return nil, fmt.Errorf("short header: %d", len(b))
+	}
+	fr.helper(b)
+	return b, nil
+}
+
+// helper is hot only by reachability, not by name.
+func (fr *Framer) helper(b []byte) {
+	s := string(b) // want `\[\]byte-to-string conversion allocates in hot path \(reachable from Framer\.ReadFrame\)`
+	_ = s
+	_ = fmt.Sprintf("frame %d", len(b)) // want `fmt\.Sprintf allocates in hot path`
+}
+
+// WriteData is the second hot root.
+func (fr *Framer) WriteData(p []byte) error {
+	fr.buf = append(fr.buf, p...)  // amortized append to a retained buffer passes
+	x := append([]byte(nil), p...) // want `append to a fresh slice allocates in hot path \(reachable from Framer\.WriteData\)`
+	_ = x
+	return nil
+}
+
+// Reset is unreachable from any hot root; its allocations are free.
+func (fr *Framer) Reset() {
+	fr.buf = make([]byte, 0, 64)
+	_ = fmt.Sprintf("reset %p", fr)
+}

@@ -1,0 +1,47 @@
+// Package frame is a golden-test double for h2scope/internal/frame: the
+// retain analyzer matches Framer, the typed frames, and CopyPayload by
+// package-path suffix. The real package is exempt from the analyzer (it owns
+// the recycled buffers); this stub exists so the fixture package can exercise
+// the consumer-side contract.
+package frame
+
+// Header mimics the wire header of a frame.
+type Header struct {
+	Type     uint8
+	Flags    uint8
+	Length   uint32
+	StreamID uint32
+}
+
+// Frame mimics the frame interface returned by ReadFrame.
+type Frame interface {
+	Header() Header
+}
+
+// DataFrame mimics a DATA frame backed by recycled storage.
+type DataFrame struct {
+	H    Header
+	Data []byte
+}
+
+// Header implements Frame.
+func (f *DataFrame) Header() Header { return f.H }
+
+// HeadersFrame mimics a HEADERS frame backed by recycled storage.
+type HeadersFrame struct {
+	H        Header
+	Fragment []byte
+}
+
+// Header implements Frame.
+func (f *HeadersFrame) Header() Header { return f.H }
+
+// Framer mimics the recycling framer.
+type Framer struct{}
+
+// ReadFrame mimics the recycled read: the result is valid only until the
+// next call.
+func (fr *Framer) ReadFrame() (Frame, error) { return nil, nil }
+
+// CopyPayload mimics the deep-copy escape hatch.
+func CopyPayload(f Frame) Frame { return f }

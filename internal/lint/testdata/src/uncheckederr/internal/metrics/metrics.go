@@ -1,0 +1,12 @@
+// Package metrics is a golden-test double for h2scope/internal/metrics: the
+// uncheckederr analyzer matches DebugServer by package-path suffix.
+package metrics
+
+// DebugServer mimics the live observability endpoint.
+type DebugServer struct{}
+
+// Close mimics stopping the sampler and the HTTP server.
+func (ds *DebugServer) Close() error { return nil }
+
+// Addr does not return an error and is never on the critical surface.
+func (ds *DebugServer) Addr() string { return "" }

@@ -1,0 +1,17 @@
+// Package trace is a golden-test double for h2scope/internal/trace: the
+// uncheckederr analyzer matches Tracer.Subscribe's *Subscription result by
+// package-path suffix.
+package trace
+
+// Subscription mimics one live bus subscription.
+type Subscription struct{}
+
+// Close mimics detaching from the bus (no error to discard; the leak is the
+// discarded Subscription itself).
+func (s *Subscription) Close() {}
+
+// Tracer mimics the event bus.
+type Tracer struct{}
+
+// Subscribe mimics attaching a new subscriber.
+func (t *Tracer) Subscribe(buffer int) *Subscription { return &Subscription{} }

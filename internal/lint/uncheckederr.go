@@ -15,13 +15,20 @@ import (
 // ResponseWriter.Write error serves a truncated /metrics scrape as if it
 // were complete.
 //
+// The same treatment covers the results side of the measurement pipeline: a
+// dropped store.Writer.Append or Flush error loses census records after the
+// probe already paid for them, a dropped metrics.DebugServer.Close error
+// hides a wedged observability endpoint, and a trace.Tracer.Subscribe whose
+// *Subscription result is discarded leaks a live bus subscription that can
+// never be closed.
+//
 // Only implicit discards are flagged (a call in statement position, or
 // under go/defer where the result is unrecoverable). An explicit `_ =`
 // assignment is an acknowledged discard and passes: the codebase uses it
 // where an error is genuinely uninteresting (best-effort ACKs, teardown).
 var UncheckedErrAnalyzer = &Analyzer{
 	Name: "uncheckederr",
-	Doc:  "flags ignored error returns from Framer read/write, h2conn.Conn senders, net.Conn deadline setters, and http.ResponseWriter writes",
+	Doc:  "flags ignored error returns from Framer read/write, h2conn.Conn senders, deadline setters, store/metrics writers, and discarded trace subscriptions",
 	Run:  runUncheckedErr,
 }
 
@@ -43,7 +50,14 @@ func runUncheckedErr(pass *Pass) {
 				return true
 			}
 			f := calleeFunc(info, call)
-			if f == nil || !returnsError(info, call) {
+			if f == nil {
+				return true
+			}
+			if isDiscardedSubscription(f) {
+				pass.Reportf(call.Pos(), "%s(*trace.Tracer).Subscribe: the returned Subscription is discarded and can never be closed — it leaks from the bus", verb)
+				return true
+			}
+			if !returnsError(info, call) {
 				return true
 			}
 			if why := errCriticalCall(info, call, f); why != "" {
@@ -83,6 +97,33 @@ func errCriticalCall(info *types.Info, call *ast.CallExpr, f *types.Func) string
 		if f.Name() == "Write" {
 			return "(http.ResponseWriter)." + f.Name()
 		}
+	case namedTypeIs(recv, "internal/store", "Writer"):
+		if f.Name() == "Append" || f.Name() == "Flush" {
+			return "(*store.Writer)." + f.Name()
+		}
+	case namedTypeIs(recv, "internal/metrics", "DebugServer"):
+		if f.Name() == "Close" {
+			return "(*metrics.DebugServer)." + f.Name()
+		}
 	}
 	return ""
+}
+
+// isDiscardedSubscription reports whether call is a Subscribe returning a
+// *trace.Subscription whose result is being thrown away (the analyzer only
+// sees the call in statement/go/defer position, so reaching here means the
+// result is unrecoverable).
+func isDiscardedSubscription(f *types.Func) bool {
+	if f.Name() != "Subscribe" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return namedTypeIs(ptr.Elem(), "internal/trace", "Subscription")
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +16,53 @@ import (
 // noJitter makes retry schedules exact so tests can assert the sleeps the
 // engine requested from the fake clock.
 var noJitter = Backoff{Base: 100 * time.Millisecond, Factor: 2, Max: 5 * time.Second, Jitter: -1}
+
+// TestRunLeavesNoGoroutines pins the goroleak sweep's verdict on the scan
+// engine empirically: after a canceled run over stalling probes — the worst
+// case for the worker pool, the progress reporter, and the per-attempt
+// watchdog goroutines — the goroutine count must return to its baseline.
+func TestRunLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	targets := make([]Target, 8)
+	for i := range targets {
+		targets[i] = Target{Key: fmt.Sprintf("site-%02d", i)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := func(ctx context.Context, _ Target) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	time.AfterFunc(50*time.Millisecond, cancel)
+	res, err := Run(ctx, targets, probe, Options{Parallelism: 4, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(targets) {
+		t.Fatalf("got %d records, want %d", len(res.Records), len(targets))
+	}
+
+	waitForGoroutineBaseline(t, base)
+}
+
+// waitForGoroutineBaseline polls until the goroutine count drops back to
+// base (plus slack for runtime helpers), failing with the live count if it
+// never does.
+func waitForGoroutineBaseline(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: %d live, baseline %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 
 func TestRunNilProbe(t *testing.T) {
 	if _, err := Run(context.Background(), nil, nil, Options{}); err == nil {

@@ -224,8 +224,9 @@ type Detector struct {
 	detected  map[AttackKind]*metrics.Counter
 	mitigated map[MitigationAction]*metrics.Counter
 
-	stop chan struct{}
-	done chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 
 	scratch []trace.Event
 }
@@ -294,16 +295,15 @@ func (d *Detector) counter(reg *metrics.Registry, name, help string) *metrics.Co
 }
 
 // Stop ends the detector goroutine and detaches it from the trace bus. Safe
-// to call multiple times; the server's Close calls it automatically.
+// to call multiple times, including concurrently; the server's Close calls
+// it automatically.
 func (d *Detector) Stop() {
 	if d == nil {
 		return
 	}
-	select {
-	case <-d.stop:
-	default:
-		close(d.stop)
-	}
+	// A select-on-closed guard here would race: two concurrent Stops could
+	// both see the channel open and both close it. Once serializes them.
+	d.stopOnce.Do(func() { close(d.stop) })
 	<-d.done
 	d.sub.Close()
 }

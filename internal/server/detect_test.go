@@ -8,6 +8,7 @@ package server
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -255,6 +256,31 @@ func TestDetectorNilSafe(t *testing.T) {
 	if got := d.DetectedTotal(AttackRapidReset); got != 0 {
 		t.Errorf("nil DetectedTotal = %d", got)
 	}
+}
+
+// TestDetectorStopConcurrent pins the Stop race fixed in the lint sweep: the
+// old select-on-closed guard let two concurrent Stops both observe the stop
+// channel open and both close it, panicking. Every Stop must return (the
+// detector goroutine is joined) and none may panic.
+func TestDetectorStopConcurrent(t *testing.T) {
+	srv := New(ApacheProfile(), DefaultSite("stop.example"))
+	srv.Trace = trace.New(64)
+	d := srv.StartDetector(DetectorConfig{Thresholds: quietThresholds()}, nil)
+
+	const stoppers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < stoppers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			d.Stop()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	d.Stop() // and again after the fact: still idempotent
 }
 
 // --- equivalence vs a naive reference window ---
