@@ -53,6 +53,7 @@ type options struct {
 	traceDir    string
 	analyze     string
 	debugAddr   string
+	flightRec   string
 	robustness  bool
 	fingerprint bool
 
@@ -86,7 +87,8 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.StringVar(&o.outPath, "out", "", "append per-site scan records (JSON lines) to this file; \"-\" streams records to stdout and moves tables to stderr")
 	fs.StringVar(&o.traceDir, "trace", "", "directory to write per-site frame-level traces (JSONL, view with h2trace); needs -sample > 0")
 	fs.StringVar(&o.analyze, "analyze", "", "skip generation: analyze a previously written records file and exit")
-	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) while the census runs")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve live /metrics, /metrics.json, /dashboard, expvar, and pprof on this address (\":0\" picks a port) while the census runs")
+	fs.StringVar(&o.flightRec, "flightrec", "", "directory for anomaly flight-recorder dumps (bounded JSONL forensics on p99 blowouts and error spikes); needs -sample > 0")
 	fs.BoolVar(&o.robustness, "robustness", false, "also run the short adversarial battery against each sampled site and score its resilience; needs -sample > 0")
 	fs.BoolVar(&o.fingerprint, "fingerprint", false, "also re-dial each sampled site impersonating the builtin client profiles and record whether responses differ; needs -sample > 0")
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +140,9 @@ func (o *options) validate() error {
 	if o.traceDir != "" && o.sample == 0 {
 		return fmt.Errorf("-trace needs a measured scan; set -sample > 0")
 	}
+	if o.flightRec != "" && o.sample == 0 {
+		return fmt.Errorf("-flightrec needs a measured scan; set -sample > 0")
+	}
 	if o.robustness && o.sample == 0 {
 		return fmt.Errorf("-robustness needs a measured scan; set -sample > 0")
 	}
@@ -150,7 +155,7 @@ func (o *options) validate() error {
 // run drives the census. stdout carries the deliverable: human-readable
 // tables normally, or the machine-clean JSONL record stream under -out -
 // (all tables and notices shift to stderr so piped output stays parseable).
-func run(o *options, stdout, stderr io.Writer) error {
+func run(o *options, stdout, stderr io.Writer) (err error) {
 	human := stdout
 	if o.machineStdout() {
 		human = stderr
@@ -162,6 +167,36 @@ func run(o *options, stdout, stderr io.Writer) error {
 	if o.sample > 0 || o.debugAddr != "" {
 		reg = h2scope.NewMetricsRegistry()
 	}
+	// The observability layer rides every measured scan: the monitor folds
+	// causal spans out of each target's trace and feeds the phase histograms;
+	// the flight recorder (opt-in via -flightrec) dumps bounded forensics
+	// when the monitor raises an anomaly.
+	var monitor *h2scope.ObsMonitor
+	var recorder *h2scope.FlightRecorder
+	if o.sample > 0 {
+		mcfg := h2scope.ObsMonitorConfig{Registry: reg}
+		if o.flightRec != "" {
+			recorder, err = h2scope.NewFlightRecorder(h2scope.FlightRecorderConfig{Dir: o.flightRec, Registry: reg})
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := recorder.Close(); err == nil {
+					err = cerr
+				}
+			}()
+			mcfg.OnAnomaly = func(a h2scope.ObsAnomaly) {
+				path, derr := recorder.Dump(a, a.Events)
+				switch {
+				case derr != nil:
+					fmt.Fprintf(human, "h2census: flight dump failed: %v\n", derr)
+				case path != "":
+					fmt.Fprintf(human, "anomaly %q -> %s\n", a.Reason, path)
+				}
+			}
+		}
+		monitor = h2scope.NewObsMonitor(mcfg)
+	}
 	if o.debugAddr != "" {
 		ds, err := h2scope.StartDebugServer(o.debugAddr, reg)
 		if err != nil {
@@ -170,6 +205,12 @@ func run(o *options, stdout, stderr io.Writer) error {
 		defer func() {
 			_ = ds.Close()
 		}()
+		if monitor != nil {
+			dash := h2scope.NewObsDashboard("h2census", monitor, recorder, reg)
+			ds.Handle("/dashboard", dash)
+			ds.Handle("/dashboard.json", dash)
+			fmt.Fprintf(human, "dashboard: http://%s/dashboard\n", ds.Addr())
+		}
 		fmt.Fprintf(human, "debug endpoint: http://%s/metrics\n", ds.Addr())
 		if o.debugStarted != nil {
 			o.debugStarted(ds.Addr())
@@ -230,7 +271,7 @@ func run(o *options, stdout, stderr io.Writer) error {
 		fmt.Fprintln(human, census.Figures4And5Rendered())
 
 		if o.sample > 0 {
-			if err := runScan(o, stdout, human, stderr, epoch, census, reg); err != nil {
+			if err := runScan(o, stdout, human, stderr, epoch, census, reg, monitor); err != nil {
 				return err
 			}
 		}
@@ -242,7 +283,7 @@ func run(o *options, stdout, stderr io.Writer) error {
 // and reports its stats, optionally persisting records plus a stats trailer.
 // Human-readable tables and notices go to human; with -out - the record
 // stream goes to stdout (and human is stderr, keeping stdout machine-clean).
-func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, census *h2scope.Census, reg *h2scope.MetricsRegistry) (err error) {
+func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, census *h2scope.Census, reg *h2scope.MetricsRegistry, monitor *h2scope.ObsMonitor) (err error) {
 	fmt.Fprintf(human, "-- Measured scan (%d sites, %d workers, %d retries, timeout %v) --\n",
 		o.sample, o.parallel, o.retries, o.timeout)
 	scanOpts := h2scope.ScanOptions{
@@ -255,6 +296,7 @@ func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, c
 		Metrics:     reg,
 		Robustness:  o.robustness,
 		Fingerprint: o.fingerprint,
+		Observer:    monitor,
 	}
 	if o.progress > 0 {
 		scanOpts.Progress = stderr
@@ -269,6 +311,17 @@ func runScan(o *options, stdout, human, stderr io.Writer, epoch h2scope.Epoch, c
 	}
 	fmt.Fprintln(human, h2scope.RenderScan(sum))
 	fmt.Fprintln(human, sum.Stats.String())
+	if monitor != nil {
+		fmt.Fprintln(human, "-- Phase latency (p50/p99) --")
+		for _, phase := range h2scope.ObsPhases() {
+			p50, p99, n := monitor.PhaseQuantiles(phase)
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(human, "%-12s %10v %10v  (n=%d)\n", phase, p50, p99, n)
+		}
+		fmt.Fprintln(human)
+	}
 	var snaps []h2scope.MetricSnapshot
 	if reg != nil {
 		snaps = reg.Snapshot()

@@ -45,6 +45,8 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"trace without sample", []string{"-trace", "traces"}, "-trace needs a measured scan"},
 		{"robustness with sample", []string{"-sample", "5", "-robustness"}, ""},
 		{"robustness without sample", []string{"-robustness"}, "-robustness needs a measured scan"},
+		{"flightrec with sample", []string{"-sample", "5", "-flightrec", "dumps"}, ""},
+		{"flightrec without sample", []string{"-flightrec", "dumps"}, "-flightrec needs a measured scan"},
 		{"positional junk", []string{"extra"}, "unexpected positional arguments"},
 	}
 	for _, tc := range cases {
@@ -243,6 +245,125 @@ func TestDebugEndpointsLiveDuringScan(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "go_goroutines") {
 		t.Error("metrics table missing runtime sampler gauges")
+	}
+}
+
+// TestDashboardLiveDuringScan covers the /dashboard mount: while a census
+// scan is in flight, the HTML view and the JSON API must both answer from
+// the -debug-addr mux, and the JSON must carry live phase-latency rows once
+// the run completes.
+func TestDashboardLiveDuringScan(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-epoch", "1", "-scale", "0.002", "-sample", "4", "-debug-addr", "127.0.0.1:0",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addr string
+	opts.debugStarted = func(a string) { addr = a }
+
+	var once sync.Once
+	var midHTML, midJSON string
+	var fetchErr error
+	opts.onScanRecord = func() {
+		once.Do(func() {
+			client := &http.Client{Timeout: 5 * time.Second}
+			get := func(p string) string {
+				resp, err := client.Get("http://" + addr + p)
+				if err != nil {
+					fetchErr = fmt.Errorf("GET %s: %w", p, err)
+					return ""
+				}
+				body, err := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fetchErr = fmt.Errorf("GET %s: status %d err %v", p, resp.StatusCode, err)
+					return ""
+				}
+				return string(body)
+			}
+			midHTML = get("/dashboard")
+			midJSON = get("/dashboard.json")
+		})
+	}
+
+	var stdout, stderr strings.Builder
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fetchErr != nil {
+		t.Fatal(fetchErr)
+	}
+	if !strings.Contains(midHTML, "live run dashboard") || !strings.Contains(midHTML, "h2census") {
+		t.Errorf("/dashboard HTML mid-scan unexpected:\n%.400s", midHTML)
+	}
+	var st struct {
+		Title   string `json:"title"`
+		Targets int64  `json:"targets"`
+		Phases  []struct {
+			Phase string `json:"phase"`
+			Count int64  `json:"count"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(midJSON), &st); err != nil {
+		t.Fatalf("/dashboard.json mid-scan is not JSON: %v\n%s", err, midJSON)
+	}
+	if st.Title != "h2census" {
+		t.Errorf("dashboard title = %q", st.Title)
+	}
+
+	// After the scan the human output carries the phase-latency summary the
+	// monitor derived from the same spans the dashboard serves.
+	if !strings.Contains(stdout.String(), "-- Phase latency (p50/p99) --") {
+		t.Errorf("stdout missing phase latency table:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "dial") {
+		t.Error("phase latency table has no dial row")
+	}
+	if !strings.Contains(stdout.String(), "dashboard: http://") {
+		t.Error("stdout missing dashboard URL notice")
+	}
+}
+
+// TestMachineCleanStdoutWithObservability re-pins the -out - contract with
+// the observability layer active: a flight recorder plus progress columns
+// must leave stdout a pure record stream (all notices on stderr), and the
+// recorder must seal a manifest on exit.
+func TestMachineCleanStdoutWithObservability(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dumps")
+	opts, err := parseFlags([]string{
+		"-epoch", "1", "-scale", "0.002", "-sample", "4",
+		"-progress", "1ms", "-flightrec", dir, "-out", "-",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	records, err := h2scope.ReadScanRecords(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatalf("stdout is not a clean record stream: %v\nstdout:\n%s", err, stdout.String())
+	}
+	if len(records) != 5 {
+		t.Fatalf("stdout carried %d records, want 4 sites + 1 stats trailer", len(records))
+	}
+	// Every stdout line is a JSON object — no human notices leaked (the
+	// trailer's embedded metrics snapshot may legitimately mention obs
+	// instrument names, so ban shapes, not words).
+	for i, line := range strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			t.Errorf("stdout line %d is not JSON: %q", i+1, line)
+		}
+	}
+	if !strings.Contains(stderr.String(), "-- Phase latency (p50/p99) --") {
+		t.Error("stderr missing phase latency table")
+	}
+	// The recorder sealed its manifest even with zero dumps.
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Errorf("flight recorder manifest: %v", err)
 	}
 }
 

@@ -94,6 +94,11 @@ func run() error {
 		return fmt.Errorf("-timeout must be positive; got %v", *timeout)
 	}
 
+	// activeTracer is the per-target tracer the scan engine installs; the
+	// dialer closure reads it to mark the TLS handshake as a region. Conn 0
+	// means "connection identity not assigned yet" — the span builder
+	// attributes the region to the next connection that opens.
+	var activeTracer *trace.Tracer
 	dialer := h2scope.DialerFunc(func() (net.Conn, error) {
 		nc, err := net.DialTimeout("tcp", *target, *timeout)
 		if err != nil {
@@ -102,7 +107,9 @@ func run() error {
 		if !*useTLS {
 			return nc, nil
 		}
+		endTLS := activeTracer.Region(0, "tls")
 		proto, tc, err := tlsutil.NegotiateALPN(nc, *authority)
+		endTLS()
 		if err != nil {
 			_ = nc.Close()
 			return nil, err
@@ -150,6 +157,7 @@ func run() error {
 		func(ctx context.Context, _ scan.Target) (any, error) {
 			probeCfg := cfg
 			probeCfg.Tracer = trace.FromContext(ctx)
+			activeTracer = probeCfg.Tracer
 			r, perr := h2scope.NewProber(dialer, probeCfg).RunContext(ctx)
 			if r == nil {
 				return nil, perr

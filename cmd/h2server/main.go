@@ -17,8 +17,10 @@ import (
 
 	"h2scope"
 	"h2scope/internal/metrics"
+	"h2scope/internal/obs"
 	"h2scope/internal/server"
 	"h2scope/internal/tlsutil"
+	"h2scope/internal/trace"
 )
 
 func main() {
@@ -45,8 +47,9 @@ func run() error {
 		addr        = flag.String("addr", "127.0.0.1:8443", "listen address")
 		domain      = flag.String("domain", "testbed.example", "site domain (:authority)")
 		useTLS      = flag.Bool("tls", false, "serve HTTP/2 over TLS with a self-signed certificate and ALPN")
-		debugAddr   = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, expvar, and pprof on this address (\":0\" picks a port) alongside the server")
+		debugAddr   = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, /dashboard, expvar, and pprof on this address (\":0\" picks a port) alongside the server")
 		detector    = flag.Bool("detector", false, "arm the real-time attack detector with the profile's thresholds (detections surface on -debug-addr metrics)")
+		flightRec   = flag.String("flightrec", "", "directory for anomaly flight-recorder dumps (detector hits, p99 blowouts) with bounded JSONL forensics")
 	)
 	flag.Parse()
 
@@ -73,8 +76,45 @@ func run() error {
 	}
 	srv := h2scope.NewServer(profile, h2scope.DefaultSite(*domain))
 	var reg *metrics.Registry
-	if *debugAddr != "" || *detector {
+	if *debugAddr != "" || *detector || *flightRec != "" {
 		reg = metrics.NewRegistry()
+	}
+	// The observability layer watches the server's trace bus live: a span
+	// monitor streams every connection into the per-phase histograms, and the
+	// flight recorder (when -flightrec is set) dumps bounded forensics on
+	// anomalies — its own p99 blowouts plus every detector hit below.
+	var monitor *obs.Monitor
+	var recorder *obs.FlightRecorder
+	if *debugAddr != "" || *flightRec != "" {
+		if srv.Trace == nil {
+			srv.Trace = trace.New(0)
+		}
+		srv.Trace.ExportMetrics(reg)
+		mcfg := obs.MonitorConfig{Registry: reg}
+		if *flightRec != "" {
+			recorder, err = obs.NewFlightRecorder(obs.FlightRecorderConfig{Dir: *flightRec, Registry: reg})
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := recorder.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "h2server: flightrec close:", cerr)
+				}
+			}()
+			mcfg.OnAnomaly = func(a obs.Anomaly) {
+				path, derr := recorder.Dump(a, srv.Trace.Snapshot())
+				switch {
+				case derr != nil:
+					fmt.Fprintln(os.Stderr, "h2server: flight dump failed:", derr)
+				case path != "":
+					fmt.Printf("anomaly %q -> %s\n", a.Reason, path)
+				}
+			}
+			fmt.Printf("flight recorder armed: %s\n", *flightRec)
+		}
+		monitor = obs.NewMonitor(mcfg)
+		stopWatch := monitor.Watch(srv.Trace, *domain, 0)
+		defer stopWatch()
 	}
 	if *debugAddr != "" {
 		srv.Metrics = server.NewMetrics(reg)
@@ -85,10 +125,26 @@ func run() error {
 		defer func() {
 			_ = ds.Close()
 		}()
-		fmt.Printf("debug endpoint: http://%s/metrics\n", ds.Addr())
+		dash := obs.NewDashboard("h2server "+profile.Family, monitor, recorder, reg)
+		ds.Handle("/dashboard", dash)
+		ds.Handle("/dashboard.json", dash)
+		fmt.Printf("debug endpoint: http://%s/metrics (dashboard at /dashboard)\n", ds.Addr())
 	}
 	if *detector {
-		srv.StartDetector(server.DetectorConfig{}, reg)
+		dcfg := server.DetectorConfig{}
+		if recorder != nil {
+			dcfg.OnDetect = func(det server.Detection) {
+				a := obs.Anomaly{Reason: "detector:" + string(det.Kind), Conn: det.Conn, At: det.At}
+				path, derr := recorder.Dump(a, srv.Trace.Snapshot())
+				switch {
+				case derr != nil:
+					fmt.Fprintln(os.Stderr, "h2server: flight dump failed:", derr)
+				case path != "":
+					fmt.Printf("anomaly %q -> %s\n", a.Reason, path)
+				}
+			}
+		}
+		srv.StartDetector(dcfg, reg)
 		fmt.Printf("attack detector armed (profile %s thresholds)\n", profile.Family)
 	}
 

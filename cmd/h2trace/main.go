@@ -8,6 +8,13 @@
 //	h2trace traces/site-000001.example.jsonl
 //	h2trace -events traces/site-000001.example.jsonl
 //
+// -spans reconstructs the observability layer's causal spans instead: one
+// dial → TLS → preface → settle → close chain per connection, with
+// per-stream first/last-byte latencies (the same derivation the census
+// monitor and flight recorder use):
+//
+//	h2trace -spans traces/site-000001.example.jsonl
+//
 // -merge summarizes many traces (files and/or directories of *.jsonl) as
 // one table, one row per trace:
 //
@@ -23,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"h2scope/internal/obs"
 	"h2scope/internal/trace"
 )
 
@@ -35,8 +43,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	merge := fs.Bool("merge", false, "summarize many traces as one table")
 	events := fs.Bool("events", false, "also dump the raw event log (single-trace mode)")
+	spans := fs.Bool("spans", false, "render reconstructed causal spans (dial/tls/preface/settle/close and per-stream byte latencies) instead of the timeline")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: h2trace [-events] <trace.jsonl>\n")
+		fmt.Fprintf(stderr, "usage: h2trace [-events|-spans] <trace.jsonl>\n")
 		fmt.Fprintf(stderr, "       h2trace -merge <trace.jsonl|dir> ...\n\n")
 		fs.PrintDefaults()
 	}
@@ -75,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "h2trace: %v\n", err)
 		return 1
+	}
+	if *spans {
+		obs.RenderConns(stdout, d.Target, obs.BuildConns(d.Events))
+		return 0
 	}
 	fmt.Fprint(stdout, trace.Render(d, trace.RenderOptions{Events: *events}))
 	return 0

@@ -65,6 +65,34 @@ func TestRenderSingleTrace(t *testing.T) {
 	}
 }
 
+func TestSpansMode(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSampleTrace(t, dir, "one.example.jsonl", "one.example")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-spans", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"causal spans for one.example",
+		"1 connection(s)",
+		"conn 1",
+		"stream 1:",
+		"stream 3:",
+		"first-byte=",
+		"last-byte=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spans output missing %q:\n%s", want, out)
+		}
+	}
+	// The timeline rendering is replaced, not appended to.
+	if strings.Contains(out, "[multiplexing]") {
+		t.Errorf("spans output contains timeline rows:\n%s", out)
+	}
+}
+
 func TestMergeDirectory(t *testing.T) {
 	dir := t.TempDir()
 	writeSampleTrace(t, dir, "a.example.jsonl", "a.example")

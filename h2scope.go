@@ -29,6 +29,7 @@ import (
 	"h2scope/internal/fingerprint"
 	"h2scope/internal/h2conn"
 	"h2scope/internal/metrics"
+	"h2scope/internal/obs"
 	"h2scope/internal/population"
 	"h2scope/internal/scan"
 	"h2scope/internal/server"
@@ -285,6 +286,51 @@ type (
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Causal-observability surface (internal/obs): phase spans derived from the
+// trace bus, the anomaly flight recorder, and the live run dashboard.
+type (
+	// ObsMonitor folds reconstructed phase spans into per-phase latency
+	// histograms with slow-sample exemplars and anomaly detection; plug it
+	// into ScanOptions.Observer.
+	ObsMonitor = obs.Monitor
+	// ObsMonitorConfig configures an ObsMonitor.
+	ObsMonitorConfig = obs.MonitorConfig
+	// ObsAnomaly is one trigger-worthy observation (p99 blowout, error
+	// spike, detector hit).
+	ObsAnomaly = obs.Anomaly
+	// FlightRecorder turns anomalies into bounded JSONL forensic dumps.
+	FlightRecorder = obs.FlightRecorder
+	// FlightRecorderConfig configures a FlightRecorder.
+	FlightRecorderConfig = obs.FlightRecorderConfig
+	// ObsDashboard is the live run dashboard handler (HTML + JSON API).
+	ObsDashboard = obs.Dashboard
+	// ConnPhases is one connection's reconstructed causal span.
+	ConnPhases = obs.ConnPhases
+)
+
+// NewObsMonitor builds a span monitor (see ObsMonitorConfig).
+func NewObsMonitor(cfg ObsMonitorConfig) *ObsMonitor { return obs.NewMonitor(cfg) }
+
+// NewFlightRecorder builds an anomaly flight recorder writing into
+// cfg.Dir.
+func NewFlightRecorder(cfg FlightRecorderConfig) (*FlightRecorder, error) {
+	return obs.NewFlightRecorder(cfg)
+}
+
+// NewObsDashboard builds the live dashboard handler over the given
+// registries; mount it on a DebugServer with Handle("/dashboard", d) (and
+// "/dashboard.json" for the API).
+func NewObsDashboard(title string, m *ObsMonitor, fr *FlightRecorder, regs ...*MetricsRegistry) *ObsDashboard {
+	return obs.NewDashboard(title, m, fr, regs...)
+}
+
+// BuildConnPhases reconstructs per-connection causal spans from a trace
+// event stream (see internal/obs).
+var BuildConnPhases = obs.BuildConns
+
+// ObsPhases lists the causal span phases in order (dial ... close).
+var ObsPhases = obs.Phases
 
 // StartDebugServer serves /metrics, /metrics.json, /debug/vars, and
 // /debug/pprof/* for the given registries on addr (":0" picks a port; see

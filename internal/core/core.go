@@ -165,7 +165,15 @@ func (p *Prober) connect(ctx context.Context, opts h2conn.Options) (*h2conn.Conn
 	if opts.Metrics == nil {
 		opts.Metrics = p.cfg.Metrics
 	}
+	// Reserve the trace connection ID before dialing so the dial region
+	// (and any TLS-handshake region the dialer itself emits) is attributed
+	// to the connection the frames will belong to.
+	if opts.Tracer != nil && opts.TraceConnID == 0 {
+		opts.TraceConnID = opts.Tracer.ConnID()
+	}
+	endDial := opts.Tracer.Region(opts.TraceConnID, "dial")
 	nc, err := p.dialer.Dial()
+	endDial()
 	if err != nil {
 		return nil, fmt.Errorf("core: dial: %w", err)
 	}

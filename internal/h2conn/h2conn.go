@@ -105,6 +105,12 @@ type Options struct {
 	// decoded Event log above is unaffected; the tracer is the cross-layer
 	// observability bus (see internal/trace).
 	Tracer *trace.Tracer
+	// TraceConnID, when nonzero, is a connection ID the caller already
+	// reserved with Tracer.ConnID — Dial then uses it instead of allocating
+	// a fresh one. This lets the dial path emit pre-connection regions
+	// (dial, TLS handshake) under the same ID the connection's frames will
+	// carry, so span reconstruction never has to guess the attribution.
+	TraceConnID uint64
 	// Metrics, when non-nil, counts this connection's lifecycle, streams,
 	// resets, GOAWAYs, and (via the shared framer set) every frame and wire
 	// byte. Build one per registry with NewMetrics and share it across
@@ -223,7 +229,10 @@ func Dial(nc net.Conn, opts Options) (*Conn, error) {
 	}
 	if opts.Tracer != nil {
 		c.tracer = opts.Tracer
-		c.traceConn = opts.Tracer.ConnID()
+		c.traceConn = opts.TraceConnID
+		if c.traceConn == 0 {
+			c.traceConn = opts.Tracer.ConnID()
+		}
 		// The framer hook must be installed before the read loop starts:
 		// there is no lock on it.
 		c.fr.SetTrace(func(sent bool, hdr frame.Header) {

@@ -9,6 +9,9 @@ type tracer struct{}
 // Phase begins a phase and returns its end closer.
 func (tracer) Phase(name string) func() { return func() {} }
 
+// Region begins a connection-scoped region and returns its end closer.
+func (tracer) Region(conn uint64, name string) func() { return func() {} }
+
 func runLater(f func()) { f() }
 
 func goodDefer(tr tracer) {
@@ -40,4 +43,18 @@ func badDeferStart(tr tracer) {
 
 func badBlank(tr tracer) {
 	_ = tr.Phase("settings") // want `phase closer is assigned to _ — the phase never ends`
+}
+
+func goodRegion(tr tracer) {
+	defer tr.Region(1, "dial")()
+	end := tr.Region(1, "tls")
+	end()
+}
+
+func badRegionDiscard(tr tracer) {
+	tr.Region(1, "dial") // want `phase closer is discarded — the phase never ends`
+}
+
+func badRegionDeferStart(tr tracer) {
+	defer tr.Region(1, "dial") // want `defer runs the phase \*start\* at function exit`
 }

@@ -1,0 +1,21 @@
+// Package obs is a golden-test double for h2scope/internal/obs: the
+// uncheckederr analyzer matches FlightRecorder by package-path suffix.
+package obs
+
+// Anomaly mimics the monitor's anomaly record.
+type Anomaly struct{}
+
+// Event mimics a trace event.
+type Event struct{}
+
+// FlightRecorder mimics the anomaly flight recorder.
+type FlightRecorder struct{}
+
+// Dump mimics writing one bounded forensic dump.
+func (r *FlightRecorder) Dump(a Anomaly, events []Event) (string, error) { return "", nil }
+
+// Close mimics sealing the recorder and writing its manifest.
+func (r *FlightRecorder) Close() error { return nil }
+
+// Dumps does not return an error and is never on the critical surface.
+func (r *FlightRecorder) Dumps() int64 { return 0 }

@@ -17,9 +17,12 @@ import (
 // in statement position, assigned to blank, or assigned to a variable that
 // is never called — plus the `defer p.phase("x")` typo that registers the
 // *start* to run at exit. Passing or returning the closer is accepted.
+// Tracer.Region — the connection-scoped variant the causal span layer
+// reconstructs dial/TLS segments from — follows the same closer contract
+// and is held to the same rule.
 var TracePhaseAnalyzer = &Analyzer{
 	Name: "tracephase",
-	Doc:  "requires every probe-phase begin to have its end closer called (defer p.phase(...)() pattern)",
+	Doc:  "requires every probe-phase begin to have its end closer called (defer p.phase(...)() pattern; Region included)",
 	Run:  runTracePhase,
 }
 
@@ -77,11 +80,11 @@ func runTracePhase(pass *Pass) {
 	}
 }
 
-// isPhaseCall reports whether call invokes a Phase/phase method returning
-// exactly one func() closer.
+// isPhaseCall reports whether call invokes a Phase/phase/Region method
+// returning exactly one func() closer.
 func isPhaseCall(info *types.Info, call *ast.CallExpr) bool {
 	f := calleeFunc(info, call)
-	if f == nil || (f.Name() != "Phase" && f.Name() != "phase") {
+	if f == nil || (f.Name() != "Phase" && f.Name() != "phase" && f.Name() != "Region") {
 		return false
 	}
 	sig, ok := f.Type().(*types.Signature)

@@ -105,6 +105,12 @@ func errCriticalCall(info *types.Info, call *ast.CallExpr, f *types.Func) string
 		if f.Name() == "Close" {
 			return "(*metrics.DebugServer)." + f.Name()
 		}
+	case namedTypeIs(recv, "internal/obs", "FlightRecorder"):
+		// A dropped Dump error loses the forensic evidence the recorder
+		// exists to capture; a dropped Close error loses the manifest.
+		if f.Name() == "Dump" || f.Name() == "Close" {
+			return "(*obs.FlightRecorder)." + f.Name()
+		}
 	}
 	return ""
 }

@@ -150,6 +150,7 @@ func NewDebugMux(regs ...*Registry) *http.ServeMux {
 type DebugServer struct {
 	lis     net.Listener
 	srv     *http.Server
+	mux     *http.ServeMux
 	sampler *Sampler
 	done    chan struct{}
 }
@@ -165,9 +166,11 @@ func StartDebug(addr string, regs ...*Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metrics: debug listener on %q: %w", addr, err)
 	}
+	mux := NewDebugMux(regs...)
 	ds := &DebugServer{
 		lis:     lis,
-		srv:     &http.Server{Handler: NewDebugMux(regs...), ReadHeaderTimeout: 5 * time.Second},
+		srv:     &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		mux:     mux,
 		sampler: NewRuntimeSampler(regs[0], 0),
 		done:    make(chan struct{}),
 	}
@@ -181,6 +184,14 @@ func StartDebug(addr string, regs ...*Registry) (*DebugServer, error) {
 
 // Addr returns the listener's concrete address (resolved port included).
 func (ds *DebugServer) Addr() string { return ds.lis.Addr().String() }
+
+// Handle mounts an extra handler on the debug mux (the census dashboard
+// rides on the same -debug-addr listener this way). http.ServeMux.Handle is
+// safe to call while the server is accepting, so callers may mount handlers
+// after StartDebug returns.
+func (ds *DebugServer) Handle(pattern string, h http.Handler) {
+	ds.mux.Handle(pattern, h)
+}
 
 // Sampler returns the runtime sampler feeding Go heap/GC/goroutine gauges
 // into the first registry, or nil when the server has none.

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/trace"
+)
+
+var testBase = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// at returns testBase + ms milliseconds.
+func at(ms int) time.Time { return testBase.Add(time.Duration(ms) * time.Millisecond) }
+
+// clientEvents is a synthetic client-side probe trace with known phase
+// durations: dial 5ms, tls 7ms (pre-conn region), preface 2ms, settle 6ms,
+// stream 1 first-byte 8ms last-byte 18ms, close 5ms.
+func clientEvents() []trace.Event {
+	return []trace.Event{
+		{Kind: trace.KindPhaseStart, Conn: 1, Phase: "dial", At: at(0)},
+		{Kind: trace.KindPhaseEnd, Conn: 1, Phase: "dial", At: at(5)},
+		// TLS handshake happens in the dialer before the connection has an
+		// identity: conn 0, attributed to the next ConnOpen.
+		{Kind: trace.KindPhaseStart, Conn: 0, Phase: "tls", At: at(5)},
+		{Kind: trace.KindPhaseEnd, Conn: 0, Phase: "tls", At: at(12)},
+		{Kind: trace.KindConnOpen, Conn: 1, Detail: "site-000001.example:443", At: at(12)},
+		// A probe-phase marker (tracer-global, conn 0) must be ignored.
+		{Kind: trace.KindPhaseStart, Conn: 0, Phase: "settings", At: at(13)},
+		{Kind: trace.KindFrameSent, Conn: 1, FrameType: frame.TypeSettings, At: at(14)},
+		{Kind: trace.KindFrameRecv, Conn: 1, FrameType: frame.TypeSettings, At: at(20)},
+		// SETTINGS ACKs must not disturb the settle anchors.
+		{Kind: trace.KindFrameSent, Conn: 1, FrameType: frame.TypeSettings, Flags: frame.FlagAck, At: at(21)},
+		{Kind: trace.KindFrameSent, Conn: 1, StreamID: 1, FrameType: frame.TypeHeaders, At: at(22)},
+		{Kind: trace.KindFrameRecv, Conn: 1, StreamID: 1, FrameType: frame.TypeHeaders, At: at(30)},
+		{Kind: trace.KindFrameRecv, Conn: 1, StreamID: 1, FrameType: frame.TypeData, At: at(35)},
+		{Kind: trace.KindFrameRecv, Conn: 1, StreamID: 1, FrameType: frame.TypeData, Flags: frame.FlagEndStream, At: at(40)},
+		{Kind: trace.KindFrameSent, Conn: 1, FrameType: frame.TypeGoAway, At: at(45)},
+		{Kind: trace.KindConnClose, Conn: 1, At: at(50)},
+	}
+}
+
+func TestBuildConnsClientTrace(t *testing.T) {
+	conns := BuildConns(clientEvents())
+	if len(conns) != 1 {
+		t.Fatalf("BuildConns: %d conns, want 1", len(conns))
+	}
+	c := conns[0]
+	if c.Conn != 1 || !c.Opened || !c.Closed {
+		t.Fatalf("lifecycle: conn=%d opened=%v closed=%v", c.Conn, c.Opened, c.Closed)
+	}
+	if c.Detail != "site-000001.example:443" {
+		t.Errorf("Detail = %q", c.Detail)
+	}
+	want := map[string]time.Duration{
+		PhaseDial:    5 * time.Millisecond,
+		PhaseTLS:     7 * time.Millisecond,
+		PhasePreface: 2 * time.Millisecond,
+		PhaseSettle:  6 * time.Millisecond,
+		PhaseClose:   5 * time.Millisecond,
+	}
+	for p, d := range want {
+		if got := c.Phase(p); got != d {
+			t.Errorf("phase %s = %v, want %v", p, got, d)
+		}
+	}
+	if len(c.Streams) != 1 {
+		t.Fatalf("streams: %d, want 1", len(c.Streams))
+	}
+	s := c.Streams[0]
+	if s.StreamID != 1 || s.FirstByte != 8*time.Millisecond || s.LastByte != 18*time.Millisecond {
+		t.Errorf("stream span = %+v", s)
+	}
+	if got := c.Duration(); got != 50*time.Millisecond {
+		t.Errorf("Duration = %v, want 50ms", got)
+	}
+}
+
+func TestBuildConnsServerTrace(t *testing.T) {
+	// Server direction: the request HEADERS is received, the response is
+	// sent. No dial/TLS regions; preface anchors at ConnOpen.
+	events := []trace.Event{
+		{Kind: trace.KindConnOpen, Conn: 7, Detail: "127.0.0.1:55555", At: at(0)},
+		{Kind: trace.KindFrameRecv, Conn: 7, FrameType: frame.TypeSettings, At: at(1)},
+		{Kind: trace.KindFrameSent, Conn: 7, FrameType: frame.TypeSettings, At: at(3)},
+		{Kind: trace.KindFrameRecv, Conn: 7, StreamID: 1, FrameType: frame.TypeHeaders, At: at(5)},
+		{Kind: trace.KindFrameSent, Conn: 7, StreamID: 1, FrameType: frame.TypeHeaders, At: at(9)},
+		{Kind: trace.KindFrameSent, Conn: 7, StreamID: 1, FrameType: frame.TypeData, Flags: frame.FlagEndStream, At: at(11)},
+		{Kind: trace.KindConnClose, Conn: 7, At: at(12)},
+	}
+	conns := BuildConns(events)
+	if len(conns) != 1 {
+		t.Fatalf("BuildConns: %d conns, want 1", len(conns))
+	}
+	c := conns[0]
+	if c.Preface != 3*time.Millisecond {
+		t.Errorf("preface = %v, want 3ms", c.Preface)
+	}
+	// The peer's SETTINGS arrived before ours went out: settle is not a
+	// positive interval, so it stays unobserved.
+	if c.Settle != 0 {
+		t.Errorf("settle = %v, want 0", c.Settle)
+	}
+	if len(c.Streams) != 1 {
+		t.Fatalf("streams: %d, want 1", len(c.Streams))
+	}
+	s := c.Streams[0]
+	if s.FirstByte != 4*time.Millisecond || s.LastByte != 6*time.Millisecond {
+		t.Errorf("stream span = %+v", s)
+	}
+	// No GOAWAY: close falls back to last frame → ConnClose.
+	if c.Close != 1*time.Millisecond {
+		t.Errorf("close = %v, want 1ms", c.Close)
+	}
+}
+
+func TestBuilderStreamingMatchesBatch(t *testing.T) {
+	events := clientEvents()
+	// Second connection that never closes, to exercise Finish.
+	events = append(events,
+		trace.Event{Kind: trace.KindConnOpen, Conn: 2, At: at(60)},
+		trace.Event{Kind: trace.KindFrameSent, Conn: 2, FrameType: frame.TypeSettings, At: at(61)},
+	)
+	batch := BuildConns(events)
+
+	b := NewBuilder()
+	var streamed []ConnPhases
+	b.OnConn = func(c ConnPhases) { streamed = append(streamed, c) }
+	for _, ev := range events {
+		b.Feed(ev)
+	}
+	streamed = append(streamed, b.Finish()...)
+
+	if !reflect.DeepEqual(batch, streamed) {
+		t.Errorf("streaming != batch\nbatch:    %+v\nstreamed: %+v", batch, streamed)
+	}
+}
+
+func TestBuilderSkipsStreamsWithoutRequestLandmark(t *testing.T) {
+	// DATA on a stream whose HEADERS predates the ring window: no span.
+	events := []trace.Event{
+		{Kind: trace.KindConnOpen, Conn: 1, At: at(0)},
+		{Kind: trace.KindFrameRecv, Conn: 1, StreamID: 5, FrameType: frame.TypeData, At: at(1)},
+		{Kind: trace.KindConnClose, Conn: 1, At: at(2)},
+	}
+	conns := BuildConns(events)
+	if len(conns) != 1 || len(conns[0].Streams) != 0 {
+		t.Fatalf("got %+v, want one conn with no stream spans", conns)
+	}
+}
+
+func TestBuilderReusableAfterFinish(t *testing.T) {
+	b := NewBuilder()
+	for _, ev := range clientEvents() {
+		b.Feed(ev)
+	}
+	if got := len(b.Finish()); got != 1 {
+		t.Fatalf("first Finish: %d conns", got)
+	}
+	if got := len(b.Finish()); got != 0 {
+		t.Fatalf("second Finish: %d conns, want 0", got)
+	}
+	for _, ev := range clientEvents() {
+		b.Feed(ev)
+	}
+	if got := len(b.Finish()); got != 1 {
+		t.Fatalf("reuse Finish: %d conns", got)
+	}
+}
+
+func TestRenderConns(t *testing.T) {
+	var sb strings.Builder
+	RenderConns(&sb, "site-000001.example", BuildConns(clientEvents()))
+	out := sb.String()
+	for _, want := range []string{
+		"causal spans for site-000001.example: 1 connection(s)",
+		"conn 1  open=yes close=yes",
+		"dial=5.0ms tls=7.0ms preface=2.0ms settle=6.0ms close=5.0ms",
+		"stream 1: first-byte=8.0ms last-byte=18.0ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"h2scope/internal/h2conn"
 	"h2scope/internal/metrics"
 	"h2scope/internal/netsim"
+	"h2scope/internal/obs"
 	"h2scope/internal/scan"
 	"h2scope/internal/trace"
 )
@@ -204,6 +205,13 @@ type ScanOptions struct {
 	// client's HTTP/2 fingerprint, and records whether the site's
 	// responses differ by client — the impersonation census column.
 	Fingerprint bool
+	// Observer, when set, folds every scanned site's reconstructed phase
+	// spans (dial → preface → settle → first/last byte) into the
+	// observability monitor as the site finalizes, and feeds each site's
+	// outcome into its error-spike detection. Tracing is enabled for every
+	// site even without TraceDir (the tracer then lives only long enough to
+	// build spans); with TraceDir, exemplars reference the exported file.
+	Observer *obs.Monitor
 }
 
 // batteryProbes is how many connection-scoped probes one battery runs; the
@@ -291,6 +299,38 @@ func Scan(pop *Population, opts ScanOptions) (*ScanSummary, error) {
 				return
 			}
 			traceFiles[t.Key] = path
+		}
+	}
+	if opts.Observer != nil {
+		if scanOpts.NewTracer == nil {
+			scanOpts.NewTracer = func(scan.Target) *trace.Tracer { return trace.New(0) }
+		}
+		// The -progress line grows live phase-latency columns.
+		scanOpts.ProgressExtra = opts.Observer.ProgressColumns
+		// Chain behind the TraceDir exporter so exemplars can reference the
+		// exported file path. OnTrace/OnRecord calls are serialized by the
+		// engine, so the observer sees a consistent stream.
+		prevTrace := scanOpts.OnTrace
+		scanOpts.OnTrace = func(t scan.Target, tr *trace.Tracer) {
+			if prevTrace != nil {
+				prevTrace(t, tr)
+			}
+			var path string
+			if traceFiles != nil {
+				path = traceFiles[t.Key]
+			}
+			opts.Observer.ObserveTarget(t.Key, path, tr.Snapshot())
+		}
+		prevRecord := scanOpts.OnRecord
+		scanOpts.OnRecord = func(rec scan.Record) {
+			if prevRecord != nil {
+				prevRecord(rec)
+			}
+			kind := ""
+			if rec.Outcome != scan.OutcomeSuccess {
+				kind = rec.Kind.String()
+			}
+			opts.Observer.RecordOutcome(rec.Target.Key, kind)
 		}
 	}
 	res, err := scan.Run(opts.Context, targets, probe, scanOpts)

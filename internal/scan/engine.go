@@ -118,6 +118,11 @@ type Options struct {
 	Progress io.Writer
 	// ProgressInterval defaults to 5s.
 	ProgressInterval time.Duration
+	// ProgressExtra, when set alongside Progress, is called at each progress
+	// tick and its result is appended to the line — the hook the census uses
+	// to add live phase-latency columns from the observability layer. It must
+	// be safe for concurrent use with the run.
+	ProgressExtra func() string
 	// NewTracer, when set, is called once per fed target to create its
 	// frame-level tracer. The tracer rides the attempt context
 	// (trace.FromContext) so the probe stack can emit into it, its
@@ -241,13 +246,22 @@ func (e *engine) startProgress(ctx context.Context) chan struct{} {
 	if e.opts.Progress == nil {
 		return done
 	}
+	line := func() string {
+		s := e.counters.Snapshot().String()
+		if e.opts.ProgressExtra != nil {
+			if extra := e.opts.ProgressExtra(); extra != "" {
+				s += " " + extra
+			}
+		}
+		return s
+	}
 	go func() {
 		t := time.NewTicker(e.opts.ProgressInterval)
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
-				fmt.Fprintln(e.opts.Progress, e.counters.Snapshot().String())
+				fmt.Fprintln(e.opts.Progress, line())
 			case <-done:
 				return
 			case <-ctx.Done():
@@ -257,7 +271,7 @@ func (e *engine) startProgress(ctx context.Context) chan struct{} {
 				case <-done:
 					return
 				case <-t.C:
-					fmt.Fprintln(e.opts.Progress, e.counters.Snapshot().String())
+					fmt.Fprintln(e.opts.Progress, line())
 				}
 			}
 		}

@@ -374,6 +374,40 @@ func TestProgressReporter(t *testing.T) {
 	}
 }
 
+func TestProgressExtraColumns(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	targets := make([]Target, 4)
+	for i := range targets {
+		targets[i] = Target{Key: fmt.Sprintf("t%d", i)}
+	}
+	_, err := Run(context.Background(), targets,
+		func(context.Context, Target) (any, error) {
+			time.Sleep(30 * time.Millisecond)
+			return nil, nil
+		},
+		Options{
+			Parallelism:      1,
+			Progress:         w,
+			ProgressInterval: 5 * time.Millisecond,
+			ProgressExtra:    func() string { return "dial=1.0ms/2.0ms" },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "dial=1.0ms/2.0ms") {
+		t.Errorf("progress output missing extra columns: %q", out)
+	}
+}
+
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

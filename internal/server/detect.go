@@ -280,6 +280,11 @@ func (s *Server) StartDetector(cfg DetectorConfig, reg *metrics.Registry) *Detec
 		d.mitigated[a] = d.counter(reg, metrics.Label("h2_mitigations_total", "action", string(a)),
 			"mitigations applied to flagged connections")
 	}
+	if reg != nil {
+		// Queue health alongside the ring gauges: a climbing sub-drop count
+		// means the detector is lagging the bus and may miss attack frames.
+		d.sub.ExportMetrics(reg, "detector")
+	}
 	s.mu.Lock()
 	s.det = d
 	s.mu.Unlock()

@@ -321,6 +321,24 @@ func (t *Tracer) Phase(name string) func() {
 	}
 }
 
+// Region begins a named connection-scoped span and returns the function
+// that ends it. Unlike Phase it does not touch the tracer-global phase
+// state, so concurrent connections can carry independent regions: the pair
+// of KindPhaseStart/KindPhaseEnd events is stamped with conn and the span
+// builder (internal/obs) matches them by (conn, name). Conn 0 marks a
+// region that precedes connection identity — a TLS handshake performed
+// inside a dialer before ConnOpen — which the builder attributes to the
+// next connection that opens.
+func (t *Tracer) Region(conn uint64, name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t.emit(Event{Kind: KindPhaseStart, Conn: conn, Phase: name})
+	return func() {
+		t.emit(Event{Kind: KindPhaseEnd, Conn: conn, Phase: name})
+	}
+}
+
 // Snapshot returns the retained events in Seq order. Safe to call while
 // emits are in flight; the snapshot is a best-effort consistent cut.
 func (t *Tracer) Snapshot() []Event {

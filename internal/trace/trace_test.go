@@ -137,6 +137,34 @@ func TestPhaseAnnotatesEvents(t *testing.T) {
 	}
 }
 
+func TestRegionEmitsConnScopedMarkers(t *testing.T) {
+	tr := New(64)
+	conn := tr.ConnID()
+	end := tr.Region(conn, "dial")
+	tr.Frame(conn, true, frame.Header{Type: frame.TypeSettings})
+	end()
+
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	start, frameEv, stop := evs[0], evs[1], evs[2]
+	if start.Kind != KindPhaseStart || start.Phase != "dial" || start.Conn != conn {
+		t.Errorf("region start = %+v", start)
+	}
+	if stop.Kind != KindPhaseEnd || stop.Phase != "dial" || stop.Conn != conn {
+		t.Errorf("region end = %+v", stop)
+	}
+	// Unlike Phase, Region does not annotate interleaved frames: it marks a
+	// conn-scoped interval without touching the tracer-global phase label.
+	if frameEv.Phase != "" {
+		t.Errorf("frame inside region carries phase %q, want none", frameEv.Phase)
+	}
+
+	var nilTr *Tracer
+	nilTr.Region(1, "dial")() // nil-safe no-op
+}
+
 // TestConcurrentEmitSnapshot exercises the lock-free ring under the race
 // detector: many producers emitting while a reader snapshots continuously.
 func TestConcurrentEmitSnapshot(t *testing.T) {
@@ -497,5 +525,48 @@ func TestExportMetricsGauges(t *testing.T) {
 	nilTr.ExportMetrics(r)
 	if got := value("h2_trace_events_total"); got != 0 {
 		t.Fatalf("nil tracer gauge = %d, want 0", got)
+	}
+}
+
+func TestSubscriptionExportMetrics(t *testing.T) {
+	tr := New(64)
+	sub := tr.Subscribe(4)
+	defer sub.Close()
+	r := metrics.NewRegistry()
+	sub.ExportMetrics(r, "detector")
+
+	value := func(name string) int64 {
+		t.Helper()
+		for _, m := range r.Snapshot() {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		t.Fatalf("gauge %q not registered", name)
+		return 0
+	}
+
+	dropped := metrics.Label("h2_trace_sub_dropped_total", "sub", "detector")
+	pending := metrics.Label("h2_trace_sub_pending", "sub", "detector")
+	if got := value(dropped); got != 0 {
+		t.Fatalf("%s = %d before emits, want 0", dropped, got)
+	}
+
+	conn := tr.ConnID()
+	const emits = 10 // overflows the 4-slot queue: 6 drops, 4 pending
+	for i := 0; i < emits; i++ {
+		tr.Frame(conn, true, frame.Header{Type: frame.TypePing, Length: 8})
+	}
+	if got, want := value(dropped), int64(sub.Dropped()); got != want || want != emits-4 {
+		t.Fatalf("%s = %d, Dropped() = %d, want both %d", dropped, got, want, emits-4)
+	}
+	if got := value(pending); got != 4 {
+		t.Fatalf("%s = %d, want 4", pending, got)
+	}
+
+	// Draining the queue is visible through the live gauge.
+	sub.Drain(nil)
+	if got := value(pending); got != 0 {
+		t.Fatalf("after drain, %s = %d, want 0", pending, got)
 	}
 }
