@@ -6,6 +6,7 @@
 package h2scope_test
 
 import (
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -516,5 +517,44 @@ func BenchmarkH2LoadThroughput(b *testing.B) {
 		}
 		b.ReportMetric(res.RequestsPerSecond(), "req/s")
 		logOnce(b, i, "h2load: %s", res)
+	}
+}
+
+// BenchmarkServeThroughput saturates the sharded server data plane over
+// loopback: many connections striped across driver threads, deep stream
+// batches, and the zero-alloc serve path on the far side. The sub-benchmarks
+// sweep the shard count so the per-shard scaling trajectory lands in the CI
+// bench artifacts alongside the absolute req/s figure.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv := h2scope.NewServer(h2scope.NghttpdProfile(), h2scope.DefaultSite("serve.example"))
+			srv.Shards = shards
+			l := netsim.NewListener(fmt.Sprintf("serve-bench-%d", shards))
+			go func() {
+				_ = srv.Serve(l)
+			}()
+			defer srv.Close()
+			dial := func() (net.Conn, error) { return l.Dial() }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := h2load.Run(dial, h2load.Options{
+					Connections:    2 * shards,
+					Threads:        shards,
+					StreamsPerConn: 64,
+					Requests:       20000,
+					Authority:      "serve.example",
+					Path:           "/about.html",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errors > 0 {
+					b.Fatalf("%d errors", res.Errors)
+				}
+				b.ReportMetric(res.RequestsPerSecond(), "req/s")
+				logOnce(b, i, "serve: %s", res)
+			}
+		})
 	}
 }

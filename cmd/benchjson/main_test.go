@@ -62,6 +62,21 @@ func TestParseWithoutBenchmem(t *testing.T) {
 	}
 }
 
+func TestParseCapturesCustomMetrics(t *testing.T) {
+	line := "BenchmarkServeThroughput/shards=4-8 1 40922709 ns/op 491954 req/s\n"
+	doc, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Benchmarks[0]
+	if b.Extra == nil || b.Extra["req/s"] != 491954 {
+		t.Errorf("Extra = %v, want req/s 491954", b.Extra)
+	}
+	if b.NsPerOp != 40922709 {
+		t.Errorf("ns/op = %g, want 40922709", b.NsPerOp)
+	}
+}
+
 func TestParseRejectsMalformed(t *testing.T) {
 	for _, bad := range []string{
 		"BenchmarkX-4 garbage 5.5 ns/op\n",

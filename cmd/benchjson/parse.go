@@ -25,6 +25,10 @@ type Result struct {
 	// figures; nil when the run did not report them.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric measurements keyed by unit
+	// (e.g. "req/s" for the serve-throughput benchmarks); nil when the
+	// line carried only the standard go-test measurements.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Document is the artifact schema: one entry per benchmark, sorted by
@@ -97,6 +101,11 @@ func parseLine(line string) (*Result, error) {
 			res.BytesPerOp = &v
 		case "allocs/op":
 			res.AllocsPerOp = &v
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[fields[i+1]] = v
 		}
 	}
 	if !sawNs {

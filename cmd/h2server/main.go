@@ -49,6 +49,7 @@ func run() error {
 		useTLS      = flag.Bool("tls", false, "serve HTTP/2 over TLS with a self-signed certificate and ALPN")
 		debugAddr   = flag.String("debug-addr", "", "serve live /metrics, /metrics.json, /dashboard, expvar, and pprof on this address (\":0\" picks a port) alongside the server")
 		detector    = flag.Bool("detector", false, "arm the real-time attack detector with the profile's thresholds (detections surface on -debug-addr metrics)")
+		shards      = flag.Int("shards", 0, "accept/serve shards with independent conn tables (0 = GOMAXPROCS)")
 		flightRec   = flag.String("flightrec", "", "directory for anomaly flight-recorder dumps (detector hits, p99 blowouts) with bounded JSONL forensics")
 	)
 	flag.Parse()
@@ -74,7 +75,11 @@ func run() error {
 		fmt.Println(string(data))
 		return nil
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0; got %d", *shards)
+	}
 	srv := h2scope.NewServer(profile, h2scope.DefaultSite(*domain))
+	srv.Shards = *shards
 	var reg *metrics.Registry
 	if *debugAddr != "" || *detector || *flightRec != "" {
 		reg = metrics.NewRegistry()

@@ -49,6 +49,11 @@ func New(initial int32) *Window {
 // Available returns the current window size in octets (may be negative).
 func (w *Window) Available() int64 { return w.avail }
 
+// Reset reinitializes the window to n octets, discarding all accumulated
+// state. Pooled per-stream windows are re-armed with it instead of being
+// reallocated.
+func (w *Window) Reset(n int64) { w.avail = n }
+
 // Consume removes n octets from the window. It fails with
 // ErrWindowUnderflow if n exceeds the available window; the caller decides
 // whether that is a FLOW_CONTROL_ERROR (receiving overlong DATA) or a

@@ -1,6 +1,15 @@
 // Package h2load is a multiplexing-aware HTTP/2 load generator in the
-// spirit of nghttp2's h2load: N connections, M concurrent streams per
-// connection, a fixed request quota, and latency/throughput accounting.
+// spirit of nghttp2's h2load: N connections striped across T driver
+// threads, M concurrent streams per connection, a fixed request quota,
+// and latency/throughput accounting.
+//
+// The engine speaks the wire protocol directly — one framer, HPACK
+// encoder, and HPACK decoder per connection, no shared state on the
+// request path — so a run measures the server, not the client. Each
+// driver submits requests in closed-loop batches: up to M HEADERS frames
+// coalesce into a single write, then the driver reads frames until every
+// stream in the batch has ended before drawing the next batch of tickets
+// from the shared atomic quota.
 //
 // The paper's testbed characterization needs exactly this shape of driver
 // (many concurrent streams against one server); the package doubles as the
@@ -8,81 +17,54 @@
 package h2load
 
 import (
-	"errors"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"h2scope/internal/frame"
-	"h2scope/internal/h2conn"
+	"h2scope/internal/hpack"
 	"h2scope/internal/metrics"
 )
 
-// streamsEnded counts how many of ids have reached END_STREAM or RST_STREAM
-// in the event log.
-func streamsEnded(evs []h2conn.Event, ids []uint32) int {
-	if len(ids) == 0 {
-		return 0
-	}
-	// Batch stream IDs are consecutive odd numbers, so membership is an
-	// index computation, not a map: the predicate runs under the conn lock
-	// on every event arrival and must stay allocation-free.
-	base := ids[0]
-	ended := 0
-	var stack [64]bool
-	done := stack[:]
-	if len(ids) > len(done) {
-		done = make([]bool, len(ids))
-	}
-	for _, e := range evs {
-		if e.StreamID < base || (e.StreamID-base)%2 != 0 {
-			continue
-		}
-		idx := int(e.StreamID-base) / 2
-		if idx >= len(ids) || done[idx] {
-			continue
-		}
-		if e.StreamEnded() || e.Type == frame.TypeRSTStream {
-			done[idx] = true
-			ended++
-		}
-	}
-	return ended
-}
+// maxWindow is the largest legal flow-control window (RFC 7540 section
+// 6.9.1). The handshake maxes out both the connection window and the
+// per-stream initial window so a loopback run never stalls on flow
+// control — the generator is measuring the server's data plane, not its
+// own WINDOW_UPDATE cadence.
+const maxWindow = 1<<31 - 1
 
-// streamLatency returns the time from batch submission to the event that
-// ended the stream, falling back to zero when the stream never finished.
-func streamLatency(evs []h2conn.Event, id uint32, t0 time.Time) time.Duration {
-	for _, e := range evs {
-		if e.StreamID != id {
-			continue
-		}
-		if e.StreamEnded() || e.Type == frame.TypeRSTStream {
-			return e.At.Sub(t0)
-		}
-	}
-	return 0
-}
+// latencyUnit is the bucketing divisor of the per-driver latency
+// histograms: nanosecond observations bucketed per microsecond.
+const latencyUnit = int64(time.Microsecond)
 
 // Options configures a load run.
 type Options struct {
 	// Connections is the number of HTTP/2 connections (N).
 	Connections int
-	// StreamsPerConn is the number of concurrent streams per connection (M).
+	// Threads is the number of driver goroutines the connections are
+	// striped across (T). Zero means one driver per connection.
+	Threads int
+	// StreamsPerConn is the number of concurrent streams per connection
+	// (M): the batch size of the closed submit/drain loop.
 	StreamsPerConn int
 	// Requests is the total request quota across all workers.
 	Requests int
 	// Authority and Path select the resource to hammer.
 	Authority string
 	Path      string
-	// Timeout bounds each individual request.
+	// Timeout bounds each batch drain; a connection that makes no
+	// progress for this long is torn down and its in-flight requests
+	// counted as errors.
 	Timeout time.Duration
 	// Metrics, when set, instruments the run live: requests, errors, body
-	// bytes, and a request-latency histogram land in h2_load_* instruments,
-	// and every connection feeds the shared h2_conn_*/h2_frames_* set. The
-	// returned Result stays exact and per-run regardless.
+	// bytes, opened connections, and a request-latency histogram land in
+	// h2_load_* instruments, and every connection's framer feeds the
+	// shared h2_frames_* set. The returned Result stays exact and per-run
+	// regardless.
 	Metrics *metrics.Registry
 }
 
@@ -90,6 +72,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Connections < 1 {
 		o.Connections = 1
+	}
+	if o.Threads < 1 || o.Threads > o.Connections {
+		o.Threads = o.Connections
 	}
 	if o.StreamsPerConn < 1 {
 		o.StreamsPerConn = 1
@@ -116,8 +101,10 @@ type Result struct {
 	BytesRead int64
 	// Duration is the wall-clock span of the run.
 	Duration time.Duration
-	// latencies holds one sample per successful request, sorted.
-	latencies []time.Duration
+	// Latency is the merged request-latency histogram (nanosecond
+	// observations, microsecond buckets), folded together from the
+	// per-driver histograms at run end.
+	Latency metrics.HistogramSnapshot
 }
 
 // RequestsPerSecond is the achieved throughput.
@@ -128,19 +115,10 @@ func (r *Result) RequestsPerSecond() float64 {
 	return float64(r.Requests) / r.Duration.Seconds()
 }
 
-// LatencyQuantile returns the q-quantile (0..1) of request latency.
+// LatencyQuantile returns the q-quantile (0..1) of request latency from
+// the merged histogram.
 func (r *Result) LatencyQuantile(q float64) time.Duration {
-	if len(r.latencies) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(r.latencies)))
-	if idx >= len(r.latencies) {
-		idx = len(r.latencies) - 1
-	}
-	if idx < 0 {
-		idx = 0
-	}
-	return r.latencies[idx]
+	return time.Duration(r.Latency.Quantile(q))
 }
 
 // String renders an h2load-style summary.
@@ -149,6 +127,49 @@ func (r *Result) String() string {
 		"requests: %d ok, %d failed | %.0f req/s | %s read | latency p50 %v, p95 %v, p99 %v",
 		r.Requests, r.Errors, r.RequestsPerSecond(), byteCount(r.BytesRead),
 		r.LatencyQuantile(0.50), r.LatencyQuantile(0.95), r.LatencyQuantile(0.99))
+}
+
+// Summary is the machine-readable form of a Result, one JSON object per
+// run. It is what `h2load -out` emits as JSONL so saturation sweeps can be
+// diffed and archived without scraping the human report.
+type Summary struct {
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	BytesRead      int64   `json:"bytes_read"`
+	DurationNS     int64   `json:"duration_ns"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	LatencyMeanNS  int64   `json:"latency_mean_ns"`
+	LatencyP50NS   int64   `json:"latency_p50_ns"`
+	LatencyP95NS   int64   `json:"latency_p95_ns"`
+	LatencyP99NS   int64   `json:"latency_p99_ns"`
+	LatencyMaxNS   int64   `json:"latency_max_ns"`
+}
+
+// Summary converts the result for JSONL output.
+func (r *Result) Summary() Summary {
+	return Summary{
+		Requests:       r.Requests,
+		Errors:         r.Errors,
+		BytesRead:      r.BytesRead,
+		DurationNS:     int64(r.Duration),
+		RequestsPerSec: r.RequestsPerSecond(),
+		LatencyMeanNS:  r.Latency.Mean(),
+		LatencyP50NS:   int64(r.LatencyQuantile(0.50)),
+		LatencyP95NS:   int64(r.LatencyQuantile(0.95)),
+		LatencyP99NS:   int64(r.LatencyQuantile(0.99)),
+		LatencyMaxNS:   r.Latency.Max,
+	}
+}
+
+// WriteJSONL writes the summary as one JSON line.
+func (s Summary) WriteJSONL(w io.Writer) error {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 func byteCount(n int64) string {
@@ -164,7 +185,8 @@ func byteCount(n int64) string {
 
 // loadMetrics is the h2_load_* instrument set, built once per Run.
 type loadMetrics struct {
-	conn     *h2conn.Metrics
+	frame    *frame.Metrics
+	conns    *metrics.Counter
 	requests *metrics.Counter
 	errors   *metrics.Counter
 	bytes    *metrics.Counter
@@ -173,16 +195,378 @@ type loadMetrics struct {
 
 func newLoadMetrics(r *metrics.Registry) *loadMetrics {
 	return &loadMetrics{
-		conn:     h2conn.NewMetrics(r),
+		frame:    frame.NewMetrics(r),
+		conns:    r.Counter("h2_load_conns_total", "HTTP/2 connections opened by the load generator"),
 		requests: r.Counter("h2_load_requests_total", "successful load-generator requests"),
 		errors:   r.Counter("h2_load_errors_total", "failed load-generator requests (transport errors, resets, non-200s)"),
 		bytes:    r.Counter("h2_load_body_bytes_total", "response body octets read by the load generator"),
 		latency: r.Histogram("h2_load_request_latency_ns",
-			"load-generator request latency", int64(time.Microsecond), metrics.DefaultBuckets),
+			"load-generator request latency", latencyUnit, metrics.DefaultBuckets),
 	}
 }
 
-// Run drives the load and blocks until the quota is spent.
+// loadConn is one raw HTTP/2 connection: framer plus per-connection HPACK
+// contexts. All request-path state is owned by the driver that holds the
+// connection, so the hot loop takes no locks.
+type loadConn struct {
+	nc  net.Conn
+	fr  *frame.Framer
+	enc *hpack.Encoder
+	dec *hpack.Decoder
+
+	// nextID is the next client stream ID (odd, ascending).
+	nextID uint32
+
+	// block is the HEADERS fragment scratch reused per request.
+	block []byte
+	// fields is the header-list decode scratch reused per response.
+	fields []hpack.HeaderField
+	// req is the request header list, built once.
+	req []hpack.HeaderField
+
+	// hb accumulates a header block across HEADERS/CONTINUATION frames;
+	// hbID/hbEnd/hbPush describe the block in flight.
+	hb     []byte
+	hbID   uint32
+	hbEnd  bool
+	hbPush bool
+
+	// watchdog force-closes nc when a batch drain stalls past the
+	// timeout; it is reset per batch and stopped on completion.
+	watchdog *time.Timer
+
+	dead   bool
+	goaway bool
+}
+
+// handshake dials the preface: ENABLE_PUSH off (the generator has no use
+// for pushed responses), stream and connection windows maxed so flow
+// control never throttles the measurement.
+func newLoadConn(nc net.Conn, opts *Options, lm *loadMetrics) (*loadConn, error) {
+	c := &loadConn{
+		nc:     nc,
+		fr:     frame.NewFramer(nc, nc),
+		enc:    hpack.NewEncoder(hpack.PolicyIndexAll),
+		dec:    hpack.NewDecoder(hpack.DefaultDynamicTableSize),
+		nextID: 1,
+		req: []hpack.HeaderField{
+			{Name: ":method", Value: "GET"},
+			{Name: ":scheme", Value: "https"},
+			{Name: ":authority", Value: opts.Authority},
+			{Name: ":path", Value: opts.Path},
+			{Name: "user-agent", Value: "h2scope-h2load/2.0"},
+		},
+	}
+	if lm != nil {
+		c.fr.SetMetrics(lm.frame)
+		lm.conns.Inc()
+	}
+	c.watchdog = time.AfterFunc(time.Hour, func() { _ = nc.Close() })
+	c.watchdog.Stop()
+	if err := c.fr.WriteRawBytes([]byte(frame.ClientPreface)); err != nil {
+		return nil, err
+	}
+	if err := c.fr.WriteSettings(
+		frame.Setting{ID: frame.SettingEnablePush, Val: 0},
+		frame.Setting{ID: frame.SettingInitialWindowSize, Val: maxWindow},
+	); err != nil {
+		return nil, err
+	}
+	if err := c.fr.WriteWindowUpdate(0, maxWindow-65535); err != nil {
+		return nil, err
+	}
+	if err := c.fr.Flush(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// batch is the in-flight closed-loop batch state, reused across batches.
+type batch struct {
+	base  uint32
+	n     int
+	done  int
+	t0    time.Time
+	ended []bool
+	ok    []bool
+}
+
+func (b *batch) reset(base uint32, n int) {
+	b.base, b.n, b.done = base, n, 0
+	b.ended = append(b.ended[:0], make([]bool, n)...)
+	b.ok = append(b.ok[:0], make([]bool, n)...)
+}
+
+// index maps a stream ID into the batch, or -1.
+func (b *batch) index(id uint32) int {
+	if id < b.base || (id-b.base)%2 != 0 {
+		return -1
+	}
+	i := int(id-b.base) / 2
+	if i >= b.n {
+		return -1
+	}
+	return i
+}
+
+// driver owns a stripe of connections and accumulates its own counters;
+// Run merges the per-driver stats when every driver is done, so the
+// request path shares nothing but the atomic ticket counter.
+type driver struct {
+	opts  *Options
+	lm    *loadMetrics
+	conns []*loadConn
+	left  *atomic.Int64
+
+	requests int
+	errors   int
+	bytes    int64
+	hist     *metrics.Histogram
+	errs     []error
+}
+
+// claim draws up to max tickets from the shared quota.
+func (d *driver) claim(max int) int {
+	for {
+		cur := d.left.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := int64(max)
+		if take > cur {
+			take = cur
+		}
+		if d.left.CompareAndSwap(cur, cur-take) {
+			return int(take)
+		}
+	}
+}
+
+// observe records one finished request outcome.
+func (d *driver) observe(lat time.Duration, ok bool, body int64) {
+	d.hist.Observe(int64(lat))
+	if d.lm != nil {
+		d.lm.latency.Observe(int64(lat))
+	}
+	if ok {
+		d.requests++
+		d.bytes += body
+		if d.lm != nil {
+			d.lm.requests.Inc()
+			d.lm.bytes.Add(body)
+		}
+	} else {
+		d.errors++
+		if d.lm != nil {
+			d.lm.errors.Inc()
+		}
+	}
+}
+
+// fail tears the connection down and settles every unfinished stream of
+// the batch as an error.
+func (d *driver) fail(c *loadConn, bs *batch, err error) {
+	c.dead = true
+	_ = c.nc.Close()
+	if err != nil && len(d.errs) < 4 {
+		d.errs = append(d.errs, err)
+	}
+	lat := time.Since(bs.t0)
+	for i := 0; i < bs.n; i++ {
+		if !bs.ended[i] {
+			bs.ended[i] = true
+			bs.done++
+			d.observe(lat, false, 0)
+		}
+	}
+}
+
+// finish marks one batch stream ended.
+func (d *driver) finish(bs *batch, id uint32, ok bool, body int64) {
+	i := bs.index(id)
+	if i < 0 || bs.ended[i] {
+		return
+	}
+	bs.ended[i] = true
+	bs.ok[i] = ok
+	bs.done++
+	d.observe(time.Since(bs.t0), ok, body)
+}
+
+// runBatch submits n requests as one coalesced HEADERS burst and drains
+// the connection until all of them have ended.
+func (d *driver) runBatch(c *loadConn, bs *batch, n int) {
+	bs.reset(c.nextID, n)
+	bs.t0 = time.Now()
+	for i := 0; i < n; i++ {
+		c.block = c.enc.AppendBlock(c.block[:0], c.req)
+		err := c.fr.WriteHeaders(frame.HeadersParams{
+			StreamID:   c.nextID,
+			Fragment:   c.block,
+			EndStream:  true,
+			EndHeaders: true,
+		})
+		c.nextID += 2
+		if err != nil {
+			// Streams never submitted still consumed tickets; settle
+			// the whole batch as failed.
+			c.nextID += 2 * uint32(n-1-i)
+			d.fail(c, bs, err)
+			return
+		}
+	}
+	if err := c.fr.Flush(); err != nil {
+		d.fail(c, bs, err)
+		return
+	}
+	d.drain(c, bs)
+}
+
+// drain reads frames until the batch completes, the timeout watchdog
+// closes the connection, or the transport fails.
+func (d *driver) drain(c *loadConn, bs *batch) {
+	c.watchdog.Reset(d.opts.Timeout)
+	defer c.watchdog.Stop()
+	bodyBytes := make(map[uint32]int64, bs.n)
+	for bs.done < bs.n {
+		f, err := c.fr.ReadFrame()
+		if err != nil {
+			d.fail(c, bs, err)
+			return
+		}
+		switch f := f.(type) {
+		case *frame.HeadersFrame:
+			c.hb = append(c.hb[:0], f.Fragment...)
+			c.hbID = f.Header().StreamID
+			c.hbEnd = f.StreamEnded()
+			c.hbPush = false
+			if f.HeadersEnded() {
+				d.endHeaderBlock(c, bs, bodyBytes)
+			}
+		case *frame.ContinuationFrame:
+			c.hb = append(c.hb, f.Fragment...)
+			if f.HeadersEnded() {
+				d.endHeaderBlock(c, bs, bodyBytes)
+			}
+		case *frame.DataFrame:
+			id := f.Header().StreamID
+			bodyBytes[id] += int64(len(f.Data))
+			if f.StreamEnded() {
+				d.finish(bs, id, bs.okAt(id), bodyBytes[id])
+			}
+		case *frame.RSTStreamFrame:
+			d.finish(bs, f.Header().StreamID, false, 0)
+		case *frame.SettingsFrame:
+			if !f.IsAck() {
+				if err := c.fr.WriteSettingsAck(); err == nil {
+					err = c.fr.Flush()
+				} else {
+					d.fail(c, bs, err)
+					return
+				}
+			}
+		case *frame.PingFrame:
+			if !f.IsAck() {
+				if err := c.fr.WritePing(true, f.Data); err != nil {
+					d.fail(c, bs, err)
+					return
+				}
+				if err := c.fr.Flush(); err != nil {
+					d.fail(c, bs, err)
+					return
+				}
+			}
+		case *frame.GoAwayFrame:
+			c.goaway = true
+			// Streams above the cutoff were never processed and will
+			// not be answered; settle them now.
+			for i := 0; i < bs.n; i++ {
+				id := bs.base + 2*uint32(i)
+				if id > f.LastStreamID {
+					d.finish(bs, id, false, 0)
+				}
+			}
+		case *frame.PushPromiseFrame:
+			// Push is disabled in the handshake; a server that promises
+			// anyway still mutates the HPACK connection context, so the
+			// block must be decoded before the promise is refused.
+			c.hb = append(c.hb[:0], f.Fragment...)
+			c.hbID = f.PromiseID
+			c.hbEnd = false
+			c.hbPush = true
+			if f.HeadersEnded() {
+				d.endHeaderBlock(c, bs, bodyBytes)
+			}
+		}
+	}
+}
+
+// okAt reports whether the batch stream already saw a 200 response
+// header block.
+func (b *batch) okAt(id uint32) bool {
+	if i := b.index(id); i >= 0 {
+		return b.ok[i]
+	}
+	return false
+}
+
+// endHeaderBlock decodes the completed header block and applies it: a
+// response block records the status (and finishes the stream when the
+// block carried END_STREAM); a push block is refused.
+func (d *driver) endHeaderBlock(c *loadConn, bs *batch, bodyBytes map[uint32]int64) {
+	fields, err := c.dec.DecodeAppend(c.fields[:0], c.hb)
+	c.fields = fields
+	if err != nil {
+		d.fail(c, bs, err)
+		return
+	}
+	if c.hbPush {
+		if err := c.fr.WriteRSTStream(c.hbID, frame.ErrCodeCancel); err != nil {
+			d.fail(c, bs, err)
+		}
+		return
+	}
+	status := ""
+	for _, hf := range fields {
+		if hf.Name == ":status" {
+			status = hf.Value
+			break
+		}
+	}
+	if i := bs.index(c.hbID); i >= 0 {
+		bs.ok[i] = status == "200"
+	}
+	if c.hbEnd {
+		d.finish(bs, c.hbID, bs.okAt(c.hbID), bodyBytes[c.hbID])
+	}
+}
+
+// run is the driver loop: round-robin over the stripe's live connections,
+// one closed-loop batch per visit, until the quota is spent or every
+// connection has died.
+func (d *driver) run() {
+	bs := &batch{}
+	for {
+		alive := false
+		for _, c := range d.conns {
+			if c.dead || c.goaway {
+				continue
+			}
+			alive = true
+			n := d.claim(d.opts.StreamsPerConn)
+			if n == 0 {
+				return
+			}
+			d.runBatch(c, bs, n)
+		}
+		if !alive {
+			return
+		}
+	}
+}
+
+// Run drives the load and blocks until the quota is spent (or every
+// connection has failed).
 func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	var lm *loadMetrics
@@ -190,127 +574,68 @@ func Run(dial func() (net.Conn, error), opts Options) (*Result, error) {
 		lm = newLoadMetrics(opts.Metrics)
 	}
 
-	// The quota is distributed over a shared ticket channel so fast
-	// connections take more.
-	tickets := make(chan struct{}, opts.Requests)
-	for i := 0; i < opts.Requests; i++ {
-		tickets <- struct{}{}
-	}
-	close(tickets)
-
-	var (
-		mu     sync.Mutex
-		res    = &Result{}
-		wg     sync.WaitGroup
-		dialMu sync.Mutex
-		errs   []error
-	)
-	recordErr := func(err error) {
-		mu.Lock()
-		res.Errors++
-		if err != nil && len(errs) < 4 {
-			errs = append(errs, err)
-		}
-		mu.Unlock()
-		if lm != nil {
-			lm.errors.Inc()
-		}
-	}
-	start := time.Now()
-	for c := 0; c < opts.Connections; c++ {
+	conns := make([]*loadConn, opts.Connections)
+	for i := range conns {
 		nc, err := dial()
 		if err != nil {
-			return nil, fmt.Errorf("h2load: dial connection %d: %w", c, err)
+			return nil, fmt.Errorf("h2load: dial connection %d: %w", i, err)
 		}
-		connOpts := h2conn.DefaultOptions()
-		// Long-lived connections issue thousands of requests; bound the
-		// event log so memory and per-request cost stay flat. Keep enough
-		// headroom that one batch's events can never straddle a trim.
-		connOpts.EventLogLimit = 4096
-		if limit := 16 * opts.StreamsPerConn; limit > connOpts.EventLogLimit {
-			connOpts.EventLogLimit = limit
-		}
-		if lm != nil {
-			connOpts.Metrics = lm.conn
-		}
-		conn, err := h2conn.Dial(nc, connOpts)
+		c, err := newLoadConn(nc, &opts, lm)
 		if err != nil {
 			_ = nc.Close()
-			return nil, fmt.Errorf("h2load: handshake %d: %w", c, err)
+			return nil, fmt.Errorf("h2load: handshake %d: %w", i, err)
 		}
-		// One driver per connection submits requests in batches of up to
-		// StreamsPerConn — nghttp2-style: the whole batch of HEADERS frames
-		// coalesces into a single write, then the driver waits for all its
-		// streams to complete before drawing the next batch of tickets.
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.nc.Close()
+		}
+	}()
+
+	var left atomic.Int64
+	left.Store(int64(opts.Requests))
+	drivers := make([]*driver, opts.Threads)
+	for t := range drivers {
+		d := &driver{
+			opts: &opts,
+			lm:   lm,
+			left: &left,
+			hist: metrics.NewHistogram(latencyUnit, metrics.DefaultBuckets),
+		}
+		// Stripe connections across drivers: driver t owns conns
+		// t, t+T, t+2T, ...
+		for i := t; i < len(conns); i += opts.Threads {
+			d.conns = append(d.conns, conns[i])
+		}
+		drivers[t] = d
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, d := range drivers {
 		wg.Add(1)
-		go func(conn *h2conn.Conn) {
+		go func(d *driver) {
 			defer wg.Done()
-			req := h2conn.Request{Authority: opts.Authority, Path: opts.Path}
-			reqs := make([]h2conn.Request, 0, opts.StreamsPerConn)
-			for {
-				reqs = reqs[:0]
-				for len(reqs) < opts.StreamsPerConn {
-					if _, ok := <-tickets; !ok {
-						break
-					}
-					reqs = append(reqs, req)
-				}
-				if len(reqs) == 0 {
-					return
-				}
-				t0 := time.Now()
-				ids, err := conn.OpenStreams(reqs)
-				for i := len(ids); i < len(reqs); i++ {
-					recordErr(err)
-				}
-				if len(ids) == 0 {
-					return
-				}
-				events, werr := conn.WaitFor(opts.Timeout, func(evs []h2conn.Event) bool {
-					return streamsEnded(evs, ids) == len(ids)
-				})
-				for _, id := range ids {
-					resp := h2conn.AssembleResponse(events, id)
-					finished := resp.EndStream || resp.Reset != nil
-					ok := finished && resp.Reset == nil && resp.Status() == "200"
-					lat := streamLatency(events, id, t0)
-					if lm != nil {
-						lm.latency.Observe(int64(lat))
-					}
-					if !ok {
-						if finished {
-							recordErr(nil)
-						} else {
-							recordErr(werr)
-						}
-						continue
-					}
-					if lm != nil {
-						lm.requests.Inc()
-						lm.bytes.Add(int64(len(resp.Body)))
-					}
-					mu.Lock()
-					res.Requests++
-					res.BytesRead += int64(len(resp.Body))
-					res.latencies = append(res.latencies, lat)
-					mu.Unlock()
-				}
-				if werr != nil && errors.Is(werr, h2conn.ErrConnClosed) {
-					return
-				}
-			}
-		}(conn)
-		// Close connections once all drivers drain; closing is deferred to
-		// run end so late GOAWAY exchanges stay observable.
-		defer func(conn *h2conn.Conn) {
-			dialMu.Lock()
-			defer dialMu.Unlock()
-			_ = conn.Close()
-		}(conn)
+			d.run()
+		}(d)
 	}
 	wg.Wait()
-	res.Duration = time.Since(start)
-	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+
+	res := &Result{
+		Duration: time.Since(start),
+		// Merge folds extra source buckets into the last destination
+		// bucket, so the destination must be pre-sized.
+		Latency: metrics.HistogramSnapshot{Unit: latencyUnit, Buckets: make([]int64, metrics.DefaultBuckets)},
+	}
+	var errs []error
+	for _, d := range drivers {
+		res.Requests += d.requests
+		res.Errors += d.errors
+		res.BytesRead += d.bytes
+		res.Latency.Merge(d.hist.Snapshot())
+		errs = append(errs, d.errs...)
+	}
 	if res.Requests == 0 && len(errs) > 0 {
 		return res, fmt.Errorf("h2load: all requests failed, first error: %w", errs[0])
 	}

@@ -106,7 +106,7 @@ func TestRunInstrumented(t *testing.T) {
 		"h2_load_requests_total":   int64(res.Requests),
 		"h2_load_errors_total":     int64(res.Errors),
 		"h2_load_body_bytes_total": res.BytesRead,
-		"h2_conn_opened_total":     2,
+		"h2_load_conns_total":      2,
 	}
 	got := make(map[string]int64)
 	var latencyCount int64

@@ -58,6 +58,21 @@ type PhaseStat struct {
 func (p PhaseStat) P50() string { return fmtDur(time.Duration(p.P50Ns)) }
 func (p PhaseStat) P99() string { return fmtDur(time.Duration(p.P99Ns)) }
 
+// ShardStat is one serve shard's dashboard row.
+type ShardStat struct {
+	Shard int   `json:"shard"`
+	Conns int64 `json:"conns"`
+}
+
+// EgressStat summarizes the priority-aware egress scheduler: the live
+// queued-frame depth plus the ready-streams-per-pass histogram.
+type EgressStat struct {
+	QueueDepth int64 `json:"queueDepth"`
+	Passes     int64 `json:"passes"`
+	ReadyP50   int64 `json:"readyP50"`
+	ReadyP99   int64 `json:"readyP99"`
+}
+
 // DashState is the dashboard's JSON payload — everything the HTML view
 // renders, machine-readable.
 type DashState struct {
@@ -73,6 +88,8 @@ type DashState struct {
 	RingDropped      int64            `json:"ringDropped"`
 	SubDropped       map[string]int64 `json:"subDropped,omitempty"`
 	SubPending       map[string]int64 `json:"subPending,omitempty"`
+	Shards           []ShardStat      `json:"shards,omitempty"`
+	Egress           *EgressStat      `json:"egress,omitempty"`
 	DetectorHits     map[string]int64 `json:"detectorHits,omitempty"`
 	Mitigations      map[string]int64 `json:"mitigations,omitempty"`
 	Anomalies        int64            `json:"anomalies"`
@@ -151,8 +168,28 @@ func (d *Dashboard) state() *DashState {
 			st.RingEmitted += m.Value
 		case m.Name == "h2_trace_dropped_total":
 			st.RingDropped += m.Value
+		case m.Name == "h2_egress_queue_depth":
+			if st.Egress == nil {
+				st.Egress = &EgressStat{}
+			}
+			st.Egress.QueueDepth += m.Value
+		case m.Name == "h2_egress_ready_streams" && m.Histogram != nil:
+			if st.Egress == nil {
+				st.Egress = &EgressStat{}
+			}
+			st.Egress.Passes += m.Histogram.Count
+			if m.Histogram.Count > 0 {
+				st.Egress.ReadyP50 = clampQuantile(m.Histogram, 0.50)
+				st.Egress.ReadyP99 = clampQuantile(m.Histogram, 0.99)
+			}
 		default:
-			if v, ok := labelValue(m.Name, "h2_scan_outcomes_total", "outcome"); ok {
+			if v, ok := labelValue(m.Name, "h2_shard_conns", "shard"); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					n = -1
+				}
+				st.Shards = append(st.Shards, ShardStat{Shard: n, Conns: m.Value})
+			} else if v, ok := labelValue(m.Name, "h2_scan_outcomes_total", "outcome"); ok {
 				st.Outcomes[v] += m.Value
 			} else if v, ok := labelValue(m.Name, "h2_scan_failures_total", "kind"); ok {
 				st.FailureKinds[v] += m.Value
@@ -174,6 +211,10 @@ func (d *Dashboard) state() *DashState {
 			}
 		}
 	}
+	// Shard rows sort numerically; the snapshot's lexical order would put
+	// shard 10 before shard 2.
+	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].Shard < st.Shards[j].Shard })
+
 	// Causal order beats alphabetical for the phase table.
 	orderOf := map[string]int{}
 	for i, p := range Phases() {
@@ -274,6 +315,17 @@ th { color: #9aa5b1; font-weight: normal; border-bottom: 1px solid #2a3138; }
 <table><tr><th>phase</th><th>count</th><th>p50</th><th>p99</th></tr>
 {{range .Phases}}<tr><td>{{.Phase}}</td><td>{{.Count}}</td><td>{{.P50}}</td><td>{{.P99}}</td></tr>
 {{end}}</table>{{end}}
+{{if .Shards}}<h2>serve shards</h2>
+<table><tr><th>shard</th><th>conns</th></tr>
+{{range .Shards}}<tr><td>{{.Shard}}</td><td>{{.Conns}}</td></tr>
+{{end}}</table>{{end}}
+{{if .Egress}}<h2>egress scheduler</h2>
+<table>
+<tr><td>queued frames</td><td>{{.Egress.QueueDepth}}</td></tr>
+<tr><td>scheduling passes</td><td>{{.Egress.Passes}}</td></tr>
+<tr><td>ready streams p50</td><td>{{.Egress.ReadyP50}}</td></tr>
+<tr><td>ready streams p99</td><td>{{.Egress.ReadyP99}}</td></tr>
+</table>{{end}}
 {{if .Outcomes}}<h2>outcomes</h2>
 <table>{{range $k, $v := .Outcomes}}<tr><td>{{$k}}</td><td>{{$v}}</td></tr>{{end}}</table>{{end}}
 {{if .FailureKinds}}<h2>error classes</h2>

@@ -49,6 +49,13 @@ func TestDashboardStateAndJSON(t *testing.T) {
 	reg.Counter(metrics.Label("h2_attacks_detected_total", "kind", "rapid-reset"), "").Add(3)
 	reg.Counter(metrics.Label("h2_mitigations_total", "action", "goaway"), "").Add(1)
 	reg.GaugeFunc(metrics.Label("h2_trace_sub_dropped_total", "sub", "obs"), "", func() int64 { return 7 })
+	reg.Gauge(metrics.Label("h2_shard_conns", "shard", "10"), "").Add(3)
+	reg.Gauge(metrics.Label("h2_shard_conns", "shard", "2"), "").Add(5)
+	reg.Gauge("h2_egress_queue_depth", "").Add(9)
+	ready := reg.Histogram("h2_egress_ready_streams", "", 1, metrics.DefaultBuckets)
+	for i := 0; i < 8; i++ {
+		ready.Observe(4)
+	}
 	m.ObserveTarget("site-000001.example", "traces/a.jsonl", clientEvents())
 	if _, err := rec.Dump(Anomaly{Reason: "detector:rapid-reset"}, nil); err != nil {
 		t.Fatal(err)
@@ -94,12 +101,28 @@ func TestDashboardStateAndJSON(t *testing.T) {
 	if len(st.Exemplars) == 0 {
 		t.Error("no exemplars in state")
 	}
+	// Data-plane rows: shards sort numerically (2 before 10) and the egress
+	// scheduler summary folds in both the gauge and the histogram.
+	if len(st.Shards) != 2 || st.Shards[0] != (ShardStat{Shard: 2, Conns: 5}) ||
+		st.Shards[1] != (ShardStat{Shard: 10, Conns: 3}) {
+		t.Errorf("shard rows = %+v, want shard 2 (5 conns) then shard 10 (3 conns)", st.Shards)
+	}
+	if st.Egress == nil {
+		t.Fatal("no egress summary in state")
+	}
+	if st.Egress.QueueDepth != 9 || st.Egress.Passes != 8 {
+		t.Errorf("egress = %+v, want queue depth 9 over 8 passes", st.Egress)
+	}
+	if st.Egress.ReadyP50 <= 0 || st.Egress.ReadyP99 < st.Egress.ReadyP50 {
+		t.Errorf("egress ready quantiles = %+v, want 0 < p50 <= p99", st.Egress)
+	}
 
 	// HTML view renders the same state.
 	rr = httptest.NewRecorder()
 	d.ServeHTTP(rr, httptest.NewRequest("GET", "/dashboard", nil))
 	html := rr.Body.String()
-	for _, want := range []string{"test run", "phase latency", "rapid-reset", "flight dumps", "dial"} {
+	for _, want := range []string{"test run", "phase latency", "rapid-reset", "flight dumps", "dial",
+		"serve shards", "egress scheduler", "queued frames"} {
 		if !strings.Contains(html, want) {
 			t.Errorf("HTML missing %q", want)
 		}

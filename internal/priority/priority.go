@@ -66,6 +66,10 @@ func (n *node) isDescendantOf(anc *node) bool {
 type Tree struct {
 	root  *node
 	nodes map[uint32]*node
+	// free recycles removed nodes so the steady-state open/close churn of
+	// request streams does not allocate: Remove pushes, get pops. Child
+	// slices are truncated, not released, so their capacity amortizes too.
+	free []*node
 }
 
 // NewTree returns an empty dependency tree.
@@ -88,12 +92,20 @@ func (t *Tree) Contains(id uint32) bool {
 
 // get returns the node for id, creating an idle placeholder under the root
 // when the stream is unknown (RFC 7540 section 5.3.4 allows dependencies on
-// streams in any state).
+// streams in any state). Removed nodes are recycled before new ones are
+// allocated, keeping the per-request open/close cycle allocation-free.
 func (t *Tree) get(id uint32) *node {
 	if n, ok := t.nodes[id]; ok {
 		return n
 	}
-	n := &node{id: id, weight: DefaultWeight, parent: t.root}
+	var n *node
+	if len(t.free) > 0 {
+		n = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		n.id, n.weight, n.parent = id, DefaultWeight, t.root
+	} else {
+		n = &node{id: id, weight: DefaultWeight, parent: t.root}
+	}
 	t.root.children = append(t.root.children, n)
 	t.nodes[id] = n
 	return n
@@ -101,6 +113,8 @@ func (t *Tree) get(id uint32) *node {
 
 // Add inserts stream id with the given prioritization, as carried by a
 // HEADERS frame. Adding an existing stream reprioritizes it.
+//
+//h2:hotpath — every request stream passes through Add on HEADERS.
 func (t *Tree) Add(id uint32, p Param) error {
 	if id == 0 {
 		return fmt.Errorf("priority: cannot add stream 0")
@@ -146,6 +160,8 @@ func (t *Tree) reparent(n *node, p Param) {
 // Remove closes stream id. Its children are reassigned to its parent,
 // keeping their weights (a simplification of the proportional redistribution
 // RFC 7540 section 5.3.4 suggests; ordering-relevant structure is preserved).
+//
+//h2:hotpath — every request stream passes through Remove on close.
 func (t *Tree) Remove(id uint32) {
 	n, ok := t.nodes[id]
 	if !ok || id == 0 {
@@ -157,6 +173,9 @@ func (t *Tree) Remove(id uint32) {
 		n.parent.children = append(n.parent.children, c)
 	}
 	delete(t.nodes, id)
+	n.parent = nil
+	n.children = n.children[:0]
+	t.free = append(t.free, n)
 }
 
 // Parent returns the parent stream of id (0 for root-attached streams) and
@@ -210,7 +229,15 @@ func (t *Tree) Depth(id uint32) (int, bool) {
 // also ready. Per RFC 7540 section 5.3.1, a dependent stream should only be
 // allocated resources when its ancestors are closed or blocked.
 func (t *Tree) Eligible(ready func(uint32) bool) []uint32 {
-	var out []uint32
+	return t.AppendEligible(nil, ready)
+}
+
+// AppendEligible is the allocation-free form of Eligible: it appends the
+// eligible set to dst (sorted ascending) and returns the extended slice.
+// Callers on the hot path pass a retained scratch slice truncated to zero.
+//
+//h2:hotpath
+func (t *Tree) AppendEligible(dst []uint32, ready func(uint32) bool) []uint32 {
 	for id, n := range t.nodes {
 		if id == 0 || !ready(id) {
 			continue
@@ -223,11 +250,22 @@ func (t *Tree) Eligible(ready func(uint32) bool) []uint32 {
 			}
 		}
 		if !blocked {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sortIDs(dst)
+	return dst
+}
+
+// sortIDs insertion-sorts a small ID slice in place. Eligible sets are tiny
+// (bounded by concurrent ready streams), and unlike sort.Slice this keeps
+// the comparison closure off the heap.
+func sortIDs(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // Validate checks structural invariants (used by property tests): every
@@ -271,6 +309,9 @@ func (t *Tree) Validate() error {
 type Scheduler struct {
 	tree   *Tree
 	credit map[uint32]int64
+	// elig is the retained scratch for the per-pick eligible set, so a pick
+	// in steady state performs no heap allocation.
+	elig []uint32
 }
 
 // NewScheduler returns a scheduler over tree. The tree may keep changing;
@@ -289,8 +330,11 @@ func NewScheduler(tree *Tree) *Scheduler {
 // eligible stream earns credit equal to its effective weight, the stream
 // with the highest credit wins (ties break toward the lowest stream ID),
 // and the winner is charged the total weight of the round.
+//
+//h2:hotpath — runs once per egress quantum under load.
 func (s *Scheduler) Pick(ready func(uint32) bool) (uint32, bool) {
-	elig := s.tree.Eligible(ready)
+	s.elig = s.tree.AppendEligible(s.elig[:0], ready)
+	elig := s.elig
 	if len(elig) == 0 {
 		return 0, false
 	}
@@ -312,6 +356,13 @@ func (s *Scheduler) Pick(ready func(uint32) bool) (uint32, bool) {
 	}
 	s.credit[best] -= total
 	return best, true
+}
+
+// Ready returns the size of the eligible set without advancing scheduler
+// state — the instrumentation hook behind the egress ready-stream histogram.
+func (s *Scheduler) Ready(ready func(uint32) bool) int {
+	s.elig = s.tree.AppendEligible(s.elig[:0], ready)
+	return len(s.elig)
 }
 
 // Forget clears accumulated credit for a closed stream.

@@ -418,3 +418,93 @@ func TestEligibleInvariantUnderRandomTrees(t *testing.T) {
 		}
 	}
 }
+
+// TestPickZeroAlloc pins the steady-state scheduler pick at zero heap
+// allocations: after the scratch eligible slice and credit map warm up, a
+// full smooth-WRR round over several ready streams must not allocate.
+func TestPickZeroAlloc(t *testing.T) {
+	tr := NewTree()
+	for _, id := range []uint32{1, 3, 5, 7} {
+		if err := tr.Add(id, Param{Weight: uint8(id * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewScheduler(tr)
+	ready := func(uint32) bool { return true }
+	// Warm the scratch slice and credit map.
+	for i := 0; i < 8; i++ {
+		s.Pick(ready)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := s.Pick(ready); !ok {
+			t.Fatal("no stream picked")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Pick allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestAddRemoveZeroAllocSteadyState pins the per-request stream churn —
+// Add on HEADERS, Remove on close — at zero allocations once the node
+// freelist is warm, even as stream IDs keep increasing like a real
+// connection's do.
+func TestAddRemoveZeroAllocSteadyState(t *testing.T) {
+	tr := NewTree()
+	id := uint32(1)
+	// Warm the freelist and map buckets with a burst of concurrent streams.
+	for i := 0; i < 32; i++ {
+		if err := tr.Add(id, Param{Weight: DefaultWeight}); err != nil {
+			t.Fatal(err)
+		}
+		id += 2
+	}
+	for rm := uint32(1); rm < id; rm += 2 {
+		tr.Remove(rm)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := tr.Add(id, Param{Weight: DefaultWeight}); err != nil {
+			t.Fatal(err)
+		}
+		tr.Remove(id)
+		id += 2
+	})
+	if allocs != 0 {
+		t.Fatalf("Add+Remove allocates %.1f times per op, want 0", allocs)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree left with %d streams, want 0", tr.Len())
+	}
+}
+
+// TestNodeRecycling checks that a removed stream's node is reused for the
+// next added stream and carries no stale state across the recycle.
+func TestNodeRecycling(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Add(1, Param{Weight: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(3, Param{StreamDep: 1, Weight: 100}); err != nil {
+		t.Fatal(err)
+	}
+	old := tr.nodes[3]
+	tr.Remove(3)
+	tr.Remove(1)
+	if err := tr.Add(5, Param{}); err != nil {
+		t.Fatal(err)
+	}
+	n := tr.nodes[5]
+	if n != old && n != tr.nodes[0] {
+		// Either recycled node is acceptable; just require recycling happened.
+		if len(tr.free) == 2 {
+			t.Fatal("freelist untouched: Add did not recycle a node")
+		}
+	}
+	if n.weight != 0 || n.parent != tr.root || len(n.children) != 0 {
+		t.Fatalf("recycled node has stale state: weight=%d parent=%v children=%d",
+			n.weight, n.parent.id, len(n.children))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"h2scope/internal/frame"
+	"h2scope/internal/hpack"
+)
+
+// This file proves the egress scheduler's frame order follows the RFC 7540
+// section 5.3 priority tree: weighted siblings interleave by smooth
+// weighted round-robin in exact hand-computed sequences, dependent streams
+// wait for their ancestors, and equal weights degrade to round-robin. The
+// server writes into a capturing conn and the test re-parses the wire
+// bytes, so what is asserted is the real framed output, not scheduler
+// internals.
+
+// captureConn is a replayConn that also records everything written, so the
+// emitted frame sequence can be re-parsed and asserted.
+type captureConn struct {
+	replayConn
+	wire bytes.Buffer
+}
+
+func (c *captureConn) Write(p []byte) (int, error) {
+	c.wire.Write(p)
+	return c.replayConn.Write(p)
+}
+
+// wireEvent is one parsed frame of server output.
+type wireEvent struct {
+	typ       frame.Type
+	streamID  uint32
+	dataLen   int
+	endStream bool
+}
+
+// parseWire re-reads the captured server output as frames.
+func parseWire(t *testing.T, wire []byte) []wireEvent {
+	t.Helper()
+	fr := frame.NewFramer(io.Discard, bytes.NewReader(wire))
+	var evs []wireEvent
+	for {
+		f, err := fr.ReadFrame()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatalf("parse server output: %v", err)
+		}
+		ev := wireEvent{typ: f.Header().Type, streamID: f.Header().StreamID}
+		switch f := f.(type) {
+		case *frame.DataFrame:
+			ev.dataLen = len(f.Data)
+			ev.endStream = f.StreamEnded()
+		case *frame.HeadersFrame:
+			ev.endStream = f.StreamEnded()
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// encodePriorityRequest builds one GET HEADERS frame carrying explicit
+// prioritization (zero prio means no FlagPriority: tree default weight).
+func encodePriorityRequest(t *testing.T, enc *hpack.Encoder, streamID uint32, path string, prio frame.PriorityParam) []byte {
+	t.Helper()
+	fields := []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "testbed.example"},
+		{Name: ":path", Value: path},
+	}
+	block := enc.AppendBlock(nil, fields)
+	return clientFrames(t, func(fr *frame.Framer) {
+		if err := fr.WriteHeaders(frame.HeadersParams{
+			StreamID:   streamID,
+			Fragment:   block,
+			EndStream:  true,
+			EndHeaders: true,
+			Priority:   prio,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestEgressOrderFollowsPriorityTree drives a SchedPriority server with
+// bursts of prioritized requests for /large/1 (96 KiB = exactly 6 DATA
+// quanta at the default 16 KiB max frame size) and asserts the exact DATA
+// frame interleaving the smooth-WRR walk over the dependency tree demands.
+func TestEgressOrderFollowsPriorityTree(t *testing.T) {
+	const path = "/large/1"
+	const quanta = 6 // 96 KiB / 16 KiB
+
+	type req struct {
+		id   uint32
+		prio frame.PriorityParam
+	}
+	cases := []struct {
+		name string
+		reqs []req
+		// want is the expected stream ID per DATA frame, in wire order.
+		want []uint32
+	}{
+		{
+			// Effective weights 4:2, total 6. Credits replay as the
+			// period [1,3,1] until stream 1 exhausts its 6 quanta at
+			// pick 9, then stream 3 drains alone.
+			name: "weighted siblings interleave 2:1",
+			reqs: []req{
+				{id: 1, prio: frame.PriorityParam{StreamDep: 0, Weight: 3}},
+				{id: 3, prio: frame.PriorityParam{StreamDep: 0, Weight: 1}},
+			},
+			want: []uint32{1, 3, 1, 1, 3, 1, 1, 3, 1, 3, 3, 3},
+		},
+		{
+			// Stream 3 depends on stream 1: per section 5.3.1 it gets
+			// nothing while its ancestor is ready, so the parent's whole
+			// body precedes the child's first byte.
+			name: "dependent child waits for parent",
+			reqs: []req{
+				{id: 1, prio: frame.PriorityParam{}},
+				{id: 3, prio: frame.PriorityParam{StreamDep: 1, Weight: 15}},
+			},
+			want: []uint32{1, 1, 1, 1, 1, 1, 3, 3, 3, 3, 3, 3},
+		},
+		{
+			// Equal default weights: smooth WRR degrades to strict
+			// round-robin with ties broken toward the lowest stream ID.
+			name: "equal weights round-robin",
+			reqs: []req{
+				{id: 1, prio: frame.PriorityParam{}},
+				{id: 3, prio: frame.PriorityParam{}},
+				{id: 5, prio: frame.PriorityParam{}},
+			},
+			want: []uint32{
+				1, 3, 5, 1, 3, 5, 1, 3, 5,
+				1, 3, 5, 1, 3, 5, 1, 3, 5,
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := New(NghttpdProfile(), DefaultSite("testbed.example"))
+			nc := &captureConn{}
+			c := newConn(srv, nc)
+
+			nc.push([]byte(frame.ClientPreface))
+			if err := c.readPreface(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.fr.WriteSettings(srv.profile.settings()...); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.fr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Client SETTINGS and a connection WINDOW_UPDATE open both
+			// window levels wide, so only the scheduler orders the DATA.
+			nc.push(clientFrames(t, func(fr *frame.Framer) {
+				if err := fr.WriteSettings(frame.Setting{
+					ID: frame.SettingInitialWindowSize, Val: 1 << 30,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := fr.WriteWindowUpdate(0, 1<<30); err != nil {
+					t.Fatal(err)
+				}
+			}))
+			stepOK(t, c)
+			stepOK(t, c)
+
+			// All requests arrive as one pipelined burst: the batch
+			// defers egress, so a single scheduling pass orders every
+			// stream's response.
+			enc := hpack.NewEncoder(hpack.PolicyNoDynamicInsert)
+			var burst []byte
+			for _, r := range tc.reqs {
+				burst = append(burst, encodePriorityRequest(t, enc, r.id, path, r.prio)...)
+			}
+			nc.push(burst)
+			mark := nc.wire.Len()
+			for range tc.reqs {
+				stepOK(t, c)
+			}
+
+			evs := parseWire(t, nc.wire.Bytes()[mark:])
+
+			// Response HEADERS precede all DATA and follow arrival order.
+			var headerOrder []uint32
+			firstData := -1
+			for i, ev := range evs {
+				switch ev.typ {
+				case frame.TypeHeaders:
+					headerOrder = append(headerOrder, ev.streamID)
+					if firstData >= 0 {
+						t.Errorf("HEADERS for stream %d after first DATA frame", ev.streamID)
+					}
+				case frame.TypeData:
+					if firstData < 0 {
+						firstData = i
+					}
+				}
+			}
+			if len(headerOrder) != len(tc.reqs) {
+				t.Fatalf("got %d response HEADERS, want %d", len(headerOrder), len(tc.reqs))
+			}
+			for i, r := range tc.reqs {
+				if headerOrder[i] != r.id {
+					t.Errorf("HEADERS[%d] = stream %d, want %d (arrival order)", i, headerOrder[i], r.id)
+				}
+			}
+
+			// DATA frame order must match the hand-computed WRR walk.
+			var got []uint32
+			last := make(map[uint32]int)
+			for i, ev := range evs {
+				if ev.typ != frame.TypeData || ev.dataLen == 0 {
+					continue
+				}
+				got = append(got, ev.streamID)
+				last[ev.streamID] = i
+				if ev.dataLen != 16384 {
+					t.Errorf("DATA quantum on stream %d is %d bytes, want 16384", ev.streamID, ev.dataLen)
+				}
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d DATA frames (%v), want %d (%v)", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("DATA order mismatch at frame %d:\n got %v\nwant %v", i, got, tc.want)
+				}
+			}
+
+			// END_STREAM terminates exactly each stream's final quantum.
+			counts := make(map[uint32]int)
+			for _, id := range got {
+				counts[id]++
+			}
+			for _, r := range tc.reqs {
+				if counts[r.id] != quanta {
+					t.Errorf("stream %d transmitted %d quanta, want %d", r.id, counts[r.id], quanta)
+				}
+				if !evs[last[r.id]].endStream {
+					t.Errorf("stream %d final DATA frame missing END_STREAM", r.id)
+				}
+			}
+			if len(c.streams) != 0 {
+				t.Errorf("%d streams still open after drain", len(c.streams))
+			}
+		})
+	}
+}

@@ -141,5 +141,6 @@ func (c *conn) respondFingerprint(st *stream) {
 	body = append(body, '\n')
 	st.respHeaders = c.responseHeaders("200", "application/json", len(body), nil)
 	st.body = body
-	c.eagerPending[st.id] = true
+	st.eager = true
+	c.noteQueued(st)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -23,6 +24,9 @@ type Metrics struct {
 
 	stallsConn   *metrics.Counter
 	stallsStream *metrics.Counter
+
+	egressQueue *metrics.Gauge
+	egressReady *metrics.Histogram
 
 	// reg backs the dynamically labeled fingerprint counters; fpSeen
 	// caches them per label pair so the hot path registers each
@@ -74,7 +78,18 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"transitions into a send-window-blocked state while response bytes were pending"),
 		stallsStream: r.Counter(metrics.Label("h2_window_stalls_total", "scope", "stream"),
 			"transitions into a send-window-blocked state while response bytes were pending"),
+		egressQueue: r.Gauge("h2_egress_queue_depth",
+			"streams with a queued response not yet fully transmitted"),
+		egressReady: r.Histogram("h2_egress_ready_streams",
+			"eligible ready streams per egress scheduling pass", 1, metrics.DefaultBuckets),
 	}
+}
+
+// shardConns mints the per-shard connection gauge h2_shard_conns{shard=N}.
+// The registry dedupes by name, so repeated calls return the same gauge.
+func (m *Metrics) shardConns(shard int) *metrics.Gauge {
+	return m.reg.Gauge(metrics.Label("h2_shard_conns", "shard", strconv.Itoa(shard)),
+		"connections currently assigned to this accept/serve shard")
 }
 
 // fingerprintSeen counts one sealed client fingerprint under its JA4 and
@@ -100,8 +115,8 @@ func (m *Metrics) fingerprintSeen(ja4, akamai string) {
 
 // settleOnClose runs at connection teardown. Streams abandoned by a dying
 // connection never pass through closeStream, so their active-stream gauge
-// entries and open-to-close durations are settled here, along with the
-// connection's own gauge.
+// entries, queue-depth contributions, and open-to-close durations are
+// settled here, along with the connection's own gauge.
 func (c *conn) settleOnClose() {
 	m := c.srv.Metrics
 	if m == nil {
@@ -110,8 +125,44 @@ func (c *conn) settleOnClose() {
 	for _, st := range c.streams {
 		m.activeStreams.Add(-1)
 		m.streamDuration.Observe(int64(time.Since(st.openedAt)))
+		if st.queued {
+			m.egressQueue.Add(-1)
+		}
 	}
 	m.activeConns.Add(-1)
+}
+
+// noteQueued counts st into the egress queue-depth gauge on the transition
+// into having a queued response. Idempotent per stream life.
+func (c *conn) noteQueued(st *stream) {
+	if st.queued {
+		return
+	}
+	st.queued = true
+	if m := c.srv.Metrics; m != nil {
+		m.egressQueue.Add(1)
+	}
+}
+
+// noteDequeued settles st's queue-depth contribution at stream close.
+func (c *conn) noteDequeued(st *stream) {
+	if !st.queued {
+		return
+	}
+	st.queued = false
+	if m := c.srv.Metrics; m != nil {
+		m.egressQueue.Add(-1)
+	}
+}
+
+// noteEgressReady observes the size of the scheduler's eligible set for the
+// ready-stream histogram, once per egress pass.
+func (c *conn) noteEgressReady() {
+	m := c.srv.Metrics
+	if m == nil {
+		return
+	}
+	m.egressReady.Observe(int64(c.sched.Ready(c.readyFn)))
 }
 
 // pendingBody reports whether any stream has announced response bytes it has

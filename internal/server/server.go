@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -45,6 +46,7 @@ const defaultMaxHeaderListBytes = 256 << 10
 type Server struct {
 	profile Profile
 	site    *Site
+	routes  *routeTable
 
 	// Logf, when non-nil, receives debug lines.
 	Logf func(format string, args ...any)
@@ -69,22 +71,33 @@ type Server struct {
 	// tlsutil.HelloCapture fallback path. Set it before serving.
 	HelloSource func(net.Conn) *fingerprint.ClientHello
 
+	// Shards selects the number of accept/serve shards — independent conn
+	// tables, each with its own lock and per-listener accept goroutine —
+	// that the connection-tracking plane is split across. Zero means
+	// GOMAXPROCS (capped at 16). Set it before serving.
+	Shards int
+
 	mu     sync.Mutex
 	lis    []net.Listener
-	conns  map[*conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	shardOnce sync.Once
+	shards    []*serverShard
+	nextShard atomic.Uint32
 
 	// det is the attack detector, when StartDetector attached one.
 	det *Detector
 }
 
-// New returns a server for site with the given behavior profile.
+// New returns a server for site with the given behavior profile. The site's
+// document tree is compiled into the zero-alloc dispatch table here; build
+// the site fully before calling New.
 func New(p Profile, site *Site) *Server {
 	return &Server{
 		profile: p,
 		site:    site,
-		conns:   make(map[*conn]struct{}),
+		routes:  buildRoutes(&p, site),
 	}
 }
 
@@ -101,8 +114,11 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Serve accepts connections from l until the listener fails or Close is
-// called. Each connection is served on its own goroutine.
+// called. One accept goroutine runs per shard, each feeding its own conn
+// table, so accepted connections stripe across shards and connection
+// registration never contends on a global lock.
 func (s *Server) Serve(l net.Listener) error {
+	s.shardInit()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -111,39 +127,22 @@ func (s *Server) Serve(l net.Listener) error {
 	s.lis = append(s.lis, l)
 	s.mu.Unlock()
 
-	for {
-		nc, err := l.Accept()
-		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return nil
-			}
-			return fmt.Errorf("server: accept: %w", err)
-		}
-		// Registering under mu while !closed guarantees no wg.Add can race
-		// a Close/Shutdown wg.Wait: Wait only starts after closed is set,
-		// and a conn accepted around that moment is rejected here instead.
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			_ = nc.Close()
-			return nil
-		}
-		s.wg.Add(1)
-		s.mu.Unlock()
-		go func() {
-			defer s.wg.Done()
-			if err := s.ServeConn(nc); err != nil && !errors.Is(err, io.EOF) {
-				s.logf("conn %v: %v", nc.RemoteAddr(), err)
-			}
-		}()
+	errc := make(chan error, len(s.shards))
+	for _, sh := range s.shards[1:] {
+		go func(sh *serverShard) { errc <- s.acceptLoop(l, sh) }(sh)
 	}
+	first := s.acceptLoop(l, s.shards[0])
+	for range s.shards[1:] {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Close stops all listeners and waits for in-flight connections.
 func (s *Server) Close() {
+	s.shardInit()
 	s.mu.Lock()
 	s.closed = true
 	lis := s.lis
@@ -152,6 +151,7 @@ func (s *Server) Close() {
 	for _, l := range lis {
 		_ = l.Close()
 	}
+	s.closeShards()
 	s.wg.Wait()
 	s.detector().Stop()
 }
@@ -168,18 +168,16 @@ func (s *Server) detector() *Detector {
 // connections that have not wound down after the grace period are closed
 // forcibly. Shutdown blocks until all connections ended.
 func (s *Server) Shutdown(grace time.Duration) {
+	s.shardInit()
 	s.mu.Lock()
 	s.closed = true
 	lis := s.lis
 	s.lis = nil
-	conns := make([]*conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
 	s.mu.Unlock()
 	for _, l := range lis {
 		_ = l.Close()
 	}
+	conns := s.closeShards()
 	for _, c := range conns {
 		// The framer serializes writes, so announcing shutdown from here
 		// is safe alongside the connection's own goroutine. The explicit
@@ -204,35 +202,22 @@ func (s *Server) Shutdown(grace time.Duration) {
 	}
 }
 
-// track registers c for Shutdown's GOAWAY/force-close sweep. It reports
-// false when the server already closed, so a connection accepted just
-// before Close/Shutdown cannot slip past the sweep and linger unclosed.
-func (s *Server) track(c *conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	s.conns[c] = struct{}{}
-	return true
-}
-
-func (s *Server) untrack(c *conn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.conns, c)
-}
-
 // ServeConn serves one already-established connection (TCP, TLS, or an
-// in-process pipe) and blocks until it ends.
+// in-process pipe) and blocks until it ends. The connection is assigned to
+// a shard round-robin.
 func (s *Server) ServeConn(nc net.Conn) error {
-	defer func() {
-		_ = nc.Close()
-	}()
+	s.shardInit()
+	return s.serveConnOn(nc, s.pickShard())
+}
+
+// newConn builds the per-connection state for nc.
+func newConn(s *Server, nc net.Conn) *conn {
+	br := bufio.NewReaderSize(nc, 8<<10)
 	c := &conn{
 		srv:           s,
 		nc:            nc,
-		fr:            newServerFramer(nc),
+		br:            br,
+		fr:            newServerFramer(nc, br),
 		enc:           newResponseEncoder(&s.profile),
 		dec:           hpack.NewDecoder(hpack.DefaultDynamicTableSize),
 		streams:       make(map[uint32]*stream),
@@ -244,10 +229,22 @@ func (s *Server) ServeConn(nc net.Conn) error {
 		pushEnabled:   true,
 		tree:          priority.NewTree(),
 		nextPushID:    2,
-		eagerPending:  make(map[uint32]bool),
-		firstSent:     make(map[uint32]bool),
 	}
 	c.sched = priority.NewScheduler(c.tree)
+	// Bind the scheduling predicates once: passing c.ready as a method
+	// value mints a fresh closure per call, which the zero-alloc egress
+	// path cannot afford.
+	c.readyFn = c.ready
+	c.readyFirstFn = c.readyFirst
+	return c
+}
+
+// serveConnOn serves nc on shard sh.
+func (s *Server) serveConnOn(nc net.Conn, sh *serverShard) error {
+	defer func() {
+		_ = nc.Close()
+	}()
+	c := newConn(s, nc)
 	c.fpInit(nc)
 	// Bound decoded header blocks (the HPACK-bomb guard): the advertised
 	// SETTINGS_MAX_HEADER_LIST_SIZE when the profile has one, a defensive
@@ -282,27 +279,31 @@ func (s *Server) ServeConn(nc net.Conn) error {
 			defer d.unregister(id)
 		}
 	}
-	if !s.track(c) {
+	if !sh.track(c) {
 		return errors.New("server: closed")
 	}
-	defer s.untrack(c)
+	defer sh.untrack(c)
 	return c.serve()
 }
 
 // stream is one server-side stream with a pending or in-flight response.
+// Streams are pooled per connection: closeStream recycles them onto the
+// conn's freelist and openStream reuses them, retaining the grown header
+// buffers, so the steady-state request/response cycle allocates nothing.
 type stream struct {
-	id      uint32
-	arrival int
+	id uint32
 	// pushed marks server-initiated (even-ID) streams.
 	pushed bool
-	// window is the server's send window for this stream.
-	window *flowcontrol.Window
-	// reqHeaders is the decoded request header list.
+	// window is the server's send window for this stream, embedded by value
+	// so pooled reuse re-arms it with Reset instead of reallocating.
+	window flowcontrol.Window
+	// reqHeaders is the decoded request header list, copied from the conn's
+	// decode scratch into stream-owned (pool-retained) backing.
 	reqHeaders []hpack.HeaderField
 	// reqDone is set once the client half-closed (END_STREAM seen).
 	reqDone bool
-	// respHeaders is the encoded-on-demand response header list; nil until
-	// the response is generated.
+	// respHeaders is the response header list. On the fast path it aliases
+	// the precomputed route table and must never be mutated.
 	respHeaders []hpack.HeaderField
 	// body is the unsent remainder of the response payload.
 	body []byte
@@ -310,6 +311,15 @@ type stream struct {
 	headersWritten bool
 	// responded is set once a response has been generated for the request.
 	responded bool
+	// eager marks one pending arrival-order quantum for the
+	// SchedPriorityLastOnly mode.
+	eager bool
+	// firstSent is set once the first DATA quantum went out (the
+	// SchedPriorityFirstOnly predicate).
+	firstSent bool
+	// queued tracks the stream's contribution to the egress queue-depth
+	// gauge: set when a response is queued, settled at close.
+	queued bool
 	// zeroDataSent throttles the TinyWindowZeroData behavior to one empty
 	// frame per window state.
 	zeroDataSent bool
@@ -322,11 +332,28 @@ type stream struct {
 	headerFragment []byte
 	headerDone     bool
 	headerEnd      bool
+	// poolNext links the conn's stream freelist.
+	poolNext *stream
+}
+
+// reset clears st for pooled reuse, keeping the grown reqHeaders and
+// headerFragment backing arrays.
+func (st *stream) reset(id uint32, pushed bool) {
+	*st = stream{
+		id:             id,
+		pushed:         pushed,
+		reqHeaders:     st.reqHeaders[:0],
+		headerFragment: st.headerFragment[:0],
+	}
 }
 
 type conn struct {
 	srv *Server
 	nc  net.Conn
+	// br buffers reads from nc; the serve loop peeks it to defer the wire
+	// flush while further complete frames are already buffered, so a burst
+	// of pipelined requests is answered with one write.
+	br  *bufio.Reader
 	fr  *frame.Framer
 	enc *hpack.Encoder
 	dec *hpack.Decoder
@@ -334,10 +361,27 @@ type conn struct {
 	// header blocks; only the serve goroutine touches it (Shutdown's
 	// cross-goroutine GOAWAY never encodes headers).
 	encBuf []byte
+	// decFields is the HPACK decode scratch: header blocks decode into it
+	// and are copied to the stream's own backing before the next decode.
+	decFields []hpack.HeaderField
 
-	streams  map[uint32]*stream
-	arrival  int
-	rrCursor int
+	streams map[uint32]*stream
+	// order holds the open streams in arrival order — the maintained
+	// replacement for sorting streams per scheduling pass. openStream
+	// appends, closeStream removes in place.
+	order []*stream
+	// orderScratch is the iteration copy for passes that close streams
+	// mid-loop.
+	orderScratch []*stream
+	// streamPool is the freelist of recycled stream objects, linked through
+	// stream.poolNext.
+	streamPool *stream
+	rrCursor   int
+
+	// readyFn and readyFirstFn are the scheduling predicates bound once at
+	// conn setup (method values allocate per use).
+	readyFn      func(uint32) bool
+	readyFirstFn func(uint32) bool
 
 	sendWindow *flowcontrol.Window
 	recvWindow *flowcontrol.Window
@@ -359,10 +403,6 @@ type conn struct {
 	// connStalled marks a counted connection-window stall; re-armed by the
 	// WINDOW_UPDATE that unblocks it.
 	connStalled bool
-	// eagerPending and firstSent support the partially-compliant
-	// scheduling modes.
-	eagerPending map[uint32]bool
-	firstSent    map[uint32]bool
 	// contStream, when nonzero, is the stream whose header block is being
 	// continued.
 	contStream uint32
@@ -414,13 +454,14 @@ func (c *conn) mitigateGoAway() {
 	_ = c.nc.Close()
 }
 
-// newResponseEncoder builds the HPACK encoder the profile calls for.
 // newServerFramer builds the per-connection framer with write coalescing
-// enabled: the serve loop flushes once per handled frame, so a burst of
-// response frames (HEADERS+DATA fan-out across streams) reaches the wire in
-// a single write instead of one write per frame.
-func newServerFramer(nc net.Conn) *frame.Framer {
-	fr := frame.NewFramer(nc, nc)
+// enabled: the serve loop flushes once per handled input batch, so a burst
+// of response frames (HEADERS+DATA fan-out across streams) reaches the wire
+// in a single write instead of one write per frame. Reads go through the
+// connection's buffered reader so the serve loop can see whether further
+// frames are already pending.
+func newServerFramer(w io.Writer, r io.Reader) *frame.Framer {
+	fr := frame.NewFramer(w, r)
 	fr.SetWriteBuffering(0)
 	return fr
 }
@@ -456,50 +497,78 @@ func (c *conn) serve() error {
 		if d := c.readDelay.Load(); d > 0 {
 			time.Sleep(time.Duration(d))
 		}
-		f, err := c.fr.ReadFrame()
-		if err != nil {
-			var ce frame.ConnError
-			if errors.As(err, &ce) {
-				_ = c.goAway(ce.Code, ce.Reason)
-				return nil
-			}
-			var se frame.StreamError
-			if errors.As(err, &se) {
-				if c.fr.WriteRSTStream(se.StreamID, se.Code) == nil {
-					_ = c.fr.Flush()
-				}
-				continue
-			}
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		if err := c.handleFrame(f); err != nil {
-			var ce frame.ConnError
-			if errors.As(err, &ce) {
-				_ = c.goAway(ce.Code, ce.Reason)
-				return nil
-			}
-			return err
-		}
-		if c.goingAway {
-			return c.fr.Flush()
-		}
-		if err := c.flush(); err != nil {
-			return err
-		}
-		// One wire write per handled frame: everything the handlers and the
-		// response scheduler queued this iteration goes out together.
-		if err := c.fr.Flush(); err != nil {
+		stop, err := c.step()
+		if stop || err != nil {
 			return err
 		}
 	}
 }
 
+// step reads and handles one frame. When the read buffer holds no further
+// complete frame, it also runs the egress scheduler and flushes the batch
+// to the wire — so a burst of pipelined input frames is answered with one
+// scheduling pass and one write.
+func (c *conn) step() (stop bool, _ error) {
+	f, err := c.fr.ReadFrame()
+	if err != nil {
+		var ce frame.ConnError
+		if errors.As(err, &ce) {
+			_ = c.goAway(ce.Code, ce.Reason)
+			return true, nil
+		}
+		var se frame.StreamError
+		if errors.As(err, &se) {
+			if c.fr.WriteRSTStream(se.StreamID, se.Code) == nil {
+				_ = c.fr.Flush()
+			}
+			return false, nil
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return true, nil
+		}
+		return true, err
+	}
+	if err := c.handleFrame(f); err != nil {
+		var ce frame.ConnError
+		if errors.As(err, &ce) {
+			_ = c.goAway(ce.Code, ce.Reason)
+			return true, nil
+		}
+		return true, err
+	}
+	if c.goingAway {
+		return true, c.fr.Flush()
+	}
+	if c.frameBuffered() {
+		// More input is already here: keep handling before scheduling
+		// egress, so the whole batch coalesces into one write.
+		return false, nil
+	}
+	if err := c.flushEgress(); err != nil {
+		return true, err
+	}
+	return false, c.fr.Flush()
+}
+
+// frameBuffered reports whether the read buffer already holds one complete
+// frame. It never blocks: the peek only runs when the header is already
+// buffered, and a frame larger than the buffer window simply reports false
+// (the flush happens, then the read path blocks as usual).
+func (c *conn) frameBuffered() bool {
+	if c.br.Buffered() < frame.HeaderLen {
+		return false
+	}
+	hdr, err := c.br.Peek(frame.HeaderLen)
+	if err != nil {
+		return false
+	}
+	payload := int(hdr[0])<<16 | int(hdr[1])<<8 | int(hdr[2])
+	return c.br.Buffered() >= frame.HeaderLen+payload
+}
+
 func (c *conn) readPreface() error {
 	buf := make([]byte, len(frame.ClientPreface))
-	if _, err := io.ReadFull(c.nc, buf); err != nil {
+	if _, err := io.ReadFull(c.br, buf); err != nil {
 		return fmt.Errorf("server: reading preface: %w", err)
 	}
 	if string(buf) != frame.ClientPreface {
@@ -670,22 +739,26 @@ func (c *conn) handleContinuation(f *frame.ContinuationFrame) error {
 // accumulated HEADERS+CONTINUATION fragments exceed maxHeaderBlockBytes —
 // the CONTINUATION-flood bound.
 func (c *conn) checkHeaderBlockBound(st *stream) error {
-	if len(st.headerFragment) <= maxHeaderBlockBytes {
-		return nil
+	if len(st.headerFragment) > maxHeaderBlockBytes {
+		return frame.ConnError{
+			Code:   frame.ErrCodeEnhanceYourCalm,
+			Reason: fmt.Sprintf("header block exceeds %d bytes", maxHeaderBlockBytes),
+		}
 	}
-	return frame.ConnError{
-		Code:   frame.ErrCodeEnhanceYourCalm,
-		Reason: fmt.Sprintf("header block exceeds %d bytes", maxHeaderBlockBytes),
-	}
+	return nil
 }
 
 func (c *conn) finishHeaderBlock(st *stream) error {
-	fields, err := c.dec.DecodeFull(st.headerFragment)
-	st.headerFragment = nil
+	fields, err := c.dec.DecodeAppend(c.decFields[:0], st.headerFragment)
+	c.decFields = fields
+	st.headerFragment = st.headerFragment[:0]
 	if err != nil {
 		return frame.ConnError{Code: frame.ErrCodeCompression, Reason: err.Error()}
 	}
-	st.reqHeaders = fields
+	// Copy the field list into stream-owned backing: the decode scratch is
+	// clobbered by the next header block on this connection, and a request
+	// may respond later (POST bodies, deferred dispatch).
+	st.reqHeaders = append(st.reqHeaders[:0], fields...)
 	st.headerDone = true
 	if st.headerEnd {
 		st.reqDone = true
@@ -722,25 +795,28 @@ func requestPath(fields []hpack.HeaderField) string {
 	return "/"
 }
 
+// openStream returns the stream for id, creating (or recycling from the
+// conn's pool) it if new. New streams join the tail of the arrival order.
 func (c *conn) openStream(id uint32, pushed bool) *stream {
 	if st, ok := c.streams[id]; ok {
 		return st
 	}
-	c.arrival++
-	st := &stream{
-		id:      id,
-		arrival: c.arrival,
-		pushed:  pushed,
-		window:  flowcontrol.New(0),
+	st := c.streamPool
+	if st != nil {
+		c.streamPool = st.poolNext
+		st.reset(id, pushed)
+	} else {
+		st = &stream{id: id, pushed: pushed}
 	}
 	// New streams start at the client's advertised initial window size.
-	_ = st.window.Adjust(c.clientInitWin)
+	st.window.Reset(c.clientInitWin)
 	if m := c.srv.Metrics; m != nil {
 		m.streamsOpened.Inc()
 		m.activeStreams.Add(1)
 		st.openedAt = time.Now()
 	}
 	c.streams[id] = st
+	c.order = append(c.order, st)
 	if !c.tree.Contains(id) {
 		_ = c.tree.Add(id, priority.Param{Weight: priority.DefaultWeight})
 	}
@@ -758,67 +834,99 @@ func (c *conn) closeStream(id uint32) {
 		return
 	}
 	delete(c.streams, id)
+	for i, o := range c.order {
+		if o == st {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = nil
+			c.order = c.order[:len(c.order)-1]
+			break
+		}
+	}
+	c.noteDequeued(st)
 	if m := c.srv.Metrics; m != nil {
 		m.activeStreams.Add(-1)
 		m.streamDuration.Observe(int64(time.Since(st.openedAt)))
 	}
 	c.tree.Remove(id)
 	c.sched.Forget(id)
-	delete(c.eagerPending, id)
-	delete(c.firstSent, id)
 	if st.pushed {
 		c.pushOpen--
 	} else {
 		c.clientOpen--
 	}
+	// Recycle: drop aliases into the route table and response bodies, keep
+	// the grown request-header backing for the next stream.
+	st.respHeaders = nil
+	st.body = nil
+	st.poolNext = c.streamPool
+	c.streamPool = st
 }
 
 // respond generates the response for a request stream and queues any pushes.
+// The compiled route table serves the steady state; /fp and resources added
+// after New fall back to the dynamic path.
 func (c *conn) respond(st *stream) {
 	if st.responded {
 		return
 	}
 	st.responded = true
 	path := requestPath(st.reqHeaders)
+	if c.dispatchRequest(st, path) {
+		return
+	}
 	if path == fingerprintPath {
 		c.respondFingerprint(st)
 		return
 	}
-	res, ok := c.srv.site.Lookup(path)
-	if !ok {
-		notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-		st.respHeaders = c.responseHeaders("404", "text/html; charset=utf-8", len(notFound), nil)
-		st.body = notFound
-		c.eagerPending[st.id] = true
+	if res, ok := c.srv.site.Lookup(path); ok {
+		// Resource added to the site after route compilation: build the
+		// response headers dynamically.
+		st.respHeaders = c.responseHeaders("200", res.ContentType, len(res.Body), res.ExtraHeaders)
+		st.body = res.Body
+		st.eager = true
+		c.noteQueued(st)
 		return
 	}
-	st.respHeaders = c.responseHeaders("200", res.ContentType, len(res.Body), res.ExtraHeaders)
-	st.body = res.Body
-	c.eagerPending[st.id] = true
-
-	if c.srv.profile.EnablePush && c.pushEnabled && !st.pushed {
-		c.queuePushes(st, res)
-	}
+	e := &c.srv.routes.notFound
+	st.respHeaders = e.fields
+	st.body = e.res.Body
+	st.eager = true
+	c.noteQueued(st)
 }
 
-func (c *conn) queuePushes(parent *stream, res *Resource) {
-	for _, path := range res.Push {
-		pres, ok := c.srv.site.Lookup(path)
-		if !ok {
-			continue
-		}
+// dispatchRequest resolves path through the compiled route table and queues
+// the prebuilt response, reporting false on a table miss. This is the
+// zero-alloc HEADERS→response dispatch: a binary search, slice aliasing,
+// and gauge arithmetic — no maps, no string churn.
+//
+//h2:hotpath — the per-request dispatch entry point.
+func (c *conn) dispatchRequest(st *stream, path string) bool {
+	e := c.srv.routes.lookup(path)
+	if e == nil {
+		return false
+	}
+	st.respHeaders = e.fields
+	st.body = e.res.Body
+	st.eager = true
+	c.noteQueued(st)
+	if len(e.pushes) > 0 && c.srv.profile.EnablePush && c.pushEnabled && !st.pushed {
+		c.queuePushes(st, e)
+	}
+	return true
+}
+
+// queuePushes emits PUSH_PROMISE frames for the route's resolved push
+// manifest and queues the pushed responses.
+func (c *conn) queuePushes(parent *stream, e *routeEntry) {
+	rt := c.srv.routes
+	for i := range e.pushes {
+		pr := &e.pushes[i]
 		if uint32(c.pushOpen) >= c.clientMaxConc {
 			return
 		}
 		promiseID := c.nextPushID
 		c.nextPushID += 2
-		reqFields := []hpack.HeaderField{
-			{Name: ":method", Value: "GET"},
-			{Name: ":scheme", Value: "https"},
-			{Name: ":authority", Value: c.srv.site.Domain},
-			{Name: ":path", Value: path},
-		}
-		c.encBuf = c.enc.AppendBlock(c.encBuf[:0], reqFields)
+		c.encBuf = c.enc.AppendBlock(c.encBuf[:0], pr.reqFields)
 		if err := c.fr.WritePushPromise(parent.id, promiseID, true, c.encBuf); err != nil {
 			return
 		}
@@ -826,10 +934,12 @@ func (c *conn) queuePushes(parent *stream, res *Resource) {
 		// Pushed streams depend on the associated request stream
 		// (RFC 7540 section 5.3.5 default prioritization).
 		_ = c.tree.Update(promiseID, priority.Param{StreamDep: parent.id, Weight: priority.DefaultWeight})
-		ps.respHeaders = c.responseHeaders("200", pres.ContentType, len(pres.Body), pres.ExtraHeaders)
-		ps.body = pres.Body
+		target := &rt.entries[pr.target]
+		ps.respHeaders = target.fields
+		ps.body = target.res.Body
 		ps.responded = true
-		c.eagerPending[promiseID] = true
+		ps.eager = true
+		c.noteQueued(ps)
 	}
 }
 
@@ -971,241 +1081,4 @@ func (c *conn) handlePing(f *frame.PingFrame) error {
 	// RFC 7540 section 6.7: PING responses get higher priority than any
 	// other frame, so the ACK is written immediately, ahead of queued DATA.
 	return c.fr.WritePing(true, f.Data)
-}
-
-// --- response transmission ---
-
-// flush sends as many response bytes as windows and scheduling allow.
-func (c *conn) flush() error {
-	if err := c.flushHeaders(); err != nil {
-		return err
-	}
-	return c.flushData()
-}
-
-// canSendHeaders applies the profile's (mis)behaviors that withhold
-// response headers.
-func (c *conn) canSendHeaders(st *stream) bool {
-	p := c.srv.profile
-	if p.FlowControlHeaders {
-		if st.window.Available() <= 0 || c.sendWindow.Available() <= 0 {
-			return false
-		}
-	}
-	if p.TinyWindow == TinyWindowSilent && len(st.body) > 0 &&
-		st.window.Available() > 0 && st.window.Available() < tinyWindowThreshold {
-		return false
-	}
-	return true
-}
-
-func (c *conn) flushHeaders() error {
-	for _, st := range c.streamsByArrival() {
-		if st.respHeaders == nil || st.headersWritten || !c.canSendHeaders(st) {
-			continue
-		}
-		c.encBuf = c.enc.AppendBlock(c.encBuf[:0], st.respHeaders)
-		block := c.encBuf
-		endStream := len(st.body) == 0
-		// Split across CONTINUATION frames if the block exceeds the
-		// client's maximum frame size.
-		first := block
-		var rest []byte
-		if uint32(len(block)) > c.maxSendFrame {
-			first, rest = block[:c.maxSendFrame], block[c.maxSendFrame:]
-		}
-		err := c.fr.WriteHeaders(frame.HeadersParams{
-			StreamID:   st.id,
-			Fragment:   first,
-			EndStream:  endStream,
-			EndHeaders: len(rest) == 0,
-		})
-		if err != nil {
-			return err
-		}
-		for len(rest) > 0 {
-			chunk := rest
-			if uint32(len(chunk)) > c.maxSendFrame {
-				chunk = chunk[:c.maxSendFrame]
-			}
-			rest = rest[len(chunk):]
-			if err := c.fr.WriteContinuation(st.id, len(rest) == 0, chunk); err != nil {
-				return err
-			}
-		}
-		st.headersWritten = true
-		if endStream {
-			c.closeStream(st.id)
-		}
-	}
-	return nil
-}
-
-func (c *conn) streamsByArrival() []*stream {
-	out := make([]*stream, 0, len(c.streams))
-	for _, st := range c.streams {
-		out = append(out, st)
-	}
-	// Insertion sort by arrival: stream counts are small.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].arrival < out[j-1].arrival; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-// ready reports whether stream id can transmit at least one DATA byte.
-// Streams stalled by the TinyWindowZeroData behavior are not ready: they
-// emit empty DATA frames instead of real payload.
-func (c *conn) ready(id uint32) bool {
-	st, ok := c.streams[id]
-	if !ok {
-		return false
-	}
-	if !st.headersWritten || len(st.body) == 0 || st.window.Available() <= 0 {
-		return false
-	}
-	if c.srv.profile.TinyWindow == TinyWindowZeroData {
-		avail := st.window.Available()
-		if avail < tinyWindowThreshold && avail < int64(len(st.body)) {
-			return false
-		}
-	}
-	return true
-}
-
-func (c *conn) flushData() error {
-	p := c.srv.profile
-	for guard := 0; guard < 1<<20; guard++ {
-		if c.sendWindow.Available() <= 0 {
-			c.noteConnStall()
-			return c.maybeZeroData()
-		}
-		st := c.pickStream(p.Scheduling)
-		if st == nil {
-			c.noteStreamStalls()
-			return c.maybeZeroData()
-		}
-		if err := c.sendQuantum(st); err != nil {
-			return err
-		}
-	}
-	return errors.New("server: flush loop guard tripped")
-}
-
-// pickStream selects the next stream for one DATA quantum.
-func (c *conn) pickStream(mode SchedulingMode) *stream {
-	switch mode {
-	case SchedPriority:
-		if id, ok := c.sched.Pick(c.ready); ok {
-			return c.streams[id]
-		}
-		return nil
-	case SchedPriorityLastOnly:
-		// One eager quantum per stream in arrival order first.
-		for _, st := range c.streamsByArrival() {
-			if c.eagerPending[st.id] && c.ready(st.id) {
-				delete(c.eagerPending, st.id)
-				return st
-			}
-		}
-		if id, ok := c.sched.Pick(c.ready); ok {
-			return c.streams[id]
-		}
-		return nil
-	case SchedPriorityFirstOnly:
-		// First quanta in priority order, then round-robin.
-		firstReady := func(id uint32) bool { return c.ready(id) && !c.firstSent[id] }
-		if id, ok := c.sched.Pick(firstReady); ok {
-			return c.streams[id]
-		}
-		return c.pickRoundRobin()
-	case SchedSequential:
-		// One whole response at a time, in arrival order: the oldest
-		// stream with pending data always wins, and when it is
-		// window-blocked nothing else transmits (true head-of-line
-		// serialization, the anti-pattern multiplexing removes).
-		for _, st := range c.streamsByArrival() {
-			if !st.headersWritten || len(st.body) == 0 {
-				continue
-			}
-			if c.ready(st.id) {
-				return st
-			}
-			return nil
-		}
-		return nil
-	default:
-		return c.pickRoundRobin()
-	}
-}
-
-func (c *conn) pickRoundRobin() *stream {
-	order := c.streamsByArrival()
-	if len(order) == 0 {
-		return nil
-	}
-	for i := 0; i < len(order); i++ {
-		st := order[(c.rrCursor+i)%len(order)]
-		if c.ready(st.id) {
-			c.rrCursor = (c.rrCursor + i + 1) % len(order)
-			return st
-		}
-	}
-	return nil
-}
-
-// sendQuantum transmits one DATA frame for st, sized by both windows and
-// the client's maximum frame size.
-func (c *conn) sendQuantum(st *stream) error {
-	n := int64(len(st.body))
-	n = st.window.ClampTake(n)
-	n = c.sendWindow.ClampTake(n)
-	if n > int64(c.maxSendFrame) {
-		n = int64(c.maxSendFrame)
-	}
-	if n <= 0 {
-		return nil
-	}
-	chunk := st.body[:n]
-	end := int(n) == len(st.body)
-	if err := c.fr.WriteData(st.id, end, chunk); err != nil {
-		return err
-	}
-	if err := st.window.Consume(n); err != nil {
-		return err
-	}
-	if err := c.sendWindow.Consume(n); err != nil {
-		return err
-	}
-	st.body = st.body[n:]
-	c.firstSent[st.id] = true
-	if end {
-		c.closeStream(st.id)
-	}
-	return nil
-}
-
-// maybeZeroData implements the TinyWindowZeroData population behavior:
-// blocked streams with a sub-threshold window emit a single empty DATA
-// frame per window state.
-func (c *conn) maybeZeroData() error {
-	if c.srv.profile.TinyWindow != TinyWindowZeroData {
-		return nil
-	}
-	for _, st := range c.streamsByArrival() {
-		if !st.headersWritten || len(st.body) == 0 || st.zeroDataSent {
-			continue
-		}
-		avail := st.window.Available()
-		if avail >= tinyWindowThreshold || avail >= int64(len(st.body)) {
-			continue
-		}
-		if err := c.fr.WriteData(st.id, false, nil); err != nil {
-			return err
-		}
-		st.zeroDataSent = true
-	}
-	return nil
 }

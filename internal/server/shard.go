@@ -1,0 +1,146 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+
+	"h2scope/internal/metrics"
+)
+
+// maxShards caps the shard count: conn tables are sharded to spread lock
+// contention across accept/serve workers, and past a point more shards only
+// cost memory.
+const maxShards = 16
+
+// serverShard is one slice of the server's connection-tracking plane. Each
+// shard owns its conn table under its own mutex and runs its own accept
+// goroutine per listener, so steady-state conn registration never contends
+// on a global lock. Shutdown and Close sweep every shard.
+type serverShard struct {
+	id int
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+
+	// gauge is the per-shard h2_shard_conns{shard=N} gauge, nil without
+	// Server.Metrics.
+	gauge *metrics.Gauge
+}
+
+// shardInit builds the shard set on first use. Server.Shards (when positive)
+// selects the count; the default is GOMAXPROCS capped at maxShards.
+func (s *Server) shardInit() {
+	s.shardOnce.Do(func() {
+		n := s.Shards
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > maxShards {
+			n = maxShards
+		}
+		shards := make([]*serverShard, n)
+		for i := range shards {
+			sh := &serverShard{id: i, conns: make(map[*conn]struct{})}
+			if s.Metrics != nil {
+				sh.gauge = s.Metrics.shardConns(i)
+			}
+			shards[i] = sh
+		}
+		s.shards = shards
+	})
+}
+
+// pickShard assigns a connection to a shard round-robin; used by ServeConn,
+// where no accept loop made the assignment.
+func (s *Server) pickShard() *serverShard {
+	n := s.nextShard.Add(1)
+	return s.shards[(n-1)%uint32(len(s.shards))]
+}
+
+// reserve claims a waitgroup slot for a new connection under the shard
+// lock. It reports false once the shard is closed, which (with closeShards
+// taking each shard lock before wg.Wait) guarantees no wg.Add can race a
+// Close/Shutdown wg.Wait.
+func (s *Server) reserve(sh *serverShard) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// track registers c in its shard for Shutdown's GOAWAY/force-close sweep.
+// It reports false when the shard already closed, so a connection accepted
+// just before Close/Shutdown cannot slip past the sweep and linger.
+func (sh *serverShard) track(c *conn) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return false
+	}
+	sh.conns[c] = struct{}{}
+	if sh.gauge != nil {
+		sh.gauge.Add(1)
+	}
+	return true
+}
+
+func (sh *serverShard) untrack(c *conn) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.conns, c)
+	if sh.gauge != nil {
+		sh.gauge.Add(-1)
+	}
+}
+
+// closeShards marks every shard closed and returns the tracked connections.
+// After it returns, no reserve or track can succeed, so wg.Wait cannot be
+// raced by a late wg.Add.
+func (s *Server) closeShards() []*conn {
+	var conns []*conn
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		for c := range sh.conns {
+			conns = append(conns, c)
+		}
+		sh.mu.Unlock()
+	}
+	return conns
+}
+
+// acceptLoop accepts connections from l into shard sh until the listener
+// fails or the server closes. One loop runs per (listener, shard) pair, so
+// accepted conns stripe across shards by accepting goroutine.
+func (s *Server) acceptLoop(l net.Listener, sh *serverShard) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		if !s.reserve(sh) {
+			_ = nc.Close()
+			return nil
+		}
+		go func() {
+			defer s.wg.Done()
+			if err := s.serveConnOn(nc, sh); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("conn %v: %v", nc.RemoteAddr(), err)
+			}
+		}()
+	}
+}
